@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks for the performance-critical substrates:
+//! SSIM, the codec, the panoramic renderer, frame-cache operations and
+//! the cutoff solver.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use coterie_codec::{Encoder, Quality};
+use coterie_core::cutoff::{max_cutoff_radius, CutoffConfig};
+use coterie_core::{CacheConfig, CacheQuery, CacheVersion, FrameCache, FrameMeta, FrameSource};
+use coterie_device::DeviceProfile;
+use coterie_frame::{ssim, LumaFrame};
+use coterie_render::{RenderFilter, RenderOptions, Renderer};
+use coterie_world::{GameId, GameSpec, GridPoint, LeafId, Vec2};
+
+fn bench_ssim(c: &mut Criterion) {
+    let a = LumaFrame::from_fn(192, 96, |x, y| ((x * 7 + y * 13) % 97) as f32 / 96.0);
+    let mut b = a.clone();
+    b.set(50, 50, 1.0);
+    c.bench_function("ssim_192x96", |bench| {
+        bench.iter(|| ssim(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let frame = LumaFrame::from_fn(192, 96, |x, y| ((x * 3 + y * 5) % 31) as f32 / 30.0);
+    let enc = Encoder::new(Quality::CRF25);
+    let encoded = enc.encode(&frame);
+    c.bench_function("codec_encode_192x96", |bench| {
+        bench.iter(|| enc.encode(black_box(&frame)))
+    });
+    c.bench_function("codec_decode_192x96", |bench| {
+        bench.iter(|| enc.decode(black_box(&encoded)).expect("decodes"))
+    });
+}
+
+fn bench_render(c: &mut Criterion) {
+    let spec = GameSpec::for_game(GameId::VikingVillage);
+    let scene = spec.build_scene(7);
+    let renderer = Renderer::new(RenderOptions::fast());
+    let eye = scene.eye(scene.bounds().center());
+    c.bench_function("render_whole_pano", |bench| {
+        bench.iter(|| renderer.render_panorama(black_box(&scene), eye, RenderFilter::All))
+    });
+    c.bench_function("render_far_pano", |bench| {
+        bench.iter(|| {
+            renderer.render_panorama(black_box(&scene), eye, RenderFilter::FarOnly { cutoff: 8.0 })
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache: FrameCache<u64> = FrameCache::new(CacheConfig::infinite(CacheVersion::V3));
+    for i in 0..2000i32 {
+        let pos = Vec2::new((i % 100) as f64, (i / 100) as f64);
+        cache.insert(
+            FrameMeta {
+                grid: GridPoint::new(i, i),
+                pos,
+                leaf: LeafId(0),
+                near_hash: 1,
+            },
+            FrameSource::SelfPrefetch,
+            i as u64,
+            1,
+            pos,
+        );
+    }
+    let query = CacheQuery {
+        grid: GridPoint::new(50, 0),
+        pos: Vec2::new(50.3, 0.2),
+        leaf: LeafId(0),
+        near_hash: 1,
+        dist_thresh: 1.0,
+    };
+    c.bench_function("cache_lookup_2000_entries", |bench| {
+        bench.iter(|| cache.lookup(black_box(&query)).copied())
+    });
+}
+
+fn bench_cutoff(c: &mut Criterion) {
+    let spec = GameSpec::for_game(GameId::VikingVillage);
+    let scene = spec.build_scene(7);
+    let device = DeviceProfile::pixel2();
+    let config = CutoffConfig::for_spec(&spec);
+    let p = scene.bounds().center();
+    c.bench_function("cutoff_solve_one_location", |bench| {
+        bench.iter(|| max_cutoff_radius(black_box(&scene), &device, &config, p))
+    });
+}
+
+criterion_group!(benches, bench_ssim, bench_codec, bench_render, bench_cache, bench_cutoff);
+criterion_main!(benches);

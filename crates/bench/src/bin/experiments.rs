@@ -1,0 +1,97 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] [--seed N] <name>...
+//! experiments all
+//! ```
+//!
+//! Names: table1 table2 table3 table4 table5 table6 table7 table8 table9
+//! table10 fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig11 fig12 ablations
+
+use coterie_bench::{ablation, cache_exp, cutoff_exp, similarity, system_exp, ExpConfig};
+use std::time::Instant;
+
+const ALL: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+    "table10", "fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig11", "fig12",
+    "ablations",
+];
+
+fn run_one(name: &str, config: &ExpConfig) -> Result<String, String> {
+    let out = match name {
+        "table1" => system_exp::table1(config).to_string(),
+        "table2" => cutoff_exp::table2(config).to_string(),
+        "table3" => cutoff_exp::table3(config).0.to_string(),
+        "table4" => cache_exp::table4(config).to_string(),
+        "table5" => cache_exp::table5(config).0.to_string(),
+        "table6" => cache_exp::table6(config).0.to_string(),
+        "table7" => system_exp::table7(config).to_string(),
+        "table8" => system_exp::table8(config).to_string(),
+        "table9" => system_exp::table9(config).0.to_string(),
+        "table10" => system_exp::table10(config).to_string(),
+        "fig1" => similarity::fig1(config).0.to_string(),
+        "fig2" => similarity::fig2(config).0.to_string(),
+        "fig3" => similarity::fig3(config).0.to_string(),
+        "fig5" => similarity::fig5(config).0.to_string(),
+        "fig6" => cutoff_exp::fig6(config).0.to_string(),
+        "fig7" => cutoff_exp::fig7(config).0.to_string(),
+        "fig8" => cutoff_exp::fig8(config).0.to_string(),
+        "fig11" => system_exp::fig11(config).0.to_string(),
+        "fig12" => system_exp::fig12(config).to_string(),
+        "ablations" => format!(
+            "{}\n{}\n{}\n{}",
+            ablation::ablation_cutoff(config),
+            ablation::ablation_cache_capacity(config),
+            ablation::ablation_codec_quality(config),
+            ablation::ablation_lookup_criteria(config)
+        ) + &format!("\n{}", ablation::ablation_panoramic(config)),
+        other => return Err(format!("unknown experiment '{other}'")),
+    };
+    Ok(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ExpConfig::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => config.quick = true,
+            "--seed" => {
+                let v = iter.next().unwrap_or_default();
+                config.seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("invalid --seed value '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick] [--seed N] <name>...|all");
+                eprintln!("experiments: {}", ALL.join(" "));
+                return;
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() || names.iter().any(|n| n == "all") {
+        names = ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut failures = 0;
+    for name in &names {
+        let start = Instant::now();
+        match run_one(name, &config) {
+            Ok(output) => {
+                println!("{output}");
+                println!("   [{name} took {:.1} s]\n", start.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,223 @@
+//! Adaptive-cutoff experiments: Tables 2/3, Figures 6, 7 and 8.
+
+use crate::report::{f, pct, Report};
+use crate::ExpConfig;
+use coterie_core::cutoff::{CutoffConfig, CutoffMap};
+use coterie_device::DeviceProfile;
+use coterie_frame::Cdf;
+use coterie_world::{GameCatalog, GameId, GameSpec, Trajectory, Vec2};
+
+/// Table 2: the nine-game catalog (genre, FI, type).
+pub fn table2(_config: &ExpConfig) -> Report {
+    let mut report = Report::new("Table 2: the 6 outdoor and 3 indoor VR apps");
+    report.headers(["Game", "Genre", "FI", "Type"]);
+    for spec in GameCatalog::all() {
+        report.row([
+            spec.id.short_name(),
+            spec.genre.label(),
+            spec.fi_description,
+            if spec.indoor { "indoor" } else { "outdoor" },
+        ]);
+    }
+    report
+}
+
+/// Per-game output of the Table 3 experiment.
+#[derive(Debug, Clone)]
+pub struct CutoffTableRow {
+    /// Game.
+    pub game: GameId,
+    /// World dimensions, meters.
+    pub dimension: (f64, f64),
+    /// Reachable grid points.
+    pub grid_points: u64,
+    /// Quadtree average depth.
+    pub avg_depth: f64,
+    /// Quadtree maximum depth.
+    pub max_depth: u32,
+    /// Number of leaf regions.
+    pub leaf_regions: usize,
+    /// Modeled offline processing time, hours.
+    pub processing_hours: f64,
+}
+
+/// Table 3: game stats and the adaptive cutoff scheme's output for all
+/// nine games.
+pub fn table3(config: &ExpConfig) -> (Report, Vec<CutoffTableRow>) {
+    let device = DeviceProfile::pixel2();
+    let mut rows = Vec::new();
+    for spec in GameCatalog::all() {
+        let scene = spec.build_scene(config.seed);
+        let map = CutoffMap::compute(&scene, &device, &CutoffConfig::for_spec(&spec), config.seed);
+        let stats = map.stats();
+        rows.push(CutoffTableRow {
+            game: spec.id,
+            dimension: (spec.width, spec.depth),
+            grid_points: scene.reachable_grid_points(),
+            avg_depth: stats.avg_depth,
+            max_depth: stats.max_depth,
+            leaf_regions: stats.leaf_count,
+            processing_hours: map.modeled_processing_hours(),
+        });
+    }
+    let mut report = Report::new("Table 3: adaptive cutoff scheme output");
+    report.note("processing time is modeled (0.55 s per cutoff calculation)");
+    report.headers([
+        "App",
+        "Dimension (m^2)",
+        "Grid Points (M)",
+        "Depth (avg/max)",
+        "Leaf Reg.",
+        "Proc. (hrs)",
+    ]);
+    for r in &rows {
+        report.row([
+            r.game.short_name().to_string(),
+            format!("{:.0} x {:.0}", r.dimension.0, r.dimension.1),
+            f(r.grid_points as f64 / 1e6, 2),
+            format!("{:.2}/{}", r.avg_depth, r.max_depth),
+            r.leaf_regions.to_string(),
+            f(r.processing_hours, 2),
+        ]);
+    }
+    (report, rows)
+}
+
+/// Violation fractions per sampled K for one game.
+pub type ViolationSeries = Vec<(usize, f64)>;
+
+/// Figure 6: fraction of trace locations violating Constraint 1 vs the
+/// per-region sample count K, for the three testbed games.
+pub fn fig6(config: &ExpConfig) -> (Report, Vec<(GameId, ViolationSeries)>) {
+    let device = DeviceProfile::pixel2();
+    let ks: &[usize] = if config.quick { &[2, 10] } else { &[2, 4, 6, 10, 14, 20] };
+    let mut results = Vec::new();
+    for &game in &GameId::TESTBED {
+        let spec = GameSpec::for_game(game);
+        let scene = spec.build_scene(config.seed);
+        let traj = Trajectory::generate(&scene, &spec, 0, 1, config.trace_s(), config.seed);
+        let positions: Vec<Vec2> = (0..600)
+            .map(|i| traj.position(config.trace_s() * i as f64 / 600.0))
+            .collect();
+        let mut series = Vec::new();
+        for &k in ks {
+            let cfg = CutoffConfig { k_samples: k, ..CutoffConfig::for_spec(&spec) };
+            let map = CutoffMap::compute(&scene, &device, &cfg, config.seed);
+            let frac = map.violation_fraction(&scene, &device, &cfg, positions.iter().cloned());
+            series.push((k, frac));
+        }
+        results.push((game, series));
+    }
+    let mut report = Report::new("Figure 6: Constraint-1 violations vs per-region samples K");
+    report.note("the paper selects K = 10 (violations < 0.25%)");
+    let mut headers = vec!["K".to_string()];
+    headers.extend(GameId::TESTBED.iter().map(|g| g.short_name().to_string()));
+    report.headers(headers);
+    for (i, &k) in ks.iter().enumerate() {
+        let mut row = vec![k.to_string()];
+        for (_, series) in &results {
+            row.push(pct(series[i].1));
+        }
+        report.row(row);
+    }
+    (report, results)
+}
+
+/// Figure 7: CDF of leaf-region cutoff radii for all nine games.
+pub fn fig7(config: &ExpConfig) -> (Report, Vec<(GameId, Cdf)>) {
+    let device = DeviceProfile::pixel2();
+    let mut results = Vec::new();
+    for spec in GameCatalog::all() {
+        let scene = spec.build_scene(config.seed);
+        let map = CutoffMap::compute(&scene, &device, &CutoffConfig::for_spec(&spec), config.seed);
+        let cdf: Cdf = map.leaves().map(|(_, _, c)| c.radius_m).collect();
+        results.push((spec.id, cdf));
+    }
+    let mut report = Report::new("Figure 7: CDF of leaf-region cutoff radii");
+    report.headers(["Game", "p10 (m)", "median (m)", "p90 (m)", "max (m)"]);
+    for (game, cdf) in &results {
+        report.row([
+            game.short_name().to_string(),
+            f(cdf.quantile(0.1), 1),
+            f(cdf.quantile(0.5), 1),
+            f(cdf.quantile(0.9), 1),
+            f(cdf.quantile(1.0), 1),
+        ]);
+    }
+    // ASCII curves for the two extremes highlighted in the paper's text:
+    // Viking (tight radii) vs Racing (wide spread).
+    for (game, cdf) in &results {
+        if matches!(game, GameId::VikingVillage | GameId::RacingMountain) {
+            report.note(format!("{} cutoff-radius CDF:", game.short_name()));
+            for line in crate::report::ascii_cdf(cdf, 48, 8).lines() {
+                report.note(line.to_string());
+            }
+        }
+    }
+    (report, results)
+}
+
+/// Figure 8: cutoff radius vs triangle density over Viking Village's
+/// leaf regions (the heatmap's underlying scatter).
+pub fn fig8(config: &ExpConfig) -> (Report, Vec<(f64, f64)>) {
+    let spec = GameSpec::for_game(GameId::VikingVillage);
+    let scene = spec.build_scene(config.seed);
+    let device = DeviceProfile::pixel2();
+    let map = CutoffMap::compute(&scene, &device, &CutoffConfig::for_spec(&spec), config.seed);
+    let points: Vec<(f64, f64)> = map
+        .leaves()
+        .map(|(_, rect, c)| (scene.triangle_density(&rect), c.radius_m))
+        .collect();
+    // Bucket by radius to show the density correlation compactly.
+    let mut report = Report::new("Figure 8: cutoff radius vs triangle density (Viking leaves)");
+    report.note("higher object density => smaller generated cutoff radius");
+    report.headers(["radius bucket (m)", "leaves", "mean density (tris/m^2)"]);
+    let buckets = [(0.0, 4.0), (4.0, 8.0), (8.0, 12.0), (12.0, 20.0), (20.0, 200.0)];
+    for (lo, hi) in buckets {
+        let in_bucket: Vec<f64> = points
+            .iter()
+            .filter(|(_, r)| *r >= lo && *r < hi)
+            .map(|(d, _)| *d)
+            .collect();
+        if in_bucket.is_empty() {
+            continue;
+        }
+        let mean = in_bucket.iter().sum::<f64>() / in_bucket.len() as f64;
+        report.row([
+            format!("{lo:.0}-{hi:.0}"),
+            in_bucket.len().to_string(),
+            f(mean, 0),
+        ]);
+    }
+    (report, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lists_nine_games() {
+        let r = table2(&ExpConfig::quick());
+        assert_eq!(r.len(), 9);
+    }
+
+    #[test]
+    fn fig8_density_anticorrelates_with_radius() {
+        let (_, points) = fig8(&ExpConfig::quick());
+        assert!(points.len() > 50);
+        // Compare mean density of small-radius vs large-radius leaves.
+        let small: Vec<f64> =
+            points.iter().filter(|(_, r)| *r < 6.0).map(|(d, _)| *d).collect();
+        let large: Vec<f64> =
+            points.iter().filter(|(_, r)| *r > 12.0).map(|(d, _)| *d).collect();
+        assert!(!small.is_empty() && !large.is_empty());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&small) > mean(&large),
+            "small-radius leaves should be denser: {} vs {}",
+            mean(&small),
+            mean(&large)
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Plain-text table/series reports for experiment output.
+
+use std::fmt;
+
+/// A printable experiment report: a title, commentary lines, and an
+/// aligned table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Report title (e.g. "Table 5: cache hit ratios").
+    pub title: String,
+    /// Free-form notes printed before the table.
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report { title: title.into(), ..Default::default() }
+    }
+
+    /// Adds a commentary line.
+    pub fn note(&mut self, line: impl Into<String>) -> &mut Self {
+        self.notes.push(line.into());
+        self
+    }
+
+    /// Sets the column headers.
+    pub fn headers<I, S>(&mut self, headers: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a row.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the report has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// A cell by (row, column), if present.
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        for n in &self.notes {
+            writeln!(f, "   {n}")?;
+        }
+        if self.headers.is_empty() && self.rows.is_empty() {
+            return Ok(());
+        }
+        // Column widths over headers + rows.
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        if !self.headers.is_empty() {
+            let line: Vec<String> = self
+                .headers
+                .iter()
+                .enumerate()
+                .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+                .collect();
+            writeln!(f, "   {}", line.join("  "))?;
+            writeln!(f, "   {}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)))?;
+        }
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+                .collect();
+            writeln!(f, "   {}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with the given number of decimals.
+pub fn f(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_formats() {
+        let mut r = Report::new("Table X");
+        r.note("a note")
+            .headers(["App", "FPS"])
+            .row(["Viking", "60"])
+            .row(["CTS", "59"]);
+        let s = format!("{r}");
+        assert!(s.contains("== Table X =="));
+        assert!(s.contains("a note"));
+        assert!(s.contains("Viking"));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.cell(1, 0), Some("CTS"));
+        assert_eq!(r.cell(5, 0), None);
+    }
+
+    #[test]
+    fn empty_report_displays_title_only() {
+        let r = Report::new("Empty");
+        let s = format!("{r}");
+        assert!(s.contains("Empty"));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(pct(0.808), "80.8%");
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn ascii_cdf_renders_monotone_curve() {
+        let cdf = coterie_frame::Cdf::from_samples((0..50).map(|i| i as f64));
+        let chart = ascii_cdf(&cdf, 30, 8);
+        assert!(chart.contains('*'));
+        assert!(chart.lines().count() >= 9);
+        // Empty CDF degrades gracefully.
+        let empty = coterie_frame::Cdf::from_samples(Vec::new());
+        assert!(ascii_cdf(&empty, 30, 8).contains("no samples"));
+    }
+
+    #[test]
+    fn alignment_pads_columns() {
+        let mut r = Report::new("T");
+        r.headers(["A", "LongHeader"]).row(["x", "1"]);
+        let s = format!("{r}");
+        assert!(s.contains("LongHeader"));
+    }
+}
+
+/// Renders a CDF as a fixed-size ASCII chart (value on x, cumulative
+/// fraction on y), for terminal-readable versions of the paper's CDF
+/// figures.
+///
+/// # Example
+///
+/// ```
+/// use coterie_bench::report::ascii_cdf;
+/// use coterie_frame::Cdf;
+/// let cdf = Cdf::from_samples((0..100).map(|i| i as f64 / 100.0));
+/// let chart = ascii_cdf(&cdf, 40, 10);
+/// assert!(chart.lines().count() >= 10);
+/// ```
+pub fn ascii_cdf(cdf: &coterie_frame::Cdf, width: usize, height: usize) -> String {
+    if cdf.is_empty() || width < 8 || height < 2 {
+        return String::from("(no samples)\n");
+    }
+    let lo = cdf.quantile(0.0);
+    let hi = cdf.quantile(1.0);
+    let span = (hi - lo).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for (col, x) in (0..width)
+        .map(|c| (c, lo + span * c as f64 / (width - 1) as f64))
+    {
+        let frac = cdf.fraction_at_most(x);
+        let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            "1.0 |"
+        } else if i == height - 1 {
+            "0.0 |"
+        } else {
+            "    |"
+        };
+        out.push_str(label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "     {:-<w$}\n     {:<.3}{:>pad$.3}\n",
+        "",
+        lo,
+        hi,
+        w = width,
+        pad = width.saturating_sub(5)
+    ));
+    out
+}

@@ -1,0 +1,302 @@
+//! Inter-frame (P-frame) coding against a reference frame.
+//!
+//! The paper's server encodes with x264, whose motion-compensated
+//! P-frames spend bits only on what *changed* since the reference. This
+//! module implements the zero-motion-vector version of that: the block
+//! residual against a reference frame is transformed and entropy-coded,
+//! and unchanged blocks cost two bytes.
+//!
+//! Its purpose in the reproduction is evidential: the simulation's
+//! [`crate::SizeModel`] charges far-BE frames a *lower* H.264-equivalence
+//! factor than whole-BE frames on the grounds that far content barely
+//! moves between adjacent grid points while near content moves a lot.
+//! The `coterie-sim` test `delta_coding_validates_size_asymmetry` uses
+//! this codec to verify that claim end-to-end: P-frame savings between
+//! adjacent-viewpoint renders are materially larger for far-BE layers
+//! than for whole-BE layers.
+
+use crate::{dct, entropy, CodecError, Quality, BASE_QUANT, ZIGZAG};
+use bytes::Bytes;
+use coterie_frame::LumaFrame;
+
+/// An encoded inter-frame: residual payload plus bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedDelta {
+    /// Frame width, pixels.
+    pub width: u32,
+    /// Frame height, pixels.
+    pub height: u32,
+    /// Quality used.
+    pub quality: Quality,
+    /// Entropy-coded residual payload.
+    pub payload: Bytes,
+    /// Number of blocks that were skipped (identical to reference after
+    /// quantization).
+    pub skipped_blocks: u32,
+}
+
+impl EncodedDelta {
+    /// Encoded size in bytes (payload plus a nominal 16-byte header).
+    pub fn size_bytes(&self) -> usize {
+        self.payload.len() + 16
+    }
+}
+
+/// Inter-frame encoder/decoder.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaEncoder {
+    quality: Quality,
+}
+
+impl DeltaEncoder {
+    /// Creates a P-frame encoder at the given quality.
+    pub fn new(quality: Quality) -> Self {
+        DeltaEncoder { quality }
+    }
+
+    /// Encodes `frame` as a residual against `reference`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames have different dimensions.
+    pub fn encode(&self, frame: &LumaFrame, reference: &LumaFrame) -> EncodedDelta {
+        assert_eq!(frame.width(), reference.width(), "frame widths differ");
+        assert_eq!(frame.height(), reference.height(), "frame heights differ");
+        let w = frame.width();
+        let h = frame.height();
+        let bw = w.div_ceil(8);
+        let bh = h.div_ceil(8);
+        let scale = self.quality.quant_scale();
+        let mut writer = entropy::Writer::new();
+        let mut skipped = 0u32;
+        let mut block = [0.0f32; 64];
+        let mut coeffs = [0.0f32; 64];
+        let mut quantized = [0i32; 64];
+        for by in 0..bh {
+            for bx in 0..bw {
+                let mut any_residual = false;
+                for y in 0..8 {
+                    for x in 0..8 {
+                        let sx = (bx * 8 + x).min(w - 1);
+                        let sy = (by * 8 + y).min(h - 1);
+                        let r = frame.get(sx, sy) - reference.get(sx, sy);
+                        block[(y * 8 + x) as usize] = r;
+                        if r.abs() > 1e-6 {
+                            any_residual = true;
+                        }
+                    }
+                }
+                if !any_residual {
+                    // Skip flag: zero DC delta + EOB.
+                    writer.write_signed(0);
+                    writer.write_eob();
+                    skipped += 1;
+                    continue;
+                }
+                dct::forward_8x8(&block, &mut coeffs);
+                let mut all_zero = true;
+                for i in 0..64 {
+                    let q = BASE_QUANT[i] * scale / 255.0;
+                    quantized[i] = (coeffs[i] / q).round() as i32;
+                    all_zero &= quantized[i] == 0;
+                }
+                if all_zero {
+                    skipped += 1;
+                }
+                // Residual DC is coded directly (no prediction chain:
+                // residual DCs are already near zero).
+                writer.write_signed(quantized[0]);
+                let mut run = 0u32;
+                for &zi in ZIGZAG.iter().skip(1) {
+                    let v = quantized[zi];
+                    if v == 0 {
+                        run += 1;
+                    } else {
+                        writer.write_unsigned(run);
+                        writer.write_signed(v);
+                        run = 0;
+                    }
+                }
+                writer.write_eob();
+            }
+        }
+        EncodedDelta {
+            width: w,
+            height: h,
+            quality: self.quality,
+            payload: writer.into_bytes(),
+            skipped_blocks: skipped,
+        }
+    }
+
+    /// Reconstructs a frame from a residual and its reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncated or malformed payloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` does not match the encoded dimensions.
+    pub fn decode(
+        &self,
+        encoded: &EncodedDelta,
+        reference: &LumaFrame,
+    ) -> Result<LumaFrame, CodecError> {
+        assert_eq!(reference.width(), encoded.width, "reference width differs");
+        assert_eq!(reference.height(), encoded.height, "reference height differs");
+        let w = encoded.width;
+        let h = encoded.height;
+        let bw = w.div_ceil(8);
+        let bh = h.div_ceil(8);
+        let scale = encoded.quality.quant_scale();
+        let mut reader = entropy::Reader::new(&encoded.payload);
+        let mut frame = LumaFrame::new(w, h);
+        let mut quantized = [0i32; 64];
+        let mut coeffs = [0.0f32; 64];
+        let mut block = [0.0f32; 64];
+        for by in 0..bh {
+            for bx in 0..bw {
+                quantized.fill(0);
+                quantized[0] = reader.read_signed()?;
+                let mut pos = 1usize;
+                loop {
+                    match reader.read_run()? {
+                        entropy::Run::Eob => break,
+                        entropy::Run::Pair { zeros, value } => {
+                            pos += zeros as usize;
+                            if pos >= 64 {
+                                return Err(CodecError::Malformed("AC index overflow"));
+                            }
+                            quantized[ZIGZAG[pos]] = value;
+                            pos += 1;
+                        }
+                    }
+                    if pos >= 64 {
+                        match reader.read_run()? {
+                            entropy::Run::Eob => break,
+                            _ => return Err(CodecError::Malformed("missing EOB")),
+                        }
+                    }
+                }
+                for i in 0..64 {
+                    let q = BASE_QUANT[i] * scale / 255.0;
+                    coeffs[i] = quantized[i] as f32 * q;
+                }
+                dct::inverse_8x8(&coeffs, &mut block);
+                for y in 0..8 {
+                    for x in 0..8 {
+                        let dx = bx * 8 + x;
+                        let dy = by * 8 + y;
+                        if dx < w && dy < h {
+                            let v = reference.get(dx, dy) + block[(y * 8 + x) as usize];
+                            frame.set(dx, dy, v);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Encoder;
+    use coterie_frame::ssim;
+
+    fn textured(seed: u32) -> LumaFrame {
+        LumaFrame::from_fn(64, 48, |x, y| {
+            ((x.wrapping_mul(13) ^ y.wrapping_mul(7) ^ seed) % 31) as f32 / 31.0
+        })
+    }
+
+    #[test]
+    fn identical_frames_cost_almost_nothing() {
+        let f = textured(1);
+        let enc = DeltaEncoder::new(Quality::CRF25);
+        let d = enc.encode(&f, &f);
+        // 48 blocks x 2 bytes of skip flags.
+        assert!(d.size_bytes() < 250, "still frame cost {} bytes", d.size_bytes());
+        assert_eq!(d.skipped_blocks, 48);
+        let decoded = enc.decode(&d, &f).unwrap();
+        assert!(ssim(&f, &decoded) > 0.999);
+    }
+
+    #[test]
+    fn small_change_is_localized() {
+        let reference = textured(1);
+        let mut frame = reference.clone();
+        for y in 0..8 {
+            for x in 0..8 {
+                frame.set(x + 16, y + 16, 1.0 - frame.get(x + 16, y + 16));
+            }
+        }
+        let enc = DeltaEncoder::new(Quality::CRF25);
+        let d = enc.encode(&frame, &reference);
+        assert_eq!(d.skipped_blocks, 47, "only the touched block carries bits");
+        let decoded = enc.decode(&d, &reference).unwrap();
+        assert!(ssim(&frame, &decoded) > 0.9);
+    }
+
+    #[test]
+    fn delta_beats_intra_for_similar_frames() {
+        // The temporal-redundancy claim: frames that barely changed cost
+        // far fewer bits as P-frames than as I-frames.
+        let reference = textured(3);
+        let mut frame = reference.clone();
+        for (i, v) in frame.data_mut().iter_mut().enumerate() {
+            if i % 97 == 0 {
+                *v = (*v + 0.06).min(1.0);
+            }
+        }
+        let intra = Encoder::new(Quality::CRF25).encode(&frame);
+        let delta = DeltaEncoder::new(Quality::CRF25).encode(&frame, &reference);
+        assert!(
+            delta.size_bytes() * 3 < intra.size_bytes(),
+            "delta {} should be far smaller than intra {}",
+            delta.size_bytes(),
+            intra.size_bytes()
+        );
+    }
+
+    #[test]
+    fn unrelated_frames_gain_nothing() {
+        let a = textured(1);
+        let b = textured(999);
+        let intra = Encoder::new(Quality::CRF25).encode(&b);
+        let delta = DeltaEncoder::new(Quality::CRF25).encode(&b, &a);
+        // Residual of unrelated noise is as expensive as the content.
+        assert!(delta.size_bytes() as f64 > intra.size_bytes() as f64 * 0.6);
+    }
+
+    #[test]
+    fn roundtrip_quality_matches_intra() {
+        let reference = textured(5);
+        let mut frame = reference.clone();
+        for v in frame.data_mut().iter_mut().step_by(11) {
+            *v = (*v * 0.8 + 0.1).clamp(0.0, 1.0);
+        }
+        let enc = DeltaEncoder::new(Quality::CRF25);
+        let decoded = enc.decode(&enc.encode(&frame, &reference), &reference).unwrap();
+        let s = ssim(&frame, &decoded);
+        assert!(s > 0.9, "delta round-trip SSIM {s:.3}");
+    }
+
+    #[test]
+    fn truncated_delta_errors() {
+        let reference = textured(5);
+        let enc = DeltaEncoder::new(Quality::CRF25);
+        let mut d = enc.encode(&textured(6), &reference);
+        d.payload = d.payload.slice(0..d.payload.len() / 3);
+        assert!(enc.decode(&d, &reference).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn mismatched_reference_panics() {
+        let enc = DeltaEncoder::new(Quality::CRF25);
+        let _ = enc.encode(&LumaFrame::new(16, 16), &LumaFrame::new(24, 16));
+    }
+}

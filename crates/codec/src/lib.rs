@@ -1,0 +1,406 @@
+//! # coterie-codec
+//!
+//! Intra-frame transform codec standing in for x264.
+//!
+//! The paper's server encodes pre-rendered panoramas with x264 (H.264,
+//! Constant Rate Factor 25, fastdecode tuning, §5.1) and the phone
+//! decodes them with the hardware `MediaCodec`. We cannot ship H.264, but
+//! the experiments only need two properties of the codec, both of which a
+//! real DCT transform codec provides and a byte-count formula would not:
+//!
+//! 1. **Content-dependent sizes** — far-BE frames (smooth, distant
+//!    content) must compress better than whole-BE frames (detailed near
+//!    content), which is what makes Coterie's prefetch traffic 2–3×
+//!    smaller per frame (§7.2).
+//! 2. **True lossy round-trips** — Table 7 measures SSIM *after*
+//!    encode/decode; Coterie scores higher than Multi-Furion because only
+//!    its far layer suffers codec loss. Our decoder reproduces that.
+//!
+//! The pipeline is the classic JPEG/H.264-intra shape: 8×8 blocks →
+//! DCT-II → quantization scaled by a CRF-like quality factor → zig-zag →
+//! run-length + varint entropy coding.
+//!
+//! [`SizeModel`] maps byte sizes at our render resolution to the paper's
+//! 4K-equivalent sizes for the network experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use coterie_codec::{Encoder, Quality};
+//! use coterie_frame::{LumaFrame, ssim};
+//!
+//! let frame = LumaFrame::from_fn(64, 64, |x, y| ((x * y) % 17) as f32 / 16.0);
+//! let enc = Encoder::new(Quality::CRF25);
+//! let encoded = enc.encode(&frame);
+//! let decoded = enc.decode(&encoded)?;
+//! assert!(ssim(&frame, &decoded) > 0.8);
+//! # Ok::<(), coterie_codec::CodecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dct;
+pub mod delta;
+mod entropy;
+
+pub use delta::{DeltaEncoder, EncodedDelta};
+pub use entropy::CodecError;
+
+use bytes::Bytes;
+use coterie_frame::LumaFrame;
+use serde::{Deserialize, Serialize};
+
+/// Encoding quality, named after x264's Constant Rate Factor scale
+/// (lower CRF = higher quality and larger frames).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Quality {
+    /// Visually lossless-ish (CRF ≈ 18).
+    CRF18,
+    /// The paper's operating point (CRF 25, §5.1).
+    #[default]
+    CRF25,
+    /// Aggressive compression (CRF ≈ 32).
+    CRF32,
+}
+
+
+impl Quality {
+    /// Quantization scale factor applied to the base matrix.
+    pub(crate) fn quant_scale(self) -> f32 {
+        match self {
+            Quality::CRF18 => 0.5,
+            Quality::CRF25 => 1.0,
+            Quality::CRF32 => 2.2,
+        }
+    }
+}
+
+/// An encoded frame: header + entropy-coded payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedFrame {
+    /// Original width in pixels.
+    pub width: u32,
+    /// Original height in pixels.
+    pub height: u32,
+    /// Quality used to encode.
+    pub quality: Quality,
+    /// Entropy-coded payload.
+    pub payload: Bytes,
+}
+
+impl EncodedFrame {
+    /// Encoded size in bytes (payload plus a nominal 16-byte header).
+    pub fn size_bytes(&self) -> usize {
+        self.payload.len() + 16
+    }
+}
+
+/// JPEG-style base quantization matrix (luminance), scaled by quality.
+pub(crate) const BASE_QUANT: [f32; 64] = [
+    16.0, 11.0, 10.0, 16.0, 24.0, 40.0, 51.0, 61.0, //
+    12.0, 12.0, 14.0, 19.0, 26.0, 58.0, 60.0, 55.0, //
+    14.0, 13.0, 16.0, 24.0, 40.0, 57.0, 69.0, 56.0, //
+    14.0, 17.0, 22.0, 29.0, 51.0, 87.0, 80.0, 62.0, //
+    18.0, 22.0, 37.0, 56.0, 68.0, 109.0, 103.0, 77.0, //
+    24.0, 35.0, 55.0, 64.0, 81.0, 104.0, 113.0, 92.0, //
+    49.0, 64.0, 78.0, 87.0, 103.0, 121.0, 120.0, 101.0, //
+    72.0, 92.0, 95.0, 98.0, 112.0, 100.0, 103.0, 99.0,
+];
+
+/// Zig-zag scan order for an 8×8 block.
+pub(crate) const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// The intra-frame encoder/decoder.
+#[derive(Debug, Clone, Default)]
+pub struct Encoder {
+    quality: Quality,
+}
+
+impl Encoder {
+    /// Creates an encoder at the given quality.
+    pub fn new(quality: Quality) -> Self {
+        Encoder { quality }
+    }
+
+    /// The configured quality.
+    pub fn quality(&self) -> Quality {
+        self.quality
+    }
+
+    /// Encodes a luma frame.
+    pub fn encode(&self, frame: &LumaFrame) -> EncodedFrame {
+        let w = frame.width();
+        let h = frame.height();
+        let bw = w.div_ceil(8);
+        let bh = h.div_ceil(8);
+        let scale = self.quality.quant_scale();
+        let mut writer = entropy::Writer::new();
+        let mut prev_dc: i32 = 0;
+        let mut block = [0.0f32; 64];
+        let mut coeffs = [0.0f32; 64];
+        let mut quantized = [0i32; 64];
+        for by in 0..bh {
+            for bx in 0..bw {
+                // Gather the 8x8 block with edge clamping.
+                for y in 0..8 {
+                    for x in 0..8 {
+                        let sx = (bx * 8 + x).min(w - 1);
+                        let sy = (by * 8 + y).min(h - 1);
+                        block[(y * 8 + x) as usize] = frame.get(sx, sy) - 0.5;
+                    }
+                }
+                dct::forward_8x8(&block, &mut coeffs);
+                for i in 0..64 {
+                    let q = BASE_QUANT[i] * scale / 255.0;
+                    quantized[i] = (coeffs[i] / q).round() as i32;
+                }
+                // DC delta + zig-zag RLE for AC.
+                let dc = quantized[0];
+                writer.write_signed(dc - prev_dc);
+                prev_dc = dc;
+                let mut run = 0u32;
+                for &zi in ZIGZAG.iter().skip(1) {
+                    let v = quantized[zi];
+                    if v == 0 {
+                        run += 1;
+                    } else {
+                        writer.write_unsigned(run);
+                        writer.write_signed(v);
+                        run = 0;
+                    }
+                }
+                writer.write_eob();
+            }
+        }
+        EncodedFrame {
+            width: w,
+            height: h,
+            quality: self.quality,
+            payload: writer.into_bytes(),
+        }
+    }
+
+    /// Decodes an encoded frame back into luma.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if the payload is truncated or malformed.
+    pub fn decode(&self, encoded: &EncodedFrame) -> Result<LumaFrame, CodecError> {
+        let w = encoded.width;
+        let h = encoded.height;
+        let bw = w.div_ceil(8);
+        let bh = h.div_ceil(8);
+        let scale = encoded.quality.quant_scale();
+        let mut reader = entropy::Reader::new(&encoded.payload);
+        let mut frame = LumaFrame::new(w, h);
+        let mut prev_dc: i32 = 0;
+        let mut quantized = [0i32; 64];
+        let mut coeffs = [0.0f32; 64];
+        let mut block = [0.0f32; 64];
+        for by in 0..bh {
+            for bx in 0..bw {
+                quantized.fill(0);
+                let dc_delta = reader.read_signed()?;
+                prev_dc += dc_delta;
+                quantized[0] = prev_dc;
+                let mut pos = 1usize;
+                loop {
+                    match reader.read_run()? {
+                        entropy::Run::Eob => break,
+                        entropy::Run::Pair { zeros, value } => {
+                            pos += zeros as usize;
+                            if pos >= 64 {
+                                return Err(CodecError::Malformed("AC index overflow"));
+                            }
+                            quantized[ZIGZAG[pos]] = value;
+                            pos += 1;
+                        }
+                    }
+                    if pos >= 64 {
+                        // A full block must be terminated by EOB.
+                        match reader.read_run()? {
+                            entropy::Run::Eob => break,
+                            _ => return Err(CodecError::Malformed("missing EOB")),
+                        }
+                    }
+                }
+                for i in 0..64 {
+                    let q = BASE_QUANT[i] * scale / 255.0;
+                    coeffs[i] = quantized[i] as f32 * q;
+                }
+                dct::inverse_8x8(&coeffs, &mut block);
+                for y in 0..8 {
+                    for x in 0..8 {
+                        let dx = bx * 8 + x;
+                        let dy = by * 8 + y;
+                        if dx < w && dy < h {
+                            frame.set(dx, dy, block[(y * 8 + x) as usize] + 0.5);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(frame)
+    }
+}
+
+/// Maps encoded sizes at render resolution to 4K-equivalent transfer
+/// sizes (the paper's frames are 3840×2160 panoramas).
+///
+/// Bytes scale with pixel area, discounted by `h264_efficiency` — the
+/// factor by which real x264 at CRF 25 out-compresses this intra-only
+/// codec (motion-compensated prediction, CABAC, deblocking). The default
+/// is calibrated so whole-BE frames land in the paper's 440–680 KB range
+/// and far-BE frames in 150–280 KB (Tables 1 and 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeModel {
+    /// Target ("paper") resolution width.
+    pub target_width: u32,
+    /// Target resolution height.
+    pub target_height: u32,
+    /// Ratio of x264 bytes to this codec's bytes at equal quality.
+    pub h264_efficiency: f64,
+}
+
+impl Default for SizeModel {
+    fn default() -> Self {
+        SizeModel { target_width: 3840, target_height: 2160, h264_efficiency: 0.35 }
+    }
+}
+
+impl SizeModel {
+    /// 4K-equivalent size in bytes for an encoded frame.
+    pub fn scaled_bytes(&self, encoded: &EncodedFrame) -> u64 {
+        let src_area = (encoded.width as f64) * (encoded.height as f64);
+        let dst_area = (self.target_width as f64) * (self.target_height as f64);
+        // Detail does not fully survive upscaling: empirically bits grow
+        // sublinearly with area; exponent 0.9 keeps the growth honest
+        // without claiming linearity.
+        let ratio = (dst_area / src_area).powf(0.9);
+        (encoded.size_bytes() as f64 * ratio * self.h264_efficiency).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coterie_frame::ssim;
+
+    fn textured_frame() -> LumaFrame {
+        LumaFrame::from_fn(64, 48, |x, y| {
+            let v = ((x * 13 + y * 7) % 23) as f32 / 23.0;
+            0.2 + 0.6 * v
+        })
+    }
+
+    fn smooth_frame() -> LumaFrame {
+        LumaFrame::from_fn(64, 48, |x, y| 0.3 + 0.3 * (x as f32 / 64.0) + 0.1 * (y as f32 / 48.0))
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let f = textured_frame();
+        let enc = Encoder::new(Quality::CRF25);
+        let decoded = enc.decode(&enc.encode(&f)).unwrap();
+        assert_eq!(decoded.width(), f.width());
+        assert_eq!(decoded.height(), f.height());
+        let s = ssim(&f, &decoded);
+        assert!(s > 0.85, "decode quality too low: SSIM {s}");
+    }
+
+    #[test]
+    fn roundtrip_is_lossy_but_bounded() {
+        let f = textured_frame();
+        let enc = Encoder::new(Quality::CRF25);
+        let decoded = enc.decode(&enc.encode(&f)).unwrap();
+        assert_ne!(f, decoded, "transform quantization must lose something");
+        let max_err = f
+            .data()
+            .iter()
+            .zip(decoded.data())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 0.35, "max per-pixel error {max_err} too large");
+    }
+
+    #[test]
+    fn higher_quality_is_larger_and_better() {
+        let f = textured_frame();
+        let lo = Encoder::new(Quality::CRF32);
+        let hi = Encoder::new(Quality::CRF18);
+        let e_lo = lo.encode(&f);
+        let e_hi = hi.encode(&f);
+        assert!(e_hi.size_bytes() > e_lo.size_bytes());
+        let s_lo = ssim(&f, &lo.decode(&e_lo).unwrap());
+        let s_hi = ssim(&f, &hi.decode(&e_hi).unwrap());
+        assert!(s_hi > s_lo, "CRF18 ({s_hi}) must beat CRF32 ({s_lo})");
+    }
+
+    #[test]
+    fn smooth_content_compresses_better() {
+        // The property Coterie's traffic reduction rests on: simpler
+        // (far-BE-like) content costs fewer bytes.
+        let enc = Encoder::default();
+        let smooth = enc.encode(&smooth_frame());
+        let textured = enc.encode(&textured_frame());
+        assert!(
+            smooth.size_bytes() * 2 < textured.size_bytes(),
+            "smooth {} vs textured {}",
+            smooth.size_bytes(),
+            textured.size_bytes()
+        );
+    }
+
+    #[test]
+    fn constant_frame_is_tiny() {
+        let f = LumaFrame::filled(64, 64, 0.5);
+        let enc = Encoder::default();
+        let e = enc.encode(&f);
+        // 64 blocks, each ~2 bytes (DC delta 0 + EOB).
+        assert!(e.size_bytes() < 200, "constant frame took {} bytes", e.size_bytes());
+        let d = enc.decode(&e).unwrap();
+        assert!(ssim(&f, &d) > 0.999);
+    }
+
+    #[test]
+    fn non_multiple_of_8_dimensions() {
+        let f = LumaFrame::from_fn(50, 35, |x, y| ((x + y) % 11) as f32 / 11.0);
+        let enc = Encoder::default();
+        let d = enc.decode(&enc.encode(&f)).unwrap();
+        assert_eq!((d.width(), d.height()), (50, 35));
+        assert!(ssim(&f, &d) > 0.6);
+    }
+
+    #[test]
+    fn truncated_payload_is_error() {
+        let enc = Encoder::default();
+        let mut e = enc.encode(&textured_frame());
+        e.payload = e.payload.slice(0..e.payload.len() / 2);
+        assert!(enc.decode(&e).is_err());
+    }
+
+    #[test]
+    fn size_model_scales_with_area() {
+        let enc = Encoder::default();
+        let e = enc.encode(&textured_frame());
+        let model = SizeModel::default();
+        let scaled = model.scaled_bytes(&e);
+        assert!(scaled > e.size_bytes() as u64 * 50, "4K scaling too small: {scaled}");
+        // Efficiency discount reduces size.
+        let cheap = SizeModel { h264_efficiency: 0.1, ..model };
+        assert!(cheap.scaled_bytes(&e) < scaled);
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let f = textured_frame();
+        let enc = Encoder::default();
+        assert_eq!(enc.encode(&f), enc.encode(&f));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the transform codec.
+
+use coterie_codec::{Encoder, Quality, SizeModel};
+use coterie_frame::{ssim_with, LumaFrame, SsimOptions};
+use proptest::prelude::*;
+
+fn frame_strategy() -> impl Strategy<Value = LumaFrame> {
+    (8u32..48, 8u32..48)
+        .prop_flat_map(|(w, h)| {
+            proptest::collection::vec(0.0f32..=1.0, (w * h) as usize)
+                .prop_map(move |data| LumaFrame::from_raw(w, h, data))
+        })
+}
+
+/// Smooth frames (realistic content) for quality assertions; pure white
+/// noise is the pathological worst case for any transform codec.
+fn smooth_frame_strategy() -> impl Strategy<Value = LumaFrame> {
+    (8u32..48, 8u32..48, 0u64..1000).prop_map(|(w, h, seed)| {
+        LumaFrame::from_fn(w, h, |x, y| {
+            let fx = x as f32 / w as f32;
+            let fy = y as f32 / h as f32;
+            let s = seed as f32 * 0.01;
+            (0.5 + 0.3 * (fx * 6.0 + s).sin() * (fy * 5.0 - s).cos()).clamp(0.0, 1.0)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_frame_roundtrips_without_error(f in frame_strategy()) {
+        for q in [Quality::CRF18, Quality::CRF25, Quality::CRF32] {
+            let enc = Encoder::new(q);
+            let encoded = enc.encode(&f);
+            let decoded = enc.decode(&encoded);
+            prop_assert!(decoded.is_ok(), "decode failed at {q:?}");
+            let d = decoded.unwrap();
+            prop_assert_eq!(d.width(), f.width());
+            prop_assert_eq!(d.height(), f.height());
+        }
+    }
+
+    #[test]
+    fn decoded_pixels_stay_in_unit_range(f in frame_strategy()) {
+        let enc = Encoder::new(Quality::CRF25);
+        let decoded = enc.decode(&enc.encode(&f)).unwrap();
+        for &v in decoded.data() {
+            prop_assert!((0.0..=1.0).contains(&v), "pixel {v} escaped range");
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(f in frame_strategy()) {
+        let enc = Encoder::new(Quality::CRF25);
+        prop_assert_eq!(enc.encode(&f), enc.encode(&f));
+    }
+
+    #[test]
+    fn smooth_content_decodes_faithfully(f in smooth_frame_strategy()) {
+        let enc = Encoder::new(Quality::CRF25);
+        let decoded = enc.decode(&enc.encode(&f)).unwrap();
+        let s = ssim_with(&f, &decoded, &SsimOptions::fast());
+        prop_assert!(s > 0.9, "smooth content should survive: SSIM {s:.3}");
+    }
+
+    #[test]
+    fn higher_quality_never_larger_error(f in smooth_frame_strategy()) {
+        let hi = Encoder::new(Quality::CRF18);
+        let lo = Encoder::new(Quality::CRF32);
+        let d_hi = hi.decode(&hi.encode(&f)).unwrap();
+        let d_lo = lo.decode(&lo.encode(&f)).unwrap();
+        let err = |a: &LumaFrame, b: &LumaFrame| {
+            a.data().iter().zip(b.data()).map(|(x, y)| ((x - y) as f64).powi(2)).sum::<f64>()
+        };
+        prop_assert!(err(&f, &d_hi) <= err(&f, &d_lo) + 1e-6);
+    }
+
+    #[test]
+    fn truncation_never_panics(f in frame_strategy(), cut in 0usize..100) {
+        let enc = Encoder::new(Quality::CRF25);
+        let mut e = enc.encode(&f);
+        let keep = e.payload.len() * cut / 100;
+        e.payload = e.payload.slice(0..keep);
+        // Must return Ok or Err but never panic. (Truncation may still
+        // decode successfully when the cut lands on a block boundary near
+        // the end.)
+        let _ = enc.decode(&e);
+    }
+
+    #[test]
+    fn size_model_monotone_in_resolution(f in smooth_frame_strategy()) {
+        let enc = Encoder::new(Quality::CRF25);
+        let e = enc.encode(&f);
+        let small = SizeModel { target_width: 1280, target_height: 720, h264_efficiency: 0.35 };
+        let big = SizeModel { target_width: 3840, target_height: 2160, h264_efficiency: 0.35 };
+        prop_assert!(small.scaled_bytes(&e) <= big.scaled_bytes(&e));
+    }
+}

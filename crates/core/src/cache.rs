@@ -1,0 +1,568 @@
+//! The far-BE frame cache (§5.3 of the paper).
+//!
+//! Each Coterie client caches prefetched far-BE frames. A lookup for grid
+//! point *k* returns a cached frame as a hit only when three criteria
+//! hold:
+//!
+//! 1. the cached frame's grid point is within the leaf region's
+//!    `dist_thresh` of *k*,
+//! 2. both grid points lie in the *same leaf region* (regions may use
+//!    different cutoff radii, which would leave a near/far gap),
+//! 3. the corresponding near BEs contain the *same set of objects*, so
+//!    the merge has no missing parts.
+//!
+//! Among qualifying frames the closest one wins. Replacement is LRU or
+//! FLF ("furthest location first", evicting the frame furthest from the
+//! player's current position); the paper finds both effective because
+//! temporal and spatial locality coincide (§7).
+//!
+//! [`CacheVersion`] reproduces the five lookup configurations of Table 4
+//! used for the inter-player-similarity study (§4.6).
+
+use coterie_world::{GridPoint, LeafId, Vec2};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a candidate cached frame may match a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchMode {
+    /// Only the identical grid point matches.
+    Exact,
+    /// Any frame satisfying the three similarity criteria matches.
+    Similar,
+}
+
+/// Where a cached frame came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameSource {
+    /// Prefetched by this client for itself.
+    SelfPrefetch,
+    /// Overheard from a reply to another player (promiscuous mode).
+    Overheard,
+}
+
+/// One of the paper's five cache configurations (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheVersion {
+    /// Matching allowed against self-prefetched (intra-player) frames.
+    pub intra: Option<MatchMode>,
+    /// Matching allowed against overheard (inter-player) frames.
+    pub inter: Option<MatchMode>,
+}
+
+impl CacheVersion {
+    /// Version 1: reuse intra-player frames, exact matches only.
+    pub const V1: CacheVersion =
+        CacheVersion { intra: Some(MatchMode::Exact), inter: None };
+    /// Version 2: reuse inter-player (overheard) frames, exact only.
+    pub const V2: CacheVersion =
+        CacheVersion { intra: None, inter: Some(MatchMode::Exact) };
+    /// Version 3: reuse intra-player frames, similar matches (the final
+    /// Coterie design).
+    pub const V3: CacheVersion =
+        CacheVersion { intra: Some(MatchMode::Similar), inter: None };
+    /// Version 4: reuse inter-player frames, similar matches.
+    pub const V4: CacheVersion =
+        CacheVersion { intra: None, inter: Some(MatchMode::Similar) };
+    /// Version 5: both intra- and inter-player similar matches.
+    pub const V5: CacheVersion =
+        CacheVersion { intra: Some(MatchMode::Similar), inter: Some(MatchMode::Similar) };
+
+    /// All five versions in Table 4 order.
+    pub const ALL: [CacheVersion; 5] =
+        [Self::V1, Self::V2, Self::V3, Self::V4, Self::V5];
+
+    /// Table row label ("Version 1" ... "Version 5").
+    pub fn label(&self) -> &'static str {
+        match (self.intra, self.inter) {
+            (Some(MatchMode::Exact), None) => "Version 1",
+            (None, Some(MatchMode::Exact)) => "Version 2",
+            (Some(MatchMode::Similar), None) => "Version 3",
+            (None, Some(MatchMode::Similar)) => "Version 4",
+            (Some(MatchMode::Similar), Some(MatchMode::Similar)) => "Version 5",
+            _ => "custom",
+        }
+    }
+
+    /// The match mode applicable to a frame from `source`, if any.
+    fn mode_for(&self, source: FrameSource) -> Option<MatchMode> {
+        match source {
+            FrameSource::SelfPrefetch => self.intra,
+            FrameSource::Overheard => self.inter,
+        }
+    }
+
+    /// Whether frames from `source` should be admitted at all.
+    pub fn admits(&self, source: FrameSource) -> bool {
+        self.mode_for(source).is_some()
+    }
+}
+
+/// Eviction policy (§5.3 "Cache replacement policy").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Least recently used.
+    Lru,
+    /// Furthest location first: evict the frame furthest from the
+    /// player's current position in the virtual world.
+    Flf,
+}
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Capacity in bytes; `u64::MAX` emulates the infinite cache of the
+    /// §4.6 trace study.
+    pub capacity_bytes: u64,
+    /// Replacement policy.
+    pub policy: EvictionPolicy,
+    /// Lookup/admission version.
+    pub version: CacheVersion,
+}
+
+impl Default for CacheConfig {
+    /// The shipping Coterie configuration: Version 3 with LRU in a
+    /// phone-memory-sized cache (512 MB of the Pixel 2's 4 GB).
+    fn default() -> Self {
+        CacheConfig {
+            capacity_bytes: 512 * 1024 * 1024,
+            policy: EvictionPolicy::Lru,
+            version: CacheVersion::V3,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// An unbounded trace-study cache with the given version.
+    pub fn infinite(version: CacheVersion) -> Self {
+        CacheConfig { capacity_bytes: u64::MAX, policy: EvictionPolicy::Lru, version }
+    }
+}
+
+/// Metadata stored alongside each cached frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameMeta {
+    /// Grid point the frame was rendered for.
+    pub grid: GridPoint,
+    /// World position of that grid point.
+    pub pos: Vec2,
+    /// Leaf region containing the grid point.
+    pub leaf: LeafId,
+    /// Hash of the near-BE object set at the grid point (criterion 3).
+    pub near_hash: u64,
+}
+
+/// A cache lookup request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheQuery {
+    /// Grid point being rendered.
+    pub grid: GridPoint,
+    /// Its world position.
+    pub pos: Vec2,
+    /// Its leaf region.
+    pub leaf: LeafId,
+    /// Its near-BE object-set hash.
+    pub near_hash: u64,
+    /// The leaf region's calibrated distance threshold, meters.
+    pub dist_thresh: f64,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that returned a frame.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted so far.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` (0 when no lookups yet).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    meta: FrameMeta,
+    source: FrameSource,
+    payload: T,
+    size_bytes: u64,
+    last_access: u64,
+}
+
+/// The per-client far-BE frame cache.
+///
+/// Generic over the payload so the §4.6 trace study can run with `()`
+/// payloads ("there is no need to generate and manipulate the actual far
+/// BE frames") while the full system caches encoded frames.
+#[derive(Debug, Clone)]
+pub struct FrameCache<T> {
+    config: CacheConfig,
+    entries: HashMap<u64, Entry<T>>,
+    /// Spatial buckets (2 m cells) of entry keys for similar lookups.
+    buckets: HashMap<(i32, i32), Vec<u64>>,
+    next_id: u64,
+    clock: u64,
+    bytes: u64,
+    stats: CacheStats,
+}
+
+/// Spatial bucket edge length, meters.
+const BUCKET_M: f64 = 2.0;
+
+impl<T> FrameCache<T> {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        FrameCache {
+            config,
+            entries: HashMap::new(),
+            buckets: HashMap::new(),
+            next_id: 0,
+            clock: 0,
+            bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of cached frames.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total cached payload bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn bucket_of(pos: Vec2) -> (i32, i32) {
+        ((pos.x / BUCKET_M).floor() as i32, (pos.z / BUCKET_M).floor() as i32)
+    }
+
+    /// Inserts a frame. `player_pos` is the inserting player's current
+    /// position, used by FLF eviction. Frames from sources the version
+    /// does not admit are dropped (e.g. overheard frames under V1/V3).
+    pub fn insert(
+        &mut self,
+        meta: FrameMeta,
+        source: FrameSource,
+        payload: T,
+        size_bytes: u64,
+        player_pos: Vec2,
+    ) {
+        if !self.config.version.admits(source) {
+            return;
+        }
+        self.clock += 1;
+        while self.bytes.saturating_add(size_bytes) > self.config.capacity_bytes
+            && !self.entries.is_empty()
+        {
+            self.evict_one(player_pos);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.bytes += size_bytes;
+        self.buckets.entry(Self::bucket_of(meta.pos)).or_default().push(id);
+        self.entries.insert(
+            id,
+            Entry { meta, source, payload, size_bytes, last_access: self.clock },
+        );
+    }
+
+    fn evict_one(&mut self, player_pos: Vec2) {
+        let victim = match self.config.policy {
+            EvictionPolicy::Lru => self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_access)
+                .map(|(&id, _)| id),
+            EvictionPolicy::Flf => self
+                .entries
+                .iter()
+                .max_by(|a, b| {
+                    let da = a.1.meta.pos.distance_sq(player_pos);
+                    let db = b.1.meta.pos.distance_sq(player_pos);
+                    da.partial_cmp(&db).expect("finite distances")
+                })
+                .map(|(&id, _)| id),
+        };
+        if let Some(id) = victim {
+            if let Some(e) = self.entries.remove(&id) {
+                self.bytes -= e.size_bytes;
+                if let Some(v) = self.buckets.get_mut(&Self::bucket_of(e.meta.pos)) {
+                    v.retain(|&x| x != id);
+                }
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Looks up a frame for `query`, counting a hit or miss. Returns the
+    /// payload of the best (closest) qualifying frame.
+    pub fn lookup(&mut self, query: &CacheQuery) -> Option<&T> {
+        let best = self.find_best(query);
+        match best {
+            Some(id) => {
+                self.clock += 1;
+                self.stats.hits += 1;
+                let e = self.entries.get_mut(&id).expect("entry just found");
+                e.last_access = self.clock;
+                Some(&e.payload)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether a lookup would hit, without touching counters or recency.
+    pub fn peek(&self, query: &CacheQuery) -> bool {
+        self.find_best(query).is_some()
+    }
+
+    fn find_best(&self, query: &CacheQuery) -> Option<u64> {
+        let radius = query.dist_thresh.max(0.0);
+        let reach = (radius / BUCKET_M).ceil() as i32 + 1;
+        let (bx, bz) = Self::bucket_of(query.pos);
+        let mut best: Option<(u64, f64)> = None;
+        for dz in -reach..=reach {
+            for dx in -reach..=reach {
+                let Some(ids) = self.buckets.get(&(bx + dx, bz + dz)) else {
+                    continue;
+                };
+                for &id in ids {
+                    let e = &self.entries[&id];
+                    let Some(mode) = self.config.version.mode_for(e.source) else {
+                        continue;
+                    };
+                    let qualifies = match mode {
+                        MatchMode::Exact => e.meta.grid == query.grid,
+                        MatchMode::Similar => {
+                            e.meta.leaf == query.leaf
+                                && e.meta.near_hash == query.near_hash
+                                && e.meta.pos.distance(query.pos) <= radius
+                        }
+                    };
+                    if !qualifies {
+                        continue;
+                    }
+                    let d = e.meta.pos.distance(query.pos);
+                    if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                        best = Some((id, d));
+                    }
+                }
+            }
+        }
+        best.map(|(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(ix: i32, iz: i32, leaf: u32, hash: u64) -> FrameMeta {
+        FrameMeta {
+            grid: GridPoint::new(ix, iz),
+            pos: Vec2::new(ix as f64 * 0.1, iz as f64 * 0.1),
+            leaf: LeafId(leaf),
+            near_hash: hash,
+        }
+    }
+
+    fn query_for(m: &FrameMeta, dist_thresh: f64) -> CacheQuery {
+        CacheQuery {
+            grid: m.grid,
+            pos: m.pos,
+            leaf: m.leaf,
+            near_hash: m.near_hash,
+            dist_thresh,
+        }
+    }
+
+    #[test]
+    fn exact_version_hits_only_identical_grid_point() {
+        let mut c: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::V1));
+        let m = meta(10, 10, 0, 7);
+        c.insert(m, FrameSource::SelfPrefetch, 42, 100, m.pos);
+        assert_eq!(c.lookup(&query_for(&m, 5.0)), Some(&42));
+        // A neighbouring grid point misses under exact matching.
+        let near = meta(11, 10, 0, 7);
+        assert_eq!(c.lookup(&query_for(&near, 5.0)), None);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn similar_version_hits_within_dist_thresh() {
+        let mut c: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::V3));
+        let m = meta(10, 10, 0, 7);
+        c.insert(m, FrameSource::SelfPrefetch, 42, 100, m.pos);
+        let near = meta(12, 10, 0, 7); // 0.2 m away
+        assert_eq!(c.lookup(&query_for(&near, 0.3)), Some(&42));
+        let far = meta(60, 10, 0, 7); // 5 m away
+        assert_eq!(c.lookup(&query_for(&far, 0.3)), None);
+    }
+
+    #[test]
+    fn similar_match_requires_same_leaf() {
+        // Criterion 2: different leaf regions may use different cutoffs,
+        // leaving a near/far gap.
+        let mut c: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::V3));
+        let m = meta(10, 10, 0, 7);
+        c.insert(m, FrameSource::SelfPrefetch, 42, 100, m.pos);
+        let mut q = query_for(&meta(11, 10, 1, 7), 5.0);
+        q.pos = m.pos;
+        assert_eq!(c.lookup(&q), None, "cross-leaf reuse must be rejected");
+    }
+
+    #[test]
+    fn similar_match_requires_same_near_set() {
+        // Criterion 3: a different near-object set would leave holes
+        // after merging.
+        let mut c: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::V3));
+        let m = meta(10, 10, 0, 7);
+        c.insert(m, FrameSource::SelfPrefetch, 42, 100, m.pos);
+        let q = query_for(&meta(11, 10, 0, 8), 5.0);
+        assert_eq!(c.lookup(&q), None, "near-set mismatch must be rejected");
+    }
+
+    #[test]
+    fn closest_qualifying_frame_wins() {
+        let mut c: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::V3));
+        let a = meta(0, 0, 0, 7);
+        let b = meta(8, 0, 0, 7);
+        c.insert(a, FrameSource::SelfPrefetch, 1, 100, a.pos);
+        c.insert(b, FrameSource::SelfPrefetch, 2, 100, b.pos);
+        // Query at 0.5 m: closer to b (0.8 m) than a (0.0 m)? a is at 0,
+        // query at (0.5, 0): a is 0.5 away, b is 0.3 away -> b wins.
+        let mut q = query_for(&meta(5, 0, 0, 7), 2.0);
+        q.pos = Vec2::new(0.5, 0.0);
+        assert_eq!(c.lookup(&q), Some(&2));
+    }
+
+    #[test]
+    fn version_gating_of_sources() {
+        // V1/V3 ignore overheard frames entirely; V2/V4 ignore
+        // self-prefetched ones.
+        let m = meta(10, 10, 0, 7);
+        let mut v3: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::V3));
+        v3.insert(m, FrameSource::Overheard, 42, 100, m.pos);
+        assert!(v3.is_empty(), "V3 must not admit overheard frames");
+
+        let mut v4: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::V4));
+        v4.insert(m, FrameSource::SelfPrefetch, 42, 100, m.pos);
+        assert!(v4.is_empty(), "V4 must not admit self-prefetched frames");
+        v4.insert(m, FrameSource::Overheard, 42, 100, m.pos);
+        assert_eq!(v4.len(), 1);
+        assert_eq!(v4.lookup(&query_for(&meta(11, 10, 0, 7), 0.5)), Some(&42));
+    }
+
+    #[test]
+    fn v5_admits_both_sources() {
+        let mut c: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::V5));
+        let a = meta(0, 0, 0, 7);
+        let b = meta(100, 0, 0, 7);
+        c.insert(a, FrameSource::SelfPrefetch, 1, 100, a.pos);
+        c.insert(b, FrameSource::Overheard, 2, 100, b.pos);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(&query_for(&a, 0.5)), Some(&1));
+        assert_eq!(c.lookup(&query_for(&b, 0.5)), Some(&2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let config = CacheConfig {
+            capacity_bytes: 250,
+            policy: EvictionPolicy::Lru,
+            version: CacheVersion::V3,
+        };
+        let mut c: FrameCache<u32> = FrameCache::new(config);
+        let a = meta(0, 0, 0, 7);
+        let b = meta(50, 0, 0, 7);
+        c.insert(a, FrameSource::SelfPrefetch, 1, 100, a.pos);
+        c.insert(b, FrameSource::SelfPrefetch, 2, 100, b.pos);
+        // Touch a so b becomes LRU.
+        assert!(c.lookup(&query_for(&a, 0.5)).is_some());
+        let d = meta(100, 0, 0, 7);
+        c.insert(d, FrameSource::SelfPrefetch, 3, 100, d.pos);
+        assert_eq!(c.len(), 2);
+        assert!(c.peek(&query_for(&a, 0.5)), "recently used entry kept");
+        assert!(!c.peek(&query_for(&b, 0.5)), "LRU entry evicted");
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn flf_evicts_furthest_from_player() {
+        let config = CacheConfig {
+            capacity_bytes: 250,
+            policy: EvictionPolicy::Flf,
+            version: CacheVersion::V3,
+        };
+        let mut c: FrameCache<u32> = FrameCache::new(config);
+        let near = meta(0, 0, 0, 7);
+        let far = meta(500, 0, 0, 7); // 50 m away
+        c.insert(near, FrameSource::SelfPrefetch, 1, 100, Vec2::ZERO);
+        c.insert(far, FrameSource::SelfPrefetch, 2, 100, Vec2::ZERO);
+        // Player is at origin; inserting a third entry evicts `far`.
+        let c3 = meta(5, 0, 0, 7);
+        c.insert(c3, FrameSource::SelfPrefetch, 3, 100, Vec2::ZERO);
+        assert!(c.peek(&query_for(&near, 0.5)));
+        assert!(!c.peek(&query_for(&far, 0.5)), "furthest entry evicted");
+    }
+
+    #[test]
+    fn peek_does_not_affect_stats() {
+        let mut c: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::V3));
+        let m = meta(10, 10, 0, 7);
+        c.insert(m, FrameSource::SelfPrefetch, 42, 100, m.pos);
+        assert!(c.peek(&query_for(&m, 0.5)));
+        assert_eq!(c.stats().hits + c.stats().misses, 0);
+    }
+
+    #[test]
+    fn hit_ratio_computation() {
+        let s = CacheStats { hits: 8, misses: 2, evictions: 0 };
+        assert!((s.hit_ratio() - 0.8).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn version_labels() {
+        assert_eq!(CacheVersion::V1.label(), "Version 1");
+        assert_eq!(CacheVersion::V5.label(), "Version 5");
+        assert_eq!(CacheVersion::ALL.len(), 5);
+    }
+
+    #[test]
+    fn zero_dist_thresh_still_matches_same_position() {
+        let mut c: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::V3));
+        let m = meta(10, 10, 0, 7);
+        c.insert(m, FrameSource::SelfPrefetch, 42, 100, m.pos);
+        assert_eq!(c.lookup(&query_for(&m, 0.0)), Some(&42));
+    }
+}

@@ -1,0 +1,58 @@
+//! # coterie-core
+//!
+//! The Coterie contribution: near/far BE decoupling via an adaptive
+//! cutoff scheme, a similarity-exploiting frame cache, and the far-BE
+//! prefetcher.
+//!
+//! Coterie (ASPLOS 2020) enables 4K multiplayer VR on phones by cutting
+//! the per-player network load 10.6×–25.7×. Three mechanisms combine:
+//!
+//! 1. **Near/far decoupling** (§4.3) — the background environment is
+//!    split at a *cutoff radius*; near BE renders on the phone (whose GPU
+//!    idles at ~15 % under split rendering), far BE is prefetched. This
+//!    defeats the near-object effect and makes far-BE frames of nearby
+//!    locations highly similar.
+//! 2. **Adaptive cutoff** ([`cutoff`]) — the largest radius satisfying
+//!    Constraint 1 (`RT_FI + RT_nearBE < 16.7 ms`) varies with object
+//!    density, so the world is recursively quadtree-partitioned until
+//!    each leaf region's radius is roughly uniform; only a few hundred
+//!    leaf radii need computing instead of hundreds of millions
+//!    (Table 3).
+//! 3. **Frame cache + prefetcher** ([`cache`], [`prefetch`]) — far-BE
+//!    frames are cached and reused for any sufficiently close location in
+//!    the same leaf region with an identical near-object set (§5.3),
+//!    cutting prefetch frequency 5.2×–8.6×.
+//!
+//! # Example
+//!
+//! ```
+//! use coterie_core::cutoff::{CutoffConfig, CutoffMap};
+//! use coterie_device::DeviceProfile;
+//! use coterie_world::{GameId, GameSpec};
+//!
+//! let spec = GameSpec::for_game(GameId::Pool);
+//! let scene = spec.build_scene(1);
+//! let config = CutoffConfig::for_spec(&spec);
+//! let map = CutoffMap::compute(&scene, &DeviceProfile::pixel2(), &config, 42);
+//! let (leaf, radius) = map.cutoff_at(scene.bounds().center());
+//! assert!(radius >= config.min_radius_m);
+//! println!("{leaf} uses cutoff {radius:.1} m");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod calibrate;
+pub mod cutoff;
+pub mod persist;
+pub mod prefetch;
+
+pub use cache::{
+    CacheConfig, CacheQuery, CacheStats, CacheVersion, EvictionPolicy, FrameCache, FrameMeta,
+    FrameSource, MatchMode,
+};
+pub use calibrate::DistThreshCalibrator;
+pub use cutoff::{CutoffConfig, CutoffMap, LeafCutoff};
+pub use persist::{load_cutoff_map, save_cutoff_map, PersistError};
+pub use prefetch::{PrefetchPlan, Prefetcher};

@@ -1,0 +1,218 @@
+//! Binary persistence for offline-preprocessing artifacts.
+//!
+//! The paper's porting workflow (§6) runs the offline preprocessing
+//! module once per app — producing the leaf regions, cutoff radii and
+//! distance thresholds — and ships the result with the game. This module
+//! serializes a [`CutoffMap`] to a compact binary blob so the artifact
+//! can be stored and reloaded without recomputation.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic   u32 = 0x43435546 ("CCUF")
+//! version u16 = 1
+//! grid_spacing f64
+//! calc_count   u64
+//! leaf_count   u32
+//! per leaf: min_x f64, min_z f64, max_x f64, max_z f64,
+//!           depth u32, radius f64, dist_thresh f64 (NaN = uncalibrated)
+//! ```
+//!
+//! The quadtree *topology* is not stored; [`load_cutoff_map`] rebuilds
+//! the point-location structure from the leaf rectangles, which is
+//! sufficient because leaves tile the root region exactly.
+
+use crate::cutoff::{CutoffMap, LeafCutoff};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use coterie_world::{Rect, Vec2};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: u32 = 0x4343_5546;
+const VERSION: u16 = 1;
+
+/// Errors loading a persisted cutoff map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// Not a cutoff-map blob.
+    BadMagic,
+    /// Unsupported format version.
+    UnsupportedVersion(u16),
+    /// The blob ended prematurely.
+    Truncated,
+    /// A decoded field is impossible.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not a coterie cutoff-map blob"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            PersistError::Truncated => write!(f, "cutoff-map blob ended unexpectedly"),
+            PersistError::Corrupt(what) => write!(f, "corrupt cutoff-map blob: {what}"),
+        }
+    }
+}
+
+impl Error for PersistError {}
+
+/// Serializes a cutoff map.
+pub fn save_cutoff_map(map: &CutoffMap) -> Bytes {
+    let leaves: Vec<(Rect, LeafCutoff, u32)> =
+        map.leaves_with_depth().collect();
+    let mut buf = BytesMut::with_capacity(32 + leaves.len() * 52);
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_f64_le(map.grid_spacing());
+    buf.put_u64_le(map.calc_count());
+    buf.put_u32_le(leaves.len() as u32);
+    for (rect, cutoff, depth) in leaves {
+        buf.put_f64_le(rect.min.x);
+        buf.put_f64_le(rect.min.z);
+        buf.put_f64_le(rect.max.x);
+        buf.put_f64_le(rect.max.z);
+        buf.put_u32_le(depth);
+        buf.put_f64_le(cutoff.radius_m);
+        buf.put_f64_le(cutoff.dist_thresh_m.unwrap_or(f64::NAN));
+    }
+    buf.freeze()
+}
+
+/// Deserializes a cutoff map saved by [`save_cutoff_map`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] when the blob is malformed.
+pub fn load_cutoff_map(mut data: &[u8]) -> Result<CutoffMap, PersistError> {
+    if data.remaining() < 6 {
+        return Err(PersistError::Truncated);
+    }
+    if data.get_u32_le() != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    if data.remaining() < 20 {
+        return Err(PersistError::Truncated);
+    }
+    let grid_spacing = data.get_f64_le();
+    if !(grid_spacing.is_finite() && grid_spacing > 0.0) {
+        return Err(PersistError::Corrupt("invalid grid spacing"));
+    }
+    let calc_count = data.get_u64_le();
+    let leaf_count = data.get_u32_le() as usize;
+    if leaf_count == 0 {
+        return Err(PersistError::Corrupt("no leaves"));
+    }
+    if data.remaining() < leaf_count.saturating_mul(52) {
+        return Err(PersistError::Truncated);
+    }
+    let mut leaves = Vec::with_capacity(leaf_count);
+    for _ in 0..leaf_count {
+        let min = Vec2::new(data.get_f64_le(), data.get_f64_le());
+        let max = Vec2::new(data.get_f64_le(), data.get_f64_le());
+        let depth = data.get_u32_le();
+        let radius = data.get_f64_le();
+        let thresh = data.get_f64_le();
+        if !(min.x.is_finite() && max.x.is_finite() && radius.is_finite() && radius > 0.0) {
+            return Err(PersistError::Corrupt("non-finite leaf fields"));
+        }
+        if min.x >= max.x || min.z >= max.z {
+            return Err(PersistError::Corrupt("degenerate leaf rect"));
+        }
+        leaves.push((
+            Rect::new(min, max),
+            LeafCutoff {
+                radius_m: radius,
+                dist_thresh_m: if thresh.is_nan() { None } else { Some(thresh) },
+            },
+            depth,
+        ));
+    }
+    CutoffMap::from_leaves(grid_spacing, calc_count, leaves)
+        .ok_or(PersistError::Corrupt("leaves do not tile a rectangle"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cutoff::CutoffConfig;
+    use coterie_device::DeviceProfile;
+    use coterie_world::{GameId, GameSpec};
+
+    fn sample_map() -> (coterie_world::Scene, CutoffMap) {
+        let spec = GameSpec::for_game(GameId::Bowling);
+        let scene = spec.build_scene(5);
+        let map = CutoffMap::compute(
+            &scene,
+            &DeviceProfile::pixel2(),
+            &CutoffConfig::for_spec(&spec),
+            5,
+        );
+        (scene, map)
+    }
+
+    #[test]
+    fn roundtrip_preserves_lookups() {
+        let (scene, map) = sample_map();
+        let blob = save_cutoff_map(&map);
+        let loaded = load_cutoff_map(&blob).expect("round trip");
+        assert_eq!(loaded.calc_count(), map.calc_count());
+        assert_eq!(loaded.stats().leaf_count, map.stats().leaf_count);
+        // Every probed location resolves to the same radius/threshold.
+        for i in 0..12 {
+            for j in 0..12 {
+                let p = Vec2::new(
+                    scene.bounds().width() * (i as f64 + 0.5) / 12.0,
+                    scene.bounds().depth() * (j as f64 + 0.5) / 12.0,
+                );
+                let (_, r1, d1) = map.lookup_params(p);
+                let (_, r2, d2) = loaded.lookup_params(p);
+                assert_eq!(r1, r2, "radius differs at {p}");
+                assert_eq!(d1, d2, "dist_thresh differs at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_thresholds_survive() {
+        let (scene, mut map) = sample_map();
+        let (leaf, _, _) = map.lookup_params(scene.bounds().center());
+        map.set_dist_thresh(leaf, 1.25);
+        let loaded = load_cutoff_map(&save_cutoff_map(&map)).expect("round trip");
+        let (_, _, thresh) = loaded.lookup_params(scene.bounds().center());
+        assert_eq!(thresh, 1.25);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(load_cutoff_map(b"nope").unwrap_err(), PersistError::Truncated);
+        assert_eq!(
+            load_cutoff_map(&[0u8; 64]).unwrap_err(),
+            PersistError::BadMagic
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (_, map) = sample_map();
+        let blob = save_cutoff_map(&map);
+        for cut in [7, 20, blob.len() / 2, blob.len() - 3] {
+            assert!(load_cutoff_map(&blob[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let (_, map) = sample_map();
+        let mut blob = save_cutoff_map(&map).to_vec();
+        blob[4] = 42;
+        assert_eq!(
+            load_cutoff_map(&blob).unwrap_err(),
+            PersistError::UnsupportedVersion(42)
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the frame cache's invariants.
+
+use coterie_core::{
+    CacheConfig, CacheQuery, CacheVersion, EvictionPolicy, FrameCache, FrameMeta, FrameSource,
+};
+use coterie_world::{GridPoint, LeafId, Vec2};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Op {
+    ix: i32,
+    iz: i32,
+    leaf: u32,
+    near_hash: u64,
+    size: u64,
+    lookup: bool,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        -40i32..40,
+        -40i32..40,
+        0u32..4,
+        0u64..3,
+        1u64..500,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(ix, iz, leaf, near_hash, size, lookup)| Op {
+            ix,
+            iz,
+            leaf,
+            near_hash,
+            size,
+            lookup,
+        })
+}
+
+fn meta_of(op: &Op) -> FrameMeta {
+    FrameMeta {
+        grid: GridPoint::new(op.ix, op.iz),
+        pos: Vec2::new(op.ix as f64 * 0.25, op.iz as f64 * 0.25),
+        leaf: LeafId(op.leaf),
+        near_hash: op.near_hash,
+    }
+}
+
+fn query_of(op: &Op, dist_thresh: f64) -> CacheQuery {
+    let m = meta_of(op);
+    CacheQuery {
+        grid: m.grid,
+        pos: m.pos,
+        leaf: m.leaf,
+        near_hash: m.near_hash,
+        dist_thresh,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn bytes_accounting_is_exact(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 1_000u64..20_000,
+        policy_flip in proptest::bool::ANY,
+    ) {
+        let policy = if policy_flip { EvictionPolicy::Lru } else { EvictionPolicy::Flf };
+        let mut cache: FrameCache<u64> = FrameCache::new(CacheConfig {
+            capacity_bytes: capacity,
+            policy,
+            version: CacheVersion::V3,
+        });
+        let mut inserted = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            if op.lookup {
+                let _ = cache.lookup(&query_of(op, 1.0));
+            } else {
+                cache.insert(meta_of(op), FrameSource::SelfPrefetch, i as u64, op.size, Vec2::ZERO);
+                inserted += 1;
+            }
+            // Invariants after every operation.
+            prop_assert!(cache.bytes() <= capacity.max(op.size),
+                "cache bytes {} exceed capacity {capacity}", cache.bytes());
+            prop_assert!(cache.len() as u64 <= inserted);
+        }
+        let stats = cache.stats();
+        let lookups = ops.iter().filter(|o| o.lookup).count() as u64;
+        prop_assert_eq!(stats.hits + stats.misses, lookups);
+    }
+
+    #[test]
+    fn lookup_hit_implies_all_criteria(
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+        probe in op_strategy(),
+        dist_thresh in 0.0f64..5.0,
+    ) {
+        let mut cache: FrameCache<usize> =
+            FrameCache::new(CacheConfig::infinite(CacheVersion::V3));
+        let mut entries = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            cache.insert(meta_of(op), FrameSource::SelfPrefetch, i, 1, Vec2::ZERO);
+            entries.push(meta_of(op));
+        }
+        let q = query_of(&probe, dist_thresh);
+        if let Some(&idx) = cache.lookup(&q) {
+            let hit = &entries[idx];
+            prop_assert_eq!(hit.leaf, q.leaf, "criterion 2 violated");
+            prop_assert_eq!(hit.near_hash, q.near_hash, "criterion 3 violated");
+            prop_assert!(hit.pos.distance(q.pos) <= dist_thresh + 1e-9,
+                "criterion 1 violated: {} > {dist_thresh}", hit.pos.distance(q.pos));
+            // And it is the *closest* qualifying entry.
+            for e in &entries {
+                if e.leaf == q.leaf && e.near_hash == q.near_hash
+                    && e.pos.distance(q.pos) <= dist_thresh {
+                    prop_assert!(hit.pos.distance(q.pos) <= e.pos.distance(q.pos) + 1e-9);
+                }
+            }
+        } else {
+            // A miss means no entry qualifies.
+            for e in &entries {
+                let qualifies = e.leaf == q.leaf
+                    && e.near_hash == q.near_hash
+                    && e.pos.distance(q.pos) <= dist_thresh - 1e-9;
+                prop_assert!(!qualifies, "missed a qualifying entry at {}", e.pos);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_version_only_hits_same_grid_point(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        probe in op_strategy(),
+    ) {
+        let mut cache: FrameCache<usize> =
+            FrameCache::new(CacheConfig::infinite(CacheVersion::V1));
+        let mut grids = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            cache.insert(meta_of(op), FrameSource::SelfPrefetch, i, 1, Vec2::ZERO);
+            grids.push(meta_of(op).grid);
+        }
+        let q = query_of(&probe, 100.0);
+        let hit = cache.lookup(&q).is_some();
+        let exists = grids.contains(&q.grid);
+        prop_assert_eq!(hit, exists);
+    }
+
+    #[test]
+    fn eviction_never_loses_accounting(
+        sizes in proptest::collection::vec(1u64..2_000, 1..80),
+    ) {
+        let mut cache: FrameCache<()> = FrameCache::new(CacheConfig {
+            capacity_bytes: 4_000,
+            policy: EvictionPolicy::Lru,
+            version: CacheVersion::V3,
+        });
+        for (i, &size) in sizes.iter().enumerate() {
+            let op = Op { ix: i as i32, iz: 0, leaf: 0, near_hash: 0, size, lookup: false };
+            cache.insert(meta_of(&op), FrameSource::SelfPrefetch, (), size, Vec2::ZERO);
+        }
+        // Bytes never exceed capacity by more than one oversized entry.
+        prop_assert!(cache.bytes() <= 4_000 + 2_000);
+        let evicted = cache.stats().evictions as usize;
+        prop_assert_eq!(cache.len() + evicted, sizes.len());
+    }
+}

@@ -1,0 +1,169 @@
+//! Thermal throttling: the failure mode Coterie's resource frugality
+//! avoids.
+//!
+//! The paper highlights that Coterie's ≤40 % CPU / ≤65 % GPU usage
+//! "allows the system to sustain long running of VR apps without being
+//! restricted by temperature control" (§1, §7.3). This module models
+//! that temperature control: when the SoC crosses the thermal limit the
+//! governor caps GPU throughput, and performance only recovers once the
+//! die cools below a hysteresis band — the sawtooth every sustained
+//! mobile workload knows.
+
+use crate::thermal::ThermalModel;
+use serde::{Deserialize, Serialize};
+
+/// A thermal governor wrapping a [`ThermalModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleGovernor {
+    thermal: ThermalModel,
+    /// Temperature at which throttling engages, °C.
+    pub limit_c: f64,
+    /// Temperature below which full speed is restored, °C.
+    pub resume_c: f64,
+    /// GPU/CPU frequency multiplier while throttled (0 < x ≤ 1).
+    pub throttled_scale: f64,
+    throttled: bool,
+}
+
+impl ThrottleGovernor {
+    /// A Pixel-2-like governor: engage at 52 °C, resume at 48 °C, run at
+    /// 60 % clocks while hot.
+    pub fn pixel2() -> Self {
+        ThrottleGovernor {
+            thermal: ThermalModel::pixel2(),
+            limit_c: crate::thermal::PIXEL2_THERMAL_LIMIT_C,
+            resume_c: 48.0,
+            throttled_scale: 0.6,
+            throttled: false,
+        }
+    }
+
+    /// Creates a governor around an explicit thermal model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resume_c >= limit_c` or `throttled_scale` is not in
+    /// `(0, 1]`.
+    pub fn new(thermal: ThermalModel, limit_c: f64, resume_c: f64, throttled_scale: f64) -> Self {
+        assert!(resume_c < limit_c, "hysteresis band must be below the limit");
+        assert!(
+            throttled_scale > 0.0 && throttled_scale <= 1.0,
+            "throttle scale must be in (0, 1]"
+        );
+        ThrottleGovernor { thermal, limit_c, resume_c, throttled_scale, throttled: false }
+    }
+
+    /// Current SoC temperature, °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.thermal.temperature_c()
+    }
+
+    /// Whether the governor is currently limiting clocks.
+    pub fn is_throttled(&self) -> bool {
+        self.throttled
+    }
+
+    /// The current performance multiplier (1.0 when cool).
+    pub fn performance_scale(&self) -> f64 {
+        if self.throttled {
+            self.throttled_scale
+        } else {
+            1.0
+        }
+    }
+
+    /// Advances the model by `dt_s` seconds at `watts` draw and updates
+    /// the throttle state with hysteresis. Returns the performance scale
+    /// in effect for the *next* interval.
+    pub fn step(&mut self, watts: f64, dt_s: f64) -> f64 {
+        // Throttling itself reduces power: the die draws proportionally
+        // less while clocks are capped.
+        let effective_watts = watts * self.performance_scale();
+        self.thermal.step(effective_watts, dt_s);
+        let t = self.thermal.temperature_c();
+        if self.throttled {
+            if t <= self.resume_c {
+                self.throttled = false;
+            }
+        } else if t >= self.limit_c {
+            self.throttled = true;
+        }
+        self.performance_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thermal::ThermalModel;
+
+    #[test]
+    fn cool_device_runs_full_speed() {
+        let mut g = ThrottleGovernor::pixel2();
+        for _ in 0..30 {
+            assert_eq!(g.step(4.0, 60.0), 1.0, "4 W never throttles a Pixel 2");
+        }
+        assert!(!g.is_throttled());
+    }
+
+    #[test]
+    fn sustained_overload_throttles_then_recovers() {
+        // 8 W steady state would be 25 + 5.5*8 = 69 C: must throttle.
+        let mut g = ThrottleGovernor::pixel2();
+        let mut throttled_seen = false;
+        for _ in 0..120 {
+            g.step(8.0, 30.0);
+            throttled_seen |= g.is_throttled();
+        }
+        assert!(throttled_seen, "8 W must eventually throttle");
+        // Idle cooldown restores full speed.
+        for _ in 0..200 {
+            g.step(0.5, 30.0);
+        }
+        assert!(!g.is_throttled());
+        assert_eq!(g.performance_scale(), 1.0);
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let mut g = ThrottleGovernor::new(ThermalModel::pixel2(), 52.0, 48.0, 0.6);
+        // Drive to the limit.
+        while !g.is_throttled() {
+            g.step(9.0, 30.0);
+        }
+        // Once throttled, the *release transition* must happen at or
+        // below resume_c, never merely below the limit.
+        let mut was_throttled = true;
+        for _ in 0..200 {
+            g.step(6.0, 10.0);
+            if was_throttled && !g.is_throttled() {
+                assert!(
+                    g.temperature_c() <= g.resume_c + 0.2,
+                    "released at {:.1} C, above the resume point",
+                    g.temperature_c()
+                );
+            }
+            was_throttled = g.is_throttled();
+        }
+    }
+
+    #[test]
+    fn throttled_power_is_reduced() {
+        // At a draw whose throttled steady state sits inside the
+        // hysteresis band, the device oscillates (the classic sawtooth)
+        // rather than melting.
+        let mut g = ThrottleGovernor::pixel2();
+        let mut max_t: f64 = 0.0;
+        for _ in 0..600 {
+            g.step(9.0, 10.0);
+            max_t = max_t.max(g.temperature_c());
+        }
+        assert!(max_t < 56.0, "governor failed to bound temperature: {max_t:.1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis band")]
+    fn invalid_hysteresis_rejected() {
+        let _ = ThrottleGovernor::new(ThermalModel::pixel2(), 50.0, 51.0, 0.6);
+    }
+}

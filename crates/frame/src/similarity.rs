@@ -1,0 +1,343 @@
+//! Image-quality metrics: SSIM (Wang et al. 2004), MSE, PSNR.
+//!
+//! SSIM is the metric the paper uses throughout — for frame-similarity
+//! CDFs (Figures 1, 2, 5), for the cache `dist_thresh` calibration
+//! (SSIM > 0.9, §5.3) and for visual quality (Table 7). This is the
+//! standard single-scale implementation: 11×11 Gaussian window with
+//! σ = 1.5 and the usual stabilizing constants for dynamic range 1.0.
+
+use crate::luma::LumaFrame;
+
+/// Parameters of the SSIM computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsimOptions {
+    /// Gaussian window half-size; full window is `2*radius + 1`.
+    pub radius: u32,
+    /// Gaussian sigma.
+    pub sigma: f64,
+    /// Luminance stabilizer `C1 = (k1 * L)^2`.
+    pub c1: f64,
+    /// Contrast stabilizer `C2 = (k2 * L)^2`.
+    pub c2: f64,
+    /// Stride between evaluated window centers (1 = dense; larger values
+    /// subsample for speed on large batches with negligible error).
+    pub stride: u32,
+}
+
+impl Default for SsimOptions {
+    /// The canonical Wang et al. constants for dynamic range `L = 1.0`:
+    /// `k1 = 0.01`, `k2 = 0.03`, 11×11 window, σ = 1.5, dense stride.
+    fn default() -> Self {
+        SsimOptions {
+            radius: 5,
+            sigma: 1.5,
+            c1: (0.01f64).powi(2),
+            c2: (0.03f64).powi(2),
+            stride: 1,
+        }
+    }
+}
+
+impl SsimOptions {
+    /// A faster variant for bulk experiments: stride-2 window placement.
+    pub fn fast() -> Self {
+        SsimOptions { stride: 2, ..Default::default() }
+    }
+
+    fn kernel(&self) -> Vec<f64> {
+        let n = (2 * self.radius + 1) as i64;
+        let mut k = Vec::with_capacity(n as usize);
+        let denom = 2.0 * self.sigma * self.sigma;
+        for i in 0..n {
+            let d = (i - self.radius as i64) as f64;
+            k.push((-d * d / denom).exp());
+        }
+        let sum: f64 = k.iter().sum();
+        for v in &mut k {
+            *v /= sum;
+        }
+        k
+    }
+}
+
+/// Mean SSIM between two frames with default options.
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+///
+/// ```
+/// use coterie_frame::{LumaFrame, ssim};
+/// let a = LumaFrame::from_fn(32, 32, |x, y| ((x ^ y) & 7) as f32 / 7.0);
+/// assert!((ssim(&a, &a) - 1.0).abs() < 1e-9);
+/// ```
+pub fn ssim(a: &LumaFrame, b: &LumaFrame) -> f64 {
+    ssim_with(a, b, &SsimOptions::default())
+}
+
+/// Mean SSIM with explicit options.
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+pub fn ssim_with(a: &LumaFrame, b: &LumaFrame, opts: &SsimOptions) -> f64 {
+    let map = ssim_map_with(a, b, opts);
+    if map.is_empty() {
+        1.0
+    } else {
+        map.iter().sum::<f64>() / map.len() as f64
+    }
+}
+
+/// Per-window SSIM values with default options (useful for inspecting
+/// where two frames differ, e.g. the near-object band in Figure 3).
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+pub fn ssim_map(a: &LumaFrame, b: &LumaFrame) -> Vec<f64> {
+    ssim_map_with(a, b, &SsimOptions::default())
+}
+
+fn ssim_map_with(a: &LumaFrame, b: &LumaFrame, opts: &SsimOptions) -> Vec<f64> {
+    assert_eq!(a.width(), b.width(), "frame widths differ");
+    assert_eq!(a.height(), b.height(), "frame heights differ");
+    let w = a.width() as i64;
+    let h = a.height() as i64;
+    let kernel = opts.kernel();
+    let r = opts.radius as i64;
+    let stride = opts.stride.max(1) as i64;
+
+    // Separable Gaussian: blur horizontally into temp rows, then
+    // accumulate vertically per evaluated center.
+    // For clarity (frames here are small) we evaluate windows directly
+    // with the separable trick applied per-window-row.
+    let ax = a.data();
+    let bx = b.data();
+    let mut out = Vec::new();
+    let mut y = r;
+    while y < h - r {
+        let mut x = r;
+        while x < w - r {
+            let (mut mu_a, mut mu_b) = (0.0f64, 0.0f64);
+            let (mut aa, mut bb, mut ab) = (0.0f64, 0.0f64, 0.0f64);
+            for dy in -r..=r {
+                let wy = kernel[(dy + r) as usize];
+                let row = ((y + dy) * w) as usize;
+                for dx in -r..=r {
+                    let wxy = wy * kernel[(dx + r) as usize];
+                    let va = ax[row + (x + dx) as usize] as f64;
+                    let vb = bx[row + (x + dx) as usize] as f64;
+                    mu_a += wxy * va;
+                    mu_b += wxy * vb;
+                    aa += wxy * va * va;
+                    bb += wxy * vb * vb;
+                    ab += wxy * va * vb;
+                }
+            }
+            let var_a = (aa - mu_a * mu_a).max(0.0);
+            let var_b = (bb - mu_b * mu_b).max(0.0);
+            let cov = ab - mu_a * mu_b;
+            let numerator = (2.0 * mu_a * mu_b + opts.c1) * (2.0 * cov + opts.c2);
+            let denominator =
+                (mu_a * mu_a + mu_b * mu_b + opts.c1) * (var_a + var_b + opts.c2);
+            out.push(numerator / denominator);
+            x += stride;
+        }
+        y += stride;
+    }
+    out
+}
+
+/// Mean squared error between two frames.
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+pub fn mse(a: &LumaFrame, b: &LumaFrame) -> f64 {
+    assert_eq!(a.width(), b.width(), "frame widths differ");
+    assert_eq!(a.height(), b.height(), "frame heights differ");
+    let n = a.pixel_count();
+    if n == 0 {
+        return 0.0;
+    }
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Peak signal-to-noise ratio in dB (peak = 1.0). Returns `f64::INFINITY`
+/// for identical frames.
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+pub fn psnr(a: &LumaFrame, b: &LumaFrame) -> f64 {
+    let e = mse(a, b);
+    if e <= 0.0 {
+        f64::INFINITY
+    } else {
+        -10.0 * e.log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(seed: u32) -> LumaFrame {
+        LumaFrame::from_fn(48, 32, |x, y| {
+            let v = (x.wrapping_mul(31) ^ y.wrapping_mul(17) ^ seed) % 97;
+            v as f32 / 96.0
+        })
+    }
+
+    #[test]
+    fn identical_frames_have_ssim_one() {
+        let f = textured(7);
+        assert!((ssim(&f, &f) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrelated_frames_have_low_ssim() {
+        let a = textured(1);
+        let b = textured(999);
+        let s = ssim(&a, &b);
+        assert!(s < 0.5, "unrelated textures should have low SSIM, got {s}");
+    }
+
+    #[test]
+    fn small_noise_keeps_ssim_high() {
+        let a = textured(3);
+        let mut b = a.clone();
+        for (i, v) in b.data_mut().iter_mut().enumerate() {
+            // +-0.004 noise
+            *v = (*v + ((i % 5) as f32 - 2.0) * 0.002).clamp(0.0, 1.0);
+        }
+        let s = ssim(&a, &b);
+        assert!(s > 0.95, "tiny noise should keep SSIM high, got {s}");
+    }
+
+    #[test]
+    fn ssim_is_symmetric() {
+        let a = textured(3);
+        let mut b = a.clone();
+        b.set(10, 10, 1.0);
+        b.set(20, 5, 0.0);
+        let s1 = ssim(&a, &b);
+        let s2 = ssim(&b, &a);
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_bounded_above_by_one() {
+        let a = textured(5);
+        let mut b = a.clone();
+        b.set(0, 0, 0.9);
+        assert!(ssim(&a, &b) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn constant_frames_identical_means() {
+        let a = LumaFrame::filled(32, 32, 0.5);
+        let b = LumaFrame::filled(32, 32, 0.5);
+        assert!((ssim(&a, &b) - 1.0).abs() < 1e-9);
+        // Different constants: luminance term penalizes.
+        let c = LumaFrame::filled(32, 32, 0.9);
+        assert!(ssim(&a, &c) < 0.9);
+    }
+
+    #[test]
+    fn fast_stride_close_to_dense() {
+        let a = textured(11);
+        let mut b = a.clone();
+        for v in b.data_mut().iter_mut().step_by(7) {
+            *v = (*v * 0.9).clamp(0.0, 1.0);
+        }
+        let dense = ssim_with(&a, &b, &SsimOptions::default());
+        let fast = ssim_with(&a, &b, &SsimOptions::fast());
+        assert!((dense - fast).abs() < 0.02, "dense {dense} vs fast {fast}");
+    }
+
+    #[test]
+    fn ssim_map_has_expected_size() {
+        let a = textured(2);
+        let map = ssim_map(&a, &a);
+        // Window centers: (48-10) x (32-10) with radius 5.
+        assert_eq!(map.len(), (48 - 10) * (32 - 10));
+        assert!(map.iter().all(|&v| (v - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn frame_smaller_than_window_is_trivially_similar() {
+        let a = LumaFrame::filled(4, 4, 0.2);
+        let b = LumaFrame::filled(4, 4, 0.8);
+        // No window fits: defined as 1.0 (no evidence of difference).
+        assert_eq!(ssim(&a, &b), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn mismatched_sizes_panic() {
+        let a = LumaFrame::new(8, 8);
+        let b = LumaFrame::new(9, 8);
+        let _ = ssim(&a, &b);
+    }
+
+    #[test]
+    fn mse_and_psnr_basics() {
+        let a = LumaFrame::filled(8, 8, 0.0);
+        let b = LumaFrame::filled(8, 8, 0.5);
+        assert!((mse(&a, &b) - 0.25).abs() < 1e-9);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+        let p = psnr(&a, &b);
+        assert!((p - 6.0206).abs() < 0.01, "psnr {p}");
+    }
+
+    #[test]
+    fn gaussian_kernel_normalized() {
+        let opts = SsimOptions::default();
+        let k = opts.kernel();
+        assert_eq!(k.len(), 11);
+        assert!((k.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Symmetric and peaked at center.
+        assert!((k[0] - k[10]).abs() < 1e-15);
+        assert!(k[5] > k[0]);
+    }
+
+    #[test]
+    fn near_object_style_shift_lowers_ssim_more_than_far_shift() {
+        // Emulates the "near-object" effect: shifting a large block
+        // (near object) by 2 px hurts SSIM much more than shifting a
+        // small block (far object).
+        let base = |big_at: u32, small_at: u32| {
+            LumaFrame::from_fn(64, 64, move |x, y| {
+                let mut v = 0.5;
+                // big 24x24 block
+                if (big_at..big_at + 24).contains(&x) && (20..44).contains(&y) {
+                    v = 0.9;
+                }
+                // small 3x3 block
+                if (small_at..small_at + 3).contains(&x) && (2..5).contains(&y) {
+                    v = 0.1;
+                }
+                v
+            })
+        };
+        let reference = base(10, 50);
+        let near_shift = base(14, 50); // big block moved 4 px
+        let far_shift = base(10, 54); // small block moved 4 px
+        let s_near = ssim(&reference, &near_shift);
+        let s_far = ssim(&reference, &far_shift);
+        assert!(
+            s_near < s_far,
+            "near-object shift ({s_near}) must hurt more than far shift ({s_far})"
+        );
+    }
+}

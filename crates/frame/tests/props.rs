@@ -1,0 +1,112 @@
+//! Property-based tests for frame buffers and metrics.
+
+use coterie_frame::{mse, psnr, ssim_with, Cdf, LumaFrame, SsimOptions};
+use proptest::prelude::*;
+
+/// Strategy: a small frame with arbitrary pixel content.
+fn frame_strategy() -> impl Strategy<Value = LumaFrame> {
+    (16u32..40, 16u32..40)
+        .prop_flat_map(|(w, h)| {
+            proptest::collection::vec(0.0f32..=1.0, (w * h) as usize)
+                .prop_map(move |data| LumaFrame::from_raw(w, h, data))
+        })
+}
+
+fn paired_frames() -> impl Strategy<Value = (LumaFrame, LumaFrame)> {
+    (16u32..32, 16u32..32).prop_flat_map(|(w, h)| {
+        let n = (w * h) as usize;
+        (
+            proptest::collection::vec(0.0f32..=1.0, n),
+            proptest::collection::vec(0.0f32..=1.0, n),
+        )
+            .prop_map(move |(a, b)| {
+                (LumaFrame::from_raw(w, h, a), LumaFrame::from_raw(w, h, b))
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ssim_self_is_one(f in frame_strategy()) {
+        let opts = SsimOptions::fast();
+        let s = ssim_with(&f, &f, &opts);
+        prop_assert!((s - 1.0).abs() < 1e-9, "self-SSIM {s}");
+    }
+
+    #[test]
+    fn ssim_is_symmetric_and_bounded((a, b) in paired_frames()) {
+        let opts = SsimOptions::fast();
+        let ab = ssim_with(&a, &b, &opts);
+        let ba = ssim_with(&b, &a, &opts);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!(ab <= 1.0 + 1e-12);
+        prop_assert!(ab >= -1.0 - 1e-12);
+    }
+
+    #[test]
+    fn mse_zero_iff_equal((a, b) in paired_frames()) {
+        let e = mse(&a, &b);
+        prop_assert!(e >= 0.0);
+        if a == b {
+            prop_assert_eq!(e, 0.0);
+        }
+        prop_assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise(f in frame_strategy(), noise in 0.05f32..0.3) {
+        let mut little = f.clone();
+        let mut lots = f.clone();
+        for (i, (p, q)) in little.data_mut().iter_mut()
+            .zip(lots.data_mut().iter_mut()).enumerate() {
+            let delta = if i % 2 == 0 { noise } else { -noise };
+            *p = (*p + delta * 0.2).clamp(0.0, 1.0);
+            *q = (*q + delta).clamp(0.0, 1.0);
+        }
+        prop_assert!(psnr(&f, &little) >= psnr(&f, &lots));
+    }
+
+    #[test]
+    fn bilinear_sample_within_pixel_range(f in frame_strategy(), fx in -5.0f32..50.0, fy in -5.0f32..50.0) {
+        let v = f.sample_bilinear(fx, fy);
+        let min = f.data().iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = f.data().iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(v >= min - 1e-6 && v <= max + 1e-6);
+    }
+
+    #[test]
+    fn u8_roundtrip_error_bounded(f in frame_strategy()) {
+        let g = LumaFrame::from_u8(f.width(), f.height(), &f.to_u8());
+        for (a, b) in f.data().iter().zip(g.data()) {
+            prop_assert!((a - b).abs() <= 0.5 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn cdf_fractions_are_monotone(samples in proptest::collection::vec(0.0f64..1.0, 1..200), x in 0.0f64..1.0, dx in 0.0f64..0.5) {
+        let cdf = Cdf::from_samples(samples);
+        prop_assert!(cdf.fraction_at_most(x) <= cdf.fraction_at_most(x + dx) + 1e-12);
+        prop_assert!(cdf.fraction_above(x) >= cdf.fraction_above(x + dx) - 1e-12);
+        let total = cdf.fraction_at_most(x) + cdf.fraction_above(x);
+        prop_assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_quantiles_are_monotone(samples in proptest::collection::vec(-10.0f64..10.0, 1..100), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let cdf = Cdf::from_samples(samples);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
+    }
+
+    #[test]
+    fn summary_bounds_hold(samples in proptest::collection::vec(-100.0f64..100.0, 1..100)) {
+        let cdf = Cdf::from_samples(samples.clone());
+        let s = cdf.summary();
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert_eq!(s.count, samples.len());
+    }
+}

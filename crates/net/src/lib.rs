@@ -1,0 +1,302 @@
+//! # coterie-net
+//!
+//! Shared-medium wireless network model (802.11ac downlink).
+//!
+//! The paper's testbed serves up to four Pixel 2 phones from one desktop
+//! over 802.11ac with ≈500 Mbps measured TCP goodput (§3). The scaling
+//! bottleneck it demonstrates — Multi-Furion's per-frame network delay
+//! roughly doubling with two players (Table 1) — is a property of the
+//! *shared* downlink: the access point serializes transmissions, so every
+//! concurrent transfer queues behind the others, and MAC contention
+//! shaves additional efficiency as stations are added.
+//!
+//! [`SharedLink`] models exactly that: a FIFO transmission queue with a
+//! station-count-dependent effective rate and a base latency per
+//! transfer. It is deliberately *not* a packet-level simulator; the
+//! paper's effects live at transfer granularity.
+//!
+//! # Example
+//!
+//! ```
+//! use coterie_net::SharedLink;
+//!
+//! let mut link = SharedLink::wifi_80211ac(1);
+//! let t1 = link.transfer(0.0, 550_000); // one 550 KB BE frame
+//! let t2 = link.transfer(0.0, 550_000); // a second player's frame queues
+//! assert!(t2.completed_at_ms > t1.completed_at_ms);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+
+pub use channel::{DatagramChannel, Delivery};
+
+use serde::{Deserialize, Serialize};
+
+/// Measured 802.11ac TCP goodput from the paper's testbed, Mbps (§3).
+pub const WIFI_80211AC_GOODPUT_MBPS: f64 = 500.0;
+
+/// Result of scheduling one transfer on the shared link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// When transmission actually started (after queueing), ms.
+    pub started_at_ms: f64,
+    /// When the last byte arrived at the client, ms.
+    pub completed_at_ms: f64,
+    /// Bytes transferred.
+    pub bytes: u64,
+}
+
+impl Transfer {
+    /// Total latency experienced by the requester, ms.
+    pub fn latency_ms(&self, requested_at_ms: f64) -> f64 {
+        self.completed_at_ms - requested_at_ms
+    }
+}
+
+/// A shared wireless downlink with FIFO service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedLink {
+    /// Nominal single-station TCP goodput, Mbps.
+    capacity_mbps: f64,
+    /// Fixed per-transfer latency (TCP/WiFi round trip, request
+    /// processing), ms.
+    base_latency_ms: f64,
+    /// Number of stations sharing the medium.
+    stations: usize,
+    /// Next instant the medium is free, ms.
+    busy_until_ms: f64,
+    /// Total bytes ever sent (for bandwidth accounting).
+    total_bytes: u64,
+}
+
+impl SharedLink {
+    /// An 802.11ac link as measured in the paper (500 Mbps goodput,
+    /// ~2.5 ms base latency), shared by `stations` phones.
+    pub fn wifi_80211ac(stations: usize) -> Self {
+        Self::new(WIFI_80211AC_GOODPUT_MBPS, 2.5, stations)
+    }
+
+    /// Creates a link with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_mbps` is not positive or `stations` is zero.
+    pub fn new(capacity_mbps: f64, base_latency_ms: f64, stations: usize) -> Self {
+        assert!(capacity_mbps > 0.0, "link capacity must be positive");
+        assert!(stations > 0, "need at least one station");
+        SharedLink {
+            capacity_mbps,
+            base_latency_ms,
+            stations,
+            busy_until_ms: 0.0,
+            total_bytes: 0,
+        }
+    }
+
+    /// MAC efficiency as a function of station count: contention overhead
+    /// (backoff, collisions, per-station ACKs) grows mildly with each
+    /// added station. One station keeps the full measured goodput.
+    pub fn mac_efficiency(&self) -> f64 {
+        1.0 / (1.0 + 0.06 * (self.stations.saturating_sub(1)) as f64)
+    }
+
+    /// Effective aggregate goodput with current contention, Mbps.
+    pub fn effective_mbps(&self) -> f64 {
+        self.capacity_mbps * self.mac_efficiency()
+    }
+
+    /// Number of stations sharing the link.
+    pub fn stations(&self) -> usize {
+        self.stations
+    }
+
+    /// Total bytes transferred so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Schedules a transfer of `bytes` requested at `now_ms`. The medium
+    /// serves transfers FIFO: transmission starts when the medium frees
+    /// up, and the requester sees base latency on top.
+    pub fn transfer(&mut self, now_ms: f64, bytes: u64) -> Transfer {
+        let start = self.busy_until_ms.max(now_ms);
+        // Mbps = 1000 bits per ms.
+        let duration_ms = bytes as f64 * 8.0 / (self.effective_mbps() * 1000.0);
+        self.busy_until_ms = start + duration_ms;
+        self.total_bytes += bytes;
+        Transfer {
+            started_at_ms: start,
+            completed_at_ms: self.busy_until_ms + self.base_latency_ms,
+            bytes,
+        }
+    }
+
+    /// When the medium next becomes free, ms.
+    pub fn busy_until_ms(&self) -> f64 {
+        self.busy_until_ms
+    }
+
+    /// Resets queue state (bandwidth accounting is kept).
+    pub fn reset_queue(&mut self) {
+        self.busy_until_ms = 0.0;
+    }
+}
+
+/// Accumulates byte counts over simulated time to report throughput.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    window_start_ms: f64,
+    window_end_ms: f64,
+}
+
+impl ThroughputMeter {
+    /// An empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` observed at `now_ms`.
+    pub fn record(&mut self, now_ms: f64, bytes: u64) {
+        if self.bytes == 0 && self.window_end_ms == 0.0 {
+            self.window_start_ms = now_ms;
+        }
+        self.bytes += bytes;
+        self.window_end_ms = self.window_end_ms.max(now_ms);
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Average throughput in Mbps over an explicit duration.
+    pub fn mbps_over(&self, duration_ms: f64) -> f64 {
+        if duration_ms <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 * 8.0 / 1000.0 / duration_ms
+    }
+
+    /// Average throughput in Kbps over an explicit duration.
+    pub fn kbps_over(&self, duration_ms: f64) -> f64 {
+        self.mbps_over(duration_ms) * 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_transfer_time_matches_rate() {
+        let mut link = SharedLink::new(500.0, 0.0, 1);
+        // 500 Mbps = 62.5 KB per ms; 625 KB should take 10 ms.
+        let t = link.transfer(0.0, 625_000);
+        assert!((t.completed_at_ms - 10.0).abs() < 1e-9, "{}", t.completed_at_ms);
+    }
+
+    #[test]
+    fn base_latency_added_once_per_transfer() {
+        let mut link = SharedLink::new(500.0, 2.5, 1);
+        let t = link.transfer(0.0, 625_000);
+        assert!((t.completed_at_ms - 12.5).abs() < 1e-9);
+        assert!((t.latency_ms(0.0) - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_transfers_queue_fifo() {
+        // The paper's Table 1 mechanism: with 2 players, each BE frame
+        // waits for the other's, roughly doubling network delay.
+        let mut link = SharedLink::new(500.0, 2.5, 2);
+        let t1 = link.transfer(0.0, 550_000);
+        let t2 = link.transfer(0.0, 550_000);
+        assert!(t2.started_at_ms >= t1.completed_at_ms - 2.5 - 1e-9);
+        let l1 = t1.latency_ms(0.0);
+        let l2 = t2.latency_ms(0.0);
+        assert!(
+            l2 > l1 * 1.7,
+            "second transfer should see ~2x latency: {l1:.1} vs {l2:.1}"
+        );
+    }
+
+    #[test]
+    fn mac_efficiency_decreases_with_stations() {
+        let one = SharedLink::wifi_80211ac(1);
+        let four = SharedLink::wifi_80211ac(4);
+        assert_eq!(one.mac_efficiency(), 1.0);
+        assert!(four.mac_efficiency() < 1.0);
+        assert!(four.mac_efficiency() > 0.7, "contention model too harsh");
+        assert!(four.effective_mbps() < one.effective_mbps());
+    }
+
+    #[test]
+    fn medium_frees_up_over_time() {
+        let mut link = SharedLink::new(100.0, 0.0, 1);
+        let t1 = link.transfer(0.0, 125_000); // 10 ms at 100 Mbps
+        assert!((t1.completed_at_ms - 10.0).abs() < 1e-9);
+        // A request arriving after the medium is free starts immediately.
+        let t2 = link.transfer(50.0, 125_000);
+        assert_eq!(t2.started_at_ms, 50.0);
+    }
+
+    #[test]
+    fn total_bytes_accumulates() {
+        let mut link = SharedLink::wifi_80211ac(1);
+        link.transfer(0.0, 1000);
+        link.transfer(1.0, 2000);
+        assert_eq!(link.total_bytes(), 3000);
+    }
+
+    #[test]
+    fn table1_net_delay_regime() {
+        // Multi-Furion 1P: ~550 KB frames, ~9 ms net delay (Table 1).
+        let mut link = SharedLink::wifi_80211ac(1);
+        let t = link.transfer(0.0, 550_000);
+        let delay = t.latency_ms(0.0);
+        assert!(
+            (7.0..12.0).contains(&delay),
+            "1-player 550KB transfer should take ~9 ms, got {delay:.1}"
+        );
+        // 2 players: ~18-20 ms for the queued one.
+        let mut link2 = SharedLink::wifi_80211ac(2);
+        let _a = link2.transfer(0.0, 550_000);
+        let b = link2.transfer(0.0, 550_000);
+        let d2 = b.latency_ms(0.0);
+        assert!(
+            (15.0..24.0).contains(&d2),
+            "2-player queued transfer should take ~18-20 ms, got {d2:.1}"
+        );
+    }
+
+    #[test]
+    fn throughput_meter_computes_mbps() {
+        let mut m = ThroughputMeter::new();
+        m.record(0.0, 625_000); // 5 Mbit
+        m.record(500.0, 625_000); // 5 Mbit
+        // 10 Mbit over 1 s = 10 Mbps.
+        assert!((m.mbps_over(1000.0) - 10.0).abs() < 1e-9);
+        assert!((m.kbps_over(1000.0) - 10_000.0).abs() < 1e-6);
+        assert_eq!(m.bytes(), 1_250_000);
+        assert_eq!(m.mbps_over(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn invalid_capacity_rejected() {
+        let _ = SharedLink::new(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn reset_queue_clears_busy_state() {
+        let mut link = SharedLink::wifi_80211ac(1);
+        link.transfer(0.0, 10_000_000);
+        assert!(link.busy_until_ms() > 0.0);
+        link.reset_queue();
+        assert_eq!(link.busy_until_ms(), 0.0);
+        assert!(link.total_bytes() > 0, "accounting preserved");
+    }
+}

@@ -1,0 +1,582 @@
+//! Equirectangular panorama rendering with near/far filtering.
+
+use coterie_frame::LumaFrame;
+use coterie_world::noise::value_noise;
+use coterie_world::{ObjectKind, Scene, SceneObject, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Restricts which part of the background environment is rendered.
+///
+/// Coterie splits the BE at a *cutoff radius*: objects within the radius
+/// are the near BE (rendered on the phone), objects outside are the far
+/// BE (pre-rendered on the server and prefetched) — Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RenderFilter {
+    /// Render everything (whole BE — the Furion/Multi-Furion baseline and
+    /// the ground-truth frame).
+    All,
+    /// Render only content within the cutoff radius (near BE).
+    NearOnly {
+        /// Cutoff radius in meters.
+        cutoff: f64,
+    },
+    /// Render only content outside the cutoff radius (far BE), leaving a
+    /// void inside the radius to be filled by the locally rendered near
+    /// BE at merge time.
+    FarOnly {
+        /// Cutoff radius in meters.
+        cutoff: f64,
+    },
+}
+
+impl RenderFilter {
+    /// Whether content at ground distance `d` from the eye is included.
+    #[inline]
+    pub fn includes(&self, d: f64) -> bool {
+        match *self {
+            RenderFilter::All => true,
+            RenderFilter::NearOnly { cutoff } => d < cutoff,
+            RenderFilter::FarOnly { cutoff } => d >= cutoff,
+        }
+    }
+
+    /// The sky is part of the far BE (it is infinitely far away).
+    #[inline]
+    fn includes_sky(&self) -> bool {
+        !matches!(self, RenderFilter::NearOnly { .. })
+    }
+}
+
+/// Renderer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RenderOptions {
+    /// Panorama width in pixels (one full turn of azimuth).
+    pub width: u32,
+    /// Panorama height in pixels (zenith to nadir).
+    pub height: u32,
+    /// Maximum object/ground render distance in meters (view culling).
+    pub render_distance: f64,
+    /// Fog half-distance in meters: scene luma blends toward the horizon
+    /// value with `exp(-distance / fog_distance)`.
+    pub fog_distance: f64,
+    /// Luma the fog converges to.
+    pub fog_luma: f32,
+    /// Objects whose angular diameter falls below this many pixels are
+    /// culled (they could not change any pixel).
+    pub min_pixel_size: f64,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width: 256,
+            height: 128,
+            render_distance: 400.0,
+            fog_distance: 90.0,
+            fog_luma: 0.72,
+            min_pixel_size: 0.5,
+        }
+    }
+}
+
+impl RenderOptions {
+    /// A reduced-resolution profile for bulk similarity sweeps.
+    pub fn fast() -> Self {
+        RenderOptions { width: 192, height: 96, ..Default::default() }
+    }
+}
+
+/// A rendered panorama: luma plus per-pixel coverage.
+///
+/// `mask[i] != 0` where the filter actually rendered content; void pixels
+/// (e.g. the inside of the cutoff radius in a far-BE frame) carry mask 0
+/// and are filled from the other layer at merge time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Panorama {
+    /// Rendered luma.
+    pub frame: LumaFrame,
+    /// Per-pixel coverage flags, row-major, same size as `frame`.
+    pub mask: Vec<u8>,
+}
+
+impl Panorama {
+    /// Fraction of pixels covered by the rendered layer.
+    pub fn coverage(&self) -> f64 {
+        if self.mask.is_empty() {
+            return 0.0;
+        }
+        self.mask.iter().filter(|&&m| m != 0).count() as f64 / self.mask.len() as f64
+    }
+}
+
+/// The software panoramic renderer.
+#[derive(Debug, Clone, Default)]
+pub struct Renderer {
+    opts: RenderOptions,
+}
+
+impl Renderer {
+    /// Creates a renderer with explicit options.
+    pub fn new(opts: RenderOptions) -> Self {
+        Renderer { opts }
+    }
+
+    /// Renderer options.
+    pub fn options(&self) -> &RenderOptions {
+        &self.opts
+    }
+
+    /// Renders the background environment seen from `eye`, restricted by
+    /// `filter`.
+    pub fn render_panorama(&self, scene: &Scene, eye: Vec3, filter: RenderFilter) -> Panorama {
+        self.render_panorama_with(scene, eye, filter, &[])
+    }
+
+    /// Renders the BE plus extra dynamic objects (foreground interactions:
+    /// avatars, cars). FI objects are always rendered regardless of the
+    /// distance filter, mirroring Coterie's architecture where FI is
+    /// always drawn locally.
+    pub fn render_panorama_with(
+        &self,
+        scene: &Scene,
+        eye: Vec3,
+        filter: RenderFilter,
+        fi_objects: &[SceneObject],
+    ) -> Panorama {
+        let w = self.opts.width;
+        let h = self.opts.height;
+        let mut frame = LumaFrame::new(w, h);
+        let mut mask = vec![0u8; (w * h) as usize];
+        let mut depth = vec![f32::INFINITY; (w * h) as usize];
+
+        self.paint_background(scene, eye, filter, &mut frame, &mut mask, &mut depth);
+
+        // Static BE objects, filtered by the cutoff.
+        for obj in scene.objects_within(eye.ground(), self.opts.render_distance) {
+            let d = obj.ground_distance(eye);
+            if !filter.includes(d) {
+                continue;
+            }
+            self.paint_object(obj, eye, &mut frame, &mut mask, &mut depth);
+        }
+        // FI objects are never filtered.
+        for obj in fi_objects {
+            if obj.ground_distance(eye) <= self.opts.render_distance {
+                self.paint_object(obj, eye, &mut frame, &mut mask, &mut depth);
+            }
+        }
+        Panorama { frame, mask }
+    }
+
+    /// Direction of the panorama pixel center `(px, py)`.
+    #[inline]
+    fn pixel_dir(&self, px: u32, py: u32) -> Vec3 {
+        let azimuth =
+            ((px as f64 + 0.5) / self.opts.width as f64) * std::f64::consts::TAU - std::f64::consts::PI;
+        let elevation = std::f64::consts::FRAC_PI_2
+            - ((py as f64 + 0.5) / self.opts.height as f64) * std::f64::consts::PI;
+        let (sa, ca) = azimuth.sin_cos();
+        let (se, ce) = elevation.sin_cos();
+        Vec3::new(sa * ce, se, ca * ce)
+    }
+
+    /// Pixel coordinates of a world direction; returns fractional
+    /// `(x, y)`.
+    #[inline]
+    fn dir_to_pixel(&self, dir: Vec3) -> (f64, f64) {
+        let azimuth = dir.x.atan2(dir.z);
+        let elevation = (dir.y / dir.length().max(1e-12)).asin();
+        let x = (azimuth + std::f64::consts::PI) / std::f64::consts::TAU * self.opts.width as f64;
+        let y = (std::f64::consts::FRAC_PI_2 - elevation) / std::f64::consts::PI
+            * self.opts.height as f64;
+        (x, y)
+    }
+
+    fn fog(&self, base: f32, dist: f64) -> f32 {
+        let k = (-dist / self.opts.fog_distance).exp() as f32;
+        base * k + self.opts.fog_luma * (1.0 - k)
+    }
+
+    fn paint_background(
+        &self,
+        scene: &Scene,
+        eye: Vec3,
+        filter: RenderFilter,
+        frame: &mut LumaFrame,
+        mask: &mut [u8],
+        depth: &mut [f32],
+    ) {
+        let w = self.opts.width;
+        let h = self.opts.height;
+        let terrain = scene.terrain();
+        let local_ground = terrain.height(eye.ground());
+        let eye_above = (eye.y - local_ground).max(0.2);
+        let include_sky = filter.includes_sky();
+        let mountain_seed = 0x304E_7411u64;
+
+        for py in 0..h {
+            for px in 0..w {
+                let dir = self.pixel_dir(px, py);
+                let idx = (py * w + px) as usize;
+                if dir.y >= -1e-4 {
+                    // Sky or distant mountain silhouette: both at infinite
+                    // distance, part of the far BE.
+                    if !include_sky {
+                        continue;
+                    }
+                    let azimuth = dir.x.atan2(dir.z);
+                    let elevation = dir.y.asin();
+                    let ridge = 0.02
+                        + 0.06
+                            * value_noise(mountain_seed, azimuth * 2.2 + 9.0, 0.0)
+                        + 0.03 * value_noise(mountain_seed ^ 1, azimuth * 7.0, 0.3);
+                    let v = if elevation < ridge {
+                        // Mountain band.
+                        (0.45
+                            + 0.12
+                                * value_noise(
+                                    mountain_seed ^ 2,
+                                    azimuth * 5.0,
+                                    elevation * 30.0,
+                                )) as f32
+                    } else {
+                        // Sky gradient with faint clouds.
+                        let t = (elevation / std::f64::consts::FRAC_PI_2).clamp(0.0, 1.0);
+                        (0.80 + 0.12 * t
+                            + 0.05 * value_noise(mountain_seed ^ 3, azimuth * 3.0, elevation * 6.0))
+                            as f32
+                    };
+                    frame.set(px, py, v);
+                    mask[idx] = 1;
+                    depth[idx] = f32::INFINITY;
+                } else {
+                    // Ground: intersect the local ground plane, then shade
+                    // from the terrain albedo at the hit point. This gives
+                    // true ground parallax — the near ground texture
+                    // streams past a moving viewpoint, far ground barely
+                    // moves.
+                    let t = eye_above / (-dir.y);
+                    if t > self.opts.render_distance {
+                        if !include_sky {
+                            continue;
+                        }
+                        // Beyond the render distance the ground fades into
+                        // fog (treated as far BE).
+                        frame.set(px, py, self.opts.fog_luma);
+                        mask[idx] = 1;
+                        depth[idx] = self.opts.render_distance as f32;
+                        continue;
+                    }
+                    // The cutoff radius is horizontal (Figure 4), so the
+                    // filter tests the ground-plane distance of the hit.
+                    let ground_dist = t * dir.ground().length();
+                    if !filter.includes(ground_dist) {
+                        continue;
+                    }
+                    let hit = eye + dir * t;
+                    let albedo = terrain.albedo(hit.ground()) as f32;
+                    // Slope shading from the terrain normal.
+                    let n = terrain.normal(hit.ground());
+                    let light = Vec3::new(0.35, 0.85, 0.40).normalized();
+                    let lambert = n.dot(light).max(0.0) as f32;
+                    let v = self.fog(albedo * (0.45 + 0.55 * lambert), t);
+                    frame.set(px, py, v);
+                    mask[idx] = 1;
+                    depth[idx] = t as f32;
+                }
+            }
+        }
+    }
+
+    fn paint_object(
+        &self,
+        obj: &SceneObject,
+        eye: Vec3,
+        frame: &mut LumaFrame,
+        mask: &mut [u8],
+        depth: &mut [f32],
+    ) {
+        let w = self.opts.width as i64;
+        let h = self.opts.height as i64;
+        let center = obj.center();
+        let v = center - eye;
+        let dist = v.length();
+        if dist < 1e-6 {
+            return;
+        }
+        // Angular extents.
+        let (half_width_ang, base_elev, top_elev) = match obj.kind {
+            ObjectKind::Sphere => {
+                let a = (obj.radius / dist).min(1.0).asin();
+                let ce = (v.y / dist).asin();
+                (a, ce - a, ce + a)
+            }
+            ObjectKind::Cylinder | ObjectKind::Box => {
+                let ground_dist = v.ground().length().max(1e-6);
+                let widen = if obj.kind == ObjectKind::Box { 1.3 } else { 1.0 };
+                let a = ((obj.radius * widen / ground_dist).min(1.0)).asin();
+                let base = (obj.position.y - eye.y).atan2(ground_dist);
+                let top = (obj.position.y + obj.height - eye.y).atan2(ground_dist);
+                (a, base, top)
+            }
+        };
+        // Angular diameter in pixels; cull sub-pixel specks.
+        let px_per_rad = self.opts.width as f64 / std::f64::consts::TAU;
+        if 2.0 * half_width_ang * px_per_rad < self.opts.min_pixel_size {
+            return;
+        }
+
+        let center_azimuth = v.x.atan2(v.z);
+        let cos_mid = ((base_elev + top_elev) * 0.5).cos().abs().max(0.05);
+        let half_w_px = (half_width_ang / cos_mid * px_per_rad).ceil() as i64 + 1;
+        let (_, cy) = self.dir_to_pixel(v);
+        let py_top = ((std::f64::consts::FRAC_PI_2 - top_elev) / std::f64::consts::PI
+            * self.opts.height as f64)
+            .floor() as i64
+            - 1;
+        let py_bot = ((std::f64::consts::FRAC_PI_2 - base_elev) / std::f64::consts::PI
+            * self.opts.height as f64)
+            .ceil() as i64
+            + 1;
+        let cx = (center_azimuth + std::f64::consts::PI) / std::f64::consts::TAU
+            * self.opts.width as f64;
+        let _ = cy;
+
+        let tex_scale = 14.0;
+        for py in py_top.max(0)..=py_bot.min(h - 1) {
+            for dxi in -half_w_px..=half_w_px {
+                let px = (cx as i64 + dxi).rem_euclid(w);
+                let dir = self.pixel_dir(px as u32, py as u32);
+                let hit = match obj.kind {
+                    ObjectKind::Sphere => {
+                        let cosang = dir.dot(v) / dist;
+                        cosang >= half_width_ang.cos()
+                    }
+                    ObjectKind::Cylinder | ObjectKind::Box => {
+                        let azimuth = dir.x.atan2(dir.z);
+                        let mut da = azimuth - center_azimuth;
+                        while da > std::f64::consts::PI {
+                            da -= std::f64::consts::TAU;
+                        }
+                        while da < -std::f64::consts::PI {
+                            da += std::f64::consts::TAU;
+                        }
+                        let elevation = dir.y.asin();
+                        da.abs() <= half_width_ang && (base_elev..=top_elev).contains(&elevation)
+                    }
+                };
+                if !hit {
+                    continue;
+                }
+                let idx = (py as u32 * self.opts.width + px as u32) as usize;
+                if depth[idx] <= dist as f32 {
+                    continue;
+                }
+                // World-anchored-ish texture: parameterize by the viewing
+                // direction relative to the object center. Far objects see
+                // a stable parameterization; near objects' texture slides
+                // quickly with viewpoint — amplifying the near-object
+                // effect exactly as real parallax does.
+                let rel = (dir * dist - v) / obj.bounding_radius().max(1e-6);
+                let tex = value_noise(
+                    obj.texture_seed,
+                    (rel.x + rel.y * 0.7) * tex_scale,
+                    (rel.z - rel.y * 0.4) * tex_scale,
+                );
+                let shade = (obj.albedo * (0.55 + 0.45 * tex)) as f32;
+                frame.set(px as u32, py as u32, self.fog(shade, dist));
+                mask[idx] = 1;
+                depth[idx] = dist as f32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coterie_world::{GameCatalog, GameId, GameSpec, Vec2};
+
+    fn fps_scene() -> (Scene, GameSpec) {
+        let spec = GameSpec::for_game(GameId::Fps);
+        (spec.build_scene(1), spec)
+    }
+
+    #[test]
+    fn full_render_covers_every_pixel() {
+        let (scene, _) = fps_scene();
+        let r = Renderer::default();
+        let eye = scene.eye(scene.bounds().center());
+        let pano = r.render_panorama(&scene, eye, RenderFilter::All);
+        assert_eq!(pano.coverage(), 1.0);
+    }
+
+    #[test]
+    fn near_and_far_partition_coverage() {
+        let (scene, _) = fps_scene();
+        let r = Renderer::default();
+        let eye = scene.eye(scene.bounds().center());
+        let cutoff = 10.0;
+        let near = r.render_panorama(&scene, eye, RenderFilter::NearOnly { cutoff });
+        let far = r.render_panorama(&scene, eye, RenderFilter::FarOnly { cutoff });
+        // Every pixel is covered by at least one layer, and the near layer
+        // is a strict subset.
+        for i in 0..near.mask.len() {
+            assert!(near.mask[i] != 0 || far.mask[i] != 0, "hole at {i}");
+        }
+        assert!(near.coverage() > 0.0);
+        assert!(near.coverage() < 1.0);
+        assert!(far.coverage() < 1.0);
+    }
+
+    #[test]
+    fn sky_is_far_be() {
+        let (scene, _) = fps_scene();
+        let r = Renderer::default();
+        let eye = scene.eye(scene.bounds().center());
+        let near = r.render_panorama(&scene, eye, RenderFilter::NearOnly { cutoff: 5.0 });
+        // Top row is sky: never part of near BE.
+        for px in 0..r.options().width {
+            assert_eq!(near.mask[px as usize], 0);
+        }
+        let far = r.render_panorama(&scene, eye, RenderFilter::FarOnly { cutoff: 5.0 });
+        for px in 0..r.options().width {
+            assert_eq!(far.mask[px as usize], 1);
+        }
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let (scene, _) = fps_scene();
+        let r = Renderer::default();
+        let eye = scene.eye(scene.bounds().center());
+        let a = r.render_panorama(&scene, eye, RenderFilter::All);
+        let b = r.render_panorama(&scene, eye, RenderFilter::All);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn near_object_effect_emerges_from_projection() {
+        // The decisive property (Figure 3 / §4.2): moving the viewpoint
+        // slightly must change far-BE frames much less than whole-BE
+        // frames when near objects exist.
+        let spec = GameSpec::for_game(GameId::VikingVillage);
+        let scene = spec.build_scene(7);
+        let r = Renderer::default();
+        // Find a location with nearby objects.
+        let mut probe = scene.bounds().center();
+        'search: for i in 0..400 {
+            let p = Vec2::new(
+                10.0 + (i % 20) as f64 * 8.5,
+                10.0 + (i / 20) as f64 * 5.5,
+            );
+            if scene.bounds().contains(p) && scene.triangles_within(p, 6.0) > 20_000 {
+                probe = p;
+                break 'search;
+            }
+        }
+        let eye_a = scene.eye(probe);
+        let eye_b = scene.eye(probe + Vec2::new(0.5, 0.0));
+        let whole_a = r.render_panorama(&scene, eye_a, RenderFilter::All);
+        let whole_b = r.render_panorama(&scene, eye_b, RenderFilter::All);
+        let far_a = r.render_panorama(&scene, eye_a, RenderFilter::FarOnly { cutoff: 12.0 });
+        let far_b = r.render_panorama(&scene, eye_b, RenderFilter::FarOnly { cutoff: 12.0 });
+        let s_whole = coterie_frame::ssim(&whole_a.frame, &whole_b.frame);
+        let s_far = coterie_frame::ssim(&far_a.frame, &far_b.frame);
+        assert!(
+            s_far > s_whole,
+            "far-BE similarity ({s_far:.3}) must exceed whole-BE similarity ({s_whole:.3})"
+        );
+    }
+
+    #[test]
+    fn larger_cutoff_increases_far_similarity() {
+        // Figure 5: SSIM between adjacent far-BE frames increases
+        // monotonically (in trend) with the cutoff radius.
+        let spec = GameSpec::for_game(GameId::VikingVillage);
+        let scene = spec.build_scene(7);
+        let r = Renderer::default();
+        let p = scene.bounds().center();
+        let eye_a = scene.eye(p);
+        let eye_b = scene.eye(p + Vec2::new(0.4, 0.0));
+        let mut last = -1.0;
+        let mut increases = 0;
+        let cutoffs = [0.0, 2.0, 6.0, 16.0];
+        for &c in &cutoffs {
+            let a = r.render_panorama(&scene, eye_a, RenderFilter::FarOnly { cutoff: c });
+            let b = r.render_panorama(&scene, eye_b, RenderFilter::FarOnly { cutoff: c });
+            let s = coterie_frame::ssim(&a.frame, &b.frame);
+            if s >= last {
+                increases += 1;
+            }
+            last = s;
+        }
+        assert!(increases >= 3, "similarity should rise with cutoff");
+    }
+
+    #[test]
+    fn fi_objects_render_regardless_of_filter() {
+        let (scene, _) = fps_scene();
+        let r = Renderer::default();
+        let eye = scene.eye(scene.bounds().center());
+        let avatar = SceneObject {
+            id: coterie_world::ObjectId(u32::MAX),
+            position: (eye.ground() + Vec2::new(2.0, 2.0)).with_y(0.0),
+            radius: 0.5,
+            height: 1.8,
+            triangles: 5000,
+            albedo: 0.95,
+            kind: ObjectKind::Cylinder,
+            texture_seed: 1,
+        };
+        let without =
+            r.render_panorama(&scene, eye, RenderFilter::FarOnly { cutoff: 50.0 });
+        let with = r.render_panorama_with(
+            &scene,
+            eye,
+            RenderFilter::FarOnly { cutoff: 50.0 },
+            std::slice::from_ref(&avatar),
+        );
+        assert_ne!(without.frame, with.frame, "FI avatar must appear");
+    }
+
+    #[test]
+    fn every_game_renders_without_panic() {
+        let r = Renderer::new(RenderOptions::fast());
+        for spec in GameCatalog::all() {
+            let scene = spec.build_scene(3);
+            let eye = scene.eye(scene.bounds().center());
+            let pano = r.render_panorama(&scene, eye, RenderFilter::All);
+            assert_eq!(pano.coverage(), 1.0, "{}", spec.id);
+            let mean = pano.frame.mean();
+            assert!(
+                (0.05..0.95).contains(&mean),
+                "{}: implausible mean luma {mean}",
+                spec.id
+            );
+        }
+    }
+
+    #[test]
+    fn pixel_dir_roundtrip() {
+        let r = Renderer::default();
+        for &(px, py) in &[(0u32, 0u32), (100, 60), (255, 127), (128, 64)] {
+            let dir = r.pixel_dir(px, py);
+            assert!((dir.length() - 1.0).abs() < 1e-9);
+            let (x, y) = r.dir_to_pixel(dir);
+            assert!((x - (px as f64 + 0.5)).abs() < 0.51, "px {px} -> {x}");
+            assert!((y - (py as f64 + 0.5)).abs() < 0.51, "py {py} -> {y}");
+        }
+    }
+
+    #[test]
+    fn filter_includes_semantics() {
+        assert!(RenderFilter::All.includes(1e9));
+        let near = RenderFilter::NearOnly { cutoff: 5.0 };
+        assert!(near.includes(4.9));
+        assert!(!near.includes(5.0));
+        let far = RenderFilter::FarOnly { cutoff: 5.0 };
+        assert!(far.includes(5.0));
+        assert!(!far.includes(4.9));
+    }
+}

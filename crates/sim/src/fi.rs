@@ -1,0 +1,158 @@
+//! Foreground-interaction (FI) synchronization model.
+//!
+//! Multi-Furion and Coterie exchange FI state (pose, rotation, animation)
+//! among players through Photon Unity Networking relayed by the server
+//! (§3, §5.1 task 4). The paper measures:
+//!
+//! * 2–3 ms for a client to sync its FI each interval (footnote 1),
+//! * FI traffic 2–4 orders of magnitude below BE traffic — ~1 Kbps for a
+//!   single player (keep-alives) growing to ~260–275 Kbps at four
+//!   players (Table 9).
+
+use coterie_world::{ObjectId, ObjectKind, SceneObject, Vec2};
+use serde::{Deserialize, Serialize};
+
+/// Per-interval FI synchronization latency, ms (paper footnote 1:
+/// "2-3 ms"). Never the critical path of Eq. 2.
+pub const FI_SYNC_LATENCY_MS: f64 = 2.5;
+
+/// Bytes of one FI state-sync message (pose + rotation + animation
+/// state for one object, with PUN framing).
+const SYNC_MESSAGE_BYTES: f64 = 46.0;
+
+/// Sync rate in Hz (object sync every frame).
+const SYNC_RATE_HZ: f64 = 60.0;
+
+/// The FI synchronization model for one session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiSync {
+    players: usize,
+}
+
+impl FiSync {
+    /// Creates the model for an `n`-player session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `players == 0`.
+    pub fn new(players: usize) -> Self {
+        assert!(players > 0, "sessions need at least one player");
+        FiSync { players }
+    }
+
+    /// Total server-side FI bandwidth in Kbps (Table 9's FI column):
+    /// every player's state is relayed to every other player each frame;
+    /// a lone player only exchanges keep-alives.
+    pub fn server_kbps(&self) -> f64 {
+        if self.players == 1 {
+            return 1.0;
+        }
+        let ordered_pairs = (self.players * (self.players - 1)) as f64;
+        ordered_pairs * SYNC_MESSAGE_BYTES * 8.0 * SYNC_RATE_HZ / 1000.0
+    }
+
+    /// Per-interval sync latency contribution to Eq. 2, ms.
+    pub fn sync_latency_ms(&self) -> f64 {
+        if self.players == 1 {
+            0.5
+        } else {
+            FI_SYNC_LATENCY_MS
+        }
+    }
+
+    /// The avatar objects a player must render for the *other* players
+    /// (the FI everyone draws locally). `positions[i]` is player `i`'s
+    /// current position; `viewer` is excluded.
+    pub fn remote_avatars(&self, positions: &[Vec2], viewer: usize) -> Vec<SceneObject> {
+        positions
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != viewer)
+            .map(|(i, &p)| SceneObject {
+                // High ids keep avatars clear of static scene objects.
+                id: ObjectId(u32::MAX - i as u32),
+                position: p.with_y(0.0),
+                radius: 0.45,
+                height: 1.8,
+                triangles: 9_000,
+                albedo: 0.85,
+                kind: ObjectKind::Cylinder,
+                texture_seed: 0xFEED ^ i as u64,
+            })
+            .collect()
+    }
+
+    /// Triangles of FI content a player renders each frame (own hands /
+    /// car plus remote avatars).
+    pub fn fi_triangles(&self) -> u64 {
+        let own = 14_000u64;
+        own + 9_000 * (self.players as u64 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_player_traffic_is_keepalive() {
+        assert_eq!(FiSync::new(1).server_kbps(), 1.0);
+    }
+
+    #[test]
+    fn traffic_matches_table9_scale() {
+        // Table 9: 2P ~52-71 Kbps, 3P ~129-153, 4P ~260-275.
+        let two = FiSync::new(2).server_kbps();
+        let three = FiSync::new(3).server_kbps();
+        let four = FiSync::new(4).server_kbps();
+        assert!((35.0..80.0).contains(&two), "2P FI {two:.0} Kbps");
+        assert!((100.0..180.0).contains(&three), "3P FI {three:.0} Kbps");
+        assert!((220.0..320.0).contains(&four), "4P FI {four:.0} Kbps");
+        assert!(two < three && three < four);
+    }
+
+    #[test]
+    fn fi_traffic_orders_of_magnitude_below_be() {
+        // BE traffic is tens of Mbps; FI stays in Kbps (2-4 orders lower).
+        let fi_kbps = FiSync::new(4).server_kbps();
+        let be_kbps = 42.0 * 1000.0; // smallest Coterie 4P BE value
+        assert!(fi_kbps < be_kbps / 50.0);
+    }
+
+    #[test]
+    fn sync_latency_within_paper_bounds() {
+        let s = FiSync::new(3).sync_latency_ms();
+        assert!((2.0..=3.0).contains(&s));
+        assert!(FiSync::new(1).sync_latency_ms() < s);
+    }
+
+    #[test]
+    fn remote_avatars_exclude_viewer() {
+        let sync = FiSync::new(3);
+        let positions = vec![Vec2::new(0.0, 0.0), Vec2::new(5.0, 0.0), Vec2::new(0.0, 5.0)];
+        let avatars = sync.remote_avatars(&positions, 1);
+        assert_eq!(avatars.len(), 2);
+        for a in &avatars {
+            assert_ne!(a.position.ground(), positions[1]);
+        }
+        // Distinct ids per player.
+        assert_ne!(avatars[0].id, avatars[1].id);
+    }
+
+    #[test]
+    fn fi_triangles_stay_under_4ms_budget() {
+        // Constraint: FI render time < 4 ms on a Pixel 2 (§4.3).
+        let device = coterie_device::DeviceProfile::pixel2();
+        for n in 1..=4 {
+            let tris = FiSync::new(n).fi_triangles();
+            let ms = device.render_ms(tris) - 1.2; // overhead charged once
+            assert!(ms < 4.0, "{n} players: FI render {ms:.2} ms");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one player")]
+    fn zero_players_rejected() {
+        let _ = FiSync::new(0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Minimal data-parallel map built on crossbeam's scoped threads.
+//!
+//! The similarity experiments render and SSIM-compare tens of thousands
+//! of frame pairs; this helper spreads independent work items across the
+//! machine's cores without pulling in a full task-pool dependency.
+
+/// Applies `f` to every item, fanning out across up to
+/// `available_parallelism` threads, and returns results in input order.
+///
+/// Items are distributed in contiguous chunks, so `f` should have
+/// roughly uniform cost per item.
+///
+/// # Example
+///
+/// ```
+/// use coterie_sim::parallel::par_map;
+/// let squares = par_map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut rest = results.as_mut_slice();
+        for (i, chunk_items) in items.chunks(chunk).enumerate() {
+            let (head, tail) = rest.split_at_mut(chunk_items.len().min(rest.len()));
+            rest = tail;
+            let f = &f;
+            let offset = i * chunk;
+            let _ = offset;
+            scope.spawn(move |_| {
+                for (slot, item) in head.iter_mut().zip(chunk_items) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("parallel workers must not panic");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out = par_map(&input, |&x| x * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_serial_map() {
+        let input: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let serial: Vec<f64> = input.iter().map(|&x| x.sin()).collect();
+        let parallel = par_map(&input, |&x| x.sin());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn heavy_closure_with_captured_state() {
+        let factor = 3u64;
+        let input: Vec<u64> = (0..64).collect();
+        let out = par_map(&input, |&x| x * factor);
+        assert_eq!(out[10], 30);
+    }
+}

@@ -1,0 +1,201 @@
+//! Compact binary serialization for movement traces.
+//!
+//! The paper's workflow records player trajectories during live play and
+//! replays them offline — for the similarity study (§4.1), the caching
+//! emulation (§4.6) and the user study (§7.4). This module provides a
+//! self-contained binary trace format so recorded sessions can be saved
+//! and replayed across runs without external serializers.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic   u32  = 0x43545243  ("CTRC")
+//! version u16  = 1
+//! players u16
+//! per player:
+//!   interval f64
+//!   count    u64
+//!   count x (time f64, x f64, z f64, yaw f64)
+//! ```
+
+use crate::trace::{Trace, TracePoint, TraceSet};
+use crate::vec::Vec2;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+
+const MAGIC: u32 = 0x4354_5243;
+const VERSION: u16 = 1;
+
+/// Errors decoding a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceIoError {
+    /// The buffer is not a trace file.
+    BadMagic,
+    /// The format version is unsupported.
+    UnsupportedVersion(u16),
+    /// The buffer ended prematurely.
+    Truncated,
+    /// A decoded field is impossible (non-finite time, absurd count).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::BadMagic => write!(f, "not a coterie trace file"),
+            TraceIoError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceIoError::Truncated => write!(f, "trace file ended unexpectedly"),
+            TraceIoError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+        }
+    }
+}
+
+impl Error for TraceIoError {}
+
+/// Serializes a trace set into the binary format.
+pub fn encode_traces(set: &TraceSet) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        16 + set
+            .traces()
+            .iter()
+            .map(|t| 16 + t.points().len() * 32)
+            .sum::<usize>(),
+    );
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(set.player_count() as u16);
+    for trace in set.traces() {
+        buf.put_f64_le(trace.interval());
+        buf.put_u64_le(trace.points().len() as u64);
+        for p in trace.points() {
+            buf.put_f64_le(p.time);
+            buf.put_f64_le(p.position.x);
+            buf.put_f64_le(p.position.z);
+            buf.put_f64_le(p.yaw);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserializes a trace set from the binary format.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] when the buffer is not a well-formed trace
+/// file.
+pub fn decode_traces(mut data: &[u8]) -> Result<TraceSet, TraceIoError> {
+    if data.remaining() < 8 {
+        return Err(TraceIoError::Truncated);
+    }
+    if data.get_u32_le() != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(TraceIoError::UnsupportedVersion(version));
+    }
+    let players = data.get_u16_le() as usize;
+    if players > 64 {
+        return Err(TraceIoError::Corrupt("implausible player count"));
+    }
+    let mut traces = Vec::with_capacity(players);
+    for _ in 0..players {
+        if data.remaining() < 16 {
+            return Err(TraceIoError::Truncated);
+        }
+        let interval = data.get_f64_le();
+        if !(interval.is_finite() && interval > 0.0) {
+            return Err(TraceIoError::Corrupt("invalid sampling interval"));
+        }
+        let count = data.get_u64_le() as usize;
+        if data.remaining() < count.saturating_mul(32) {
+            return Err(TraceIoError::Truncated);
+        }
+        let mut points = Vec::with_capacity(count);
+        for _ in 0..count {
+            let time = data.get_f64_le();
+            let x = data.get_f64_le();
+            let z = data.get_f64_le();
+            let yaw = data.get_f64_le();
+            if !(time.is_finite() && x.is_finite() && z.is_finite() && yaw.is_finite()) {
+                return Err(TraceIoError::Corrupt("non-finite sample"));
+            }
+            points.push(TracePoint { time, position: Vec2::new(x, z), yaw });
+        }
+        traces.push(Trace::from_parts(points, interval));
+    }
+    Ok(traces.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::games::{GameId, GameSpec};
+
+    fn sample_set() -> TraceSet {
+        let spec = GameSpec::for_game(GameId::Fps);
+        let scene = spec.build_scene(3);
+        TraceSet::generate(&scene, &spec, 3, 5.0, 0.1, 3)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let set = sample_set();
+        let encoded = encode_traces(&set);
+        let decoded = decode_traces(&encoded).expect("round trip");
+        assert_eq!(set, decoded);
+    }
+
+    #[test]
+    fn empty_set_roundtrips() {
+        let set: TraceSet = std::iter::empty::<Trace>().collect();
+        let decoded = decode_traces(&encode_traces(&set)).expect("round trip");
+        assert_eq!(decoded.player_count(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = decode_traces(&[0u8; 32]).unwrap_err();
+        assert_eq!(err, TraceIoError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let encoded = encode_traces(&sample_set());
+        for cut in [0, 4, 7, 9, 20, encoded.len() / 2, encoded.len() - 1] {
+            let result = decode_traces(&encoded[..cut]);
+            assert!(result.is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = encode_traces(&sample_set()).to_vec();
+        bytes[4] = 99;
+        assert_eq!(
+            decode_traces(&bytes).unwrap_err(),
+            TraceIoError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn corrupt_float_rejected() {
+        let mut bytes = encode_traces(&sample_set()).to_vec();
+        // Overwrite the first sample's time with NaN.
+        let nan = f64::NAN.to_le_bytes();
+        bytes[24..32].copy_from_slice(&nan);
+        assert!(matches!(
+            decode_traces(&bytes).unwrap_err(),
+            TraceIoError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(format!("{}", TraceIoError::BadMagic).contains("trace file"));
+        assert!(format!("{}", TraceIoError::UnsupportedVersion(2)).contains('2'));
+    }
+}

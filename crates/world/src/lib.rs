@@ -1,0 +1,57 @@
+//! # coterie-world
+//!
+//! Virtual-world substrate for the Coterie reproduction.
+//!
+//! The original Coterie system (ASPLOS 2020) evaluated nine Unity Asset
+//! Store games on Google Daydream. This crate replaces Unity's scene graph
+//! with a self-contained procedural world model that preserves the
+//! *statistics* the paper's algorithms depend on:
+//!
+//! * world dimensions and grid-point counts matching Table 3 of the paper,
+//! * per-game object-density fields (including Viking Village's high
+//!   density variance and the sparse racing worlds with dense start/finish
+//!   areas),
+//! * genre-specific player movement (track following, roaming,
+//!   follow-the-leader parties),
+//! * a 2-D quadtree partitioner used by the adaptive cutoff scheme.
+//!
+//! # Example
+//!
+//! ```
+//! use coterie_world::{GameId, GameSpec};
+//!
+//! let spec = GameSpec::for_game(GameId::VikingVillage);
+//! let scene = spec.build_scene(7);
+//! assert!(scene.objects().len() > 100);
+//! // Triangle density can be queried at any location (used by the
+//! // adaptive cutoff scheme to satisfy Constraint 1).
+//! let p = scene.bounds().center();
+//! let _tris = scene.triangles_within(p, 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod games;
+pub mod grid;
+pub mod head;
+pub mod io;
+pub mod noise;
+pub mod object;
+pub mod quadtree;
+pub mod scene;
+pub mod terrain;
+pub mod trace;
+pub mod trajectory;
+pub mod vec;
+
+pub use games::{GameCatalog, GameGenre, GameId, GameSpec};
+pub use head::{HeadModel, HeadPose};
+pub use grid::{GridPoint, GridSpec};
+pub use object::{ObjectId, ObjectKind, SceneObject};
+pub use quadtree::{LeafId, Quadtree, QuadtreeStats, Rect};
+pub use scene::Scene;
+pub use terrain::Terrain;
+pub use trace::{Trace, TracePoint, TraceSet};
+pub use trajectory::{Trajectory, TrajectoryKind};
+pub use vec::{Vec2, Vec3};

@@ -1,0 +1,227 @@
+//! Deterministic value noise and fractional Brownian motion.
+//!
+//! Used for terrain heightfields, ground albedo texture, object surface
+//! detail, and per-game object-density fields. Everything is seeded so each
+//! experiment is exactly reproducible.
+
+/// Fast deterministic integer hash (SplitMix64 finalizer).
+#[inline]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a 2-D integer lattice coordinate with a seed into `[0, 1)`.
+#[inline]
+pub fn lattice(seed: u64, ix: i64, iz: i64) -> f64 {
+    let h = hash64(seed ^ hash64(ix as u64).wrapping_mul(0x9E37_79B9) ^ hash64(iz as u64));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Smoothstep interpolation weight.
+#[inline]
+fn smooth(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Bilinear value noise in `[0, 1)` at a continuous 2-D coordinate.
+///
+/// The lattice has unit spacing; scale the inputs to change frequency.
+///
+/// ```
+/// use coterie_world::noise::value_noise;
+/// let a = value_noise(1, 0.5, 0.5);
+/// let b = value_noise(1, 0.5, 0.5);
+/// assert_eq!(a, b); // deterministic
+/// assert!((0.0..1.0).contains(&a));
+/// ```
+pub fn value_noise(seed: u64, x: f64, z: f64) -> f64 {
+    let x0 = x.floor();
+    let z0 = z.floor();
+    let fx = smooth(x - x0);
+    let fz = smooth(z - z0);
+    let (ix, iz) = (x0 as i64, z0 as i64);
+    let v00 = lattice(seed, ix, iz);
+    let v10 = lattice(seed, ix + 1, iz);
+    let v01 = lattice(seed, ix, iz + 1);
+    let v11 = lattice(seed, ix + 1, iz + 1);
+    let a = v00 + (v10 - v00) * fx;
+    let b = v01 + (v11 - v01) * fx;
+    a + (b - a) * fz
+}
+
+/// Fractional Brownian motion: `octaves` layers of [`value_noise`] with
+/// per-octave frequency doubling and amplitude halving. Output in `[0, 1)`.
+///
+/// ```
+/// use coterie_world::noise::fbm;
+/// let v = fbm(42, 3.25, -1.5, 4);
+/// assert!((0.0..1.0).contains(&v));
+/// ```
+pub fn fbm(seed: u64, x: f64, z: f64, octaves: u32) -> f64 {
+    let mut amp = 0.5;
+    let mut freq = 1.0;
+    let mut total = 0.0;
+    let mut norm = 0.0;
+    for octave in 0..octaves {
+        total += amp * value_noise(seed.wrapping_add(octave as u64), x * freq, z * freq);
+        norm += amp;
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    if norm > 0.0 {
+        total / norm
+    } else {
+        0.0
+    }
+}
+
+/// A tiny deterministic PRNG (xorshift*) for procedural placement where we
+/// want cheap, seedable, dependency-free streams.
+///
+/// ```
+/// use coterie_world::noise::SmallRng;
+/// let mut a = SmallRng::new(9);
+/// let mut b = SmallRng::new(9);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator from a seed. A zero seed is remapped internally.
+    pub fn new(seed: u64) -> Self {
+        SmallRng { state: hash64(seed).max(1) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "invalid range [{lo}, {hi})");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`. Returns 0 when `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash64_distinct_inputs() {
+        assert_ne!(hash64(1), hash64(2));
+        assert_ne!(hash64(0), hash64(u64::MAX));
+    }
+
+    #[test]
+    fn lattice_in_unit_interval() {
+        for i in -10..10 {
+            for j in -10..10 {
+                let v = lattice(5, i, j);
+                assert!((0.0..1.0).contains(&v), "lattice out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_noise_matches_lattice_at_integers() {
+        let v = value_noise(3, 4.0, 7.0);
+        assert!((v - lattice(3, 4, 7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_noise_is_continuous() {
+        // Sample two very close points; noise must not jump.
+        let a = value_noise(3, 1.5, 2.5);
+        let b = value_noise(3, 1.5 + 1e-6, 2.5);
+        assert!((a - b).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fbm_range_and_determinism() {
+        for i in 0..100 {
+            let x = i as f64 * 0.37;
+            let v = fbm(11, x, -x * 0.5, 5);
+            assert!((0.0..1.0).contains(&v));
+            assert_eq!(v, fbm(11, x, -x * 0.5, 5));
+        }
+    }
+
+    #[test]
+    fn fbm_zero_octaves_is_zero() {
+        assert_eq!(fbm(1, 0.3, 0.4, 0), 0.0);
+    }
+
+    #[test]
+    fn fbm_differs_across_seeds() {
+        assert_ne!(fbm(1, 0.3, 0.4, 4), fbm(2, 0.3, 0.4, 4));
+    }
+
+    #[test]
+    fn small_rng_uniformish() {
+        let mut rng = SmallRng::new(77);
+        let mut sum = 0.0;
+        let n = 10_000;
+        for _ in 0..n {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn small_rng_range_and_below() {
+        let mut rng = SmallRng::new(5);
+        for _ in 0..1000 {
+            let v = rng.range(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+            let k = rng.below(7);
+            assert!(k < 7);
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn small_rng_range_panics_on_reversed_bounds() {
+        SmallRng::new(1).range(1.0, 0.0);
+    }
+
+    #[test]
+    fn small_rng_zero_seed_ok() {
+        let mut rng = SmallRng::new(0);
+        let _ = rng.next_u64();
+    }
+}

@@ -1,0 +1,125 @@
+//! Scene objects: the "assets" of the virtual world.
+//!
+//! Each object carries a triangle count — the paper's proxy for rendering
+//! cost (§4.3, "the rendering speed is correlated with the triangle count
+//! of the objects") — plus the geometric and shading attributes needed by
+//! the panoramic software renderer.
+
+use crate::vec::Vec3;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier of a scene object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// Geometric archetype of an object, chosen to give the renderer distinct
+/// silhouettes (spheres for rocks/props, cylinders for trees, boxes for
+/// buildings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectKind {
+    /// Roughly isotropic prop (rock, barrel, bush).
+    Sphere,
+    /// Tall object (tree trunk + canopy, lamp post, person).
+    Cylinder,
+    /// Axis-aligned building-like block.
+    Box,
+}
+
+/// An asset placed in the virtual world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SceneObject {
+    /// Stable identifier.
+    pub id: ObjectId,
+    /// Center of the object's footprint; `position.y` is the base height
+    /// (on the terrain).
+    pub position: Vec3,
+    /// Horizontal radius of the bounding volume, in meters.
+    pub radius: f64,
+    /// Height of the object above its base, in meters.
+    pub height: f64,
+    /// Triangle count of the mesh (render-cost proxy).
+    pub triangles: u32,
+    /// Base surface brightness in `[0, 1]` (luma albedo).
+    pub albedo: f64,
+    /// Shape archetype.
+    pub kind: ObjectKind,
+    /// Seed for surface-texture noise so the renderer gives each object
+    /// pixel-level detail (needed for meaningful SSIM).
+    pub texture_seed: u64,
+}
+
+impl SceneObject {
+    /// Vertical center of the bounding volume.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        Vec3::new(
+            self.position.x,
+            self.position.y + self.height * 0.5,
+            self.position.z,
+        )
+    }
+
+    /// Radius of a bounding sphere enclosing the object.
+    #[inline]
+    pub fn bounding_radius(&self) -> f64 {
+        // Conservative: horizontal radius and half-height combined.
+        self.radius.hypot(self.height * 0.5)
+    }
+
+    /// Ground-plane distance from a viewpoint to the object center.
+    #[inline]
+    pub fn ground_distance(&self, from: Vec3) -> f64 {
+        self.position.ground_distance(from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj() -> SceneObject {
+        SceneObject {
+            id: ObjectId(7),
+            position: Vec3::new(3.0, 1.0, 4.0),
+            radius: 1.0,
+            height: 4.0,
+            triangles: 1200,
+            albedo: 0.5,
+            kind: ObjectKind::Cylinder,
+            texture_seed: 99,
+        }
+    }
+
+    #[test]
+    fn center_is_mid_height() {
+        let o = obj();
+        assert_eq!(o.center(), Vec3::new(3.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn bounding_radius_encloses_extents() {
+        let o = obj();
+        let br = o.bounding_radius();
+        assert!(br >= o.radius);
+        assert!(br >= o.height * 0.5);
+    }
+
+    #[test]
+    fn ground_distance_ignores_height() {
+        let o = obj();
+        let d = o.ground_distance(Vec3::new(0.0, 100.0, 0.0));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn object_id_display() {
+        assert_eq!(format!("{}", ObjectId(3)), "obj#3");
+    }
+}

@@ -1,0 +1,154 @@
+//! Heightfield terrain.
+//!
+//! The paper's offline preprocessing uses ray tracing against the terrain
+//! to find the player's foothold and adjust the camera height (§6). Our
+//! terrain is an analytic fBm heightfield, so the "foothold" is a direct
+//! evaluation, and the renderer ray-marches the same function for ground
+//! pixels.
+
+use crate::noise::{fbm, value_noise};
+use crate::vec::{Vec2, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Analytic heightfield terrain with deterministic albedo texture.
+///
+/// ```
+/// use coterie_world::{Terrain, Vec2};
+/// let t = Terrain::new(42, 8.0, 80.0);
+/// let h = t.height(Vec2::new(10.0, 20.0));
+/// assert!(h >= 0.0 && h <= 8.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Terrain {
+    seed: u64,
+    amplitude: f64,
+    wavelength: f64,
+}
+
+impl Terrain {
+    /// Creates a terrain with the given elevation amplitude (meters) and
+    /// horizontal feature wavelength (meters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wavelength` is not strictly positive or `amplitude` is
+    /// negative.
+    pub fn new(seed: u64, amplitude: f64, wavelength: f64) -> Self {
+        assert!(wavelength > 0.0, "terrain wavelength must be positive");
+        assert!(amplitude >= 0.0, "terrain amplitude must be non-negative");
+        Terrain { seed, amplitude, wavelength }
+    }
+
+    /// A perfectly flat terrain (used by the indoor games).
+    pub fn flat() -> Self {
+        Terrain { seed: 0, amplitude: 0.0, wavelength: 1.0 }
+    }
+
+    /// Elevation amplitude in meters.
+    #[inline]
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Terrain elevation at a ground-plane position.
+    #[inline]
+    pub fn height(&self, p: Vec2) -> f64 {
+        if self.amplitude == 0.0 {
+            return 0.0;
+        }
+        self.amplitude * fbm(self.seed, p.x / self.wavelength, p.z / self.wavelength, 4)
+    }
+
+    /// The "foothold" of a player standing at `p`: ground position lifted
+    /// to terrain height.
+    #[inline]
+    pub fn foothold(&self, p: Vec2) -> Vec3 {
+        p.with_y(self.height(p))
+    }
+
+    /// Ground albedo (luma, `[0,1]`) at a position — grass/dirt/rock
+    /// variation that gives the renderer's ground pixels real texture.
+    #[inline]
+    pub fn albedo(&self, p: Vec2) -> f64 {
+        // Two scales: broad patches plus fine detail.
+        let broad = value_noise(self.seed ^ 0xA1B2, p.x * 0.15, p.z * 0.15);
+        let fine = value_noise(self.seed ^ 0xC3D4, p.x * 3.0, p.z * 3.0);
+        0.22 + 0.42 * broad + 0.28 * fine
+    }
+
+    /// Approximate surface normal via central differences (used for
+    /// shading slopes).
+    pub fn normal(&self, p: Vec2) -> Vec3 {
+        let eps = 0.1;
+        let hx1 = self.height(Vec2::new(p.x + eps, p.z));
+        let hx0 = self.height(Vec2::new(p.x - eps, p.z));
+        let hz1 = self.height(Vec2::new(p.x, p.z + eps));
+        let hz0 = self.height(Vec2::new(p.x, p.z - eps));
+        Vec3::new(-(hx1 - hx0) / (2.0 * eps), 1.0, -(hz1 - hz0) / (2.0 * eps)).normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_terrain_is_zero() {
+        let t = Terrain::flat();
+        assert_eq!(t.height(Vec2::new(12.0, -7.0)), 0.0);
+        assert_eq!(t.normal(Vec2::ZERO), Vec3::new(0.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn height_within_amplitude() {
+        let t = Terrain::new(3, 5.0, 40.0);
+        for i in 0..50 {
+            let p = Vec2::new(i as f64 * 3.1, i as f64 * -1.7);
+            let h = t.height(p);
+            assert!((0.0..=5.0).contains(&h), "height {h} out of range");
+        }
+    }
+
+    #[test]
+    fn foothold_lifts_to_height() {
+        let t = Terrain::new(3, 5.0, 40.0);
+        let p = Vec2::new(8.0, 9.0);
+        let f = t.foothold(p);
+        assert_eq!(f.ground(), p);
+        assert_eq!(f.y, t.height(p));
+    }
+
+    #[test]
+    fn albedo_in_unit_range() {
+        let t = Terrain::new(9, 2.0, 30.0);
+        for i in 0..100 {
+            let a = t.albedo(Vec2::new(i as f64 * 0.9, i as f64 * 1.3));
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn normal_is_unit_and_upward() {
+        let t = Terrain::new(5, 6.0, 20.0);
+        for i in 0..20 {
+            let n = t.normal(Vec2::new(i as f64 * 2.0, 5.0));
+            assert!((n.length() - 1.0).abs() < 1e-9);
+            assert!(n.y > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wavelength must be positive")]
+    fn invalid_wavelength_rejected() {
+        let _ = Terrain::new(1, 1.0, 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = Terrain::new(7, 4.0, 25.0);
+        let b = Terrain::new(7, 4.0, 25.0);
+        let p = Vec2::new(13.0, 31.0);
+        assert_eq!(a.height(p), b.height(p));
+        assert_eq!(a.albedo(p), b.albedo(p));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for world geometry, grids and quadtrees.
+
+use coterie_world::quadtree::Partition;
+use coterie_world::{GridSpec, Quadtree, Rect, Vec2};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn grid_snap_is_idempotent(
+        ox in -100.0f64..100.0, oz in -100.0f64..100.0,
+        spacing in 0.01f64..2.0,
+        px in -50.0f64..150.0, pz in -50.0f64..150.0,
+    ) {
+        let spec = GridSpec::new(Vec2::new(ox, oz), spacing, 200, 200);
+        let gp = spec.snap(Vec2::new(px, pz));
+        prop_assert!(spec.contains(gp));
+        // Snapping the snapped position is a fixed point.
+        prop_assert_eq!(spec.snap(spec.position(gp)), gp);
+    }
+
+    #[test]
+    fn grid_snap_minimizes_distance(
+        spacing in 0.05f64..1.0,
+        fx in 0.0f64..1.0, fz in 0.0f64..1.0,
+    ) {
+        let spec = GridSpec::new(Vec2::ZERO, spacing, 1000, 1000);
+        // Stay inside the lattice extent so clamping never applies.
+        let extent = spacing * 999.0;
+        let p = Vec2::new(fx * extent, fz * extent);
+        let gp = spec.snap(p);
+        let d = spec.position(gp).distance(p);
+        // Nearest lattice point is at most half a diagonal away.
+        prop_assert!(d <= spacing * std::f64::consts::SQRT_2 / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn neighbors8_are_symmetric(ix in -1000i32..1000, iz in -1000i32..1000) {
+        let gp = coterie_world::GridPoint::new(ix, iz);
+        for n in gp.neighbors8() {
+            prop_assert!(n.neighbors8().contains(&gp), "{gp} <-> {n}");
+        }
+    }
+
+    #[test]
+    fn quadtree_locate_always_contains_point(
+        split_mask in 0u32..4096,
+        px in 0.0f64..64.0, pz in 0.0f64..64.0,
+    ) {
+        // Irregular tree: split pattern driven by the mask bits.
+        let mut counter = 0u32;
+        let qt = Quadtree::build(Rect::from_size(64.0, 64.0), 4, &mut |_r, depth| {
+            counter = counter.wrapping_add(1);
+            if depth < 3 && (split_mask >> (counter % 12)) & 1 == 1 {
+                Partition::Split
+            } else {
+                Partition::Stop(depth)
+            }
+        });
+        let p = Vec2::new(px.min(63.999), pz.min(63.999));
+        let leaf = qt.locate(p).expect("interior point must resolve");
+        prop_assert!(leaf.rect.contains(p), "{p} not inside {}", leaf.rect);
+    }
+
+    #[test]
+    fn quadtree_leaves_tile_root(split_mask in 0u32..4096) {
+        let mut counter = 0u32;
+        let qt = Quadtree::build(Rect::from_size(32.0, 32.0), 4, &mut |_r, depth| {
+            counter = counter.wrapping_add(1);
+            if depth < 3 && (split_mask >> (counter % 12)) & 1 == 1 {
+                Partition::Split
+            } else {
+                Partition::Stop(())
+            }
+        });
+        let area: f64 = qt.leaves().iter().map(|l| l.rect.area()).sum();
+        prop_assert!((area - 32.0 * 32.0).abs() < 1e-6);
+        // Leaf count is consistent with a quadtree (1 mod 3).
+        prop_assert_eq!(qt.leaves().len() % 3, 1);
+    }
+
+    #[test]
+    fn rect_quadrants_partition_points(
+        w in 1.0f64..100.0, d in 1.0f64..100.0,
+        fx in 0.0f64..1.0, fz in 0.0f64..1.0,
+    ) {
+        let r = Rect::from_size(w, d);
+        let p = r.sample(fx.min(0.9999), fz.min(0.9999));
+        let owners = r.quadrants().iter().filter(|q| q.contains(p)).count();
+        prop_assert_eq!(owners, 1, "point {} owned by {} quadrants", p, owners);
+    }
+
+    #[test]
+    fn vec2_rotation_preserves_length(x in -100.0f64..100.0, z in -100.0f64..100.0, angle in -7.0f64..7.0) {
+        let v = Vec2::new(x, z);
+        let r = v.rotated(angle);
+        prop_assert!((v.length() - r.length()).abs() < 1e-9 * (1.0 + v.length()));
+    }
+
+    #[test]
+    fn vec2_triangle_inequality(ax in -50.0f64..50.0, az in -50.0f64..50.0, bx in -50.0f64..50.0, bz in -50.0f64..50.0, cx in -50.0f64..50.0, cz in -50.0f64..50.0) {
+        let a = Vec2::new(ax, az);
+        let b = Vec2::new(bx, bz);
+        let c = Vec2::new(cx, cz);
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+    }
+}

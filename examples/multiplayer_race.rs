@@ -1,0 +1,59 @@
+//! Four-player Racing Mountain under all four system designs.
+//!
+//! Reproduces the paper's motivating scenario — the multiplayer scaling
+//! problem (§3) and Coterie's answer (§7.2) — on one racing session:
+//! Multi-Furion's FPS collapses as the shared 802.11ac downlink
+//! saturates, while Coterie's frame cache keeps all four players at
+//! 60 FPS.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example multiplayer_race
+//! ```
+
+use coterie_sim::{Session, SessionConfig, SystemKind};
+use coterie_world::GameId;
+
+fn main() {
+    let systems = [
+        SystemKind::Mobile,
+        SystemKind::ThinClient,
+        SystemKind::multi_furion(),
+        SystemKind::coterie(),
+    ];
+    println!("Racing Mountain, 4 players, 60 s simulated on Pixel-2-class phones over 802.11ac\n");
+    println!(
+        "{:<20} {:>5} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "system", "FPS", "frame (ms)", "CPU (%)", "GPU (%)", "BE (Mbps)", "hit (%)"
+    );
+    let mut coterie_fps = 0.0;
+    let mut furion_fps = 0.0;
+    for system in systems {
+        let config = SessionConfig::new(GameId::RacingMountain, system, 4)
+            .with_duration_s(60.0)
+            .with_seed(11);
+        let report = Session::new(config).run();
+        let m = report.aggregate();
+        println!(
+            "{:<20} {:>5.0} {:>12.1} {:>10.1} {:>10.1} {:>12.1} {:>10.1}",
+            system.label(),
+            m.avg_fps,
+            m.inter_frame_ms,
+            m.cpu_load * 100.0,
+            m.gpu_load * 100.0,
+            m.be_mbps * report.players.len() as f64,
+            m.cache_hit_ratio * 100.0
+        );
+        match system {
+            SystemKind::Coterie { cache: true } => coterie_fps = m.avg_fps,
+            SystemKind::MultiFurion { cache: false } => furion_fps = m.avg_fps,
+            _ => {}
+        }
+    }
+    println!();
+    println!(
+        "Coterie sustains {coterie_fps:.0} FPS where Multi-Furion reaches {furion_fps:.0} FPS — \
+         the paper's Figure 11 scaling result."
+    );
+    assert!(coterie_fps > furion_fps, "Coterie should outscale Multi-Furion");
+}

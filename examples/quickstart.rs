@@ -1,0 +1,88 @@
+//! Quickstart: the Coterie pipeline on one Viking Village frame.
+//!
+//! Walks the whole per-frame path of the paper's Figure 9 for a single
+//! grid point: adaptive cutoff lookup → near-BE render on the "phone" →
+//! far-BE render + encode on the "server" → decode → merge → quality
+//! check against a ground-truth render.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use coterie_codec::{Encoder, Quality};
+use coterie_core::cutoff::{CutoffConfig, CutoffMap};
+use coterie_device::DeviceProfile;
+use coterie_frame::ssim;
+use coterie_render::{merge, Panorama, RenderFilter, Renderer};
+use coterie_world::{GameId, GameSpec};
+
+fn main() {
+    // 1. Build the virtual world (the paper ports Viking Village from the
+    //    Unity Asset Store; we generate its procedural twin).
+    let spec = GameSpec::for_game(GameId::VikingVillage);
+    let scene = spec.build_scene(42);
+    println!(
+        "world: {} ({}x{} m, {} objects, {:.1}M reachable grid points)",
+        spec.id,
+        spec.width,
+        spec.depth,
+        scene.objects().len(),
+        scene.reachable_grid_points() as f64 / 1e6
+    );
+
+    // 2. Offline preprocessing: the adaptive cutoff scheme (§4.3).
+    let device = DeviceProfile::pixel2();
+    let config = CutoffConfig::for_spec(&spec);
+    let cutoffs = CutoffMap::compute(&scene, &device, &config, 42);
+    let stats = cutoffs.stats();
+    println!(
+        "adaptive cutoff: {} leaf regions, quadtree depth {:.2}/{}, {} calculations (~{:.2} h modeled)",
+        stats.leaf_count,
+        stats.avg_depth,
+        stats.max_depth,
+        cutoffs.calc_count(),
+        cutoffs.modeled_processing_hours()
+    );
+
+    // 3. One frame at the world center.
+    let pos = scene.bounds().center();
+    let (leaf, radius, dist_thresh) = cutoffs.lookup_params(pos);
+    println!("at {pos}: {leaf}, cutoff {radius:.1} m, dist_thresh {dist_thresh:.2} m");
+
+    let renderer = Renderer::default();
+    let eye = scene.eye(pos);
+
+    // Phone side: FI + near BE rendered locally within Constraint 1.
+    let near = renderer.render_panorama(&scene, eye, RenderFilter::NearOnly { cutoff: radius });
+    let near_tris = scene.triangles_within(pos, radius);
+    println!(
+        "near BE: {near_tris} triangles -> {:.1} ms on {} (budget {:.1} ms)",
+        device.render_ms(near_tris),
+        device.name,
+        config.near_budget_ms()
+    );
+
+    // Server side: far BE pre-rendered and encoded with the x264 stand-in.
+    let far = renderer.render_panorama(&scene, eye, RenderFilter::FarOnly { cutoff: radius });
+    let encoder = Encoder::new(Quality::CRF25);
+    let encoded = encoder.encode(&far.frame);
+    println!(
+        "far BE: {} bytes encoded at simulation resolution ({}x{})",
+        encoded.size_bytes(),
+        far.frame.width(),
+        far.frame.height()
+    );
+
+    // Phone again: decode, merge, display.
+    let decoded = encoder.decode(&encoded).expect("server frames always decode");
+    let far_layer = Panorama { mask: vec![1; decoded.pixel_count()], frame: decoded };
+    let merged = merge(&near, &far_layer);
+
+    // Quality check against a fully local render (Table 7's ground truth).
+    let ground_truth = renderer.render_panorama(&scene, eye, RenderFilter::All);
+    let quality = ssim(&merged, &ground_truth.frame);
+    println!("merged-frame SSIM vs ground truth: {quality:.4} (>0.9 is 'good' visual quality)");
+    assert!(quality > 0.9, "quickstart should produce a good frame");
+    println!("ok");
+}

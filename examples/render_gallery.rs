@@ -1,0 +1,65 @@
+//! Renders a gallery of viewable images: the whole BE, the near/far
+//! split, the merged frame, a codec round-trip and a stereo pair —
+//! written as PGM files you can open with any image viewer.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example render_gallery
+//! ls gallery/
+//! ```
+
+use coterie_codec::{Encoder, Quality};
+use coterie_core::cutoff::{CutoffConfig, CutoffMap};
+use coterie_device::DeviceProfile;
+use coterie_frame::{save_pgm, ssim};
+use coterie_render::{merge, Panorama, RenderFilter, Renderer, StereoOptions};
+use coterie_world::{GameId, GameSpec};
+
+fn main() -> std::io::Result<()> {
+    let out = std::path::Path::new("gallery");
+    std::fs::create_dir_all(out)?;
+
+    let spec = GameSpec::for_game(GameId::VikingVillage);
+    let scene = spec.build_scene(42);
+    let cutoffs = CutoffMap::compute(
+        &scene,
+        &DeviceProfile::pixel2(),
+        &CutoffConfig::for_spec(&spec),
+        42,
+    );
+    let renderer = Renderer::default();
+    let pos = scene.bounds().center();
+    let (_, radius, _) = cutoffs.lookup_params(pos);
+    let eye = scene.eye(pos);
+
+    // The three layers of Figure 4.
+    let whole = renderer.render_panorama(&scene, eye, RenderFilter::All);
+    let near = renderer.render_panorama(&scene, eye, RenderFilter::NearOnly { cutoff: radius });
+    let far = renderer.render_panorama(&scene, eye, RenderFilter::FarOnly { cutoff: radius });
+    save_pgm(&whole.frame, out.join("01_whole_be.pgm"))?;
+    save_pgm(&near.frame, out.join("02_near_be.pgm"))?;
+    save_pgm(&far.frame, out.join("03_far_be.pgm"))?;
+
+    // Codec round trip of the far layer (what the phone actually decodes).
+    let encoder = Encoder::new(Quality::CRF25);
+    let decoded = encoder
+        .decode(&encoder.encode(&far.frame))
+        .expect("server frames decode");
+    save_pgm(&decoded, out.join("04_far_be_decoded.pgm"))?;
+
+    // Merge: near over decoded far — the displayed panorama.
+    let far_layer = Panorama { mask: vec![1; decoded.pixel_count()], frame: decoded };
+    let merged = merge(&near, &far_layer);
+    save_pgm(&merged, out.join("05_merged.pgm"))?;
+    println!(
+        "merged vs whole SSIM: {:.4} (cutoff {radius:.1} m)",
+        ssim(&merged, &whole.frame)
+    );
+
+    // A stereo pair at one head pose (the Daydream projection step).
+    let stereo = StereoOptions::default().project(&merged, 0.4, -0.05);
+    save_pgm(&stereo.side_by_side(), out.join("06_stereo_pair.pgm"))?;
+
+    println!("wrote 6 images to {}/", out.display());
+    Ok(())
+}

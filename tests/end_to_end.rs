@@ -1,0 +1,163 @@
+//! End-to-end integration tests spanning every crate in the workspace:
+//! world generation → rendering → codec → cutoff → cache → network →
+//! session simulation.
+//!
+//! These tests check the *paper's headline claims* hold in the full
+//! pipeline, not just in unit-tested parts.
+
+use coterie_sim::{Session, SessionConfig, SystemKind};
+use coterie_world::GameId;
+
+fn run(game: GameId, system: SystemKind, players: usize) -> coterie_sim::SessionReport {
+    Session::new(
+        SessionConfig::new(game, system, players)
+            .with_duration_s(30.0)
+            .with_seed(21),
+    )
+    .run()
+}
+
+#[test]
+fn headline_coterie_supports_4_players_at_60fps() {
+    // §7.2 / Figure 11: "Coterie with cache comfortably maintains 60 FPS
+    // for 4 players."
+    for game in GameId::TESTBED {
+        let report = run(game, SystemKind::coterie(), 4);
+        for (i, p) in report.players.iter().enumerate() {
+            assert!(
+                p.avg_fps > 55.0,
+                "{game}: player {i} at {:.0} FPS under 4-player Coterie",
+                p.avg_fps
+            );
+        }
+    }
+}
+
+#[test]
+fn headline_multifurion_cannot_support_4_players() {
+    // §3 / Figure 11: Multi-Furion degrades toward ~24 FPS at 4 players.
+    let report = run(GameId::VikingVillage, SystemKind::multi_furion(), 4);
+    let m = report.aggregate();
+    assert!(
+        m.avg_fps < 50.0,
+        "Multi-Furion at 4 players should fall well below 60 FPS, got {:.0}",
+        m.avg_fps
+    );
+}
+
+#[test]
+fn headline_network_reduction_order_of_magnitude() {
+    // Abstract: "reduces per-player network requirement by 10.6X-25.7X".
+    // We assert the order of magnitude on the strongest-caching game.
+    let mf = run(GameId::Cts, SystemKind::multi_furion(), 1).aggregate();
+    let ct = run(GameId::Cts, SystemKind::coterie(), 1).aggregate();
+    let reduction = mf.be_mbps / ct.be_mbps.max(1e-9);
+    assert!(
+        reduction > 8.0,
+        "per-player network reduction {reduction:.1}x below the paper's regime"
+    );
+}
+
+#[test]
+fn headline_responsiveness_under_16_7ms() {
+    // Table 7: Coterie responsiveness 15.6-15.9 ms.
+    let report = run(GameId::RacingMountain, SystemKind::coterie(), 2);
+    let m = report.aggregate();
+    assert!(
+        m.responsiveness_ms < 16.7,
+        "Coterie responsiveness {:.1} ms misses the motion-to-photon budget",
+        m.responsiveness_ms
+    );
+}
+
+#[test]
+fn headline_resource_usage_is_sustainable() {
+    // §7.3: under 40% CPU / 65% GPU; temperature below the 52 C limit;
+    // ~4 W draw.
+    let report = Session::new(
+        SessionConfig::new(GameId::VikingVillage, SystemKind::coterie(), 4)
+            .with_duration_s(240.0)
+            .with_seed(21),
+    )
+    .run();
+    let m = report.aggregate();
+    assert!(m.cpu_load < 0.45, "CPU load {:.2}", m.cpu_load);
+    assert!(m.gpu_load < 0.70, "GPU load {:.2}", m.gpu_load);
+    assert!(
+        report.resources.peak_temperature_c() < coterie_device::thermal::PIXEL2_THERMAL_LIMIT_C,
+        "SoC reached {:.1} C",
+        report.resources.peak_temperature_c()
+    );
+    let watts = report.resources.mean_power_w();
+    assert!((2.5..5.5).contains(&watts), "power draw {watts:.1} W");
+}
+
+#[test]
+fn fps_ordering_matches_figure_11() {
+    // Coterie+cache >= Coterie w/o cache >= Multi-Furion at 3 players.
+    let game = GameId::VikingVillage;
+    let coterie = run(game, SystemKind::Coterie { cache: true }, 3).aggregate();
+    let no_cache = run(game, SystemKind::Coterie { cache: false }, 3).aggregate();
+    let furion = run(game, SystemKind::multi_furion(), 3).aggregate();
+    assert!(
+        coterie.avg_fps >= no_cache.avg_fps - 1.0,
+        "cache must not hurt FPS: {:.0} vs {:.0}",
+        coterie.avg_fps,
+        no_cache.avg_fps
+    );
+    assert!(
+        no_cache.avg_fps >= furion.avg_fps - 1.0,
+        "smaller far-BE frames must not scale worse than whole-BE: {:.0} vs {:.0}",
+        no_cache.avg_fps,
+        furion.avg_fps
+    );
+}
+
+#[test]
+fn sessions_are_deterministic() {
+    let a = run(GameId::Pool, SystemKind::coterie(), 2);
+    let b = run(GameId::Pool, SystemKind::coterie(), 2);
+    assert_eq!(a, b, "same seed must reproduce the identical report");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = Session::new(
+        SessionConfig::new(GameId::Fps, SystemKind::coterie(), 1)
+            .with_duration_s(20.0)
+            .with_seed(1),
+    )
+    .run();
+    let b = Session::new(
+        SessionConfig::new(GameId::Fps, SystemKind::coterie(), 1)
+            .with_duration_s(20.0)
+            .with_seed(2),
+    )
+    .run();
+    assert_ne!(a, b, "different seeds should explore different sessions");
+}
+
+#[test]
+fn every_game_runs_every_system() {
+    // Smoke: no panics and sane outputs across the whole matrix.
+    for game in GameId::ALL {
+        for system in [
+            SystemKind::Mobile,
+            SystemKind::ThinClient,
+            SystemKind::multi_furion(),
+            SystemKind::coterie(),
+        ] {
+            let report = Session::new(
+                SessionConfig::new(game, system, 2)
+                    .with_duration_s(8.0)
+                    .with_seed(3),
+            )
+            .run();
+            let m = report.aggregate();
+            assert!(m.avg_fps > 1.0 && m.avg_fps <= 60.0, "{game}/{}", system.label());
+            assert!(m.inter_frame_ms >= 16.0, "{game}/{}", system.label());
+            assert!((0.0..=1.0).contains(&m.cpu_load));
+            assert!((0.0..=1.0).contains(&m.gpu_load));
+        }
+    }
+}
