@@ -10,6 +10,7 @@ use coterie_core::{CacheConfig, CacheQuery, CacheVersion, FrameCache, FrameMeta,
 use coterie_device::DeviceProfile;
 use coterie_frame::{ssim, LumaFrame};
 use coterie_render::{RenderFilter, RenderOptions, Renderer};
+use coterie_serve::{SharedFrameStore, StoreConfig};
 use coterie_world::{GameId, GameSpec, GridPoint, LeafId, Vec2};
 
 fn bench_ssim(c: &mut Criterion) {
@@ -43,7 +44,11 @@ fn bench_render(c: &mut Criterion) {
     });
     c.bench_function("render_far_pano", |bench| {
         bench.iter(|| {
-            renderer.render_panorama(black_box(&scene), eye, RenderFilter::FarOnly { cutoff: 8.0 })
+            renderer.render_panorama(
+                black_box(&scene),
+                eye,
+                RenderFilter::FarOnly { cutoff: 8.0 },
+            )
         })
     });
 }
@@ -88,5 +93,59 @@ fn bench_cutoff(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ssim, bench_codec, bench_render, bench_cache, bench_cutoff);
+fn bench_fleet_store(c: &mut Criterion) {
+    // The fleet's sharded store on the hot path: a similar-match lookup
+    // against a populated shard, and the insert + global-budget path.
+    let store = SharedFrameStore::new(StoreConfig::default());
+    for i in 0..2000i32 {
+        let pos = Vec2::new((i % 100) as f64, (i / 100) as f64);
+        store.insert(
+            GameId::VikingVillage,
+            FrameMeta {
+                grid: GridPoint::new(i, i),
+                pos,
+                leaf: LeafId((i % 16) as u32),
+                near_hash: 1,
+            },
+            1024,
+        );
+    }
+    let query = CacheQuery {
+        grid: GridPoint::new(50, 0),
+        pos: Vec2::new(50.3, 0.2),
+        leaf: LeafId(2),
+        near_hash: 1,
+        dist_thresh: 1.0,
+    };
+    c.bench_function("fleet_store_lookup_2000_entries", |bench| {
+        bench.iter(|| store.lookup(GameId::VikingVillage, black_box(&query)))
+    });
+    let mut n = 0i32;
+    c.bench_function("fleet_store_insert", |bench| {
+        bench.iter(|| {
+            n += 1;
+            let pos = Vec2::new((n % 500) as f64 * 0.37, (n / 500) as f64 * 0.37);
+            store.insert(
+                GameId::Fps,
+                FrameMeta {
+                    grid: GridPoint::new(n, -n),
+                    pos,
+                    leaf: LeafId((n % 16) as u32),
+                    near_hash: 2,
+                },
+                black_box(1024),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ssim,
+    bench_codec,
+    bench_render,
+    bench_cache,
+    bench_cutoff,
+    bench_fleet_store
+);
 criterion_main!(benches);

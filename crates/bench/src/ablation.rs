@@ -57,9 +57,14 @@ pub fn ablation_cutoff(config: &ExpConfig) -> Report {
         }
         global *= cutoff_cfg.safety_factor;
         // Mean adaptive radius along an actual trace.
-        let traces =
-            TraceSet::generate(&scene, &spec, 1, config.trace_s(), 0.2, config.seed);
-        let points: Vec<Vec2> = traces.player(0).expect("player").points().iter().map(|p| p.position).collect();
+        let traces = TraceSet::generate(&scene, &spec, 1, config.trace_s(), 0.2, config.seed);
+        let points: Vec<Vec2> = traces
+            .player(0)
+            .expect("player")
+            .points()
+            .iter()
+            .map(|p| p.position)
+            .collect();
         let mean_adaptive: f64 =
             points.iter().map(|&p| map.cutoff_at(p).1).sum::<f64>() / points.len() as f64;
         let violations =
@@ -69,7 +74,10 @@ pub fn ablation_cutoff(config: &ExpConfig) -> Report {
             f(mean_adaptive, 1),
             f(global.max(cutoff_cfg.min_radius_m), 1),
             pct(violations),
-            format!("{:.1}x", mean_adaptive / global.max(cutoff_cfg.min_radius_m)),
+            format!(
+                "{:.1}x",
+                mean_adaptive / global.max(cutoff_cfg.min_radius_m)
+            ),
         ]);
     }
     report
@@ -94,10 +102,21 @@ fn hit_ratio_with(
         prev = Some(gp);
         let (leaf, radius, dist_thresh) = map.lookup_params(pos);
         let near_hash = scene.near_set_hash(pos, radius);
-        let query = CacheQuery { grid: gp, pos, leaf, near_hash, dist_thresh };
+        let query = CacheQuery {
+            grid: gp,
+            pos,
+            leaf,
+            near_hash,
+            dist_thresh,
+        };
         if cache.lookup(&query).is_none() {
             cache.insert(
-                FrameMeta { grid: gp, pos, leaf, near_hash },
+                FrameMeta {
+                    grid: gp,
+                    pos,
+                    leaf,
+                    near_hash,
+                },
                 FrameSource::SelfPrefetch,
                 (),
                 250_000,
@@ -118,8 +137,14 @@ pub fn ablation_cache_capacity(config: &ExpConfig) -> Report {
         &CutoffConfig::for_spec(&spec),
         config.seed,
     );
-    let traces =
-        TraceSet::generate(&scene, &spec, 1, config.session_s(), 1.0 / 60.0, config.seed);
+    let traces = TraceSet::generate(
+        &scene,
+        &spec,
+        1,
+        config.session_s(),
+        1.0 / 60.0,
+        config.seed,
+    );
     let mut report = Report::new("Ablation: cache capacity vs hit ratio (Viking, 1 player)");
     report.note("frames are ~250 KB; the paper dedicates a slice of the Pixel 2's 4 GB");
     report.headers(["capacity", "LRU hit", "FLF hit"]);
@@ -136,13 +161,21 @@ pub fn ablation_cache_capacity(config: &ExpConfig) -> Report {
             &scene,
             &map,
             &traces,
-            CacheConfig { capacity_bytes, policy: EvictionPolicy::Lru, version: CacheVersion::V3 },
+            CacheConfig {
+                capacity_bytes,
+                policy: EvictionPolicy::Lru,
+                version: CacheVersion::V3,
+            },
         );
         let flf = hit_ratio_with(
             &scene,
             &map,
             &traces,
-            CacheConfig { capacity_bytes, policy: EvictionPolicy::Flf, version: CacheVersion::V3 },
+            CacheConfig {
+                capacity_bytes,
+                policy: EvictionPolicy::Flf,
+                version: CacheVersion::V3,
+            },
         );
         report.row([label.to_string(), pct(lru), pct(flf)]);
     }
@@ -162,9 +195,11 @@ pub fn ablation_codec_quality(config: &ExpConfig) -> Report {
     );
     let pos = scene.bounds().center();
     let (_, radius, _) = map.lookup_params(pos);
-    let far = renderer.render_panorama(&scene, scene.eye(pos), RenderFilter::FarOnly {
-        cutoff: radius,
-    });
+    let far = renderer.render_panorama(
+        &scene,
+        scene.eye(pos),
+        RenderFilter::FarOnly { cutoff: radius },
+    );
     let mut report = Report::new("Ablation: codec quality operating point");
     report.note("the paper encodes with x264 CRF 25; CRF 18/32 bracket it");
     report.headers(["quality", "encoded bytes", "decoded SSIM"]);
@@ -192,8 +227,14 @@ pub fn ablation_lookup_criteria(config: &ExpConfig) -> Report {
         &CutoffConfig::for_spec(&spec),
         config.seed,
     );
-    let traces =
-        TraceSet::generate(&scene, &spec, 1, config.session_s(), 1.0 / 60.0, config.seed);
+    let traces = TraceSet::generate(
+        &scene,
+        &spec,
+        1,
+        config.session_s(),
+        1.0 / 60.0,
+        config.seed,
+    );
     // Track the last fetched frame and classify each subsequent request.
     let mut last: Option<FrameMeta> = None;
     let (mut hits, mut dist_rejects, mut leaf_rejects, mut set_rejects) = (0u64, 0u64, 0u64, 0u64);
@@ -223,17 +264,33 @@ pub fn ablation_lookup_criteria(config: &ExpConfig) -> Report {
                 set_rejects += 1;
             }
         }
-        last = Some(FrameMeta { grid: gp, pos, leaf, near_hash });
+        last = Some(FrameMeta {
+            grid: gp,
+            pos,
+            leaf,
+            near_hash,
+        });
     }
     let total = (hits + dist_rejects + leaf_rejects + set_rejects).max(1) as f64;
-    let mut report =
-        Report::new("Ablation: which lookup criterion ends a frame's reuse (Viking)");
+    let mut report = Report::new("Ablation: which lookup criterion ends a frame's reuse (Viking)");
     report.note("classified against the most recently fetched frame");
     report.headers(["outcome", "share"]);
-    report.row(["reused (all criteria hold)".to_string(), pct(hits as f64 / total)]);
-    report.row(["distance threshold exceeded".to_string(), pct(dist_rejects as f64 / total)]);
-    report.row(["crossed into another leaf".to_string(), pct(leaf_rejects as f64 / total)]);
-    report.row(["near-object set changed".to_string(), pct(set_rejects as f64 / total)]);
+    report.row([
+        "reused (all criteria hold)".to_string(),
+        pct(hits as f64 / total),
+    ]);
+    report.row([
+        "distance threshold exceeded".to_string(),
+        pct(dist_rejects as f64 / total),
+    ]);
+    report.row([
+        "crossed into another leaf".to_string(),
+        pct(leaf_rejects as f64 / total),
+    ]);
+    report.row([
+        "near-object set changed".to_string(),
+        pct(set_rejects as f64 / total),
+    ]);
     report
 }
 
@@ -313,13 +370,12 @@ mod tests {
     #[test]
     fn codec_quality_tradeoff_is_monotone() {
         let r = ablation_codec_quality(&ExpConfig::quick());
-        let size = |row: usize| {
-            r.cell(row, 1).expect("size").parse::<u64>().expect("u64")
-        };
-        let quality = |row: usize| {
-            r.cell(row, 2).expect("ssim").parse::<f64>().expect("f64")
-        };
-        assert!(size(0) > size(1) && size(1) > size(2), "sizes must fall with CRF");
+        let size = |row: usize| r.cell(row, 1).expect("size").parse::<u64>().expect("u64");
+        let quality = |row: usize| r.cell(row, 2).expect("ssim").parse::<f64>().expect("f64");
+        assert!(
+            size(0) > size(1) && size(1) > size(2),
+            "sizes must fall with CRF"
+        );
         assert!(quality(0) >= quality(1) && quality(1) >= quality(2));
     }
 

@@ -1,23 +1,52 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--seed N] <name>...
+//! experiments [--quick] [--seed N] [--rooms N] [--players N] <name>...
 //! experiments all
+//! experiments fleet --rooms 256 --players 2
 //! ```
 //!
 //! Names: table1 table2 table3 table4 table5 table6 table7 table8 table9
-//! table10 fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig11 fig12 ablations
+//! table10 fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig11 fig12 ablations fleet
+//!
+//! `--rooms`/`--players` size the `fleet` experiment only.
 
-use coterie_bench::{ablation, cache_exp, cutoff_exp, similarity, system_exp, ExpConfig};
+use coterie_bench::{
+    ablation, cache_exp, cutoff_exp, fleet_exp, similarity, system_exp, ExpConfig,
+};
 use std::time::Instant;
 
 const ALL: &[&str] = &[
-    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-    "table10", "fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig11", "fig12",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig11",
+    "fig12",
     "ablations",
+    "fleet",
 ];
 
-fn run_one(name: &str, config: &ExpConfig) -> Result<String, String> {
+/// Arguments consumed only by the fleet experiment.
+struct FleetArgs {
+    rooms: usize,
+    players: usize,
+}
+
+fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<String, String> {
     let out = match name {
         "table1" => system_exp::table1(config).to_string(),
         "table2" => cutoff_exp::table2(config).to_string(),
@@ -38,13 +67,18 @@ fn run_one(name: &str, config: &ExpConfig) -> Result<String, String> {
         "fig8" => cutoff_exp::fig8(config).0.to_string(),
         "fig11" => system_exp::fig11(config).0.to_string(),
         "fig12" => system_exp::fig12(config).to_string(),
-        "ablations" => format!(
-            "{}\n{}\n{}\n{}",
-            ablation::ablation_cutoff(config),
-            ablation::ablation_cache_capacity(config),
-            ablation::ablation_codec_quality(config),
-            ablation::ablation_lookup_criteria(config)
-        ) + &format!("\n{}", ablation::ablation_panoramic(config)),
+        "ablations" => {
+            format!(
+                "{}\n{}\n{}\n{}",
+                ablation::ablation_cutoff(config),
+                ablation::ablation_cache_capacity(config),
+                ablation::ablation_codec_quality(config),
+                ablation::ablation_lookup_criteria(config)
+            ) + &format!("\n{}", ablation::ablation_panoramic(config))
+        }
+        "fleet" => fleet_exp::fleet(config, fleet_args.rooms, fleet_args.players)
+            .0
+            .to_string(),
         other => return Err(format!("unknown experiment '{other}'")),
     };
     Ok(out)
@@ -53,20 +87,35 @@ fn run_one(name: &str, config: &ExpConfig) -> Result<String, String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = ExpConfig::default();
+    let mut fleet_args = FleetArgs {
+        rooms: 8,
+        players: 2,
+    };
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
+    let parse_usize = |flag: &str, v: Option<String>| -> usize {
+        let v = v.unwrap_or_default();
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid {flag} value '{v}'");
+            std::process::exit(2);
+        })
+    };
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => config.quick = true,
             "--seed" => {
-                let v = iter.next().unwrap_or_default();
-                config.seed = v.parse().unwrap_or_else(|_| {
-                    eprintln!("invalid --seed value '{v}'");
-                    std::process::exit(2);
-                });
+                config.seed = parse_usize("--seed", iter.next()) as u64;
+            }
+            "--rooms" => {
+                fleet_args.rooms = parse_usize("--rooms", iter.next());
+            }
+            "--players" => {
+                fleet_args.players = parse_usize("--players", iter.next());
             }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick] [--seed N] <name>...|all");
+                eprintln!(
+                    "usage: experiments [--quick] [--seed N] [--rooms N] [--players N] <name>...|all"
+                );
                 eprintln!("experiments: {}", ALL.join(" "));
                 return;
             }
@@ -80,7 +129,7 @@ fn main() {
     let mut failures = 0;
     for name in &names {
         let start = Instant::now();
-        match run_one(name, &config) {
+        match run_one(name, &config, &fleet_args) {
             Ok(output) => {
                 println!("{output}");
                 println!("   [{name} took {:.1} s]\n", start.elapsed().as_secs_f64());

@@ -10,9 +10,7 @@
 use crate::report::{pct, Report};
 use crate::ExpConfig;
 use coterie_core::cutoff::{CutoffConfig, CutoffMap};
-use coterie_core::{
-    CacheConfig, CacheQuery, CacheVersion, FrameCache, FrameMeta, FrameSource,
-};
+use coterie_core::{CacheConfig, CacheQuery, CacheVersion, FrameCache, FrameMeta, FrameSource};
 use coterie_device::DeviceProfile;
 use coterie_world::{GameId, GameSpec, TraceSet};
 
@@ -67,11 +65,22 @@ pub fn replay_hit_ratios(
             prev_gp[p] = Some(gp);
             let (leaf, radius, dist_thresh) = map.lookup_params(pos);
             let near_hash = scene.near_set_hash(pos, radius);
-            let query = CacheQuery { grid: gp, pos, leaf, near_hash, dist_thresh };
+            let query = CacheQuery {
+                grid: gp,
+                pos,
+                leaf,
+                near_hash,
+                dist_thresh,
+            };
             if caches[p].lookup(&query).is_none() {
                 // Miss: the server's reply reaches the requester and is
                 // overheard by everyone else.
-                let meta = FrameMeta { grid: gp, pos, leaf, near_hash };
+                let meta = FrameMeta {
+                    grid: gp,
+                    pos,
+                    leaf,
+                    near_hash,
+                };
                 caches[p].insert(meta, FrameSource::SelfPrefetch, (), 1, pos);
                 for (other, cache) in caches.iter_mut().enumerate() {
                     if other != p {
@@ -92,8 +101,13 @@ pub fn table5(config: &ExpConfig) -> (Report, Vec<(CacheVersion, Vec<f64>)>) {
     for version in CacheVersion::ALL {
         let mut per_count = Vec::new();
         for players in 1..=4 {
-            let ratios =
-                replay_hit_ratios(GameId::VikingVillage, players, version, duration, config.seed);
+            let ratios = replay_hit_ratios(
+                GameId::VikingVillage,
+                players,
+                version,
+                duration,
+                config.seed,
+            );
             let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
             per_count.push(avg);
         }
@@ -115,8 +129,7 @@ pub fn table6(config: &ExpConfig) -> (Report, Vec<(GameId, f64)>) {
     let duration = config.session_s();
     let mut results = Vec::new();
     for &game in &GameId::TESTBED {
-        let ratios =
-            replay_hit_ratios(game, 4, CacheVersion::V3, duration, config.seed);
+        let ratios = replay_hit_ratios(game, 4, CacheVersion::V3, duration, config.seed);
         let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
         results.push((game, avg));
     }
@@ -124,7 +137,11 @@ pub fn table6(config: &ExpConfig) -> (Report, Vec<(GameId, f64)>) {
     report.note("paper: Viking 80.8%, Racing 82.3%, CTS 88.4% => 5.2x/5.6x/8.6x fewer prefetches");
     report.headers(["Game", "Avg. hit ratio", "Prefetch reduction"]);
     for (game, avg) in &results {
-        let reduction = if *avg < 1.0 { 1.0 / (1.0 - avg) } else { f64::INFINITY };
+        let reduction = if *avg < 1.0 {
+            1.0 / (1.0 - avg)
+        } else {
+            f64::INFINITY
+        };
         report.row([
             game.short_name().to_string(),
             pct(*avg),

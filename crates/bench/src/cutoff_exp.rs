@@ -90,7 +90,11 @@ pub type ViolationSeries = Vec<(usize, f64)>;
 /// per-region sample count K, for the three testbed games.
 pub fn fig6(config: &ExpConfig) -> (Report, Vec<(GameId, ViolationSeries)>) {
     let device = DeviceProfile::pixel2();
-    let ks: &[usize] = if config.quick { &[2, 10] } else { &[2, 4, 6, 10, 14, 20] };
+    let ks: &[usize] = if config.quick {
+        &[2, 10]
+    } else {
+        &[2, 4, 6, 10, 14, 20]
+    };
     let mut results = Vec::new();
     for &game in &GameId::TESTBED {
         let spec = GameSpec::for_game(game);
@@ -101,7 +105,10 @@ pub fn fig6(config: &ExpConfig) -> (Report, Vec<(GameId, ViolationSeries)>) {
             .collect();
         let mut series = Vec::new();
         for &k in ks {
-            let cfg = CutoffConfig { k_samples: k, ..CutoffConfig::for_spec(&spec) };
+            let cfg = CutoffConfig {
+                k_samples: k,
+                ..CutoffConfig::for_spec(&spec)
+            };
             let map = CutoffMap::compute(&scene, &device, &cfg, config.seed);
             let frac = map.violation_fraction(&scene, &device, &cfg, positions.iter().cloned());
             series.push((k, frac));
@@ -172,7 +179,13 @@ pub fn fig8(config: &ExpConfig) -> (Report, Vec<(f64, f64)>) {
     let mut report = Report::new("Figure 8: cutoff radius vs triangle density (Viking leaves)");
     report.note("higher object density => smaller generated cutoff radius");
     report.headers(["radius bucket (m)", "leaves", "mean density (tris/m^2)"]);
-    let buckets = [(0.0, 4.0), (4.0, 8.0), (8.0, 12.0), (12.0, 20.0), (20.0, 200.0)];
+    let buckets = [
+        (0.0, 4.0),
+        (4.0, 8.0),
+        (8.0, 12.0),
+        (12.0, 20.0),
+        (20.0, 200.0),
+    ];
     for (lo, hi) in buckets {
         let in_bucket: Vec<f64> = points
             .iter()
@@ -207,10 +220,16 @@ mod tests {
         let (_, points) = fig8(&ExpConfig::quick());
         assert!(points.len() > 50);
         // Compare mean density of small-radius vs large-radius leaves.
-        let small: Vec<f64> =
-            points.iter().filter(|(_, r)| *r < 6.0).map(|(d, _)| *d).collect();
-        let large: Vec<f64> =
-            points.iter().filter(|(_, r)| *r > 12.0).map(|(d, _)| *d).collect();
+        let small: Vec<f64> = points
+            .iter()
+            .filter(|(_, r)| *r < 6.0)
+            .map(|(d, _)| *d)
+            .collect();
+        let large: Vec<f64> = points
+            .iter()
+            .filter(|(_, r)| *r > 12.0)
+            .map(|(d, _)| *d)
+            .collect();
         assert!(!small.is_empty() && !large.is_empty());
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(

@@ -1,0 +1,105 @@
+//! Fleet-hosting experiment: the cross-session frame store.
+//!
+//! The paper provisions one render server per session. A hosting
+//! provider runs hundreds of rooms of the same handful of games, which
+//! raises a question the paper leaves open: do the three similarity
+//! criteria still pay off when the cache is shared *across* sessions?
+//! This experiment runs the same fleet twice — once with one shared
+//! frame store, once with an equal total byte budget split into
+//! isolated per-room stores — and compares tail FPS, store hit ratio,
+//! shipped bandwidth and pre-render GPU cost.
+
+use crate::report::{f, pct, Report};
+use crate::ExpConfig;
+use coterie_serve::{Fleet, FleetConfig, FleetReport};
+use coterie_world::GameId;
+
+/// Builds the fleet configuration for the experiment.
+///
+/// Rooms cycle through two roam-family games so the store also
+/// demonstrates per-game isolation; only rooms of the same game share
+/// frames.
+pub fn fleet_config(config: &ExpConfig, rooms: usize, players: usize, shared: bool) -> FleetConfig {
+    FleetConfig {
+        rooms: rooms.max(1),
+        players: players.max(1),
+        games: vec![GameId::VikingVillage, GameId::Fps],
+        duration_s: if config.quick { 4.0 } else { 10.0 },
+        seed: config.seed,
+        shared_store: shared,
+        size_samples: if config.quick { 4 } else { 8 },
+        ..FleetConfig::default()
+    }
+}
+
+/// Runs the shared-vs-isolated comparison and renders the report.
+///
+/// The run is deterministic: the same `ExpConfig` seed and room/player
+/// counts reproduce the table byte for byte.
+pub fn fleet(
+    config: &ExpConfig,
+    rooms: usize,
+    players: usize,
+) -> (Report, FleetReport, FleetReport) {
+    let shared = Fleet::new(fleet_config(config, rooms, players, true)).run();
+    let isolated = Fleet::new(fleet_config(config, rooms, players, false)).run();
+
+    let mut report = Report::new("Fleet: shared vs isolated cross-session frame store");
+    report.note(format!(
+        "{} rooms x {} players, seed {}, games Viking Village + FPS",
+        rooms.max(1),
+        players.max(1),
+        config.seed
+    ));
+    report.note("one store shared by all rooms of a game vs the same byte budget split per room");
+    report.headers([
+        "store",
+        "fps p50",
+        "fps p95",
+        "fps p99",
+        "hit ratio",
+        "egress Mbps",
+        "GPU-hours",
+        "peak degC",
+        "degraded",
+    ]);
+    for (label, run) in [("shared", &shared), ("isolated", &isolated)] {
+        let m = &run.metrics;
+        report.row([
+            label.to_string(),
+            f(m.fps_p50, 2),
+            f(m.fps_p95, 2),
+            f(m.fps_p99, 2),
+            pct(m.store_hit_ratio),
+            f(m.egress_mbps, 2),
+            f(m.prerender_gpu_hours, 6),
+            f(m.peak_temperature_c, 2),
+            format!("{}", m.degraded_rooms),
+        ]);
+    }
+    (report, shared, isolated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_report_has_both_modes() {
+        let config = ExpConfig::quick();
+        let (report, shared, isolated) = fleet(&config, 2, 2);
+        assert_eq!(report.len(), 2);
+        assert_eq!(report.cell(0, 0), Some("shared"));
+        assert_eq!(report.cell(1, 0), Some("isolated"));
+        assert_eq!(shared.rooms.len(), 2);
+        assert_eq!(isolated.rooms.len(), 2);
+    }
+
+    #[test]
+    fn fleet_experiment_is_deterministic() {
+        let config = ExpConfig::quick();
+        let a = fleet(&config, 2, 2).0;
+        let b = fleet(&config, 2, 2).0;
+        assert_eq!(format!("{a}"), format!("{b}"));
+    }
+}

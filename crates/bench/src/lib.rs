@@ -17,6 +17,7 @@
 pub mod ablation;
 pub mod cache_exp;
 pub mod cutoff_exp;
+pub mod fleet_exp;
 pub mod report;
 pub mod similarity;
 pub mod system_exp;
@@ -36,14 +37,20 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { quick: false, seed: 7 }
+        ExpConfig {
+            quick: false,
+            seed: 7,
+        }
     }
 }
 
 impl ExpConfig {
     /// Quick (CI-scale) configuration.
     pub fn quick() -> Self {
-        ExpConfig { quick: true, seed: 7 }
+        ExpConfig {
+            quick: true,
+            seed: 7,
+        }
     }
 
     /// Session duration for system experiments, seconds.

@@ -19,7 +19,10 @@ pub struct Report {
 impl Report {
     /// Creates an empty report with a title.
     pub fn new(title: impl Into<String>) -> Self {
-        Report { title: title.into(), ..Default::default() }
+        Report {
+            title: title.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds a commentary line.
@@ -60,7 +63,10 @@ impl Report {
 
     /// A cell by (row, column), if present.
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
     }
 }
 
@@ -95,7 +101,11 @@ impl fmt::Display for Report {
                 .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
                 .collect();
             writeln!(f, "   {}", line.join("  "))?;
-            writeln!(f, "   {}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)))?;
+            writeln!(
+                f,
+                "   {}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+            )?;
         }
         for row in &self.rows {
             let line: Vec<String> = row
@@ -117,6 +127,56 @@ pub fn pct(x: f64) -> String {
 /// Formats a float with the given number of decimals.
 pub fn f(x: f64, decimals: usize) -> String {
     format!("{x:.decimals$}")
+}
+
+/// Renders a CDF as a fixed-size ASCII chart (value on x, cumulative
+/// fraction on y), for terminal-readable versions of the paper's CDF
+/// figures.
+///
+/// # Example
+///
+/// ```
+/// use coterie_bench::report::ascii_cdf;
+/// use coterie_frame::Cdf;
+/// let cdf = Cdf::from_samples((0..100).map(|i| i as f64 / 100.0));
+/// let chart = ascii_cdf(&cdf, 40, 10);
+/// assert!(chart.lines().count() >= 10);
+/// ```
+pub fn ascii_cdf(cdf: &coterie_frame::Cdf, width: usize, height: usize) -> String {
+    if cdf.is_empty() || width < 8 || height < 2 {
+        return String::from("(no samples)\n");
+    }
+    let lo = cdf.quantile(0.0);
+    let hi = cdf.quantile(1.0);
+    let span = (hi - lo).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    for (col, x) in (0..width).map(|c| (c, lo + span * c as f64 / (width - 1) as f64)) {
+        let frac = cdf.fraction_at_most(x);
+        let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col] = '*';
+    }
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            "1.0 |"
+        } else if i == height - 1 {
+            "0.0 |"
+        } else {
+            "    |"
+        };
+        out.push_str(label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "     {:-<w$}\n     {:<.3}{:>pad$.3}\n",
+        "",
+        lo,
+        hi,
+        w = width,
+        pad = width.saturating_sub(5)
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -171,56 +231,4 @@ mod tests {
         let s = format!("{r}");
         assert!(s.contains("LongHeader"));
     }
-}
-
-/// Renders a CDF as a fixed-size ASCII chart (value on x, cumulative
-/// fraction on y), for terminal-readable versions of the paper's CDF
-/// figures.
-///
-/// # Example
-///
-/// ```
-/// use coterie_bench::report::ascii_cdf;
-/// use coterie_frame::Cdf;
-/// let cdf = Cdf::from_samples((0..100).map(|i| i as f64 / 100.0));
-/// let chart = ascii_cdf(&cdf, 40, 10);
-/// assert!(chart.lines().count() >= 10);
-/// ```
-pub fn ascii_cdf(cdf: &coterie_frame::Cdf, width: usize, height: usize) -> String {
-    if cdf.is_empty() || width < 8 || height < 2 {
-        return String::from("(no samples)\n");
-    }
-    let lo = cdf.quantile(0.0);
-    let hi = cdf.quantile(1.0);
-    let span = (hi - lo).max(1e-12);
-    let mut grid = vec![vec![' '; width]; height];
-    for (col, x) in (0..width)
-        .map(|c| (c, lo + span * c as f64 / (width - 1) as f64))
-    {
-        let frac = cdf.fraction_at_most(x);
-        let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
-        grid[row.min(height - 1)][col] = '*';
-    }
-    let mut out = String::new();
-    for (i, row) in grid.iter().enumerate() {
-        let label = if i == 0 {
-            "1.0 |"
-        } else if i == height - 1 {
-            "0.0 |"
-        } else {
-            "    |"
-        };
-        out.push_str(label);
-        out.extend(row.iter());
-        out.push('\n');
-    }
-    out.push_str(&format!(
-        "     {:-<w$}\n     {:<.3}{:>pad$.3}\n",
-        "",
-        lo,
-        hi,
-        w = width,
-        pad = width.saturating_sub(5)
-    ));
-    out
 }

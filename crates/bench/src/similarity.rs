@@ -55,7 +55,12 @@ fn renderer() -> Renderer {
 
 fn scene_and_map(spec: &GameSpec, seed: u64) -> (Scene, CutoffMap) {
     let scene = spec.build_scene(seed);
-    let map = CutoffMap::compute(&scene, &DeviceProfile::pixel2(), &CutoffConfig::for_spec(spec), seed);
+    let map = CutoffMap::compute(
+        &scene,
+        &DeviceProfile::pixel2(),
+        &CutoffConfig::for_spec(spec),
+        seed,
+    );
     (scene, map)
 }
 
@@ -83,10 +88,8 @@ pub fn fig1(config: &ExpConfig) -> (Report, Vec<SimilarityResult>) {
             let whole_a = r.render_panorama(&scene, scene.eye(a), RenderFilter::All);
             let whole_b = r.render_panorama(&scene, scene.eye(b), RenderFilter::All);
             let cutoff = map.cutoff_at(a).1;
-            let far_a =
-                r.render_panorama(&scene, scene.eye(a), RenderFilter::FarOnly { cutoff });
-            let far_b =
-                r.render_panorama(&scene, scene.eye(b), RenderFilter::FarOnly { cutoff });
+            let far_a = r.render_panorama(&scene, scene.eye(a), RenderFilter::FarOnly { cutoff });
+            let far_b = r.render_panorama(&scene, scene.eye(b), RenderFilter::FarOnly { cutoff });
             let opts = SsimOptions::fast();
             (
                 ssim_with(&whole_a.frame, &whole_b.frame, &opts),
@@ -104,7 +107,13 @@ pub fn fig1(config: &ExpConfig) -> (Report, Vec<SimilarityResult>) {
         "fraction of adjacent BE frame pairs with SSIM > {SSIM_THRESHOLD} \
          (resolution-compensated 0.9)"
     ));
-    report.headers(["Game", "before(whole BE)", "after(far BE)", "med before", "med after"]);
+    report.headers([
+        "Game",
+        "before(whole BE)",
+        "after(far BE)",
+        "med before",
+        "med after",
+    ]);
     for res in &results {
         report.row([
             res.game.short_name().to_string(),
@@ -143,13 +152,14 @@ pub fn fig2(config: &ExpConfig) -> (Report, Vec<SimilarityResult>) {
             // nearest few locations dominate, so we SSIM only those.
             let mut candidates: Vec<Vec2> = pool.clone();
             candidates.sort_by(|a, b| {
-                a.distance_sq(q).partial_cmp(&b.distance_sq(q)).expect("finite")
+                a.distance_sq(q)
+                    .partial_cmp(&b.distance_sq(q))
+                    .expect("finite")
             });
             let opts = SsimOptions::fast();
             let cutoff = map.cutoff_at(q).1;
             let whole_q = r.render_panorama(&scene, scene.eye(q), RenderFilter::All);
-            let far_q =
-                r.render_panorama(&scene, scene.eye(q), RenderFilter::FarOnly { cutoff });
+            let far_q = r.render_panorama(&scene, scene.eye(q), RenderFilter::FarOnly { cutoff });
             let mut best_whole = 0.0f64;
             let mut best_far = 0.0f64;
             for c in candidates.iter().take(3) {
@@ -169,7 +179,9 @@ pub fn fig2(config: &ExpConfig) -> (Report, Vec<SimilarityResult>) {
     }
     let mut report =
         Report::new("Figure 2: best-case inter-player similarity before/after decoupling");
-    report.note(format!("fraction of best-case pairs with SSIM > {SSIM_THRESHOLD}"));
+    report.note(format!(
+        "fraction of best-case pairs with SSIM > {SSIM_THRESHOLD}"
+    ));
     report.headers(["Game", "before(whole BE)", "after(far BE)"]);
     for res in &results {
         report.row([
@@ -191,10 +203,7 @@ pub fn fig3(config: &ExpConfig) -> (Report, (f64, f64)) {
     // contain near market stalls).
     let mut best = (scene.bounds().center(), 0u64);
     for i in 0..200 {
-        let p = Vec2::new(
-            10.0 + (i % 20) as f64 * 8.5,
-            10.0 + (i / 20) as f64 * 11.0,
-        );
+        let p = Vec2::new(10.0 + (i % 20) as f64 * 8.5, 10.0 + (i / 20) as f64 * 11.0);
         if !scene.bounds().contains(p) {
             continue;
         }
@@ -265,7 +274,9 @@ pub fn fig5(config: &ExpConfig) -> (Report, Vec<Vec<(f64, f64)>>) {
         })
         .collect();
     let mut report = Report::new("Figure 5: far-BE similarity vs cutoff radius (4 locations)");
-    report.note(format!("adjacent frames {displacement} m apart; SSIM rises with cutoff"));
+    report.note(format!(
+        "adjacent frames {displacement} m apart; SSIM rises with cutoff"
+    ));
     let mut headers = vec!["cutoff (m)".to_string()];
     headers.extend((1..=4).map(|i| format!("loc {i}")));
     report.headers(headers);

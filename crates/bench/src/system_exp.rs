@@ -23,8 +23,7 @@ fn run(
 /// Table 1: Mobile, Thin-client and Multi-Furion with 1 and 2 players on
 /// the three testbed games.
 pub fn table1(config: &ExpConfig) -> Report {
-    let mut report =
-        Report::new("Table 1: Mobile / Thin-client / Multi-Furion, 1P and 2P");
+    let mut report = Report::new("Table 1: Mobile / Thin-client / Multi-Furion, 1P and 2P");
     report.headers([
         "App (players)",
         "FPS",
@@ -34,7 +33,11 @@ pub fn table1(config: &ExpConfig) -> Report {
         "Frame (KB)",
         "Net delay (ms)",
     ]);
-    for system in [SystemKind::Mobile, SystemKind::ThinClient, SystemKind::multi_furion()] {
+    for system in [
+        SystemKind::Mobile,
+        SystemKind::ThinClient,
+        SystemKind::multi_furion(),
+    ] {
         report.note(format!("--- {}", system.label()));
         for players in [1usize, 2] {
             for &game in &GameId::TESTBED {
@@ -209,7 +212,9 @@ pub fn fig11(config: &ExpConfig) -> (Report, Vec<(GameId, SystemKind, Vec<f64>)>
 pub fn fig12(config: &ExpConfig) -> Report {
     let duration = if config.quick { 180.0 } else { 1800.0 };
     let mut report = Report::new("Figure 12: resource usage over time (Coterie)");
-    report.note(format!("{duration:.0} s sessions; per-minute means over the session"));
+    report.note(format!(
+        "{duration:.0} s sessions; per-minute means over the session"
+    ));
     report.headers([
         "Game",
         "Players",

@@ -9,10 +9,13 @@ fn basis() -> &'static [[f32; 8]; 8] {
     BASIS.get_or_init(|| {
         let mut b = [[0.0f32; 8]; 8];
         for (u, row) in b.iter_mut().enumerate() {
-            let c = if u == 0 { (1.0f64 / 8.0).sqrt() } else { (2.0f64 / 8.0).sqrt() };
+            let c = if u == 0 {
+                (1.0f64 / 8.0).sqrt()
+            } else {
+                (2.0f64 / 8.0).sqrt()
+            };
             for (x, v) in row.iter_mut().enumerate() {
-                *v = (c
-                    * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos())
+                *v = (c * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos())
                     as f32;
             }
         }

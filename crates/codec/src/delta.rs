@@ -144,7 +144,11 @@ impl DeltaEncoder {
         reference: &LumaFrame,
     ) -> Result<LumaFrame, CodecError> {
         assert_eq!(reference.width(), encoded.width, "reference width differs");
-        assert_eq!(reference.height(), encoded.height, "reference height differs");
+        assert_eq!(
+            reference.height(),
+            encoded.height,
+            "reference height differs"
+        );
         let w = encoded.width;
         let h = encoded.height;
         let bw = w.div_ceil(8);
@@ -218,7 +222,11 @@ mod tests {
         let enc = DeltaEncoder::new(Quality::CRF25);
         let d = enc.encode(&f, &f);
         // 48 blocks x 2 bytes of skip flags.
-        assert!(d.size_bytes() < 250, "still frame cost {} bytes", d.size_bytes());
+        assert!(
+            d.size_bytes() < 250,
+            "still frame cost {} bytes",
+            d.size_bytes()
+        );
         assert_eq!(d.skipped_blocks, 48);
         let decoded = enc.decode(&d, &f).unwrap();
         assert!(ssim(&f, &decoded) > 0.999);
@@ -279,7 +287,9 @@ mod tests {
             *v = (*v * 0.8 + 0.1).clamp(0.0, 1.0);
         }
         let enc = DeltaEncoder::new(Quality::CRF25);
-        let decoded = enc.decode(&enc.encode(&frame, &reference), &reference).unwrap();
+        let decoded = enc
+            .decode(&enc.encode(&frame, &reference), &reference)
+            .unwrap();
         let s = ssim(&frame, &decoded);
         assert!(s > 0.9, "delta round-trip SSIM {s:.3}");
     }

@@ -52,7 +52,9 @@ pub struct Writer {
 impl Writer {
     /// Creates an empty writer.
     pub fn new() -> Self {
-        Writer { buf: BytesMut::with_capacity(1024) }
+        Writer {
+            buf: BytesMut::with_capacity(1024),
+        }
     }
 
     /// Writes an unsigned varint.
@@ -221,8 +223,20 @@ mod tests {
         w.write_eob();
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes);
-        assert_eq!(r.read_run().unwrap(), Run::Pair { zeros: 3, value: -7 });
-        assert_eq!(r.read_run().unwrap(), Run::Pair { zeros: 0, value: 12 });
+        assert_eq!(
+            r.read_run().unwrap(),
+            Run::Pair {
+                zeros: 3,
+                value: -7
+            }
+        );
+        assert_eq!(
+            r.read_run().unwrap(),
+            Run::Pair {
+                zeros: 0,
+                value: 12
+            }
+        );
         assert_eq!(r.read_run().unwrap(), Run::Eob);
     }
 

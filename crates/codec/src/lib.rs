@@ -53,8 +53,7 @@ use serde::{Deserialize, Serialize};
 
 /// Encoding quality, named after x264's Constant Rate Factor scale
 /// (lower CRF = higher quality and larger frames).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Quality {
     /// Visually lossless-ish (CRF ≈ 18).
     CRF18,
@@ -64,7 +63,6 @@ pub enum Quality {
     /// Aggressive compression (CRF ≈ 32).
     CRF32,
 }
-
 
 impl Quality {
     /// Quantization scale factor applied to the base matrix.
@@ -111,9 +109,9 @@ pub(crate) const BASE_QUANT: [f32; 64] = [
 
 /// Zig-zag scan order for an 8×8 block.
 pub(crate) const ZIGZAG: [usize; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// The intra-frame encoder/decoder.
@@ -270,7 +268,11 @@ pub struct SizeModel {
 
 impl Default for SizeModel {
     fn default() -> Self {
-        SizeModel { target_width: 3840, target_height: 2160, h264_efficiency: 0.35 }
+        SizeModel {
+            target_width: 3840,
+            target_height: 2160,
+            h264_efficiency: 0.35,
+        }
     }
 }
 
@@ -300,7 +302,9 @@ mod tests {
     }
 
     fn smooth_frame() -> LumaFrame {
-        LumaFrame::from_fn(64, 48, |x, y| 0.3 + 0.3 * (x as f32 / 64.0) + 0.1 * (y as f32 / 48.0))
+        LumaFrame::from_fn(64, 48, |x, y| {
+            0.3 + 0.3 * (x as f32 / 64.0) + 0.1 * (y as f32 / 48.0)
+        })
     }
 
     #[test]
@@ -363,7 +367,11 @@ mod tests {
         let enc = Encoder::default();
         let e = enc.encode(&f);
         // 64 blocks, each ~2 bytes (DC delta 0 + EOB).
-        assert!(e.size_bytes() < 200, "constant frame took {} bytes", e.size_bytes());
+        assert!(
+            e.size_bytes() < 200,
+            "constant frame took {} bytes",
+            e.size_bytes()
+        );
         let d = enc.decode(&e).unwrap();
         assert!(ssim(&f, &d) > 0.999);
     }
@@ -391,9 +399,15 @@ mod tests {
         let e = enc.encode(&textured_frame());
         let model = SizeModel::default();
         let scaled = model.scaled_bytes(&e);
-        assert!(scaled > e.size_bytes() as u64 * 50, "4K scaling too small: {scaled}");
+        assert!(
+            scaled > e.size_bytes() as u64 * 50,
+            "4K scaling too small: {scaled}"
+        );
         // Efficiency discount reduces size.
-        let cheap = SizeModel { h264_efficiency: 0.1, ..model };
+        let cheap = SizeModel {
+            h264_efficiency: 0.1,
+            ..model
+        };
         assert!(cheap.scaled_bytes(&e) < scaled);
     }
 

@@ -5,11 +5,10 @@ use coterie_frame::{ssim_with, LumaFrame, SsimOptions};
 use proptest::prelude::*;
 
 fn frame_strategy() -> impl Strategy<Value = LumaFrame> {
-    (8u32..48, 8u32..48)
-        .prop_flat_map(|(w, h)| {
-            proptest::collection::vec(0.0f32..=1.0, (w * h) as usize)
-                .prop_map(move |data| LumaFrame::from_raw(w, h, data))
-        })
+    (8u32..48, 8u32..48).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0.0f32..=1.0, (w * h) as usize)
+            .prop_map(move |data| LumaFrame::from_raw(w, h, data))
+    })
 }
 
 /// Smooth frames (realistic content) for quality assertions; pure white

@@ -39,6 +39,12 @@ pub enum FrameSource {
     SelfPrefetch,
     /// Overheard from a reply to another player (promiscuous mode).
     Overheard,
+    /// Produced by another session of the same game and shared through a
+    /// server-side fleet store. Far-BE frames depend only on world
+    /// geometry (grid point, leaf region, near-BE object set), never on
+    /// which session rendered them, so cross-session reuse is sound
+    /// whenever the same three criteria hold.
+    Fleet,
 }
 
 /// One of the paper's five cache configurations (Table 4).
@@ -48,32 +54,62 @@ pub struct CacheVersion {
     pub intra: Option<MatchMode>,
     /// Matching allowed against overheard (inter-player) frames.
     pub inter: Option<MatchMode>,
+    /// Matching allowed against fleet-shared (cross-session) frames.
+    pub fleet: Option<MatchMode>,
 }
 
 impl CacheVersion {
     /// Version 1: reuse intra-player frames, exact matches only.
-    pub const V1: CacheVersion =
-        CacheVersion { intra: Some(MatchMode::Exact), inter: None };
+    pub const V1: CacheVersion = CacheVersion {
+        intra: Some(MatchMode::Exact),
+        inter: None,
+        fleet: None,
+    };
     /// Version 2: reuse inter-player (overheard) frames, exact only.
-    pub const V2: CacheVersion =
-        CacheVersion { intra: None, inter: Some(MatchMode::Exact) };
+    pub const V2: CacheVersion = CacheVersion {
+        intra: None,
+        inter: Some(MatchMode::Exact),
+        fleet: None,
+    };
     /// Version 3: reuse intra-player frames, similar matches (the final
     /// Coterie design).
-    pub const V3: CacheVersion =
-        CacheVersion { intra: Some(MatchMode::Similar), inter: None };
+    pub const V3: CacheVersion = CacheVersion {
+        intra: Some(MatchMode::Similar),
+        inter: None,
+        fleet: None,
+    };
     /// Version 4: reuse inter-player frames, similar matches.
-    pub const V4: CacheVersion =
-        CacheVersion { intra: None, inter: Some(MatchMode::Similar) };
+    pub const V4: CacheVersion = CacheVersion {
+        intra: None,
+        inter: Some(MatchMode::Similar),
+        fleet: None,
+    };
     /// Version 5: both intra- and inter-player similar matches.
-    pub const V5: CacheVersion =
-        CacheVersion { intra: Some(MatchMode::Similar), inter: Some(MatchMode::Similar) };
+    pub const V5: CacheVersion = CacheVersion {
+        intra: Some(MatchMode::Similar),
+        inter: Some(MatchMode::Similar),
+        fleet: None,
+    };
+    /// Fleet store configuration: session-id-free similar matching
+    /// against frames contributed by any session of the same game.
+    pub const FLEET: CacheVersion = CacheVersion {
+        intra: Some(MatchMode::Similar),
+        inter: None,
+        fleet: Some(MatchMode::Similar),
+    };
 
     /// All five versions in Table 4 order.
-    pub const ALL: [CacheVersion; 5] =
-        [Self::V1, Self::V2, Self::V3, Self::V4, Self::V5];
+    pub const ALL: [CacheVersion; 5] = [Self::V1, Self::V2, Self::V3, Self::V4, Self::V5];
 
-    /// Table row label ("Version 1" ... "Version 5").
+    /// Table row label ("Version 1" ... "Version 5", "Fleet").
     pub fn label(&self) -> &'static str {
+        if self.fleet.is_some() {
+            return if *self == Self::FLEET {
+                "Fleet"
+            } else {
+                "custom"
+            };
+        }
         match (self.intra, self.inter) {
             (Some(MatchMode::Exact), None) => "Version 1",
             (None, Some(MatchMode::Exact)) => "Version 2",
@@ -89,6 +125,7 @@ impl CacheVersion {
         match source {
             FrameSource::SelfPrefetch => self.intra,
             FrameSource::Overheard => self.inter,
+            FrameSource::Fleet => self.fleet,
         }
     }
 
@@ -135,7 +172,11 @@ impl Default for CacheConfig {
 impl CacheConfig {
     /// An unbounded trace-study cache with the given version.
     pub fn infinite(version: CacheVersion) -> Self {
-        CacheConfig { capacity_bytes: u64::MAX, policy: EvictionPolicy::Lru, version }
+        CacheConfig {
+            capacity_bytes: u64::MAX,
+            policy: EvictionPolicy::Lru,
+            version,
+        }
     }
 }
 
@@ -259,7 +300,10 @@ impl<T> FrameCache<T> {
     }
 
     fn bucket_of(pos: Vec2) -> (i32, i32) {
-        ((pos.x / BUCKET_M).floor() as i32, (pos.z / BUCKET_M).floor() as i32)
+        (
+            (pos.x / BUCKET_M).floor() as i32,
+            (pos.z / BUCKET_M).floor() as i32,
+        )
     }
 
     /// Inserts a frame. `player_pos` is the inserting player's current
@@ -285,10 +329,19 @@ impl<T> FrameCache<T> {
         let id = self.next_id;
         self.next_id += 1;
         self.bytes += size_bytes;
-        self.buckets.entry(Self::bucket_of(meta.pos)).or_default().push(id);
+        self.buckets
+            .entry(Self::bucket_of(meta.pos))
+            .or_default()
+            .push(id);
         self.entries.insert(
             id,
-            Entry { meta, source, payload, size_bytes, last_access: self.clock },
+            Entry {
+                meta,
+                source,
+                payload,
+                size_bytes,
+                last_access: self.clock,
+            },
         );
     }
 
@@ -342,6 +395,46 @@ impl<T> FrameCache<T> {
     /// Whether a lookup would hit, without touching counters or recency.
     pub fn peek(&self, query: &CacheQuery) -> bool {
         self.find_best(query).is_some()
+    }
+
+    /// The cache's logical access clock (monotonic; bumped on insert and
+    /// hit).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Raises the logical clock to at least `clock`.
+    ///
+    /// A fleet store sharing one recency order across many shard caches
+    /// stamps every shard from a global clock; without this, each
+    /// shard's private clock would restart at zero and cross-shard LRU
+    /// comparisons would be meaningless.
+    pub fn advance_clock(&mut self, clock: u64) {
+        self.clock = self.clock.max(clock);
+    }
+
+    /// The `last_access` stamp of the least recently used entry, if any.
+    pub fn oldest_access(&self) -> Option<u64> {
+        self.entries.values().map(|e| e.last_access).min()
+    }
+
+    /// Evicts the least recently used entry regardless of the configured
+    /// policy, returning its payload size. Used by a fleet store to run
+    /// one global LRU across shards (the shard holding the globally
+    /// oldest entry is asked to evict).
+    pub fn evict_lru(&mut self) -> Option<u64> {
+        let id = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_access)
+            .map(|(&id, _)| id)?;
+        let e = self.entries.remove(&id).expect("entry just found");
+        self.bytes -= e.size_bytes;
+        if let Some(v) = self.buckets.get_mut(&Self::bucket_of(e.meta.pos)) {
+            v.retain(|&x| x != id);
+        }
+        self.stats.evictions += 1;
+        Some(e.size_bytes)
     }
 
     fn find_best(&self, query: &CacheQuery) -> Option<u64> {
@@ -546,7 +639,11 @@ mod tests {
 
     #[test]
     fn hit_ratio_computation() {
-        let s = CacheStats { hits: 8, misses: 2, evictions: 0 };
+        let s = CacheStats {
+            hits: 8,
+            misses: 2,
+            evictions: 0,
+        };
         assert!((s.hit_ratio() - 0.8).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_ratio(), 0.0);
     }
@@ -556,6 +653,52 @@ mod tests {
         assert_eq!(CacheVersion::V1.label(), "Version 1");
         assert_eq!(CacheVersion::V5.label(), "Version 5");
         assert_eq!(CacheVersion::ALL.len(), 5);
+    }
+
+    #[test]
+    fn fleet_version_admits_fleet_frames_session_free() {
+        let mut c: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::FLEET));
+        let m = meta(10, 10, 0, 7);
+        c.insert(m, FrameSource::Fleet, 42, 100, m.pos);
+        assert_eq!(c.len(), 1);
+        // Similar matching applies: a nearby grid point in the same
+        // leaf with the same near set hits.
+        assert_eq!(c.lookup(&query_for(&meta(11, 10, 0, 7), 0.5)), Some(&42));
+        // Overheard frames stay excluded (fleet reuse is server-side).
+        c.insert(meta(20, 20, 0, 7), FrameSource::Overheard, 9, 100, m.pos);
+        assert_eq!(c.len(), 1);
+        assert_eq!(CacheVersion::FLEET.label(), "Fleet");
+    }
+
+    #[test]
+    fn paper_versions_reject_fleet_frames() {
+        for v in CacheVersion::ALL {
+            let mut c: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(v));
+            let m = meta(10, 10, 0, 7);
+            c.insert(m, FrameSource::Fleet, 42, 100, m.pos);
+            assert!(c.is_empty(), "{} must not admit fleet frames", v.label());
+        }
+    }
+
+    #[test]
+    fn global_clock_orders_lru_across_caches() {
+        // Two shard caches stamped from one global clock: the entry
+        // inserted earliest (globally) is the one evict_lru removes.
+        let mut a: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::FLEET));
+        let mut b: FrameCache<u32> = FrameCache::new(CacheConfig::infinite(CacheVersion::FLEET));
+        a.advance_clock(10);
+        let ma = meta(0, 0, 0, 7);
+        a.insert(ma, FrameSource::Fleet, 1, 100, ma.pos);
+        b.advance_clock(a.clock() + 5);
+        let mb = meta(50, 0, 0, 7);
+        b.insert(mb, FrameSource::Fleet, 2, 100, mb.pos);
+        assert!(a.oldest_access() < b.oldest_access());
+        assert_eq!(a.evict_lru(), Some(100));
+        assert!(a.is_empty());
+        assert_eq!(a.stats().evictions, 1);
+        assert_eq!(b.oldest_access(), Some(17));
+        assert_eq!(b.evict_lru(), Some(100));
+        assert_eq!(b.evict_lru(), None);
     }
 
     #[test]

@@ -61,7 +61,15 @@ impl DistThreshCalibrator {
     /// across a near-set change, so such pairs must not constrain
     /// `dist_thresh` — otherwise object-membership churn would be
     /// double-counted.
-    fn similar_at(&self, scene: &Scene, rect: &Rect, cutoff: f64, p: Vec2, d: f64, seed: u64) -> bool {
+    fn similar_at(
+        &self,
+        scene: &Scene,
+        rect: &Rect,
+        cutoff: f64,
+        p: Vec2,
+        d: f64,
+        seed: u64,
+    ) -> bool {
         let mut rng = SmallRng::new(seed);
         let p_hash = scene.near_set_hash(p, cutoff);
         let mut partner = None;
@@ -81,11 +89,9 @@ impl DistThreshCalibrator {
         // will gate reuse before SSIM ever matters, so the distance does
         // not constrain `dist_thresh`.
         let Some(partner) = partner else { return true };
-        let a = self.renderer.render_panorama(
-            scene,
-            scene.eye(p),
-            RenderFilter::FarOnly { cutoff },
-        );
+        let a =
+            self.renderer
+                .render_panorama(scene, scene.eye(p), RenderFilter::FarOnly { cutoff });
         let b = self.renderer.render_panorama(
             scene,
             scene.eye(partner),
@@ -96,13 +102,7 @@ impl DistThreshCalibrator {
 
     /// Calibrates one leaf region: the minimum over `k_samples` points of
     /// the largest distance that still passes the SSIM test.
-    pub fn calibrate_leaf(
-        &self,
-        scene: &Scene,
-        rect: Rect,
-        cutoff_radius: f64,
-        seed: u64,
-    ) -> f64 {
+    pub fn calibrate_leaf(&self, scene: &Scene, rect: Rect, cutoff_radius: f64, seed: u64) -> f64 {
         let mut rng = SmallRng::new(seed ^ 0xD157);
         let mut leaf_thresh = f64::INFINITY;
         for k in 0..self.k_samples.max(1) {

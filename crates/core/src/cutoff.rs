@@ -150,12 +150,19 @@ impl CutoffMap {
                 (max - min) <= config.abs_tolerance_m || (max - min) <= config.rel_tolerance * max;
             if uniform || depth >= config.max_depth {
                 let radius = (min * config.safety_factor).max(config.min_radius_m);
-                Partition::Stop(LeafCutoff { radius_m: radius, dist_thresh_m: None })
+                Partition::Stop(LeafCutoff {
+                    radius_m: radius,
+                    dist_thresh_m: None,
+                })
             } else {
                 Partition::Split
             }
         });
-        CutoffMap { tree, calc_count, grid_spacing_m: scene.grid().spacing() }
+        CutoffMap {
+            tree,
+            calc_count,
+            grid_spacing_m: scene.grid().spacing(),
+        }
     }
 
     /// The leaf region containing `p` and its cutoff radius.
@@ -223,7 +230,10 @@ impl CutoffMap {
 
     /// Leaf regions with their quadtree depths (used by persistence).
     pub fn leaves_with_depth(&self) -> impl Iterator<Item = (Rect, LeafCutoff, u32)> + '_ {
-        self.tree.leaves().iter().map(|l| (l.rect, l.value, l.depth))
+        self.tree
+            .leaves()
+            .iter()
+            .map(|l| (l.rect, l.value, l.depth))
     }
 
     /// Grid spacing of the scene this map was computed for, meters.
@@ -259,7 +269,12 @@ impl CutoffMap {
                 && (a.max.x - b.max.x).abs() < eps
                 && (a.max.z - b.max.z).abs() < eps
         }
-        fn valid(region: &Rect, depth: u32, max_depth: u32, leaves: &[(Rect, LeafCutoff, u32)]) -> bool {
+        fn valid(
+            region: &Rect,
+            depth: u32,
+            max_depth: u32,
+            leaves: &[(Rect, LeafCutoff, u32)],
+        ) -> bool {
             if leaves.iter().any(|(r, _, _)| matches(r, region)) {
                 return true;
             }
@@ -275,13 +290,18 @@ impl CutoffMap {
             return None;
         }
 
-        let tree = Quadtree::build(root, max_depth, &mut |region, _depth| {
-            match leaves.iter().find(|(r, _, _)| matches(r, region)) {
-                Some((_, value, _)) => Partition::Stop(*value),
-                None => Partition::Split,
-            }
+        let tree = Quadtree::build(root, max_depth, &mut |region, _depth| match leaves
+            .iter()
+            .find(|(r, _, _)| matches(r, region))
+        {
+            Some((_, value, _)) => Partition::Stop(*value),
+            None => Partition::Split,
         });
-        Some(CutoffMap { tree, calc_count, grid_spacing_m })
+        Some(CutoffMap {
+            tree,
+            calc_count,
+            grid_spacing_m,
+        })
     }
 
     /// Modeled offline processing time in hours (Table 3's last column).
@@ -351,9 +371,7 @@ mod tests {
         let budget = device.triangle_budget(config.near_budget_ms());
         let mut rng = SmallRng::new(3);
         for _ in 0..20 {
-            let p = scene
-                .bounds()
-                .sample(rng.next_f64(), rng.next_f64());
+            let p = scene.bounds().sample(rng.next_f64(), rng.next_f64());
             let r = max_cutoff_radius(&scene, &device, &config, p);
             assert!(r >= config.min_radius_m);
             assert!(r <= config.max_radius_m);
@@ -373,7 +391,10 @@ mod tests {
         let mut probes = Vec::new();
         for i in 0..10 {
             for j in 0..10 {
-                let p = Vec2::new(187.0 * (i as f64 + 0.5) / 10.0, 130.0 * (j as f64 + 0.5) / 10.0);
+                let p = Vec2::new(
+                    187.0 * (i as f64 + 0.5) / 10.0,
+                    130.0 * (j as f64 + 0.5) / 10.0,
+                );
                 probes.push((scene.triangles_within(p, 10.0), p));
             }
         }
@@ -438,8 +459,7 @@ mod tests {
         // Constraint 1. Our tolerance band allows up to ~2%.
         let (scene, spec, config, device) = setup(GameId::VikingVillage);
         let map = CutoffMap::compute(&scene, &device, &config, 1);
-        let traj =
-            coterie_world::Trajectory::generate(&scene, &spec, 0, 1, 120.0, 5);
+        let traj = coterie_world::Trajectory::generate(&scene, &spec, 0, 1, 120.0, 5);
         let positions: Vec<Vec2> = (0..600).map(|i| traj.position(i as f64 * 0.2)).collect();
         let frac = map.violation_fraction(&scene, &device, &config, positions);
         assert!(frac < 0.02, "violation fraction {frac}");
@@ -453,12 +473,18 @@ mod tests {
         let traj = coterie_world::Trajectory::generate(&scene, &spec, 0, 1, 120.0, 9);
         let positions: Vec<Vec2> = (0..400).map(|i| traj.position(i as f64 * 0.3)).collect();
         let frac_k2 = {
-            let c = CutoffConfig { k_samples: 2, ..config };
+            let c = CutoffConfig {
+                k_samples: 2,
+                ..config
+            };
             let m = CutoffMap::compute(&scene, &device, &c, 1);
             m.violation_fraction(&scene, &device, &c, positions.iter().cloned())
         };
         let frac_k16 = {
-            let c = CutoffConfig { k_samples: 16, ..config };
+            let c = CutoffConfig {
+                k_samples: 16,
+                ..config
+            };
             let m = CutoffMap::compute(&scene, &device, &c, 1);
             m.violation_fraction(&scene, &device, &c, positions.iter().cloned())
         };

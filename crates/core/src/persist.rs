@@ -59,8 +59,7 @@ impl Error for PersistError {}
 
 /// Serializes a cutoff map.
 pub fn save_cutoff_map(map: &CutoffMap) -> Bytes {
-    let leaves: Vec<(Rect, LeafCutoff, u32)> =
-        map.leaves_with_depth().collect();
+    let leaves: Vec<(Rect, LeafCutoff, u32)> = map.leaves_with_depth().collect();
     let mut buf = BytesMut::with_capacity(32 + leaves.len() * 52);
     buf.put_u32_le(MAGIC);
     buf.put_u16_le(VERSION);
@@ -189,7 +188,10 @@ mod tests {
 
     #[test]
     fn garbage_rejected() {
-        assert_eq!(load_cutoff_map(b"nope").unwrap_err(), PersistError::Truncated);
+        assert_eq!(
+            load_cutoff_map(b"nope").unwrap_err(),
+            PersistError::Truncated
+        );
         assert_eq!(
             load_cutoff_map(&[0u8; 64]).unwrap_err(),
             PersistError::BadMagic

@@ -36,7 +36,9 @@ pub struct Prefetcher {
 
 impl Default for Prefetcher {
     fn default() -> Self {
-        Prefetcher { horizon_factor: 1.0 }
+        Prefetcher {
+            horizon_factor: 1.0,
+        }
     }
 }
 
@@ -45,16 +47,14 @@ impl Prefetcher {
     /// (need not be normalized). The anchor is the grid point one reuse
     /// radius (`dist_thresh × horizon_factor`, at least one grid step)
     /// ahead; targets are the anchor and its three forward neighbors.
-    pub fn plan(
-        &self,
-        grid: &GridSpec,
-        pos: Vec2,
-        dir: Vec2,
-        dist_thresh: f64,
-    ) -> PrefetchPlan {
+    pub fn plan(&self, grid: &GridSpec, pos: Vec2, dir: Vec2, dist_thresh: f64) -> PrefetchPlan {
         let step = grid.spacing();
         let ahead = (dist_thresh * self.horizon_factor).max(step);
-        let dir = if dir.length() < 1e-12 { Vec2::new(0.0, 1.0) } else { dir.normalized() };
+        let dir = if dir.length() < 1e-12 {
+            Vec2::new(0.0, 1.0)
+        } else {
+            dir.normalized()
+        };
         let anchor_pos = pos + dir * ahead;
         let anchor = grid.snap(anchor_pos);
         // Forward neighbors: the three Moore neighbors of the anchor that
@@ -131,8 +131,7 @@ mod tests {
     #[test]
     fn targets_include_anchor_and_forward_neighbors() {
         let g = grid();
-        let plan =
-            Prefetcher::default().plan(&g, Vec2::new(50.0, 50.0), Vec2::new(0.0, 1.0), 2.0);
+        let plan = Prefetcher::default().plan(&g, Vec2::new(50.0, 50.0), Vec2::new(0.0, 1.0), 2.0);
         assert_eq!(plan.targets[0], plan.anchor);
         assert_eq!(plan.targets.len(), 4, "anchor + 3 forward neighbors");
         for t in &plan.targets[1..] {
@@ -152,12 +151,7 @@ mod tests {
     #[test]
     fn anchor_clamped_at_world_edge() {
         let g = grid();
-        let plan = Prefetcher::default().plan(
-            &g,
-            Vec2::new(50.0, 99.4),
-            Vec2::new(0.0, 1.0),
-            10.0,
-        );
+        let plan = Prefetcher::default().plan(&g, Vec2::new(50.0, 99.4), Vec2::new(0.0, 1.0), 10.0);
         assert!(g.contains(plan.anchor));
         for t in &plan.targets {
             assert!(g.contains(*t));
@@ -169,7 +163,11 @@ mod tests {
         let g = grid();
         let pos = Vec2::new(50.0, 50.0);
         let plan = Prefetcher::default().plan(&g, pos, Vec2::new(1.0, 0.0), 0.01);
-        assert_ne!(plan.anchor, g.snap(pos), "anchor must move at least one step");
+        assert_ne!(
+            plan.anchor,
+            g.snap(pos),
+            "anchor must move at least one step"
+        );
     }
 
     #[test]
@@ -182,8 +180,7 @@ mod tests {
             &CutoffConfig::for_spec(&spec),
             1,
         );
-        let mut cache: FrameCache<()> =
-            FrameCache::new(CacheConfig::infinite(CacheVersion::V3));
+        let mut cache: FrameCache<()> = FrameCache::new(CacheConfig::infinite(CacheVersion::V3));
         let prefetcher = Prefetcher::default();
         let pos = scene.bounds().center();
         let plan = prefetcher.plan(scene.grid(), pos, Vec2::new(0.0, 1.0), 0.5);

@@ -46,8 +46,16 @@ impl ThermalModel {
     /// Panics if `tau_s` or `resistance_c_per_w` is not positive.
     pub fn new(ambient_c: f64, resistance_c_per_w: f64, tau_s: f64) -> Self {
         assert!(tau_s > 0.0, "thermal time constant must be positive");
-        assert!(resistance_c_per_w > 0.0, "thermal resistance must be positive");
-        ThermalModel { ambient_c, resistance_c_per_w, tau_s, temperature_c: ambient_c }
+        assert!(
+            resistance_c_per_w > 0.0,
+            "thermal resistance must be positive"
+        );
+        ThermalModel {
+            ambient_c,
+            resistance_c_per_w,
+            tau_s,
+            temperature_c: ambient_c,
+        }
     }
 
     /// Current SoC temperature, °C.
@@ -94,7 +102,11 @@ mod tests {
             last = m.temperature_c();
         }
         let ss = m.steady_state_c(4.0);
-        assert!((m.temperature_c() - ss).abs() < 1.0, "{} vs {ss}", m.temperature_c());
+        assert!(
+            (m.temperature_c() - ss).abs() < 1.0,
+            "{} vs {ss}",
+            m.temperature_c()
+        );
     }
 
     #[test]

@@ -45,12 +45,21 @@ impl ThrottleGovernor {
     /// Panics if `resume_c >= limit_c` or `throttled_scale` is not in
     /// `(0, 1]`.
     pub fn new(thermal: ThermalModel, limit_c: f64, resume_c: f64, throttled_scale: f64) -> Self {
-        assert!(resume_c < limit_c, "hysteresis band must be below the limit");
+        assert!(
+            resume_c < limit_c,
+            "hysteresis band must be below the limit"
+        );
         assert!(
             throttled_scale > 0.0 && throttled_scale <= 1.0,
             "throttle scale must be in (0, 1]"
         );
-        ThrottleGovernor { thermal, limit_c, resume_c, throttled_scale, throttled: false }
+        ThrottleGovernor {
+            thermal,
+            limit_c,
+            resume_c,
+            throttled_scale,
+            throttled: false,
+        }
     }
 
     /// Current SoC temperature, °C.
@@ -158,7 +167,10 @@ mod tests {
             g.step(9.0, 10.0);
             max_t = max_t.max(g.temperature_c());
         }
-        assert!(max_t < 56.0, "governor failed to bound temperature: {max_t:.1}");
+        assert!(
+            max_t < 56.0,
+            "governor failed to bound temperature: {max_t:.1}"
+        );
     }
 
     #[test]

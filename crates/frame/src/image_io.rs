@@ -49,16 +49,25 @@ pub fn read_pgm(data: &[u8]) -> io::Result<LumaFrame> {
             *pos += 1;
         }
         if start == *pos {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated header"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "truncated header",
+            ));
         }
         Ok(String::from_utf8_lossy(&data[start..*pos]).into_owned())
     };
     if token(data, &mut pos)? != "P5" {
         return Err(bad("not a binary PGM"));
     }
-    let width: u32 = token(data, &mut pos)?.parse().map_err(|_| bad("bad width"))?;
-    let height: u32 = token(data, &mut pos)?.parse().map_err(|_| bad("bad height"))?;
-    let maxval: u32 = token(data, &mut pos)?.parse().map_err(|_| bad("bad maxval"))?;
+    let width: u32 = token(data, &mut pos)?
+        .parse()
+        .map_err(|_| bad("bad width"))?;
+    let height: u32 = token(data, &mut pos)?
+        .parse()
+        .map_err(|_| bad("bad height"))?;
+    let maxval: u32 = token(data, &mut pos)?
+        .parse()
+        .map_err(|_| bad("bad maxval"))?;
     if maxval != 255 {
         return Err(bad("only maxval 255 supported"));
     }
@@ -67,7 +76,9 @@ pub fn read_pgm(data: &[u8]) -> io::Result<LumaFrame> {
     }
     pos += 1; // single whitespace after maxval
     let need = (width * height) as usize;
-    let payload = data.get(pos..pos + need).ok_or_else(|| bad("truncated payload"))?;
+    let payload = data
+        .get(pos..pos + need)
+        .ok_or_else(|| bad("truncated payload"))?;
     Ok(LumaFrame::from_u8(width, height, payload))
 }
 

@@ -33,7 +33,11 @@ impl LumaFrame {
     /// Panics if either dimension is zero.
     pub fn filled(width: u32, height: u32, value: f32) -> Self {
         assert!(width > 0 && height > 0, "frame dimensions must be non-zero");
-        LumaFrame { width, height, data: vec![value; (width * height) as usize] }
+        LumaFrame {
+            width,
+            height,
+            data: vec![value; (width * height) as usize],
+        }
     }
 
     /// Builds a frame from a pixel generator called as `f(x, y)`.
@@ -60,7 +64,11 @@ impl LumaFrame {
             (width * height) as usize,
             "data length must match dimensions"
         );
-        LumaFrame { width, height, data }
+        LumaFrame {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Frame width in pixels.
@@ -100,7 +108,10 @@ impl LumaFrame {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, x: u32, y: u32) -> f32 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[(y * self.width + x) as usize]
     }
 
@@ -111,7 +122,10 @@ impl LumaFrame {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, x: u32, y: u32, value: f32) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[(y * self.width + x) as usize] = value.clamp(0.0, 1.0);
     }
 

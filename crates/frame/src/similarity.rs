@@ -41,7 +41,10 @@ impl Default for SsimOptions {
 impl SsimOptions {
     /// A faster variant for bulk experiments: stride-2 window placement.
     pub fn fast() -> Self {
-        SsimOptions { stride: 2, ..Default::default() }
+        SsimOptions {
+            stride: 2,
+            ..Default::default()
+        }
     }
 
     fn kernel(&self) -> Vec<f64> {
@@ -139,8 +142,7 @@ fn ssim_map_with(a: &LumaFrame, b: &LumaFrame, opts: &SsimOptions) -> Vec<f64> {
             let var_b = (bb - mu_b * mu_b).max(0.0);
             let cov = ab - mu_a * mu_b;
             let numerator = (2.0 * mu_a * mu_b + opts.c1) * (2.0 * cov + opts.c2);
-            let denominator =
-                (mu_a * mu_a + mu_b * mu_b + opts.c1) * (var_a + var_b + opts.c2);
+            let denominator = (mu_a * mu_a + mu_b * mu_b + opts.c1) * (var_a + var_b + opts.c2);
             out.push(numerator / denominator);
             x += stride;
         }

@@ -140,7 +140,14 @@ impl Summary {
     fn from_sorted(sorted: &[f64]) -> Summary {
         let count = sorted.len();
         if count == 0 {
-            return Summary { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, median: 0.0, max: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                median: 0.0,
+                max: 0.0,
+            };
         }
         let mean = sorted.iter().sum::<f64>() / count as f64;
         let var = if count > 1 {
@@ -243,7 +250,9 @@ mod tests {
     fn paper_style_threshold_query() {
         // "percentage of BE frames that exhibit an SSIM value larger than
         // 0.90" — the Figure 1 y-axis reading.
-        let samples: Vec<f64> = (0..1000).map(|i| 0.85 + 0.10 * (i as f64 / 1000.0)).collect();
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| 0.85 + 0.10 * (i as f64 / 1000.0))
+            .collect();
         let cdf = Cdf::from_samples(samples);
         let above = cdf.fraction_above(0.90);
         assert!((above - 0.5).abs() < 0.01, "{above}");

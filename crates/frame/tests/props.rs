@@ -5,11 +5,10 @@ use proptest::prelude::*;
 
 /// Strategy: a small frame with arbitrary pixel content.
 fn frame_strategy() -> impl Strategy<Value = LumaFrame> {
-    (16u32..40, 16u32..40)
-        .prop_flat_map(|(w, h)| {
-            proptest::collection::vec(0.0f32..=1.0, (w * h) as usize)
-                .prop_map(move |data| LumaFrame::from_raw(w, h, data))
-        })
+    (16u32..40, 16u32..40).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(0.0f32..=1.0, (w * h) as usize)
+            .prop_map(move |data| LumaFrame::from_raw(w, h, data))
+    })
 }
 
 fn paired_frames() -> impl Strategy<Value = (LumaFrame, LumaFrame)> {
@@ -19,9 +18,7 @@ fn paired_frames() -> impl Strategy<Value = (LumaFrame, LumaFrame)> {
             proptest::collection::vec(0.0f32..=1.0, n),
             proptest::collection::vec(0.0f32..=1.0, n),
         )
-            .prop_map(move |(a, b)| {
-                (LumaFrame::from_raw(w, h, a), LumaFrame::from_raw(w, h, b))
-            })
+            .prop_map(move |(a, b)| (LumaFrame::from_raw(w, h, a), LumaFrame::from_raw(w, h, b)))
     })
 }
 

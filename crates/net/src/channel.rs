@@ -31,6 +31,18 @@ impl Delivery {
     }
 }
 
+/// Error returned when the network dropped a datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketLost;
+
+impl std::fmt::Display for PacketLost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "datagram lost by the network")
+    }
+}
+
+impl std::error::Error for PacketLost {}
+
 /// A lossy, jittery datagram channel.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DatagramChannel {
@@ -59,8 +71,14 @@ impl DatagramChannel {
     /// Panics if `loss_rate` is outside `[0, 1]` or latencies are
     /// negative.
     pub fn new(base_latency_ms: f64, jitter_ms: f64, loss_rate: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&loss_rate), "loss rate must be a probability");
-        assert!(base_latency_ms >= 0.0 && jitter_ms >= 0.0, "latencies must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&loss_rate),
+            "loss rate must be a probability"
+        );
+        assert!(
+            base_latency_ms >= 0.0 && jitter_ms >= 0.0,
+            "latencies must be non-negative"
+        );
         DatagramChannel {
             base_latency_ms,
             jitter_ms,
@@ -79,7 +97,30 @@ impl DatagramChannel {
             return Delivery::Lost;
         }
         let jitter = (self.rng.next_f64() * 2.0 - 1.0) * self.jitter_ms;
-        Delivery::Delivered { latency_ms: (self.base_latency_ms + jitter).max(0.0) }
+        Delivery::Delivered {
+            latency_ms: (self.base_latency_ms + jitter).max(0.0),
+        }
+    }
+
+    /// Sends one datagram and returns its one-way latency.
+    ///
+    /// A channel constructed with `loss_rate == 0.0` never loses
+    /// packets, so lossless callers can rely on `Ok`; a loss on such a
+    /// channel would indicate broken channel state and trips a debug
+    /// assertion rather than a runtime panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PacketLost`] when the network drops the datagram,
+    /// which happens with probability `loss_rate` per packet.
+    pub fn send_latency(&mut self) -> Result<f64, PacketLost> {
+        match self.send() {
+            Delivery::Delivered { latency_ms } => Ok(latency_ms),
+            Delivery::Lost => {
+                debug_assert!(self.loss_rate > 0.0, "zero-loss channel dropped a packet");
+                Err(PacketLost)
+            }
+        }
     }
 
     /// Packets sent so far.
@@ -126,7 +167,9 @@ mod noise_free_rng {
     impl DeterministicRng {
         /// Seeds the generator (zero is remapped).
         pub fn new(seed: u64) -> Self {
-            DeterministicRng { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1) }
+            DeterministicRng {
+                state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1),
+            }
         }
 
         /// Uniform `f64` in `[0, 1)`.
@@ -149,13 +192,55 @@ mod tests {
     fn latency_within_jitter_band() {
         let mut ch = DatagramChannel::new(2.0, 0.5, 0.0, 7);
         for _ in 0..1000 {
-            match ch.send() {
-                Delivery::Delivered { latency_ms } => {
+            // A zero-loss channel must always deliver; `send_latency`
+            // encodes that contract (debug_assert inside) so the test
+            // needs no panic arm for the impossible case.
+            let latency_ms = ch.send_latency().expect("lossless channel");
+            assert!((1.5..=2.5).contains(&latency_ms), "{latency_ms}");
+        }
+    }
+
+    #[test]
+    fn lossy_mode_returns_error_not_panic() {
+        // Certain loss: every send reports PacketLost as a value.
+        let mut ch = DatagramChannel::new(1.0, 0.0, 1.0, 9);
+        for _ in 0..50 {
+            assert_eq!(ch.send_latency(), Err(PacketLost));
+        }
+        assert_eq!(ch.lost(), 50);
+        assert_eq!(ch.loss_ratio(), 1.0);
+        assert_eq!(PacketLost.to_string(), "datagram lost by the network");
+    }
+
+    #[test]
+    fn lossy_mode_mixes_delivery_and_loss() {
+        let mut ch = DatagramChannel::new(2.0, 0.5, 0.3, 21);
+        let mut delivered = 0u32;
+        let mut lost = 0u32;
+        for _ in 0..2000 {
+            match ch.send_latency() {
+                Ok(latency_ms) => {
+                    delivered += 1;
                     assert!((1.5..=2.5).contains(&latency_ms), "{latency_ms}");
                 }
-                Delivery::Lost => panic!("lossless channel dropped a packet"),
+                Err(PacketLost) => lost += 1,
             }
         }
+        assert!(
+            delivered > 0 && lost > 0,
+            "{delivered} delivered / {lost} lost"
+        );
+        assert_eq!(u64::from(lost), ch.lost());
+        let observed = ch.loss_ratio();
+        assert!((0.25..0.35).contains(&observed), "loss {observed}");
+    }
+
+    #[test]
+    fn relay_sync_fails_under_loss() {
+        // With both hops lossy, some relayed syncs must fail outright.
+        let mut ch = DatagramChannel::new(1.2, 0.3, 0.5, 4);
+        let failed = (0..500).filter(|_| ch.relay_sync_ms().is_none()).count();
+        assert!(failed > 100, "only {failed}/500 syncs failed at 50% loss");
     }
 
     #[test]

@@ -31,7 +31,7 @@
 
 pub mod channel;
 
-pub use channel::{DatagramChannel, Delivery};
+pub use channel::{DatagramChannel, Delivery, PacketLost};
 
 use serde::{Deserialize, Serialize};
 
@@ -187,6 +187,115 @@ impl ThroughputMeter {
     }
 }
 
+/// Fleet-wide egress budget for admission control.
+///
+/// A serve fleet provisions a fixed downlink egress (the access points
+/// and uplinks behind all of its rooms' [`SharedLink`]s). Rooms ask the
+/// budget for bytes before prefetching; when a simulated-time window's
+/// spend would exceed the provisioned rate, admission is refused and
+/// the room degrades (lower quality scale) instead of oversubscribing
+/// the medium. Accounting uses tumbling windows of simulated time, so
+/// identical request sequences always produce identical decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetEgress {
+    budget_mbps: f64,
+    window_ms: f64,
+    window_start_ms: f64,
+    window_bytes: u64,
+    total_bytes: u64,
+    refused: u64,
+}
+
+impl FleetEgress {
+    /// A budget of `budget_mbps` accounted over 100 ms tumbling windows
+    /// (fine enough that a one-second burst cannot hide inside a
+    /// window, coarse enough to ride out single-frame spikes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_mbps` is not positive.
+    pub fn new(budget_mbps: f64) -> Self {
+        Self::with_window(budget_mbps, 100.0)
+    }
+
+    /// A budget with an explicit accounting window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_mbps` or `window_ms` is not positive.
+    pub fn with_window(budget_mbps: f64, window_ms: f64) -> Self {
+        assert!(budget_mbps > 0.0, "egress budget must be positive");
+        assert!(window_ms > 0.0, "accounting window must be positive");
+        FleetEgress {
+            budget_mbps,
+            window_ms,
+            window_start_ms: 0.0,
+            window_bytes: 0,
+            total_bytes: 0,
+            refused: 0,
+        }
+    }
+
+    /// Provisioned egress rate, Mbps.
+    pub fn budget_mbps(&self) -> f64 {
+        self.budget_mbps
+    }
+
+    /// Bytes the current window may still admit.
+    fn window_budget_bytes(&self) -> u64 {
+        // Mbps = 125 bytes per ms.
+        (self.budget_mbps * 125.0 * self.window_ms) as u64
+    }
+
+    fn roll_window(&mut self, now_ms: f64) {
+        if now_ms >= self.window_start_ms + self.window_ms {
+            // Tumbling windows: snap the start onto the window lattice
+            // so the roll instant does not depend on request arrival
+            // phase.
+            let windows = ((now_ms - self.window_start_ms) / self.window_ms).floor();
+            self.window_start_ms += windows * self.window_ms;
+            self.window_bytes = 0;
+        }
+    }
+
+    /// Requests admission for a transfer of `bytes` at `now_ms`.
+    ///
+    /// Returns `true` (and charges the window) if the spend fits in the
+    /// provisioned rate, `false` (nothing charged) if it would exceed
+    /// it. A single transfer larger than a whole window's budget is
+    /// admitted when the window is empty — otherwise it could never be
+    /// served at all.
+    pub fn admit(&mut self, now_ms: f64, bytes: u64) -> bool {
+        self.roll_window(now_ms);
+        let fits =
+            self.window_bytes + bytes <= self.window_budget_bytes() || self.window_bytes == 0;
+        if fits {
+            self.window_bytes += bytes;
+            self.total_bytes += bytes;
+        } else {
+            self.refused += 1;
+        }
+        fits
+    }
+
+    /// Fraction of the current window's budget already spent (may
+    /// exceed 1.0 after an oversized first-in-window admission).
+    pub fn utilization(&mut self, now_ms: f64) -> f64 {
+        self.roll_window(now_ms);
+        self.window_bytes as f64 / self.window_budget_bytes().max(1) as f64
+    }
+
+    /// Total bytes admitted over the budget's lifetime.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Number of refused admission requests.
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,7 +305,11 @@ mod tests {
         let mut link = SharedLink::new(500.0, 0.0, 1);
         // 500 Mbps = 62.5 KB per ms; 625 KB should take 10 ms.
         let t = link.transfer(0.0, 625_000);
-        assert!((t.completed_at_ms - 10.0).abs() < 1e-9, "{}", t.completed_at_ms);
+        assert!(
+            (t.completed_at_ms - 10.0).abs() < 1e-9,
+            "{}",
+            t.completed_at_ms
+        );
     }
 
     #[test]
@@ -277,7 +390,7 @@ mod tests {
         let mut m = ThroughputMeter::new();
         m.record(0.0, 625_000); // 5 Mbit
         m.record(500.0, 625_000); // 5 Mbit
-        // 10 Mbit over 1 s = 10 Mbps.
+                                  // 10 Mbit over 1 s = 10 Mbps.
         assert!((m.mbps_over(1000.0) - 10.0).abs() < 1e-9);
         assert!((m.kbps_over(1000.0) - 10_000.0).abs() < 1e-6);
         assert_eq!(m.bytes(), 1_250_000);
@@ -298,5 +411,57 @@ mod tests {
         link.reset_queue();
         assert_eq!(link.busy_until_ms(), 0.0);
         assert!(link.total_bytes() > 0, "accounting preserved");
+    }
+
+    #[test]
+    fn egress_admits_within_budget() {
+        // 100 Mbps over 100 ms windows = 1.25 MB per window.
+        let mut egress = FleetEgress::new(100.0);
+        assert!(egress.admit(0.0, 500_000));
+        assert!(egress.admit(10.0, 500_000));
+        assert!(egress.admit(20.0, 250_000));
+        // Window full: the next request in the same window is refused.
+        assert!(!egress.admit(30.0, 500_000));
+        assert_eq!(egress.refused(), 1);
+        assert_eq!(egress.total_bytes(), 1_250_000);
+        assert!((egress.utilization(30.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn egress_window_rolls_with_time() {
+        let mut egress = FleetEgress::new(100.0);
+        assert!(egress.admit(0.0, 1_250_000));
+        assert!(!egress.admit(50.0, 1));
+        // Next window: budget is fresh again.
+        assert!(egress.admit(100.0, 1_250_000));
+        assert_eq!(egress.utilization(250.0), 0.0);
+    }
+
+    #[test]
+    fn egress_oversized_transfer_admitted_when_window_empty() {
+        let mut egress = FleetEgress::with_window(10.0, 10.0); // 12.5 KB/window
+        assert!(
+            egress.admit(0.0, 1_000_000),
+            "must not deadlock on big frames"
+        );
+        assert!(egress.utilization(0.0) > 1.0);
+        assert!(!egress.admit(1.0, 100));
+    }
+
+    #[test]
+    fn egress_decisions_are_deterministic() {
+        let run = || {
+            let mut egress = FleetEgress::new(250.0);
+            (0..400)
+                .map(|i| egress.admit(i as f64 * 3.7, 90_000 + (i % 7) * 10_000))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "egress budget must be positive")]
+    fn egress_zero_budget_rejected() {
+        let _ = FleetEgress::new(0.0);
     }
 }

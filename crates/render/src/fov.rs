@@ -24,7 +24,11 @@ pub struct FovOptions {
 impl Default for FovOptions {
     /// A Daydream-like viewport: 100° horizontal FoV at 16:9.
     fn default() -> Self {
-        FovOptions { width: 160, height: 90, hfov: 100.0_f64.to_radians() }
+        FovOptions {
+            width: 160,
+            height: 90,
+            hfov: 100.0_f64.to_radians(),
+        }
     }
 }
 
@@ -114,13 +118,20 @@ mod tests {
         let up = opts.crop(&pano, 0.0, 0.6);
         let c_level = level.get(opts.width / 2, opts.height / 2);
         let c_up = up.get(opts.width / 2, opts.height / 2);
-        assert!(c_up < c_level, "pitching up should sample smaller y: {c_up} vs {c_level}");
+        assert!(
+            c_up < c_level,
+            "pitching up should sample smaller y: {c_up} vs {c_level}"
+        );
     }
 
     #[test]
     fn any_orientation_stays_in_range() {
         let pano = gradient_pano();
-        let opts = FovOptions { width: 64, height: 36, hfov: 1.8 };
+        let opts = FovOptions {
+            width: 64,
+            height: 36,
+            hfov: 1.8,
+        };
         for i in 0..12 {
             let yaw = i as f64 * 0.55 - 3.0;
             let pitch = (i as f64 * 0.2 - 1.0).clamp(-1.3, 1.3);
@@ -140,7 +151,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "hfov must be in")]
     fn invalid_hfov_rejected() {
-        let opts = FovOptions { width: 8, height: 8, hfov: 4.0 };
+        let opts = FovOptions {
+            width: 8,
+            height: 8,
+            hfov: 4.0,
+        };
         let _ = opts.crop(&gradient_pano(), 0.0, 0.0);
     }
 

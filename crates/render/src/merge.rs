@@ -24,7 +24,11 @@ use coterie_frame::LumaFrame;
 /// Panics if the layers have different dimensions.
 pub fn merge(near: &Panorama, far: &Panorama) -> LumaFrame {
     assert_eq!(near.frame.width(), far.frame.width(), "layer widths differ");
-    assert_eq!(near.frame.height(), far.frame.height(), "layer heights differ");
+    assert_eq!(
+        near.frame.height(),
+        far.frame.height(),
+        "layer heights differ"
+    );
     let w = near.frame.width();
     let h = near.frame.height();
     let mut out = LumaFrame::new(w, h);
@@ -50,7 +54,10 @@ mod tests {
             frame: LumaFrame::filled(4, 2, 1.0),
             mask: vec![1, 0, 1, 0, 1, 0, 1, 0],
         };
-        let far = Panorama { frame: LumaFrame::filled(4, 2, 0.25), mask: vec![1; 8] };
+        let far = Panorama {
+            frame: LumaFrame::filled(4, 2, 0.25),
+            mask: vec![1; 8],
+        };
         let merged = merge(&near, &far);
         assert_eq!(merged.get(0, 0), 1.0);
         assert_eq!(merged.get(1, 0), 0.25);
@@ -81,8 +88,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "widths differ")]
     fn mismatched_layers_panic() {
-        let a = Panorama { frame: LumaFrame::new(4, 4), mask: vec![0; 16] };
-        let b = Panorama { frame: LumaFrame::new(5, 4), mask: vec![0; 20] };
+        let a = Panorama {
+            frame: LumaFrame::new(4, 4),
+            mask: vec![0; 16],
+        };
+        let b = Panorama {
+            frame: LumaFrame::new(5, 4),
+            mask: vec![0; 20],
+        };
         let _ = merge(&a, &b);
     }
 

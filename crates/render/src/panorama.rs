@@ -82,7 +82,11 @@ impl Default for RenderOptions {
 impl RenderOptions {
     /// A reduced-resolution profile for bulk similarity sweeps.
     pub fn fast() -> Self {
-        RenderOptions { width: 192, height: 96, ..Default::default() }
+        RenderOptions {
+            width: 192,
+            height: 96,
+            ..Default::default()
+        }
     }
 }
 
@@ -171,8 +175,8 @@ impl Renderer {
     /// Direction of the panorama pixel center `(px, py)`.
     #[inline]
     fn pixel_dir(&self, px: u32, py: u32) -> Vec3 {
-        let azimuth =
-            ((px as f64 + 0.5) / self.opts.width as f64) * std::f64::consts::TAU - std::f64::consts::PI;
+        let azimuth = ((px as f64 + 0.5) / self.opts.width as f64) * std::f64::consts::TAU
+            - std::f64::consts::PI;
         let elevation = std::f64::consts::FRAC_PI_2
             - ((py as f64 + 0.5) / self.opts.height as f64) * std::f64::consts::PI;
         let (sa, ca) = azimuth.sin_cos();
@@ -227,22 +231,19 @@ impl Renderer {
                     let azimuth = dir.x.atan2(dir.z);
                     let elevation = dir.y.asin();
                     let ridge = 0.02
-                        + 0.06
-                            * value_noise(mountain_seed, azimuth * 2.2 + 9.0, 0.0)
+                        + 0.06 * value_noise(mountain_seed, azimuth * 2.2 + 9.0, 0.0)
                         + 0.03 * value_noise(mountain_seed ^ 1, azimuth * 7.0, 0.3);
                     let v = if elevation < ridge {
                         // Mountain band.
                         (0.45
                             + 0.12
-                                * value_noise(
-                                    mountain_seed ^ 2,
-                                    azimuth * 5.0,
-                                    elevation * 30.0,
-                                )) as f32
+                                * value_noise(mountain_seed ^ 2, azimuth * 5.0, elevation * 30.0))
+                            as f32
                     } else {
                         // Sky gradient with faint clouds.
                         let t = (elevation / std::f64::consts::FRAC_PI_2).clamp(0.0, 1.0);
-                        (0.80 + 0.12 * t
+                        (0.80
+                            + 0.12 * t
                             + 0.05 * value_noise(mountain_seed ^ 3, azimuth * 3.0, elevation * 6.0))
                             as f32
                     };
@@ -313,7 +314,11 @@ impl Renderer {
             }
             ObjectKind::Cylinder | ObjectKind::Box => {
                 let ground_dist = v.ground().length().max(1e-6);
-                let widen = if obj.kind == ObjectKind::Box { 1.3 } else { 1.0 };
+                let widen = if obj.kind == ObjectKind::Box {
+                    1.3
+                } else {
+                    1.0
+                };
                 let a = ((obj.radius * widen / ground_dist).min(1.0)).asin();
                 let base = (obj.position.y - eye.y).atan2(ground_dist);
                 let top = (obj.position.y + obj.height - eye.y).atan2(ground_dist);
@@ -466,10 +471,7 @@ mod tests {
         // Find a location with nearby objects.
         let mut probe = scene.bounds().center();
         'search: for i in 0..400 {
-            let p = Vec2::new(
-                10.0 + (i % 20) as f64 * 8.5,
-                10.0 + (i / 20) as f64 * 5.5,
-            );
+            let p = Vec2::new(10.0 + (i % 20) as f64 * 8.5, 10.0 + (i / 20) as f64 * 5.5);
             if scene.bounds().contains(p) && scene.triangles_within(p, 6.0) > 20_000 {
                 probe = p;
                 break 'search;
@@ -529,8 +531,7 @@ mod tests {
             kind: ObjectKind::Cylinder,
             texture_seed: 1,
         };
-        let without =
-            r.render_panorama(&scene, eye, RenderFilter::FarOnly { cutoff: 50.0 });
+        let without = r.render_panorama(&scene, eye, RenderFilter::FarOnly { cutoff: 50.0 });
         let with = r.render_panorama_with(
             &scene,
             eye,

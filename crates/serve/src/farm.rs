@@ -1,0 +1,226 @@
+//! The work-stealing pre-render farm.
+//!
+//! Every store miss means the fleet's render server had to produce a
+//! far-BE panorama on demand. The farm turns each such miss into
+//! *speculative* work as well: it pre-renders frames at neighbouring
+//! positions inside the same leaf region, so the next room to walk
+//! through that area hits the store instead of stalling a GPU. Frames
+//! whose triangle loads differ by orders of magnitude make per-job cost
+//! wildly non-uniform, which is exactly the workload
+//! [`coterie_sim::parallel::par_map_ws`] (shared-counter claiming +
+//! per-worker crossbeam deques) exists for — one monster panorama must
+//! not straggle a whole batch.
+//!
+//! Rendering here is simulated: jobs produce a deterministic cost in
+//! GPU-milliseconds (a function of encoded size), which the fleet
+//! aggregates into the pre-render GPU-hours metric the shared-store
+//! comparison reports.
+
+use crate::store::SharedFrameStore;
+use coterie_core::FrameMeta;
+use coterie_sim::parallel::par_map_ws;
+use coterie_world::{GameId, GridPoint, Vec2};
+
+/// Fixed per-panorama server render overhead, GPU-ms (scheduling,
+/// state changes). The size-dependent part comes on top.
+pub const PRERENDER_BASE_MS: f64 = 2.0;
+
+/// GPU-ms per encoded megabyte of panorama — larger frames cover more
+/// geometry and cost proportionally more to render and encode.
+pub const PRERENDER_MS_PER_MB: f64 = 9.0;
+
+/// Simulated GPU cost of rendering one far-BE panorama of `bytes`
+/// encoded size, ms.
+pub fn render_cost_ms(bytes: u64) -> f64 {
+    PRERENDER_BASE_MS + PRERENDER_MS_PER_MB * bytes as f64 / 1_000_000.0
+}
+
+/// One speculative render job: a frame the farm should have ready in
+/// the store, with which store to backfill (isolated fleets run one
+/// store per room).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrerenderJob {
+    /// Index of the target store in the fleet's store list.
+    pub store: usize,
+    /// Game the frame belongs to.
+    pub game: GameId,
+    /// Frame identity (grid point, position, leaf, near set).
+    pub meta: FrameMeta,
+    /// Encoded size the frame would have, bytes.
+    pub bytes: u64,
+}
+
+/// Batching pre-render farm. Jobs accumulate during an epoch and are
+/// rendered in one work-stealing sweep at the epoch boundary.
+#[derive(Debug, Default)]
+pub struct PrerenderFarm {
+    jobs: Vec<PrerenderJob>,
+    gpu_ms: f64,
+    rendered: u64,
+}
+
+impl PrerenderFarm {
+    /// An empty farm.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues the speculative neighbours of a missed frame: two
+    /// positions straddling the miss along x at half the leaf's
+    /// `dist_thresh`, so each covers queries the original frame's match
+    /// radius does not. Frames are rendered under the requesting
+    /// client's near set (the only set a lookup with that near hash can
+    /// ever ask for). A zero `dist_thresh` (exact-match traffic) makes
+    /// speculation pointless and queues nothing.
+    pub fn enqueue_neighbors(
+        &mut self,
+        store: usize,
+        game: GameId,
+        meta: FrameMeta,
+        bytes: u64,
+        dist_thresh: f64,
+    ) {
+        if dist_thresh <= 0.0 {
+            return;
+        }
+        let step = dist_thresh * 0.5;
+        for (dx, dgrid) in [(-step, -1), (step, 1)] {
+            self.jobs.push(PrerenderJob {
+                store,
+                game,
+                meta: FrameMeta {
+                    grid: GridPoint::new(meta.grid.ix + dgrid, meta.grid.iz),
+                    pos: Vec2::new(meta.pos.x + dx, meta.pos.z),
+                    leaf: meta.leaf,
+                    near_hash: meta.near_hash,
+                },
+                bytes,
+            });
+        }
+    }
+
+    /// Jobs currently queued.
+    pub fn pending(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Total simulated render time spent so far, GPU-ms.
+    pub fn gpu_ms(&self) -> f64 {
+        self.gpu_ms
+    }
+
+    /// Total simulated render time spent so far, GPU-hours.
+    pub fn gpu_hours(&self) -> f64 {
+        self.gpu_ms / 3_600_000.0
+    }
+
+    /// Frames actually rendered (deduplicated jobs only).
+    pub fn rendered(&self) -> u64 {
+        self.rendered
+    }
+
+    /// Renders the queued batch with work-stealing parallelism and
+    /// backfills the stores.
+    ///
+    /// Duplicate jobs (same store, game, leaf and grid point) are
+    /// dropped before rendering — concurrent rooms walking the same
+    /// area request the same neighbours. Store insertion happens
+    /// serially in job order afterwards, so a fleet that queues jobs in
+    /// room-id order gets identical store contents on every run no
+    /// matter how the render sweep was scheduled across workers.
+    pub fn drain_into(&mut self, stores: &[&SharedFrameStore]) {
+        if self.jobs.is_empty() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.jobs);
+        let mut seen = std::collections::HashSet::new();
+        batch.retain(|j| {
+            seen.insert((
+                j.store,
+                j.game,
+                j.meta.leaf.0,
+                j.meta.grid.ix,
+                j.meta.grid.iz,
+            ))
+        });
+        // The render sweep: per-item cost varies with frame size, so
+        // dynamic claiming keeps workers busy even when one leaf's
+        // panoramas dwarf the rest.
+        let costs = par_map_ws(&batch, |job| render_cost_ms(job.bytes));
+        for (job, cost) in batch.iter().zip(&costs) {
+            // The store skips frames already covered (e.g. the mirror
+            // neighbour of an adjacent miss): those cost nothing — the
+            // server checks the store before rendering.
+            if stores[job.store].insert(job.game, job.meta, job.bytes) {
+                self.gpu_ms += cost;
+                self.rendered += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use coterie_core::CacheQuery;
+    use coterie_world::LeafId;
+
+    fn miss_meta() -> FrameMeta {
+        FrameMeta {
+            grid: GridPoint::new(100, 50),
+            pos: Vec2::new(10.0, 5.0),
+            leaf: LeafId(2),
+            near_hash: 77,
+        }
+    }
+
+    #[test]
+    fn backfill_makes_neighbors_hit() {
+        let store = SharedFrameStore::new(StoreConfig::default());
+        let mut farm = PrerenderFarm::new();
+        farm.enqueue_neighbors(0, GameId::VikingVillage, miss_meta(), 400_000, 0.4);
+        assert_eq!(farm.pending(), 2);
+        farm.drain_into(&[&store]);
+        assert_eq!(farm.pending(), 0);
+        assert_eq!(farm.rendered(), 2);
+        assert!(farm.gpu_hours() > 0.0);
+        // A query 0.2 m to the side of the miss now hits.
+        let q = CacheQuery {
+            grid: GridPoint::new(102, 50),
+            pos: Vec2::new(10.2, 5.0),
+            leaf: LeafId(2),
+            near_hash: 77,
+            dist_thresh: 0.1,
+        };
+        assert!(store.lookup(GameId::VikingVillage, &q));
+    }
+
+    #[test]
+    fn duplicate_jobs_render_once() {
+        let store = SharedFrameStore::new(StoreConfig::default());
+        let mut farm = PrerenderFarm::new();
+        for _ in 0..5 {
+            farm.enqueue_neighbors(0, GameId::VikingVillage, miss_meta(), 400_000, 0.4);
+        }
+        assert_eq!(farm.pending(), 10);
+        farm.drain_into(&[&store]);
+        assert_eq!(farm.rendered(), 2, "same neighbours must render once");
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn exact_match_traffic_is_not_speculated() {
+        let mut farm = PrerenderFarm::new();
+        farm.enqueue_neighbors(0, GameId::Fps, miss_meta(), 400_000, 0.0);
+        assert_eq!(farm.pending(), 0);
+    }
+
+    #[test]
+    fn cost_model_grows_with_size() {
+        assert!(render_cost_ms(2_000_000) > render_cost_ms(100_000));
+        assert!(
+            (render_cost_ms(1_000_000) - (PRERENDER_BASE_MS + PRERENDER_MS_PER_MB)).abs() < 1e-12
+        );
+    }
+}

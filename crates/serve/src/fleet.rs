@@ -1,0 +1,283 @@
+//! The fleet runtime: many rooms, one store, one egress budget.
+//!
+//! [`Fleet::run`] drives every room in lockstep *epochs* of simulated
+//! time. Within an epoch rooms are visited in id order and each advances
+//! its session to the epoch boundary; at the boundary the pre-render
+//! farm drains its speculative batch and every room runs its quality
+//! controller. Serializing the store transactions this way makes the
+//! whole run a pure function of the [`FleetConfig`] — the same seed
+//! always produces a byte-identical [`FleetMetrics`] report — while
+//! room *construction* (world building and the render measurement pass,
+//! by far the expensive part) still fans out across cores.
+
+use crate::farm::PrerenderFarm;
+use crate::metrics::FleetMetrics;
+use crate::room::{Room, RoomReport};
+use crate::store::{SharedFrameStore, StoreConfig, StoreStats};
+use coterie_net::FleetEgress;
+use coterie_sim::parallel::par_map_ws;
+use coterie_sim::{SessionConfig, SystemKind};
+use coterie_world::GameId;
+
+/// Fleet composition and resource provisioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of concurrent rooms.
+    pub rooms: usize,
+    /// Players per room.
+    pub players: usize,
+    /// Games hosted; rooms cycle through this list, and only rooms of
+    /// the same game share frames.
+    pub games: Vec<GameId>,
+    /// Simulated session length per room, seconds.
+    pub duration_s: f64,
+    /// Master seed. Each game's world derives from this; each room gets
+    /// a distinct trajectory seed on top.
+    pub seed: u64,
+    /// `true` = one store shared by all rooms (the tentpole design);
+    /// `false` = one isolated store per room with an equal slice of the
+    /// byte budget (the baseline the shared design is compared to).
+    pub shared_store: bool,
+    /// Total frame-store byte budget (split evenly in isolated mode).
+    pub store_bytes: u64,
+    /// Store shard count.
+    pub store_shards: usize,
+    /// Provisioned fleet downlink egress, Mbps.
+    pub egress_mbps: f64,
+    /// Epoch length, simulated ms.
+    pub epoch_ms: f64,
+    /// Bounded per-room store-transaction queue (per epoch).
+    pub queue_depth: usize,
+    /// Measurement-pass samples per player (smaller = faster room
+    /// construction, coarser size model).
+    pub size_samples: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            rooms: 8,
+            players: 2,
+            games: vec![GameId::VikingVillage],
+            duration_s: 10.0,
+            seed: 7,
+            shared_store: true,
+            store_bytes: 256 * 1024 * 1024,
+            store_shards: 16,
+            egress_mbps: 2000.0,
+            epoch_ms: 100.0,
+            queue_depth: 32,
+            size_samples: 8,
+        }
+    }
+}
+
+/// Outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Aggregated fleet metrics.
+    pub metrics: FleetMetrics,
+    /// Per-room detail, in room-id order.
+    pub rooms: Vec<RoomReport>,
+    /// Final store counters (summed across stores in isolated mode).
+    pub store_stats: StoreStats,
+}
+
+/// The fleet runtime.
+pub struct Fleet {
+    config: FleetConfig,
+    rooms: Vec<Room>,
+    stores: Vec<SharedFrameStore>,
+    egress: FleetEgress,
+    farm: PrerenderFarm,
+}
+
+impl Fleet {
+    /// Builds every room (in parallel — construction dominates) and
+    /// provisions the store(s) and egress budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no rooms, no games, a non-positive
+    /// duration or a zero store budget.
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.rooms > 0, "fleet needs at least one room");
+        assert!(!config.games.is_empty(), "fleet needs at least one game");
+        assert!(config.duration_s > 0.0, "duration must be positive");
+        let session_configs: Vec<SessionConfig> = (0..config.rooms)
+            .map(|room_id| {
+                let game = config.games[room_id % config.games.len()];
+                let mut cfg =
+                    SessionConfig::new(game, SystemKind::coterie(), config.players)
+                        .with_duration_s(config.duration_s)
+                        // One world per (game, master seed)…
+                        .with_seed(config.seed)
+                        // …distinct movement per room.
+                        .with_trace_seed(config.seed.wrapping_add(
+                            (room_id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        ));
+                cfg.size_samples = config.size_samples.max(1);
+                cfg
+            })
+            .collect();
+        // Work-stealing construction: room build cost varies a lot by
+        // game (scene complexity, trace length), the exact non-uniform
+        // workload par_map_ws exists for. Results come back in input
+        // order, so parallelism cannot perturb room identity.
+        let rooms: Vec<Room> = {
+            let queue_depth = config.queue_depth;
+            let indexed: Vec<(usize, SessionConfig)> =
+                session_configs.into_iter().enumerate().collect();
+            par_map_ws(&indexed, |(id, cfg)| Room::new(*id, *cfg, queue_depth))
+        };
+        let stores = if config.shared_store {
+            vec![SharedFrameStore::new(StoreConfig {
+                capacity_bytes: config.store_bytes,
+                shards: config.store_shards,
+            })]
+        } else {
+            (0..config.rooms)
+                .map(|_| {
+                    SharedFrameStore::new(StoreConfig {
+                        capacity_bytes: (config.store_bytes / config.rooms as u64).max(1),
+                        shards: config.store_shards,
+                    })
+                })
+                .collect()
+        };
+        let egress = FleetEgress::new(config.egress_mbps);
+        Fleet {
+            config,
+            rooms,
+            stores,
+            egress,
+            farm: PrerenderFarm::new(),
+        }
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs every room to completion and aggregates the report.
+    pub fn run(mut self) -> FleetReport {
+        let epoch_ms = self.config.epoch_ms.max(1.0);
+        let mut epoch = 0u64;
+        while self.rooms.iter().any(|r| !r.finished()) {
+            let end = (epoch + 1) as f64 * epoch_ms;
+            for (i, room) in self.rooms.iter_mut().enumerate() {
+                let store_idx = if self.config.shared_store { 0 } else { i };
+                room.tick(
+                    end,
+                    &self.stores[store_idx],
+                    store_idx,
+                    &mut self.egress,
+                    &mut self.farm,
+                );
+            }
+            // Epoch boundary: speculative renders land, controllers run.
+            let store_refs: Vec<&SharedFrameStore> = self.stores.iter().collect();
+            self.farm.drain_into(&store_refs);
+            for room in &mut self.rooms {
+                room.end_epoch();
+            }
+            epoch += 1;
+        }
+        let reports: Vec<RoomReport> = self.rooms.into_iter().map(Room::finish).collect();
+        let store_stats =
+            self.stores
+                .iter()
+                .map(SharedFrameStore::stats)
+                .fold(StoreStats::default(), |a, b| StoreStats {
+                    hits: a.hits + b.hits,
+                    misses: a.misses + b.misses,
+                    insertions: a.insertions + b.insertions,
+                    duplicates: a.duplicates + b.duplicates,
+                    evictions: a.evictions + b.evictions,
+                });
+        let metrics =
+            FleetMetrics::from_run(&reports, store_stats, &self.farm, self.config.duration_s);
+        FleetReport {
+            metrics,
+            rooms: reports,
+            store_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(rooms: usize, shared: bool) -> FleetConfig {
+        FleetConfig {
+            rooms,
+            players: 2,
+            duration_s: 4.0,
+            shared_store: shared,
+            size_samples: 4,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_runs_all_rooms_to_completion() {
+        let report = Fleet::new(tiny(3, true)).run();
+        assert_eq!(report.rooms.len(), 3);
+        assert_eq!(report.metrics.rooms, 3);
+        assert_eq!(report.metrics.players, 2);
+        assert!(
+            report.metrics.fps_p50 > 30.0,
+            "p50 {}",
+            report.metrics.fps_p50
+        );
+        assert!(report.metrics.fps_p99 <= report.metrics.fps_p50);
+        assert!(report.metrics.egress_mbps > 0.0);
+        assert!(report.metrics.prerender_gpu_hours > 0.0);
+        assert!(report.metrics.peak_temperature_c > 0.0);
+        for (i, room) in report.rooms.iter().enumerate() {
+            assert_eq!(room.id, i);
+        }
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic() {
+        let a = Fleet::new(tiny(3, true)).run();
+        let b = Fleet::new(tiny(3, true)).run();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.store_stats, b.store_stats);
+        assert_eq!(format!("{}", a.metrics), format!("{}", b.metrics));
+    }
+
+    #[test]
+    fn shared_store_beats_isolated_stores() {
+        let shared = Fleet::new(tiny(4, true)).run();
+        let isolated = Fleet::new(tiny(4, false)).run();
+        assert!(
+            shared.metrics.store_hit_ratio > isolated.metrics.store_hit_ratio,
+            "shared {:.4} vs isolated {:.4}",
+            shared.metrics.store_hit_ratio,
+            isolated.metrics.store_hit_ratio
+        );
+        assert!(
+            shared.metrics.prerender_gpu_hours < isolated.metrics.prerender_gpu_hours,
+            "shared {:.6} vs isolated {:.6} GPU-hours",
+            shared.metrics.prerender_gpu_hours,
+            isolated.metrics.prerender_gpu_hours
+        );
+    }
+
+    #[test]
+    fn mixed_games_stay_isolated_per_game() {
+        let config = FleetConfig {
+            games: vec![GameId::VikingVillage, GameId::Fps],
+            ..tiny(2, true)
+        };
+        let report = Fleet::new(config).run();
+        assert_eq!(report.rooms[0].game, GameId::VikingVillage);
+        assert_eq!(report.rooms[1].game, GameId::Fps);
+        // Both rooms must still complete with healthy FPS.
+        assert!(report.metrics.fps_p99 > 30.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # coterie-serve
+//!
+//! A multi-session fleet runtime for the Coterie reproduction.
+//!
+//! The paper runs one render server per four-player session. A hosting
+//! provider runs *fleets*: hundreds of concurrent rooms of the same
+//! handful of games. This crate scales the paper's core observation —
+//! far-BE frames are reusable wherever the three similarity criteria
+//! hold — across session boundaries:
+//!
+//! * [`Room`] wraps a [`coterie_sim::SessionSim`] and routes its
+//!   prefetch misses through the fleet instead of a private server.
+//! * [`SharedFrameStore`] is a sharded, globally-budgeted, cross-session
+//!   frame cache: shards are keyed by `(game, leaf region)` behind
+//!   `parking_lot` mutexes, one atomic clock totally orders accesses,
+//!   and eviction runs a single LRU across every shard. Lookups extend
+//!   the paper's three-criteria match with a *session-id-free* variant
+//!   ([`coterie_core::CacheVersion::FLEET`]): any room's frames can
+//!   serve any other room of the same game.
+//! * [`PrerenderFarm`] turns store misses into speculative neighbour
+//!   renders, batched per epoch and swept with the work-stealing
+//!   [`coterie_sim::parallel::par_map_ws`].
+//! * [`Fleet`] runs admission control (bounded per-room queues, a
+//!   fleet-wide [`coterie_net::FleetEgress`] downlink budget) and
+//!   graceful degradation (rooms violating the 16.7 ms frame budget
+//!   ship smaller frames until they recover).
+//! * [`FleetMetrics`] reports tail FPS (p50/p95/p99 across rooms),
+//!   store hit ratio, shipped bandwidth, pre-render GPU-hours and peak
+//!   device temperature.
+//!
+//! Runs are deterministic: the epoch loop serializes store transactions
+//! in room-id order, so a fixed [`FleetConfig`] reproduces its report
+//! byte for byte (construction parallelism is order-preserving).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use coterie_serve::{Fleet, FleetConfig};
+//!
+//! let report = Fleet::new(FleetConfig { rooms: 4, ..FleetConfig::default() }).run();
+//! println!("{}", report.metrics);
+//! assert!(report.metrics.fps_p50 > 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod farm;
+pub mod fleet;
+pub mod metrics;
+pub mod room;
+pub mod store;
+
+pub use farm::{render_cost_ms, PrerenderFarm, PrerenderJob};
+pub use fleet::{Fleet, FleetConfig, FleetReport};
+pub use metrics::{percentile, FleetMetrics};
+pub use room::{Room, RoomReport};
+pub use store::{SharedFrameStore, StoreConfig, StoreStats};

@@ -1,0 +1,151 @@
+//! Fleet-wide quality-of-service metrics.
+//!
+//! The per-session paper metrics (FPS, bandwidth, temperature) scale up
+//! to fleet percentiles here: a host operator cares less about the mean
+//! room than about the tail — the p99 room is the one whose players
+//! notice.
+
+use crate::farm::PrerenderFarm;
+use crate::room::RoomReport;
+use crate::store::StoreStats;
+use std::fmt;
+
+/// Aggregated fleet outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetMetrics {
+    /// Rooms hosted.
+    pub rooms: usize,
+    /// Players per room.
+    pub players: usize,
+    /// Median per-room average FPS.
+    pub fps_p50: f64,
+    /// 95th-percentile *tail* FPS: 95 % of rooms run at least this fast
+    /// (i.e. the 5th percentile of the FPS distribution).
+    pub fps_p95: f64,
+    /// 99th-percentile tail FPS (1st percentile of the distribution).
+    pub fps_p99: f64,
+    /// Frame-store hit ratio across all prefetch traffic.
+    pub store_hit_ratio: f64,
+    /// Aggregate far-BE egress actually shipped, Mbps.
+    pub egress_mbps: f64,
+    /// GPU-hours spent rendering (on-demand misses + speculative farm).
+    pub prerender_gpu_hours: f64,
+    /// Hottest device temperature across rooms, °C.
+    pub peak_temperature_c: f64,
+    /// Rooms that ended degraded (quality scale below 1).
+    pub degraded_rooms: usize,
+    /// Full-size prefetches the egress budget refused.
+    pub egress_refusals: u64,
+    /// Prefetches that overflowed a room's bounded queue.
+    pub queue_overflows: u64,
+    /// Frames evicted by the store's global LRU.
+    pub store_evictions: u64,
+}
+
+/// `p`-th percentile (0–100) of `samples` under linear selection
+/// (nearest-rank on the sorted array). Deterministic for finite inputs.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+impl FleetMetrics {
+    /// Assembles the metrics from per-room reports and the fleet's
+    /// shared accounting objects.
+    pub fn from_run(
+        reports: &[RoomReport],
+        store_stats: StoreStats,
+        farm: &PrerenderFarm,
+        duration_s: f64,
+    ) -> FleetMetrics {
+        let fps: Vec<f64> = reports
+            .iter()
+            .map(|r| r.session.aggregate().avg_fps)
+            .collect();
+        let inline_gpu_ms: f64 = reports.iter().map(|r| r.inline_gpu_ms).sum();
+        let shipped: u64 = reports.iter().map(|r| r.shipped_bytes).sum();
+        FleetMetrics {
+            rooms: reports.len(),
+            players: reports
+                .first()
+                .map(|r| r.session.players.len())
+                .unwrap_or(0),
+            fps_p50: percentile(&fps, 50.0),
+            fps_p95: percentile(&fps, 5.0),
+            fps_p99: percentile(&fps, 1.0),
+            store_hit_ratio: store_stats.hit_ratio(),
+            egress_mbps: if duration_s > 0.0 {
+                shipped as f64 * 8.0 / 1_000_000.0 / duration_s
+            } else {
+                0.0
+            },
+            prerender_gpu_hours: (inline_gpu_ms + farm.gpu_ms()) / 3_600_000.0,
+            peak_temperature_c: reports
+                .iter()
+                .map(|r| r.session.resources.peak_temperature_c())
+                .fold(0.0, f64::max),
+            degraded_rooms: reports
+                .iter()
+                .filter(|r| r.final_quality_scale < 1.0)
+                .count(),
+            egress_refusals: reports.iter().map(|r| r.egress_refusals).sum(),
+            queue_overflows: reports.iter().map(|r| r.queue_overflows).sum(),
+            store_evictions: store_stats.evictions,
+        }
+    }
+}
+
+impl fmt::Display for FleetMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fleet: {} rooms x {} players", self.rooms, self.players)?;
+        writeln!(
+            f,
+            "  fps        p50 {:.2}  p95 {:.2}  p99 {:.2}",
+            self.fps_p50, self.fps_p95, self.fps_p99
+        )?;
+        writeln!(
+            f,
+            "  store      hit ratio {:.4}  evictions {}",
+            self.store_hit_ratio, self.store_evictions
+        )?;
+        writeln!(
+            f,
+            "  egress     {:.2} Mbps shipped  {} refusals  {} queue overflows",
+            self.egress_mbps, self.egress_refusals, self.queue_overflows
+        )?;
+        writeln!(f, "  prerender  {:.6} GPU-hours", self.prerender_gpu_hours)?;
+        writeln!(
+            f,
+            "  devices    peak {:.2} degC  {} degraded rooms",
+            self.peak_temperature_c, self.degraded_rooms
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 50.0), 51.0);
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+    }
+
+    #[test]
+    fn percentile_is_order_independent() {
+        let a = [5.0, 1.0, 3.0, 2.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&a, 50.0), percentile(&b, 50.0));
+        assert_eq!(percentile(&a, 50.0), 3.0);
+    }
+}

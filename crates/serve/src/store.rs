@@ -1,0 +1,428 @@
+//! The sharded cross-session frame store.
+//!
+//! Far-BE frames depend only on world geometry — the grid point, the
+//! leaf region and the near-BE object set (the paper's three lookup
+//! criteria, §5.3) — never on which session requested them. A fleet
+//! host can therefore keep one server-side store per game and satisfy
+//! misses from *any* room out of frames rendered for *any other* room,
+//! multiplying the effective cache population by the number of
+//! concurrent sessions.
+//!
+//! The store shards by `(game, leaf region)`: lookups only ever match
+//! within one leaf (criterion 2), so a shard holds everything a lookup
+//! can see and shards never need to cooperate on reads. Each shard is a
+//! [`FrameCache`] in the session-free [`CacheVersion::FLEET`]
+//! configuration behind a `parking_lot` mutex. A single global byte
+//! budget spans all shards; eviction runs one *global* LRU by stamping
+//! every shard from one atomic clock and always evicting from the
+//! shard holding the globally oldest entry.
+
+use coterie_core::{
+    CacheConfig, CacheQuery, CacheVersion, EvictionPolicy, FrameCache, FrameMeta, FrameSource,
+};
+use coterie_world::GameId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Global payload budget across all shards, bytes.
+    pub capacity_bytes: u64,
+    /// Number of mutex-guarded shards (lock striping width).
+    pub shards: usize,
+}
+
+impl Default for StoreConfig {
+    /// 256 MB over 16 shards — enough for a small fleet without
+    /// swamping a test machine.
+    fn default() -> Self {
+        StoreConfig {
+            capacity_bytes: 256 * 1024 * 1024,
+            shards: 16,
+        }
+    }
+}
+
+/// Aggregate store counters (monotonic over the store's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups that found a qualifying frame.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Frames inserted.
+    pub insertions: u64,
+    /// Duplicate insertions skipped (a frame for the same position,
+    /// leaf and near set was already present).
+    pub duplicates: u64,
+    /// Frames evicted by the global LRU.
+    pub evictions: u64,
+}
+
+impl StoreStats {
+    /// Hit ratio in `[0, 1]` (0 before any lookup).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One lock-striped shard: the leaf caches of every `(game, leaf)`
+/// pair that hashes to this stripe.
+#[derive(Debug, Default)]
+struct Shard {
+    caches: HashMap<(GameId, u32), FrameCache<()>>,
+}
+
+/// A server-side frame store shared by every room of the fleet.
+///
+/// Thread-safe (atomics + per-shard mutexes). Determinism note: the
+/// store itself is deterministic for a fixed *sequence* of operations;
+/// fleet runs that need byte-identical reports must serialize their
+/// store mutations (the [`crate::Fleet`] epoch loop visits rooms in id
+/// order for exactly this reason).
+#[derive(Debug)]
+pub struct SharedFrameStore {
+    config: StoreConfig,
+    shards: Vec<Mutex<Shard>>,
+    /// Global logical clock; every operation takes a unique ticket so
+    /// `last_access` stamps are totally ordered across shards.
+    clock: AtomicU64,
+    /// Global payload bytes across shards.
+    bytes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    duplicates: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedFrameStore {
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero or the capacity is zero.
+    pub fn new(config: StoreConfig) -> Self {
+        assert!(config.shards > 0, "store needs at least one shard");
+        assert!(config.capacity_bytes > 0, "store capacity must be positive");
+        SharedFrameStore {
+            config,
+            shards: (0..config.shards)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            clock: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Total cached payload bytes across shards.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached frames across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().caches.values().map(FrameCache::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Whether no shard holds any frame.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// FNV-1a over the shard key, so `(game, leaf)` pairs spread evenly
+    /// across stripes.
+    fn shard_index(&self, game: GameId, leaf: u32) -> usize {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in (game as u32)
+            .to_le_bytes()
+            .into_iter()
+            .chain(leaf.to_le_bytes())
+        {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn fresh_ticket(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Looks up a frame for `query` among every frame any session of
+    /// `game` has contributed. Applies the paper's three criteria with
+    /// the closest qualifying frame winning; a hit refreshes the
+    /// frame's global recency.
+    pub fn lookup(&self, game: GameId, query: &CacheQuery) -> bool {
+        let ticket = self.fresh_ticket();
+        let mut shard = self.shards[self.shard_index(game, query.leaf.0)].lock();
+        let hit = match shard.caches.get_mut(&(game, query.leaf.0)) {
+            Some(cache) => {
+                cache.advance_clock(ticket);
+                cache.lookup(query).is_some()
+            }
+            None => false,
+        };
+        drop(shard);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Inserts a rendered frame contributed by any session of `game`.
+    /// Duplicates (a frame already covering the exact position, leaf
+    /// and near set) are skipped so speculative backfill cannot bloat
+    /// the store. Returns whether the frame was actually admitted.
+    pub fn insert(&self, game: GameId, meta: FrameMeta, size_bytes: u64) -> bool {
+        let ticket = self.fresh_ticket();
+        let mut shard = self.shards[self.shard_index(game, meta.leaf.0)].lock();
+        let cache = shard.caches.entry((game, meta.leaf.0)).or_insert_with(|| {
+            FrameCache::new(CacheConfig {
+                capacity_bytes: u64::MAX, // budget is enforced globally
+                policy: EvictionPolicy::Lru,
+                version: CacheVersion::FLEET,
+            })
+        });
+        let dup_probe = CacheQuery {
+            grid: meta.grid,
+            pos: meta.pos,
+            leaf: meta.leaf,
+            near_hash: meta.near_hash,
+            dist_thresh: 0.0,
+        };
+        if cache.peek(&dup_probe) {
+            drop(shard);
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        cache.advance_clock(ticket);
+        cache.insert(meta, FrameSource::Fleet, (), size_bytes, meta.pos);
+        drop(shard);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(size_bytes, Ordering::Relaxed);
+        self.enforce_budget();
+        true
+    }
+
+    /// Evicts globally-oldest frames until the byte budget holds.
+    fn enforce_budget(&self) {
+        while self.bytes.load(Ordering::Relaxed) > self.config.capacity_bytes {
+            // Pass 1: find the shard+cache holding the globally oldest
+            // entry. Stamps are unique (one ticket per operation), so
+            // the minimum is attained by exactly one cache and the scan
+            // order cannot affect the outcome.
+            let mut victim: Option<(usize, (GameId, u32), u64)> = None;
+            for (si, shard) in self.shards.iter().enumerate() {
+                let shard = shard.lock();
+                for (key, cache) in &shard.caches {
+                    if let Some(oldest) = cache.oldest_access() {
+                        if victim.map(|(_, _, v)| oldest < v).unwrap_or(true) {
+                            victim = Some((si, *key, oldest));
+                        }
+                    }
+                }
+            }
+            let Some((si, key, _)) = victim else {
+                break; // budget exceeded but nothing left to evict
+            };
+            // Pass 2: evict from that cache. Under concurrent use
+            // another thread may have emptied it between passes; the
+            // outer loop simply rescans then.
+            let mut shard = self.shards[si].lock();
+            if let Some(cache) = shard.caches.get_mut(&key) {
+                if let Some(freed) = cache.evict_lru() {
+                    self.bytes.fetch_sub(freed, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coterie_world::{GridPoint, LeafId, Vec2};
+
+    fn meta(ix: i32, iz: i32, leaf: u32, hash: u64) -> FrameMeta {
+        FrameMeta {
+            grid: GridPoint::new(ix, iz),
+            pos: Vec2::new(ix as f64 * 0.1, iz as f64 * 0.1),
+            leaf: LeafId(leaf),
+            near_hash: hash,
+        }
+    }
+
+    fn query(m: &FrameMeta, dist_thresh: f64) -> CacheQuery {
+        CacheQuery {
+            grid: m.grid,
+            pos: m.pos,
+            leaf: m.leaf,
+            near_hash: m.near_hash,
+            dist_thresh,
+        }
+    }
+
+    #[test]
+    fn cross_session_frames_hit_without_session_id() {
+        let store = SharedFrameStore::new(StoreConfig::default());
+        let m = meta(10, 10, 3, 7);
+        // "Session A" contributes; "session B" asks for a nearby point.
+        assert!(store.insert(GameId::VikingVillage, m, 500_000));
+        let near = meta(11, 10, 3, 7);
+        assert!(store.lookup(GameId::VikingVillage, &query(&near, 0.5)));
+        assert_eq!(store.stats().hits, 1);
+        assert!((store.stats().hit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn games_are_isolated() {
+        let store = SharedFrameStore::new(StoreConfig::default());
+        let m = meta(10, 10, 3, 7);
+        store.insert(GameId::VikingVillage, m, 100);
+        assert!(
+            !store.lookup(GameId::Fps, &query(&m, 5.0)),
+            "a frame from one game must never serve another"
+        );
+    }
+
+    #[test]
+    fn three_criteria_still_apply() {
+        let store = SharedFrameStore::new(StoreConfig::default());
+        let m = meta(10, 10, 3, 7);
+        store.insert(GameId::VikingVillage, m, 100);
+        // Wrong leaf.
+        let mut q = query(&m, 5.0);
+        q.leaf = LeafId(4);
+        assert!(!store.lookup(GameId::VikingVillage, &q));
+        // Wrong near set.
+        let mut q = query(&m, 5.0);
+        q.near_hash = 8;
+        assert!(!store.lookup(GameId::VikingVillage, &q));
+        // Too far.
+        let far = meta(80, 10, 3, 7);
+        assert!(!store.lookup(GameId::VikingVillage, &query(&far, 0.5)));
+    }
+
+    #[test]
+    fn duplicates_are_skipped() {
+        let store = SharedFrameStore::new(StoreConfig::default());
+        let m = meta(10, 10, 3, 7);
+        assert!(store.insert(GameId::VikingVillage, m, 100));
+        assert!(!store.insert(GameId::VikingVillage, m, 100));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().duplicates, 1);
+        assert_eq!(store.bytes(), 100);
+    }
+
+    #[test]
+    fn budget_evicts_globally_oldest_across_shards() {
+        // Three frames of 100 B in *different leaves* (hence different
+        // shards) under a 250 B budget: the first-inserted frame is the
+        // globally oldest and must be the one evicted.
+        let store = SharedFrameStore::new(StoreConfig {
+            capacity_bytes: 250,
+            shards: 4,
+        });
+        let a = meta(10, 10, 1, 7);
+        let b = meta(10, 10, 2, 7);
+        let c = meta(10, 10, 3, 7);
+        store.insert(GameId::VikingVillage, a, 100);
+        store.insert(GameId::VikingVillage, b, 100);
+        store.insert(GameId::VikingVillage, c, 100);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().evictions, 1);
+        assert!(store.bytes() <= 250);
+        assert!(
+            !store.lookup(GameId::VikingVillage, &query(&a, 0.5)),
+            "oldest evicted"
+        );
+        assert!(store.lookup(GameId::VikingVillage, &query(&b, 0.5)));
+        assert!(store.lookup(GameId::VikingVillage, &query(&c, 0.5)));
+    }
+
+    #[test]
+    fn hits_refresh_global_recency() {
+        let store = SharedFrameStore::new(StoreConfig {
+            capacity_bytes: 250,
+            shards: 4,
+        });
+        let a = meta(10, 10, 1, 7);
+        let b = meta(10, 10, 2, 7);
+        store.insert(GameId::VikingVillage, a, 100);
+        store.insert(GameId::VikingVillage, b, 100);
+        // Touch a: b becomes globally oldest.
+        assert!(store.lookup(GameId::VikingVillage, &query(&a, 0.5)));
+        let c = meta(10, 10, 3, 7);
+        store.insert(GameId::VikingVillage, c, 100);
+        assert!(
+            store.lookup(GameId::VikingVillage, &query(&a, 0.5)),
+            "refreshed frame kept"
+        );
+        assert!(
+            !store.lookup(GameId::VikingVillage, &query(&b, 0.5)),
+            "stale frame evicted"
+        );
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        // Smoke test: hammer the store from several threads. Results
+        // are not asserted deterministic here (the fleet serializes for
+        // that) — only that counters and budget stay coherent.
+        let store = std::sync::Arc::new(SharedFrameStore::new(StoreConfig {
+            capacity_bytes: 10_000,
+            shards: 4,
+        }));
+        std::thread::scope(|scope| {
+            for t in 0..4i32 {
+                let store = std::sync::Arc::clone(&store);
+                scope.spawn(move || {
+                    for i in 0..200i32 {
+                        let m = meta(i, t, (i % 5) as u32, 7);
+                        store.insert(GameId::Fps, m, 100);
+                        store.lookup(GameId::Fps, &query(&m, 0.5));
+                    }
+                });
+            }
+        });
+        let stats = store.stats();
+        assert_eq!(stats.hits + stats.misses, 800);
+        assert!(store.bytes() <= 10_000);
+        assert!(stats.insertions > 0);
+    }
+}

@@ -129,7 +129,11 @@ mod tests {
     #[test]
     fn remote_avatars_exclude_viewer() {
         let sync = FiSync::new(3);
-        let positions = vec![Vec2::new(0.0, 0.0), Vec2::new(5.0, 0.0), Vec2::new(0.0, 5.0)];
+        let positions = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(5.0, 0.0),
+            Vec2::new(0.0, 5.0),
+        ];
         let avatars = sync.remote_avatars(&positions, 1);
         assert_eq!(avatars.len(), 2);
         for a in &avatars {

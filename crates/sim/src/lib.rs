@@ -48,5 +48,7 @@ pub use fi::{FiSync, FI_SYNC_LATENCY_MS};
 pub use metrics::{PlayerMetrics, ResourceSeries, SessionReport};
 pub use prerender::{prerender_patch, storage_estimate, PrerenderBatch, StorageEstimate};
 pub use server::RenderServer;
-pub use session::{Session, SessionConfig, SystemKind};
+pub use session::{
+    FarRequest, FarResponse, Session, SessionConfig, SessionSim, StepEvent, SystemKind,
+};
 pub use study::{run_study, StudyConfig, StudyOutcome};

@@ -155,7 +155,10 @@ mod tests {
     use super::*;
 
     fn sample(fps: f64) -> PlayerMetrics {
-        PlayerMetrics { avg_fps: fps, ..PlayerMetrics::zero() }
+        PlayerMetrics {
+            avg_fps: fps,
+            ..PlayerMetrics::zero()
+        }
     }
 
     #[test]

@@ -65,10 +65,7 @@ pub fn prerender_patch(
     let mut targets = Vec::new();
     for iz in -n..=n {
         for ix in -n..=n {
-            let p = Vec2::new(
-                center.x + ix as f64 * step,
-                center.z + iz as f64 * step,
-            );
+            let p = Vec2::new(center.x + ix as f64 * step, center.z + iz as f64 * step);
             if scene.bounds().contains(p) {
                 targets.push(p);
             }

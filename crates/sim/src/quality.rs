@@ -82,8 +82,7 @@ pub fn measure_visual_quality(
         let others: Vec<Vec2> = (0..traces.player_count())
             .map(|i| {
                 let tr = traces.player(i).expect("player exists");
-                let idx =
-                    ((p.time / tr.interval()) as usize).min(tr.points().len() - 1);
+                let idx = ((p.time / tr.interval()) as usize).min(tr.points().len() - 1);
                 tr.points()[idx].position
             })
             .collect();
@@ -94,8 +93,7 @@ pub fn measure_visual_quality(
         // comparison runs at panorama level — the panorama is our native
         // full-detail representation (the analogue of the paper's 4K
         // frame); the displayed FoV is a crop of it.
-        let gt_pano =
-            renderer.render_panorama_with(scene, eye, RenderFilter::All, &avatars);
+        let gt_pano = renderer.render_panorama_with(scene, eye, RenderFilter::All, &avatars);
         let gt = &gt_pano.frame;
 
         let displayed = match system {
@@ -103,10 +101,7 @@ pub fn measure_visual_quality(
             SystemKind::ThinClient => {
                 // The entire view is encoded, streamed and upsampled.
                 let encoded = server.encoder().encode(gt);
-                let decoded = server
-                    .encoder()
-                    .decode(&encoded)
-                    .expect("round trip");
+                let decoded = server.encoder().decode(&encoded).expect("round trip");
                 stream_degrade(&decoded)
             }
             SystemKind::MultiFurion { .. } => {
@@ -128,7 +123,11 @@ pub fn measure_visual_quality(
                 let src_pos = if cache {
                     let offset = Vec2::new(dist_thresh * 0.7, 0.0);
                     let candidate = pos + offset;
-                    if scene.bounds().contains(candidate) { candidate } else { pos }
+                    if scene.bounds().contains(candidate) {
+                        candidate
+                    } else {
+                        pos
+                    }
                 } else {
                     pos
                 };
@@ -178,6 +177,10 @@ mod tests {
             coterie.visual_ssim,
             thin.visual_ssim
         );
-        assert!(coterie.visual_ssim > 0.9, "Coterie SSIM {:.3}", coterie.visual_ssim);
+        assert!(
+            coterie.visual_ssim > 0.9,
+            "Coterie SSIM {:.3}",
+            coterie.visual_ssim
+        );
     }
 }

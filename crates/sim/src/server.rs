@@ -50,8 +50,14 @@ impl<'a> RenderServer<'a> {
             scene,
             renderer,
             encoder: Encoder::new(Quality::CRF25),
-            whole_size_model: SizeModel { h264_efficiency: 0.46, ..SizeModel::default() },
-            far_size_model: SizeModel { h264_efficiency: 0.32, ..SizeModel::default() },
+            whole_size_model: SizeModel {
+                h264_efficiency: 0.46,
+                ..SizeModel::default()
+            },
+            far_size_model: SizeModel {
+                h264_efficiency: 0.32,
+                ..SizeModel::default()
+            },
             fov_size_model: SizeModel {
                 target_width: 1920,
                 target_height: 1080,
@@ -79,11 +85,9 @@ impl<'a> RenderServer<'a> {
     /// Renders + encodes the whole-BE panorama at a position
     /// (Multi-Furion's prefetched frame).
     pub fn whole_be(&self, pos: Vec2) -> ServedFrame {
-        let pano = self.renderer.render_panorama(
-            self.scene,
-            self.scene.eye(pos),
-            RenderFilter::All,
-        );
+        let pano =
+            self.renderer
+                .render_panorama(self.scene, self.scene.eye(pos), RenderFilter::All);
         self.encode_pano(&pano, &self.whole_size_model)
     }
 
@@ -110,7 +114,10 @@ impl<'a> RenderServer<'a> {
         let view = self.fov.crop(&pano.frame, yaw, 0.0);
         let encoded = self.encoder.encode(&view);
         let transfer_bytes = self.fov_size_model.scaled_bytes(&encoded);
-        ServedFrame { encoded, transfer_bytes }
+        ServedFrame {
+            encoded,
+            transfer_bytes,
+        }
     }
 
     /// Decodes a served frame back to luma (the client-side step).
@@ -128,7 +135,10 @@ impl<'a> RenderServer<'a> {
     fn encode_pano(&self, pano: &Panorama, model: &SizeModel) -> ServedFrame {
         let encoded = self.encoder.encode(&pano.frame);
         let transfer_bytes = model.scaled_bytes(&encoded);
-        ServedFrame { encoded, transfer_bytes }
+        ServedFrame {
+            encoded,
+            transfer_bytes,
+        }
     }
 }
 
@@ -197,7 +207,11 @@ mod tests {
         let (scene, _) = server_for(GameId::Pool);
         let server = RenderServer::new(&scene, Renderer::new(RenderOptions::fast()));
         let f = server.thin_client_frame(scene.bounds().center(), 0.3, &[]);
-        assert!(f.transfer_bytes > 10_000, "thin frame {} bytes", f.transfer_bytes);
+        assert!(
+            f.transfer_bytes > 10_000,
+            "thin frame {} bytes",
+            f.transfer_bytes
+        );
         let decoded = server.decode(&f);
         assert_eq!(decoded.width(), FovOptions::default().width);
     }

@@ -95,6 +95,12 @@ pub struct SessionConfig {
     pub duration_s: f64,
     /// Master seed for world, traces and sampling.
     pub seed: u64,
+    /// Separate seed for player trajectories. `None` (the default)
+    /// derives traces from `seed` as before. A fleet host sets this so
+    /// many rooms can share one world (same `seed` ⇒ same scene,
+    /// quadtree and near sets — the precondition for cross-session
+    /// frame reuse) while every room's players move differently.
+    pub trace_seed: Option<u64>,
     /// Trace positions per player where frames are actually rendered and
     /// encoded to measure sizes and triangle loads.
     pub size_samples: usize,
@@ -124,6 +130,7 @@ impl SessionConfig {
             players,
             duration_s: 120.0,
             seed: 7,
+            trace_seed: None,
             size_samples: 16,
             quality_samples: 0,
             cache_bytes: 512 * 1024 * 1024,
@@ -142,6 +149,13 @@ impl SessionConfig {
     /// Sets the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Decouples trajectory randomness from the world seed (see
+    /// [`SessionConfig::trace_seed`]).
+    pub fn with_trace_seed(mut self, trace_seed: u64) -> Self {
+        self.trace_seed = Some(trace_seed);
         self
     }
 
@@ -209,55 +223,181 @@ impl Session {
 
     /// Runs the session end to end.
     pub fn run(&self) -> SessionReport {
-        let cfg = &self.config;
-        let spec = GameSpec::for_game(cfg.game);
-        let scene = spec.build_scene(cfg.seed);
+        let mut sim = SessionSim::new(self.config);
+        while sim.step().is_some() {}
+        sim.finish()
+    }
+}
+
+/// A far/whole-BE prefetch that missed the client cache and must be
+/// satisfied by the serving side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FarRequest {
+    /// Index of the requesting player within the session.
+    pub player: usize,
+    /// Session clock at the request, ms.
+    pub now_ms: f64,
+    /// Grid point being prefetched.
+    pub grid: GridPoint,
+    /// World position of the grid point.
+    pub pos: Vec2,
+    /// Leaf region of the grid point (`LeafId(0)` for whole-BE systems,
+    /// which have no cutoff partition).
+    pub leaf: coterie_world::LeafId,
+    /// Near-BE object-set hash (0 for whole-BE systems).
+    pub near_hash: u64,
+    /// The leaf's calibrated `dist_thresh`, meters (0 for whole-BE).
+    pub dist_thresh: f64,
+    /// Encoded frame size to deliver, bytes.
+    pub bytes: u64,
+}
+
+/// How a [`FarRequest`] was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FarResponse {
+    /// Bytes actually delivered (a degraded frame may be smaller).
+    pub bytes: u64,
+    /// Absolute session time the payload finished arriving, ms.
+    pub completed_at_ms: f64,
+}
+
+/// Outcome of advancing one player by one display interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepEvent {
+    /// The player that was advanced.
+    pub player: usize,
+    /// Session time at the start of the interval, ms.
+    pub now_ms: f64,
+    /// Eq. 2 critical path of the frame, ms.
+    pub critical_ms: f64,
+    /// Display interval charged (vsync-clamped), ms.
+    pub interval_ms: f64,
+    /// Bytes fetched over the link for this frame (0 on cache hits and
+    /// frames with nothing to prefetch).
+    pub fetched_bytes: u64,
+}
+
+/// The default fetch path: deliver the requested bytes over the
+/// session's own shared link, starting now.
+fn link_fetch(link: &mut SharedLink, req: FarRequest) -> FarResponse {
+    let tx = link.transfer(req.now_ms, req.bytes);
+    FarResponse {
+        bytes: req.bytes,
+        completed_at_ms: tx.completed_at_ms,
+    }
+}
+
+fn make_cache(config: &SessionConfig) -> Option<FrameCache<()>> {
+    let version = match config.system {
+        SystemKind::MultiFurion { cache: true } => Some(CacheVersion::V1),
+        SystemKind::Coterie { cache: true } => Some(CacheVersion::V3),
+        _ => None,
+    };
+    version.map(|v| {
+        FrameCache::new(CacheConfig {
+            capacity_bytes: config.cache_bytes,
+            policy: config.eviction,
+            version: v,
+        })
+    })
+}
+
+/// Thin-client server GPU: a FIFO "link" whose service time is the
+/// full-quality 4K frame render+encode (~26 ms on the 1080 Ti, which is
+/// what caps Thin-client at 20-24 FPS in Table 1).
+const THIN_SERVER_FRAME_MS: f64 = 26.0;
+
+/// Resource window length (per simulated minute).
+const WINDOW_MS: f64 = 60_000.0;
+
+/// A session broken open for external driving.
+///
+/// [`Session::run`] is a closed loop. The fleet runtime instead needs to
+/// (1) interleave many sessions on one host, advancing each in bounded
+/// time slices, and (2) intercept far-BE prefetch misses so a shared
+/// cross-session store can satisfy them. `SessionSim` exposes the same
+/// simulation as a step function — [`SessionSim::step_with`] advances
+/// the most-behind player by one display interval and routes any
+/// prefetch miss through a caller-supplied fetch path.
+///
+/// `Session::run` is the trivial driver: step to completion with the
+/// session's own link, then [`SessionSim::finish`].
+pub struct SessionSim {
+    config: SessionConfig,
+    scene: Scene,
+    cutoffs: Option<CutoffMap>,
+    profiles: Vec<Profile>,
+    traces: TraceSet,
+    fi: FiSync,
+    device: DeviceProfile,
+    link: SharedLink,
+    states: Vec<PlayerState>,
+    server_gpu_busy_until: f64,
+    quality_scale: f64,
+    duration_ms: f64,
+    resources: ResourceSeries,
+    thermal: ThermalModel,
+    power: PowerModel,
+    window_start_ms: f64,
+    window_cpu: f64,
+    window_gpu: f64,
+    window_time: f64,
+    window_bytes: u64,
+}
+
+impl SessionSim {
+    /// Builds the world, traces, cutoff partition and frame-size
+    /// profiles (steps 1–3 of the session pipeline), leaving the timing
+    /// pass to be driven by [`SessionSim::step`].
+    pub fn new(config: SessionConfig) -> Self {
+        assert!(config.players >= 1, "sessions need at least one player");
+        assert!(config.duration_s > 0.0, "duration must be positive");
+        let spec = GameSpec::for_game(config.game);
+        let scene = spec.build_scene(config.seed);
         let renderer = Renderer::new(RenderOptions::fast());
-        let server = RenderServer::new(&scene, renderer.clone());
         let device = DeviceProfile::pixel2();
-        let fi = FiSync::new(cfg.players);
+        let fi = FiSync::new(config.players);
         let traces = TraceSet::generate(
             &scene,
             &spec,
-            cfg.players,
-            cfg.duration_s,
+            config.players,
+            config.duration_s,
             1.0 / 60.0,
-            cfg.seed,
+            config.trace_seed.unwrap_or(config.seed),
         );
 
         // Offline preprocessing: adaptive cutoff (Coterie systems only).
-        let needs_cutoffs = matches!(cfg.system, SystemKind::Coterie { .. });
+        let needs_cutoffs = matches!(config.system, SystemKind::Coterie { .. });
         let cutoff_config = CutoffConfig::for_spec(&spec);
         let mut cutoffs = if needs_cutoffs {
-            Some(CutoffMap::compute(&scene, &device, &cutoff_config, cfg.seed))
+            Some(CutoffMap::compute(
+                &scene,
+                &device,
+                &cutoff_config,
+                config.seed,
+            ))
         } else {
             None
         };
-        if let (Some(map), true) = (&mut cutoffs, cfg.calibrate_dist_thresh) {
+        if let (Some(map), true) = (&mut cutoffs, config.calibrate_dist_thresh) {
             let mut calibrator = DistThreshCalibrator::new(renderer.clone());
-            calibrator.ssim_threshold = cfg.ssim_threshold;
+            calibrator.ssim_threshold = config.ssim_threshold;
             for trace in traces.traces() {
                 let positions = trace.points().iter().step_by(120).map(|p| p.position);
-                calibrator.calibrate_path(&scene, map, positions, cfg.seed);
+                calibrator.calibrate_path(&scene, map, positions, config.seed);
             }
         }
 
         // Measurement pass: render + encode at sampled positions.
-        let profiles = self.measure_profiles(&scene, &server, &traces, cutoffs.as_ref());
+        let profiles = {
+            let server = RenderServer::new(&scene, renderer);
+            measure_profiles(&config, &scene, &server, &traces, cutoffs.as_ref())
+        };
 
-        // Timing pass.
-        let mut link = SharedLink::wifi_80211ac(cfg.players);
-        // Thin-client server GPU: a FIFO "link" whose service time is the
-        // full-quality 4K frame render+encode (~26 ms on the 1080 Ti,
-        // which is what caps Thin-client at 20-24 FPS in Table 1).
-        let mut server_gpu_busy_until = 0.0f64;
-        const THIN_SERVER_FRAME_MS: f64 = 26.0;
-
-        let duration_ms = cfg.duration_s * 1000.0;
-        let mut states: Vec<PlayerState> = (0..cfg.players)
+        let states = (0..config.players)
             .map(|_| PlayerState {
                 t_ms: 0.0,
-                cache: self.make_cache(),
+                cache: make_cache(&config),
                 frames: 0,
                 interval_sum_ms: 0.0,
                 critical_sum_ms: 0.0,
@@ -270,210 +410,320 @@ impl Session {
             })
             .collect();
 
-        // Resource series for player 0, per simulated minute.
-        let mut resources = ResourceSeries::default();
-        let mut thermal = ThermalModel::pixel2();
-        let power = PowerModel::pixel2();
-        let mut window_start_ms = 0.0;
-        let mut window_cpu = 0.0f64;
-        let mut window_gpu = 0.0f64;
-        let mut window_time = 0.0f64;
-        let mut window_bytes = 0u64;
-        const WINDOW_MS: f64 = 60_000.0;
+        SessionSim {
+            scene,
+            cutoffs,
+            profiles,
+            traces,
+            fi,
+            device,
+            link: SharedLink::wifi_80211ac(config.players),
+            states,
+            server_gpu_busy_until: 0.0,
+            quality_scale: 1.0,
+            duration_ms: config.duration_s * 1000.0,
+            resources: ResourceSeries::default(),
+            thermal: ThermalModel::pixel2(),
+            power: PowerModel::pixel2(),
+            window_start_ms: 0.0,
+            window_cpu: 0.0,
+            window_gpu: 0.0,
+            window_time: 0.0,
+            window_bytes: 0,
+            config,
+        }
+    }
 
-        // Advance the player whose clock is furthest behind until every
-        // clock passes the session end.
-        while let Some(pi) = states
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Whether every player clock has passed the configured duration.
+    pub fn finished(&self) -> bool {
+        self.states.iter().all(|s| s.t_ms >= self.duration_ms)
+    }
+
+    /// The most-behind player clock (the session's logical "now"), ms.
+    pub fn now_ms(&self) -> f64 {
+        self.states
+            .iter()
+            .map(|s| s.t_ms)
+            .fold(f64::INFINITY, f64::min)
+            .min(self.duration_ms)
+    }
+
+    /// The active prefetch quality scale in `[0.25, 1]`.
+    pub fn quality_scale(&self) -> f64 {
+        self.quality_scale
+    }
+
+    /// Scales subsequent prefetched frame sizes (graceful degradation:
+    /// a fleet host over its frame budget ships lower-resolution far-BE
+    /// frames). Clamped to `[0.25, 1]`; 1 is the undegraded default.
+    pub fn set_quality_scale(&mut self, scale: f64) {
+        self.quality_scale = scale.clamp(0.25, 1.0);
+    }
+
+    fn scaled(&self, bytes: u64) -> u64 {
+        if self.quality_scale == 1.0 {
+            bytes
+        } else {
+            ((bytes as f64 * self.quality_scale).round() as u64).max(1)
+        }
+    }
+
+    /// Advances the most-behind player by one display interval using
+    /// the session's own link for prefetch misses.
+    pub fn step(&mut self) -> Option<StepEvent> {
+        self.step_with(&mut link_fetch)
+    }
+
+    /// Advances the most-behind player by one display interval, routing
+    /// any far/whole-BE prefetch miss through `fetch`. Returns `None`
+    /// once every player clock has passed the configured duration.
+    pub fn step_with(
+        &mut self,
+        fetch: &mut dyn FnMut(&mut SharedLink, FarRequest) -> FarResponse,
+    ) -> Option<StepEvent> {
+        let duration_ms = self.duration_ms;
+        let pi = self
+            .states
             .iter()
             .enumerate()
             .filter(|(_, s)| s.t_ms < duration_ms)
             .min_by(|a, b| a.1.t_ms.partial_cmp(&b.1.t_ms).expect("finite times"))
-            .map(|(i, _)| i)
-        {
-            let now = states[pi].t_ms;
-            let t_s = now / 1000.0;
-            let trace = traces.player(pi).expect("trace exists");
-            let pos = trace_position(trace, t_s);
-            let profile = &profiles[pi];
-            let sample = profile.index_at(t_s);
-            let gp = scene.grid().snap(pos);
+            .map(|(i, _)| i)?;
 
-            // Per-system task timing (Eq. 2).
-            let mut fetched: Option<(u64, f64)> = None; // (bytes, latency)
-            let mut hit = None;
-            let (critical_ms, cpu_core_ms, gpu_ms) = match cfg.system {
-                SystemKind::Mobile => {
-                    let tris = profile.visible_tris[sample] + fi.fi_triangles();
-                    let render = device.render_ms(tris);
-                    (render, device.cpu_base_ms_per_frame, render)
-                }
-                SystemKind::ThinClient => {
-                    let bytes = profile.fov_bytes[sample];
-                    // Server renders this player's frame when its GPU
-                    // frees up…
-                    let render_start = server_gpu_busy_until.max(now);
-                    server_gpu_busy_until = render_start + THIN_SERVER_FRAME_MS;
-                    // …then streams it over the shared link.
-                    let render_done = server_gpu_busy_until;
-                    let tx = link.transfer(render_done, bytes);
-                    let decode = device.decode_ms(bytes);
-                    let ready = tx.completed_at_ms + decode;
-                    let critical = ready - now;
-                    // Table 1 reports the pure network transfer latency.
-                    fetched = Some((bytes, tx.completed_at_ms - render_done));
-                    let cpu = device.cpu_base_ms_per_frame + device.net_cpu_ms(bytes) + 1.0;
-                    // GPU only composites the decoded stream.
-                    (critical, cpu, 1.4)
-                }
-                SystemKind::MultiFurion { cache } => {
-                    let bytes = profile.whole_bytes[sample];
-                    let render_fi = device.render_ms(fi.fi_triangles());
-                    let decode = device.decode_ms(bytes);
-                    let new_grid_point = states[pi].prev_gp != Some(gp);
-                    let prefetch = if !new_grid_point {
-                        // Still at the same grid point: the current frame
-                        // remains valid, nothing to prefetch.
-                        0.0
-                    } else if cache {
-                        let state = &mut states[pi];
-                        let cache_ref = state.cache.as_mut().expect("cache enabled");
-                        let query = exact_query(gp, pos);
-                        if cache_ref.lookup(&query).is_some() {
-                            hit = Some(true);
-                            0.3
-                        } else {
-                            hit = Some(false);
-                            let tx = link.transfer(now, bytes);
-                            cache_ref.insert(
-                                FrameMeta { grid: gp, pos, leaf: coterie_world::LeafId(0), near_hash: 0 },
-                                FrameSource::SelfPrefetch,
-                                (),
-                                bytes,
-                                pos,
-                            );
-                            fetched = Some((bytes, tx.completed_at_ms - now));
-                            tx.completed_at_ms - now
-                        }
-                    } else {
-                        let tx = link.transfer(now, bytes);
-                        fetched = Some((bytes, tx.completed_at_ms - now));
-                        tx.completed_at_ms - now
-                    };
-                    let critical = render_fi
-                        .max(decode)
-                        .max(prefetch)
-                        .max(fi.sync_latency_ms())
-                        + device.merge_ms;
-                    let cpu = device.cpu_base_ms_per_frame + device.net_cpu_ms(bytes) + 1.0;
-                    (critical, cpu, render_fi + 1.0)
-                }
-                SystemKind::Coterie { cache } => {
-                    let bytes = profile.far_bytes[sample];
-                    let map = cutoffs.as_ref().expect("coterie needs cutoffs");
-                    let (leaf, radius, dist_thresh) = map.lookup_params(pos);
-                    let near_render =
-                        device.render_ms(profile.near_tris[sample] + fi.fi_triangles());
-                    let decode = device.decode_ms(bytes);
-                    let new_grid_point = states[pi].prev_gp != Some(gp);
-                    let prefetch = if !new_grid_point {
-                        0.0
-                    } else if cache {
-                        let near_hash = scene.near_set_hash(pos, radius);
-                        let state = &mut states[pi];
-                        let cache_ref = state.cache.as_mut().expect("cache enabled");
-                        let query = CacheQuery { grid: gp, pos, leaf, near_hash, dist_thresh };
-                        if cache_ref.lookup(&query).is_some() {
-                            hit = Some(true);
-                            0.3
-                        } else {
-                            hit = Some(false);
-                            let tx = link.transfer(now, bytes);
-                            cache_ref.insert(
-                                FrameMeta { grid: gp, pos, leaf, near_hash },
-                                FrameSource::SelfPrefetch,
-                                (),
-                                bytes,
-                                pos,
-                            );
-                            fetched = Some((bytes, tx.completed_at_ms - now));
-                            tx.completed_at_ms - now
-                        }
-                    } else {
-                        let tx = link.transfer(now, bytes);
-                        fetched = Some((bytes, tx.completed_at_ms - now));
-                        tx.completed_at_ms - now
-                    };
-                    let critical = near_render
-                        .max(decode)
-                        .max(prefetch)
-                        .max(fi.sync_latency_ms())
-                        + device.merge_ms;
-                    // Cache maintenance + merge adds steady CPU work.
-                    let cpu = device.cpu_base_ms_per_frame
-                        + device.net_cpu_ms(if fetched.is_some() { bytes } else { 0 })
-                        + 2.5;
-                    (critical, cpu, near_render + 1.0)
-                }
-            };
+        let now = self.states[pi].t_ms;
+        let t_s = now / 1000.0;
+        let trace = self.traces.player(pi).expect("trace exists");
+        let pos = trace_position(trace, t_s);
+        let sample = self.profiles[pi].index_at(t_s);
+        let gp = self.scene.grid().snap(pos);
 
-            let state = &mut states[pi];
-            let interval = critical_ms.max(FRAME_BUDGET_MS);
-            state.frames += 1;
-            state.interval_sum_ms += interval;
-            state.critical_sum_ms += critical_ms;
-            state.cpu_busy_core_ms += cpu_core_ms;
-            state.gpu_busy_ms += gpu_ms;
-            if let Some((bytes, latency)) = fetched {
-                state.fetch_bytes += bytes;
-                state.fetch_count += 1;
-                state.net_delay_sum_ms += latency;
+        // Per-system task timing (Eq. 2).
+        let mut fetched: Option<(u64, f64)> = None; // (bytes, latency)
+        let (critical_ms, cpu_core_ms, gpu_ms) = match self.config.system {
+            SystemKind::Mobile => {
+                let tris = self.profiles[pi].visible_tris[sample] + self.fi.fi_triangles();
+                let render = self.device.render_ms(tris);
+                (render, self.device.cpu_base_ms_per_frame, render)
             }
-            match hit {
-                Some(true) | Some(false) => {} // counted inside the cache
-                None => {}
+            SystemKind::ThinClient => {
+                let bytes = self.profiles[pi].fov_bytes[sample];
+                // Server renders this player's frame when its GPU frees
+                // up…
+                let render_start = self.server_gpu_busy_until.max(now);
+                self.server_gpu_busy_until = render_start + THIN_SERVER_FRAME_MS;
+                // …then streams it over the shared link.
+                let render_done = self.server_gpu_busy_until;
+                let tx = self.link.transfer(render_done, bytes);
+                let decode = self.device.decode_ms(bytes);
+                let ready = tx.completed_at_ms + decode;
+                let critical = ready - now;
+                // Table 1 reports the pure network transfer latency.
+                fetched = Some((bytes, tx.completed_at_ms - render_done));
+                let cpu = self.device.cpu_base_ms_per_frame + self.device.net_cpu_ms(bytes) + 1.0;
+                // GPU only composites the decoded stream.
+                (critical, cpu, 1.4)
             }
-            state.prev_gp = Some(gp);
-            state.t_ms += interval;
-
-            // Resource windows track player 0.
-            if pi == 0 {
-                window_cpu += cpu_core_ms;
-                window_gpu += gpu_ms.min(interval);
-                window_time += interval;
-                if let Some((bytes, _)) = fetched {
-                    window_bytes += bytes;
-                }
-                if now - window_start_ms >= WINDOW_MS || states[0].t_ms >= duration_ms {
-                    if window_time > 0.0 {
-                        let cpu_util = device.cpu_utilization(window_cpu, window_time);
-                        let gpu_util = device.gpu_utilization(window_gpu, window_time);
-                        let mbps = window_bytes as f64 * 8.0 / 1000.0 / window_time;
-                        let watts = power.draw_w(cpu_util, gpu_util, mbps);
-                        thermal.step(watts, window_time / 1000.0);
-                        resources.minutes.push(states[0].t_ms / 60_000.0);
-                        resources.cpu.push(cpu_util);
-                        resources.gpu.push(gpu_util);
-                        resources.temperature_c.push(thermal.temperature_c());
-                        resources.power_w.push(watts);
+            SystemKind::MultiFurion { cache } => {
+                let bytes = self.scaled(self.profiles[pi].whole_bytes[sample]);
+                let render_fi = self.device.render_ms(self.fi.fi_triangles());
+                let decode = self.device.decode_ms(bytes);
+                let new_grid_point = self.states[pi].prev_gp != Some(gp);
+                let request = FarRequest {
+                    player: pi,
+                    now_ms: now,
+                    grid: gp,
+                    pos,
+                    leaf: coterie_world::LeafId(0),
+                    near_hash: 0,
+                    dist_thresh: 0.0,
+                    bytes,
+                };
+                let prefetch = if !new_grid_point {
+                    // Still at the same grid point: the current frame
+                    // remains valid, nothing to prefetch.
+                    0.0
+                } else if cache {
+                    let cache_ref = self.states[pi].cache.as_mut().expect("cache enabled");
+                    let query = exact_query(gp, pos);
+                    if cache_ref.lookup(&query).is_some() {
+                        0.3
+                    } else {
+                        let resp = fetch(&mut self.link, request);
+                        cache_ref.insert(
+                            FrameMeta {
+                                grid: gp,
+                                pos,
+                                leaf: coterie_world::LeafId(0),
+                                near_hash: 0,
+                            },
+                            FrameSource::SelfPrefetch,
+                            (),
+                            resp.bytes,
+                            pos,
+                        );
+                        fetched = Some((resp.bytes, resp.completed_at_ms - now));
+                        resp.completed_at_ms - now
                     }
-                    window_start_ms = states[0].t_ms;
-                    window_cpu = 0.0;
-                    window_gpu = 0.0;
-                    window_time = 0.0;
-                    window_bytes = 0;
+                } else {
+                    let resp = fetch(&mut self.link, request);
+                    fetched = Some((resp.bytes, resp.completed_at_ms - now));
+                    resp.completed_at_ms - now
+                };
+                let critical = render_fi
+                    .max(decode)
+                    .max(prefetch)
+                    .max(self.fi.sync_latency_ms())
+                    + self.device.merge_ms;
+                let cpu = self.device.cpu_base_ms_per_frame + self.device.net_cpu_ms(bytes) + 1.0;
+                (critical, cpu, render_fi + 1.0)
+            }
+            SystemKind::Coterie { cache } => {
+                let bytes = self.scaled(self.profiles[pi].far_bytes[sample]);
+                let map = self.cutoffs.as_ref().expect("coterie needs cutoffs");
+                let (leaf, radius, dist_thresh) = map.lookup_params(pos);
+                let near_render = self
+                    .device
+                    .render_ms(self.profiles[pi].near_tris[sample] + self.fi.fi_triangles());
+                let decode = self.device.decode_ms(bytes);
+                let new_grid_point = self.states[pi].prev_gp != Some(gp);
+                let near_hash = self.scene.near_set_hash(pos, radius);
+                let request = FarRequest {
+                    player: pi,
+                    now_ms: now,
+                    grid: gp,
+                    pos,
+                    leaf,
+                    near_hash,
+                    dist_thresh,
+                    bytes,
+                };
+                let prefetch = if !new_grid_point {
+                    0.0
+                } else if cache {
+                    let cache_ref = self.states[pi].cache.as_mut().expect("cache enabled");
+                    let query = CacheQuery {
+                        grid: gp,
+                        pos,
+                        leaf,
+                        near_hash,
+                        dist_thresh,
+                    };
+                    if cache_ref.lookup(&query).is_some() {
+                        0.3
+                    } else {
+                        let resp = fetch(&mut self.link, request);
+                        cache_ref.insert(
+                            FrameMeta {
+                                grid: gp,
+                                pos,
+                                leaf,
+                                near_hash,
+                            },
+                            FrameSource::SelfPrefetch,
+                            (),
+                            resp.bytes,
+                            pos,
+                        );
+                        fetched = Some((resp.bytes, resp.completed_at_ms - now));
+                        resp.completed_at_ms - now
+                    }
+                } else {
+                    let resp = fetch(&mut self.link, request);
+                    fetched = Some((resp.bytes, resp.completed_at_ms - now));
+                    resp.completed_at_ms - now
+                };
+                let critical = near_render
+                    .max(decode)
+                    .max(prefetch)
+                    .max(self.fi.sync_latency_ms())
+                    + self.device.merge_ms;
+                // Cache maintenance + merge adds steady CPU work.
+                let cpu = self.device.cpu_base_ms_per_frame
+                    + self
+                        .device
+                        .net_cpu_ms(if fetched.is_some() { bytes } else { 0 })
+                    + 2.5;
+                (critical, cpu, near_render + 1.0)
+            }
+        };
+
+        let state = &mut self.states[pi];
+        let interval = critical_ms.max(FRAME_BUDGET_MS);
+        state.frames += 1;
+        state.interval_sum_ms += interval;
+        state.critical_sum_ms += critical_ms;
+        state.cpu_busy_core_ms += cpu_core_ms;
+        state.gpu_busy_ms += gpu_ms;
+        if let Some((bytes, latency)) = fetched {
+            state.fetch_bytes += bytes;
+            state.fetch_count += 1;
+            state.net_delay_sum_ms += latency;
+        }
+        state.prev_gp = Some(gp);
+        state.t_ms += interval;
+
+        // Resource windows track player 0.
+        if pi == 0 {
+            self.window_cpu += cpu_core_ms;
+            self.window_gpu += gpu_ms.min(interval);
+            self.window_time += interval;
+            if let Some((bytes, _)) = fetched {
+                self.window_bytes += bytes;
+            }
+            if now - self.window_start_ms >= WINDOW_MS || self.states[0].t_ms >= duration_ms {
+                if self.window_time > 0.0 {
+                    let cpu_util = self
+                        .device
+                        .cpu_utilization(self.window_cpu, self.window_time);
+                    let gpu_util = self
+                        .device
+                        .gpu_utilization(self.window_gpu, self.window_time);
+                    let mbps = self.window_bytes as f64 * 8.0 / 1000.0 / self.window_time;
+                    let watts = self.power.draw_w(cpu_util, gpu_util, mbps);
+                    self.thermal.step(watts, self.window_time / 1000.0);
+                    self.resources.minutes.push(self.states[0].t_ms / 60_000.0);
+                    self.resources.cpu.push(cpu_util);
+                    self.resources.gpu.push(gpu_util);
+                    self.resources
+                        .temperature_c
+                        .push(self.thermal.temperature_c());
+                    self.resources.power_w.push(watts);
                 }
+                self.window_start_ms = self.states[0].t_ms;
+                self.window_cpu = 0.0;
+                self.window_gpu = 0.0;
+                self.window_time = 0.0;
+                self.window_bytes = 0;
             }
         }
 
-        // Quality pass.
+        Some(StepEvent {
+            player: pi,
+            now_ms: now,
+            critical_ms,
+            interval_ms: interval,
+            fetched_bytes: fetched.map(|(b, _)| b).unwrap_or(0),
+        })
+    }
+
+    /// Runs the quality pass (if configured) and assembles the report.
+    pub fn finish(self) -> SessionReport {
+        let cfg = &self.config;
         let visual_ssim = if cfg.quality_samples > 0 {
+            let renderer = Renderer::new(RenderOptions::fast());
+            let server = RenderServer::new(&self.scene, renderer);
             quality::measure_visual_quality(
-                &scene,
+                &self.scene,
                 &server,
-                cutoffs.as_ref(),
+                self.cutoffs.as_ref(),
                 cfg.system,
-                &traces,
-                &fi,
+                &self.traces,
+                &self.fi,
                 cfg.quality_samples,
                 cfg.seed,
             )
@@ -481,7 +731,8 @@ impl Session {
             0.0
         };
 
-        let players = states
+        let players = self
+            .states
             .iter()
             .map(|s| {
                 let frames = s.frames.max(1) as f64;
@@ -497,15 +748,12 @@ impl Session {
                     // pipeline latency.
                     responsiveness_ms: match cfg.system {
                         SystemKind::ThinClient => s.critical_sum_ms / frames,
-                        _ => (s.critical_sum_ms / frames).max(
-                            0.95 * FRAME_BUDGET_MS,
-                        ),
+                        _ => (s.critical_sum_ms / frames).max(0.95 * FRAME_BUDGET_MS),
                     },
-                    cpu_load: device.cpu_utilization(s.cpu_busy_core_ms, total_ms),
-                    gpu_load: device.gpu_utilization(
-                        s.gpu_busy_ms.min(total_ms),
-                        total_ms,
-                    ),
+                    cpu_load: self.device.cpu_utilization(s.cpu_busy_core_ms, total_ms),
+                    gpu_load: self
+                        .device
+                        .gpu_utilization(s.gpu_busy_ms.min(total_ms), total_ms),
                     frame_bytes: if s.fetch_count > 0 {
                         s.fetch_bytes as f64 / s.fetch_count as f64
                     } else {
@@ -517,7 +765,7 @@ impl Session {
                         0.0
                     },
                     be_mbps: s.fetch_bytes as f64 * 8.0 / 1000.0 / total_ms,
-                    fi_kbps: fi.server_kbps(),
+                    fi_kbps: self.fi.server_kbps(),
                     cache_hit_ratio: s
                         .cache
                         .as_ref()
@@ -528,90 +776,74 @@ impl Session {
             })
             .collect();
 
-        SessionReport { players, resources, duration_s: cfg.duration_s }
+        SessionReport {
+            players,
+            resources: self.resources,
+            duration_s: cfg.duration_s,
+        }
     }
+}
 
-    fn make_cache(&self) -> Option<FrameCache<()>> {
-        let version = match self.config.system {
-            SystemKind::MultiFurion { cache: true } => Some(CacheVersion::V1),
-            SystemKind::Coterie { cache: true } => Some(CacheVersion::V3),
-            _ => None,
-        };
-        version.map(|v| {
-            FrameCache::new(CacheConfig {
-                capacity_bytes: self.config.cache_bytes,
-                policy: self.config.eviction,
-                version: v,
-            })
+/// Measurement pass: true rendered+encoded sizes at sampled trace
+/// positions, parallelized across cores.
+fn measure_profiles(
+    cfg: &SessionConfig,
+    scene: &Scene,
+    server: &RenderServer<'_>,
+    traces: &TraceSet,
+    cutoffs: Option<&CutoffMap>,
+) -> Vec<Profile> {
+    let render_distance = server.renderer().options().render_distance;
+    traces
+        .traces()
+        .iter()
+        .map(|trace| {
+            let n = cfg.size_samples.max(1);
+            let pts = trace.points();
+            let stride = (pts.len() / n).max(1);
+            let samples: Vec<(f64, Vec2, f64)> = pts
+                .iter()
+                .step_by(stride)
+                .take(n)
+                .map(|p| (p.time, p.position, p.yaw))
+                .collect();
+            let measured = par_map(&samples, |&(_, pos, yaw)| {
+                let (whole, fov) = match cfg.system {
+                    SystemKind::Mobile => (0, 0),
+                    SystemKind::ThinClient => {
+                        (0, server.thin_client_frame(pos, yaw, &[]).transfer_bytes)
+                    }
+                    SystemKind::MultiFurion { .. } => (server.whole_be(pos).transfer_bytes, 0),
+                    SystemKind::Coterie { .. } => (0, 0),
+                };
+                let (far, near_tris) = if let Some(map) = cutoffs {
+                    let (_, radius, _) = map.lookup_params(pos);
+                    (
+                        server.far_be(pos, radius).transfer_bytes,
+                        scene.triangles_within(pos, radius),
+                    )
+                } else {
+                    (0, 0)
+                };
+                let visible = if matches!(cfg.system, SystemKind::Mobile) {
+                    mobile_render_tris(scene, pos, render_distance)
+                } else {
+                    0
+                };
+                (whole, far, fov, near_tris, visible)
+            });
+            let mut profile = Profile::default();
+            for ((t, _, _), (whole, far, fov, near, visible)) in samples.iter().zip(measured) {
+                profile.times_s.push(*t);
+                profile.whole_bytes.push(whole);
+                profile.far_bytes.push(far);
+                profile.fov_bytes.push(fov);
+                profile.near_tris.push(near);
+                profile.visible_tris.push(visible);
+            }
+            profile
         })
-    }
-
-    /// Measurement pass: true rendered+encoded sizes at sampled trace
-    /// positions, parallelized across cores.
-    fn measure_profiles(
-        &self,
-        scene: &Scene,
-        server: &RenderServer<'_>,
-        traces: &TraceSet,
-        cutoffs: Option<&CutoffMap>,
-    ) -> Vec<Profile> {
-        let cfg = &self.config;
-        let render_distance = server.renderer().options().render_distance;
-        traces
-            .traces()
-            .iter()
-            .map(|trace| {
-                let n = cfg.size_samples.max(1);
-                let pts = trace.points();
-                let stride = (pts.len() / n).max(1);
-                let samples: Vec<(f64, Vec2, f64)> = pts
-                    .iter()
-                    .step_by(stride)
-                    .take(n)
-                    .map(|p| (p.time, p.position, p.yaw))
-                    .collect();
-                let measured = par_map(&samples, |&(_, pos, yaw)| {
-                    let (whole, fov) = match cfg.system {
-                        SystemKind::Mobile => (0, 0),
-                        SystemKind::ThinClient => {
-                            (0, server.thin_client_frame(pos, yaw, &[]).transfer_bytes)
-                        }
-                        SystemKind::MultiFurion { .. } => {
-                            (server.whole_be(pos).transfer_bytes, 0)
-                        }
-                        SystemKind::Coterie { .. } => (0, 0),
-                    };
-                    let (far, near_tris) = if let Some(map) = cutoffs {
-                        let (_, radius, _) = map.lookup_params(pos);
-                        (
-                            server.far_be(pos, radius).transfer_bytes,
-                            scene.triangles_within(pos, radius),
-                        )
-                    } else {
-                        (0, 0)
-                    };
-                    let visible = if matches!(cfg.system, SystemKind::Mobile) {
-                        mobile_render_tris(scene, pos, render_distance)
-                    } else {
-                        0
-                    };
-                    (whole, far, fov, near_tris, visible)
-                });
-                let mut profile = Profile::default();
-                for ((t, _, _), (whole, far, fov, near, visible)) in
-                    samples.iter().zip(measured)
-                {
-                    profile.times_s.push(*t);
-                    profile.whole_bytes.push(whole);
-                    profile.far_bytes.push(far);
-                    profile.fov_bytes.push(fov);
-                    profile.near_tris.push(near);
-                    profile.visible_tris.push(visible);
-                }
-                profile
-            })
-            .collect()
-    }
+        .collect()
 }
 
 /// LOD-weighted triangle cost of rendering the whole scene locally (the
@@ -684,8 +916,16 @@ mod tests {
     fn mobile_is_gpu_bound_at_low_fps() {
         let r = quick(GameId::VikingVillage, SystemKind::Mobile, 1);
         let m = r.aggregate();
-        assert!(m.avg_fps < 45.0, "mobile should miss 60 FPS: {:.0}", m.avg_fps);
-        assert!(m.gpu_load > 0.8, "mobile GPU should be nearly saturated: {:.2}", m.gpu_load);
+        assert!(
+            m.avg_fps < 45.0,
+            "mobile should miss 60 FPS: {:.0}",
+            m.avg_fps
+        );
+        assert!(
+            m.gpu_load > 0.8,
+            "mobile GPU should be nearly saturated: {:.2}",
+            m.gpu_load
+        );
         assert_eq!(m.frame_bytes, 0.0, "mobile transfers no frames");
     }
 
@@ -694,16 +934,28 @@ mod tests {
         let r = quick(GameId::VikingVillage, SystemKind::coterie(), 2);
         let m = r.aggregate();
         assert!(m.avg_fps > 58.0, "Coterie 2P FPS {:.0}", m.avg_fps);
-        assert!(m.responsiveness_ms < 16.7, "responsiveness {:.1}", m.responsiveness_ms);
-        assert!(m.cache_hit_ratio > 0.5, "hit ratio {:.2}", m.cache_hit_ratio);
+        assert!(
+            m.responsiveness_ms < 16.7,
+            "responsiveness {:.1}",
+            m.responsiveness_ms
+        );
+        assert!(
+            m.cache_hit_ratio > 0.5,
+            "hit ratio {:.2}",
+            m.cache_hit_ratio
+        );
     }
 
     #[test]
     fn multifurion_degrades_with_players() {
         let one = quick(GameId::VikingVillage, SystemKind::multi_furion(), 1).aggregate();
         let four = quick(GameId::VikingVillage, SystemKind::multi_furion(), 4).aggregate();
-        assert!(one.avg_fps > four.avg_fps + 10.0,
-            "MF should degrade: 1P {:.0} vs 4P {:.0}", one.avg_fps, four.avg_fps);
+        assert!(
+            one.avg_fps > four.avg_fps + 10.0,
+            "MF should degrade: 1P {:.0} vs 4P {:.0}",
+            one.avg_fps,
+            four.avg_fps
+        );
         assert!(four.net_delay_ms > one.net_delay_ms * 1.5);
     }
 
@@ -725,7 +977,11 @@ mod tests {
         let r = quick(GameId::VikingVillage, SystemKind::ThinClient, 1);
         let m = r.aggregate();
         assert!(m.avg_fps < 30.0, "thin client FPS {:.0}", m.avg_fps);
-        assert!(m.responsiveness_ms > 30.0, "thin resp {:.1} ms", m.responsiveness_ms);
+        assert!(
+            m.responsiveness_ms > 30.0,
+            "thin resp {:.1} ms",
+            m.responsiveness_ms
+        );
         assert!(m.gpu_load < 0.2, "thin client phone GPU {:.2}", m.gpu_load);
     }
 
@@ -822,7 +1078,10 @@ mod tests {
             coterie_world::scene::ReachableArea::All,
             coterie_world::GridSpec::covering(Vec2::ZERO, 10.0, 10.0, 1.0),
         );
-        assert_eq!(mobile_render_tris(&empty, Vec2::new(5.0, 5.0), 400.0), 120_000);
+        assert_eq!(
+            mobile_render_tris(&empty, Vec2::new(5.0, 5.0), 400.0),
+            120_000
+        );
     }
 
     #[test]
@@ -841,12 +1100,96 @@ mod tests {
     }
 
     #[test]
+    fn stepped_session_matches_closed_run() {
+        // Session::run is now a thin driver over SessionSim; stepping
+        // manually with the default fetch path must reproduce it
+        // exactly.
+        let config = SessionConfig::new(GameId::Pool, SystemKind::coterie(), 2)
+            .with_duration_s(20.0)
+            .with_seed(11);
+        let closed = Session::new(config).run();
+        let mut sim = SessionSim::new(config);
+        let mut steps = 0u64;
+        while sim.step().is_some() {
+            steps += 1;
+        }
+        assert!(sim.finished());
+        let stepped = sim.finish();
+        assert!(
+            steps > 100,
+            "20 s of 2 players should take many steps: {steps}"
+        );
+        for (a, b) in closed.players.iter().zip(&stepped.players) {
+            assert_eq!(a.avg_fps, b.avg_fps);
+            assert_eq!(a.be_mbps, b.be_mbps);
+            assert_eq!(a.cache_hit_ratio, b.cache_hit_ratio);
+        }
+    }
+
+    #[test]
+    fn fetch_hook_sees_only_cache_misses() {
+        let config = SessionConfig::new(GameId::Pool, SystemKind::coterie(), 1)
+            .with_duration_s(20.0)
+            .with_seed(11);
+        let mut sim = SessionSim::new(config);
+        let mut requests: Vec<FarRequest> = Vec::new();
+        let mut fetch = |link: &mut SharedLink, req: FarRequest| {
+            requests.push(req);
+            let tx = link.transfer(req.now_ms, req.bytes);
+            FarResponse {
+                bytes: req.bytes,
+                completed_at_ms: tx.completed_at_ms,
+            }
+        };
+        let mut fetched_events = 0u64;
+        while let Some(ev) = sim.step_with(&mut fetch) {
+            if ev.fetched_bytes > 0 {
+                fetched_events += 1;
+            }
+        }
+        assert!(!requests.is_empty(), "a fresh cache must miss sometimes");
+        assert_eq!(requests.len() as u64, fetched_events);
+        for req in &requests {
+            assert!(req.bytes > 0);
+            assert!(req.dist_thresh > 0.0, "coterie requests carry dist_thresh");
+        }
+        let report = sim.finish();
+        assert!(report.players[0].cache_hit_ratio > 0.0);
+    }
+
+    #[test]
+    fn quality_scale_reduces_prefetch_bytes() {
+        let config = SessionConfig::new(GameId::VikingVillage, SystemKind::coterie(), 1)
+            .with_duration_s(15.0)
+            .with_seed(4);
+        let full = {
+            let mut sim = SessionSim::new(config);
+            while sim.step().is_some() {}
+            sim.finish().aggregate().be_mbps
+        };
+        let degraded = {
+            let mut sim = SessionSim::new(config);
+            sim.set_quality_scale(0.25);
+            assert_eq!(sim.quality_scale(), 0.25);
+            while sim.step().is_some() {}
+            sim.finish().aggregate().be_mbps
+        };
+        assert!(full > 0.0);
+        assert!(
+            degraded < full * 0.5,
+            "quality 0.25 should cut bandwidth: full {full:.3} vs degraded {degraded:.3}"
+        );
+        // The scale is clamped to the sane range.
+        let mut sim = SessionSim::new(config);
+        sim.set_quality_scale(7.0);
+        assert_eq!(sim.quality_scale(), 1.0);
+        sim.set_quality_scale(0.0);
+        assert_eq!(sim.quality_scale(), 0.25);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one player")]
     fn zero_players_rejected() {
-        let _ = Session::new(SessionConfig::new(
-            GameId::Pool,
-            SystemKind::Mobile,
-            0,
-        ));
+        let _ = Session::new(SessionConfig::new(GameId::Pool, SystemKind::Mobile, 0));
     }
 }

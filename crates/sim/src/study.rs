@@ -43,7 +43,13 @@ pub struct StudyConfig {
 
 impl Default for StudyConfig {
     fn default() -> Self {
-        StudyConfig { participants: 12, traces: 6, trace_seconds: 20.0, probes: 5, seed: 7 }
+        StudyConfig {
+            participants: 12,
+            traces: 6,
+            trace_seconds: 20.0,
+            probes: 5,
+            seed: 7,
+        }
     }
 }
 
@@ -90,7 +96,14 @@ pub fn run_study(config: &StudyConfig) -> StudyOutcome {
         let scene = spec.build_scene(config.seed ^ (t as u64) << 8);
         let cutoff_cfg = CutoffConfig::for_spec(&spec);
         let map = CutoffMap::compute(&scene, &device, &cutoff_cfg, config.seed);
-        let traj = Trajectory::generate(&scene, &spec, 0, 1, config.trace_seconds, config.seed ^ t as u64);
+        let traj = Trajectory::generate(
+            &scene,
+            &spec,
+            0,
+            1,
+            config.trace_seconds,
+            config.seed ^ t as u64,
+        );
 
         // Probe the reuse discontinuity at several points of the replay.
         let mut d_sum = 0.0;
@@ -103,7 +116,9 @@ pub fn run_study(config: &StudyConfig) -> StudyOutcome {
             // closest qualifying frame wins, so reuse rarely happens at
             // the full radius).
             let mut reused = pos + Vec2::new(dist_thresh * 0.6, 0.0);
-            reused.x = reused.x.clamp(scene.bounds().min.x, scene.bounds().max.x - 1e-6);
+            reused.x = reused
+                .x
+                .clamp(scene.bounds().min.x, scene.bounds().max.x - 1e-6);
             let a = renderer.render_panorama(
                 &scene,
                 scene.eye(pos),
@@ -148,7 +163,11 @@ pub fn run_study(config: &StudyConfig) -> StudyOutcome {
     }
     StudyOutcome {
         counts,
-        mean_score: if total == 0 { 0.0 } else { score_sum as f64 / total as f64 },
+        mean_score: if total == 0 {
+            0.0
+        } else {
+            score_sum as f64 / total as f64
+        },
         trace_stimuli: stimuli,
     }
 }
@@ -158,7 +177,13 @@ mod tests {
     use super::*;
 
     fn small_config() -> StudyConfig {
-        StudyConfig { participants: 6, traces: 3, trace_seconds: 8.0, probes: 2, seed: 11 }
+        StudyConfig {
+            participants: 6,
+            traces: 3,
+            trace_seconds: 8.0,
+            probes: 2,
+            seed: 11,
+        }
     }
 
     #[test]
@@ -168,7 +193,11 @@ mod tests {
         let outcome = run_study(&small_config());
         let total: usize = outcome.counts.iter().sum();
         assert_eq!(total, 6 * 3);
-        assert!(outcome.mean_score >= 4.0, "mean score {:.2}", outcome.mean_score);
+        assert!(
+            outcome.mean_score >= 4.0,
+            "mean score {:.2}",
+            outcome.mean_score
+        );
         let low = outcome.fraction(1) + outcome.fraction(2);
         assert!(low < 0.15, "low scores {low:.2}");
     }

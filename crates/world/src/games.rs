@@ -55,8 +55,7 @@ impl GameId {
     ];
 
     /// The three games used in the end-to-end testbed evaluation (§7).
-    pub const TESTBED: [GameId; 3] =
-        [GameId::VikingVillage, GameId::Cts, GameId::RacingMountain];
+    pub const TESTBED: [GameId; 3] = [GameId::VikingVillage, GameId::Cts, GameId::RacingMountain];
 
     /// Short display name as used in the paper's tables.
     pub fn short_name(self) -> &'static str {
@@ -109,12 +108,20 @@ impl GameGenre {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum DensityProfile {
     /// Strong clustered hotspots over a sparse base (Viking).
-    Village { hotspots: usize, hotspot_sigma: f64, contrast: f64 },
+    Village {
+        hotspots: usize,
+        hotspot_sigma: f64,
+        contrast: f64,
+    },
     /// Broad noise-modulated spread (CTS, FPS, Soccer).
     Rolling { contrast: f64 },
     /// Objects concentrated near the track with a few dense pockets
     /// (Racing Mountain's track-side forest, DS's stadium at start/finish).
-    TrackSide { pocket_count: usize, pocket_sigma: f64, pocket_weight: f64 },
+    TrackSide {
+        pocket_count: usize,
+        pocket_sigma: f64,
+        pocket_weight: f64,
+    },
     /// Indoor room: furniture around walls and play area.
     Indoor,
 }
@@ -337,7 +344,12 @@ impl GameSpec {
             // Radial wiggle makes the track non-circular but still closed.
             let wiggle = 0.75
                 + 0.25
-                    * fbm(seed ^ 0x70, theta.cos() * 2.0 + 7.0, theta.sin() * 2.0 + 3.0, 3);
+                    * fbm(
+                        seed ^ 0x70,
+                        theta.cos() * 2.0 + 7.0,
+                        theta.sin() * 2.0 + 3.0,
+                        3,
+                    );
             pts.push(Vec2::new(
                 cx + rx * wiggle * theta.sin(),
                 cz + rz * wiggle * theta.cos(),
@@ -350,7 +362,11 @@ impl GameSpec {
     fn density_at(&self, seed: u64, p: Vec2, track: Option<&[Vec2]>) -> f64 {
         let noise = fbm(seed ^ 0xDE_5317, p.x / 23.0, p.z / 23.0, 3);
         match &self.density {
-            DensityProfile::Village { hotspots, hotspot_sigma, contrast } => {
+            DensityProfile::Village {
+                hotspots,
+                hotspot_sigma,
+                contrast,
+            } => {
                 let mut rng = SmallRng::new(seed ^ 0x7077);
                 let mut d = 1.0 + 0.8 * noise;
                 for _ in 0..*hotspots {
@@ -362,7 +378,11 @@ impl GameSpec {
                 d
             }
             DensityProfile::Rolling { contrast } => 1.0 + contrast * noise,
-            DensityProfile::TrackSide { pocket_count, pocket_sigma, pocket_weight } => {
+            DensityProfile::TrackSide {
+                pocket_count,
+                pocket_sigma,
+                pocket_weight,
+            } => {
                 let track = track.expect("track games must have a centerline");
                 // Base density concentrated near the track corridor.
                 let mut nearest = f64::INFINITY;
@@ -403,7 +423,11 @@ impl GameSpec {
     pub fn build_scene(&self, seed: u64) -> Scene {
         let bounds = self.bounds();
         let terrain = if self.terrain_amplitude > 0.0 {
-            Terrain::new(seed ^ 0x7E44, self.terrain_amplitude, self.width.max(60.0) / 6.0)
+            Terrain::new(
+                seed ^ 0x7E44,
+                self.terrain_amplitude,
+                self.width.max(60.0) / 6.0,
+            )
         } else {
             Terrain::flat()
         };
@@ -486,12 +510,18 @@ pub struct GameCatalog;
 impl GameCatalog {
     /// Specs for all nine games in Table 2 order.
     pub fn all() -> Vec<GameSpec> {
-        GameId::ALL.iter().map(|&id| GameSpec::for_game(id)).collect()
+        GameId::ALL
+            .iter()
+            .map(|&id| GameSpec::for_game(id))
+            .collect()
     }
 
     /// Specs for the three testbed games (§7).
     pub fn testbed() -> Vec<GameSpec> {
-        GameId::TESTBED.iter().map(|&id| GameSpec::for_game(id)).collect()
+        GameId::TESTBED
+            .iter()
+            .map(|&id| GameSpec::for_game(id))
+            .collect()
     }
 
     /// Specs for the six outdoor games.
@@ -578,7 +608,9 @@ mod tests {
                 assert!(bounds.contains(*p), "{id}: track point {p} out of bounds");
             }
         }
-        assert!(GameSpec::for_game(GameId::Pool).track_centerline(3).is_none());
+        assert!(GameSpec::for_game(GameId::Pool)
+            .track_centerline(3)
+            .is_none());
     }
 
     #[test]
@@ -593,7 +625,10 @@ mod tests {
                 reachable += 1;
             }
         }
-        assert!(reachable >= 14, "most centerline points reachable: {reachable}");
+        assert!(
+            reachable >= 14,
+            "most centerline points reachable: {reachable}"
+        );
         // No objects sit inside the corridor.
         for p in track.iter().step_by(10) {
             let blocking = scene
@@ -622,7 +657,10 @@ mod tests {
         }
         let max = densities.iter().cloned().fold(0.0, f64::max);
         let mean = densities.iter().sum::<f64>() / densities.len() as f64;
-        assert!(max > mean * 4.0, "expected strong hotspots: max={max} mean={mean}");
+        assert!(
+            max > mean * 4.0,
+            "expected strong hotspots: max={max} mean={mean}"
+        );
     }
 
     #[test]

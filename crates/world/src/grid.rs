@@ -98,8 +98,16 @@ impl GridSpec {
     /// Panics if `spacing` is not strictly positive or a dimension is zero.
     pub fn new(origin: Vec2, spacing: f64, nx: u32, nz: u32) -> Self {
         assert!(spacing > 0.0, "grid spacing must be positive");
-        assert!(nx > 0 && nz > 0, "grid must have at least one point per axis");
-        GridSpec { origin, spacing, nx, nz }
+        assert!(
+            nx > 0 && nz > 0,
+            "grid must have at least one point per axis"
+        );
+        GridSpec {
+            origin,
+            spacing,
+            nx,
+            nz,
+        }
     }
 
     /// Builds the lattice covering a world of `width × depth` meters with

@@ -64,15 +64,20 @@ impl HeadModel {
             glances.push((t, duration, offset));
             t += duration + rng.range(0.5 * glance_interval_s, 1.5 * glance_interval_s);
         }
-        HeadModel { seed, wander_rad, glance_interval_s, glance_rad, glances }
+        HeadModel {
+            seed,
+            wander_rad,
+            glance_interval_s,
+            glance_rad,
+            glances,
+        }
     }
 
     /// Head pose at time `t` while following `trajectory`.
     pub fn pose(&self, trajectory: &Trajectory, t: f64) -> HeadPose {
         let heading = trajectory.heading(t);
         // Slow wander around the heading.
-        let wander =
-            (fbm(self.seed ^ 0x77, t * 0.35, 0.0, 3) - 0.5) * 2.0 * self.wander_rad;
+        let wander = (fbm(self.seed ^ 0x77, t * 0.35, 0.0, 3) - 0.5) * 2.0 * self.wander_rad;
         // Active glance, smoothly ramped in and out.
         let mut glance = 0.0;
         for &(start, duration, offset) in &self.glances {
@@ -85,7 +90,10 @@ impl HeadModel {
             }
         }
         let pitch = (fbm(self.seed ^ 0x88, t * 0.3, 1.0, 2) - 0.5) * 0.35;
-        HeadPose { yaw: heading + wander + glance, pitch }
+        HeadPose {
+            yaw: heading + wander + glance,
+            pitch,
+        }
     }
 
     /// The largest yaw deviation from the movement heading over a window

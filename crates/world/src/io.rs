@@ -123,7 +123,11 @@ pub fn decode_traces(mut data: &[u8]) -> Result<TraceSet, TraceIoError> {
             if !(time.is_finite() && x.is_finite() && z.is_finite() && yaw.is_finite()) {
                 return Err(TraceIoError::Corrupt("non-finite sample"));
             }
-            points.push(TracePoint { time, position: Vec2::new(x, z), yaw });
+            points.push(TracePoint {
+                time,
+                position: Vec2::new(x, z),
+                yaw,
+            });
         }
         traces.push(Trace::from_parts(points, interval));
     }

@@ -46,12 +46,12 @@ pub mod trajectory;
 pub mod vec;
 
 pub use games::{GameCatalog, GameGenre, GameId, GameSpec};
-pub use head::{HeadModel, HeadPose};
 pub use grid::{GridPoint, GridSpec};
+pub use head::{HeadModel, HeadPose};
 pub use object::{ObjectId, ObjectKind, SceneObject};
 pub use quadtree::{LeafId, Quadtree, QuadtreeStats, Rect};
 pub use scene::Scene;
 pub use terrain::Terrain;
 pub use trace::{Trace, TracePoint, TraceSet};
-pub use trajectory::{Trajectory, TrajectoryKind};
+pub use trajectory::{Trajectory, TrajectoryError, TrajectoryKind};
 pub use vec::{Vec2, Vec3};

@@ -95,7 +95,9 @@ pub struct SmallRng {
 impl SmallRng {
     /// Creates a generator from a seed. A zero seed is remapped internally.
     pub fn new(seed: u64) -> Self {
-        SmallRng { state: hash64(seed).max(1) }
+        SmallRng {
+            state: hash64(seed).max(1),
+        }
     }
 
     /// Next raw 64-bit value.

@@ -26,7 +26,10 @@ impl Rect {
     ///
     /// Panics if `min` is not component-wise `<= max`.
     pub fn new(min: Vec2, max: Vec2) -> Self {
-        assert!(min.x <= max.x && min.z <= max.z, "degenerate rect {min} .. {max}");
+        assert!(
+            min.x <= max.x && min.z <= max.z,
+            "degenerate rect {min} .. {max}"
+        );
         Rect { min, max }
     }
 
@@ -56,7 +59,10 @@ impl Rect {
     /// Center point.
     #[inline]
     pub fn center(&self) -> Vec2 {
-        Vec2::new((self.min.x + self.max.x) * 0.5, (self.min.z + self.max.z) * 0.5)
+        Vec2::new(
+            (self.min.x + self.max.x) * 0.5,
+            (self.min.z + self.max.z) * 0.5,
+        )
     }
 
     /// Whether the rectangle contains a point (min-inclusive,
@@ -170,7 +176,11 @@ impl<T> Quadtree<T> {
         max_depth: u32,
         decide: &mut dyn FnMut(&Rect, u32) -> Partition<T>,
     ) -> Self {
-        let mut tree = Quadtree { root_rect: root, nodes: Vec::new(), leaves: Vec::new() };
+        let mut tree = Quadtree {
+            root_rect: root,
+            nodes: Vec::new(),
+            leaves: Vec::new(),
+        };
         tree.build_node(root, 0, max_depth, decide);
         tree
     }
@@ -186,7 +196,12 @@ impl<T> Quadtree<T> {
         match decide(&rect, depth) {
             Partition::Stop(value) => {
                 let leaf_idx = self.leaves.len() as u32;
-                self.leaves.push(Leaf { id: LeafId(leaf_idx), rect, depth, value });
+                self.leaves.push(Leaf {
+                    id: LeafId(leaf_idx),
+                    rect,
+                    depth,
+                    value,
+                });
                 self.nodes.push(Node::Leaf { leaf: leaf_idx });
                 idx
             }
@@ -227,8 +242,10 @@ impl<T> Quadtree<T> {
         // world rectangle resolves to some leaf.
         let eps = 1e-9;
         let p = Vec2::new(
-            p.x.min(self.root_rect.max.x - eps).max(self.root_rect.min.x),
-            p.z.min(self.root_rect.max.z - eps).max(self.root_rect.min.z),
+            p.x.min(self.root_rect.max.x - eps)
+                .max(self.root_rect.min.x),
+            p.z.min(self.root_rect.max.z - eps)
+                .max(self.root_rect.min.z),
         );
         if !self.root_rect.contains(p) {
             return None;
@@ -275,7 +292,11 @@ impl<T> Quadtree<T> {
         } else {
             self.leaves.iter().map(|l| l.depth as f64).sum::<f64>() / leaf_count as f64
         };
-        QuadtreeStats { leaf_count, avg_depth, max_depth }
+        QuadtreeStats {
+            leaf_count,
+            avg_depth,
+            max_depth,
+        }
     }
 }
 
@@ -350,7 +371,7 @@ mod tests {
     fn locate_outside_is_none_inside_edges_clamped() {
         let qt = uniform_tree(2);
         assert!(qt.locate(Vec2::new(-1.0, 5.0)).is_some()); // clamped to min edge
-        // Max edge is clamped inward rather than rejected:
+                                                            // Max edge is clamped inward rather than rejected:
         assert!(qt.locate(Vec2::new(64.0, 64.0)).is_some());
         assert!(qt.locate(Vec2::new(200.0, 5.0)).is_some()); // clamped
     }

@@ -44,9 +44,10 @@ impl ReachableArea {
         }
         match self {
             ReachableArea::All => true,
-            ReachableArea::Track { centerline, half_width } => {
-                distance_to_polyline(centerline, p) <= *half_width
-            }
+            ReachableArea::Track {
+                centerline,
+                half_width,
+            } => distance_to_polyline(centerline, p) <= *half_width,
         }
     }
 
@@ -69,7 +70,10 @@ impl ReachableArea {
     pub fn corridor_fraction(&self, bounds: &Rect) -> f64 {
         match self {
             ReachableArea::All => 1.0,
-            ReachableArea::Track { centerline, half_width } => {
+            ReachableArea::Track {
+                centerline,
+                half_width,
+            } => {
                 let mut length = 0.0;
                 for w in centerline.windows(2) {
                     length += w[0].distance(w[1]);
@@ -156,7 +160,15 @@ impl Scene {
             );
         }
         let index = SpatialIndex::build(&bounds, &objects);
-        Scene { bounds, terrain, objects, reachable, grid, eye_height: Self::DEFAULT_EYE_HEIGHT, index }
+        Scene {
+            bounds,
+            terrain,
+            objects,
+            reachable,
+            grid,
+            eye_height: Self::DEFAULT_EYE_HEIGHT,
+            index,
+        }
     }
 
     /// World rectangle.
@@ -189,11 +201,37 @@ impl Scene {
         &self.grid
     }
 
+    /// A stable digest of the world layout (bounds plus object
+    /// population), FNV-1a over the geometry.
+    ///
+    /// Trajectory generators key *map-level* features — roam hotspots,
+    /// spawn areas — on this digest rather than on the per-player
+    /// movement seed, so every session hosted in the same world sees
+    /// the same map features regardless of who is moving through it
+    /// (the property the fleet's cross-session frame reuse relies on).
+    pub fn layout_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        mix(self.objects.len() as u64);
+        mix(self.bounds.min.x.to_bits());
+        mix(self.bounds.min.z.to_bits());
+        mix(self.bounds.max.x.to_bits());
+        mix(self.bounds.max.z.to_bits());
+        for o in &self.objects {
+            mix(o.id.0 as u64);
+            mix(o.position.x.to_bits());
+            mix(o.position.z.to_bits());
+        }
+        h
+    }
+
     /// Number of grid points players can reach (Table 3's "Grid Points"
     /// column): full lattice scaled by the reachable-area fraction.
     pub fn reachable_grid_points(&self) -> u64 {
-        (self.grid.point_count() as f64 * self.reachable.area_fraction(&self.bounds)).round()
-            as u64
+        (self.grid.point_count() as f64 * self.reachable.area_fraction(&self.bounds)).round() as u64
     }
 
     /// Whether the ground position is reachable by players.
@@ -228,7 +266,9 @@ impl Scene {
     /// Total triangles of objects within `radius` of `p` — the rendering
     /// cost proxy behind Constraint 1.
     pub fn triangles_within(&self, p: Vec2, radius: f64) -> u64 {
-        self.objects_within(p, radius).map(|o| o.triangles as u64).sum()
+        self.objects_within(p, radius)
+            .map(|o| o.triangles as u64)
+            .sum()
     }
 
     /// Triangle density (triangles per m²) inside a rectangle — Figure 8's
@@ -253,8 +293,7 @@ impl Scene {
     /// a cached far-BE frame may only be reused where the *near BE contains
     /// the same set of objects*, otherwise merging would leave holes.
     pub fn near_set_hash(&self, p: Vec2, radius: f64) -> u64 {
-        let mut ids: Vec<ObjectId> =
-            self.objects_within(p, radius).map(|o| o.id).collect();
+        let mut ids: Vec<ObjectId> = self.objects_within(p, radius).map(|o| o.id).collect();
         ids.sort_unstable();
         let mut h = 0xCBF2_9CE4_8422_2325u64;
         for id in ids {
@@ -288,19 +327,31 @@ impl SpatialIndex {
             let bz = (((p.z - bounds.min.z) / cell) as i32).clamp(0, nz - 1);
             buckets[(bz * nx + bx) as usize].push(i as u32);
         }
-        SpatialIndex { origin: bounds.min, cell, nx, nz, buckets }
+        SpatialIndex {
+            origin: bounds.min,
+            cell,
+            nx,
+            nz,
+            buckets,
+        }
     }
 
     /// Indices of objects in buckets overlapping the query disc.
     fn candidates(&self, p: Vec2, radius: f64) -> impl Iterator<Item = usize> + '_ {
-        let lo_x = (((p.x - radius - self.origin.x) / self.cell).floor() as i32).clamp(0, self.nx - 1);
-        let hi_x = (((p.x + radius - self.origin.x) / self.cell).floor() as i32).clamp(0, self.nx - 1);
-        let lo_z = (((p.z - radius - self.origin.z) / self.cell).floor() as i32).clamp(0, self.nz - 1);
-        let hi_z = (((p.z + radius - self.origin.z) / self.cell).floor() as i32).clamp(0, self.nz - 1);
+        let lo_x =
+            (((p.x - radius - self.origin.x) / self.cell).floor() as i32).clamp(0, self.nx - 1);
+        let hi_x =
+            (((p.x + radius - self.origin.x) / self.cell).floor() as i32).clamp(0, self.nx - 1);
+        let lo_z =
+            (((p.z - radius - self.origin.z) / self.cell).floor() as i32).clamp(0, self.nz - 1);
+        let hi_z =
+            (((p.z + radius - self.origin.z) / self.cell).floor() as i32).clamp(0, self.nz - 1);
         let nx = self.nx;
         (lo_z..=hi_z).flat_map(move |bz| {
             (lo_x..=hi_x).flat_map(move |bx| {
-                self.buckets[(bz * nx + bx) as usize].iter().map(|&i| i as usize)
+                self.buckets[(bz * nx + bx) as usize]
+                    .iter()
+                    .map(|&i| i as usize)
             })
         })
     }

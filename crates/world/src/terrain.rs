@@ -36,12 +36,20 @@ impl Terrain {
     pub fn new(seed: u64, amplitude: f64, wavelength: f64) -> Self {
         assert!(wavelength > 0.0, "terrain wavelength must be positive");
         assert!(amplitude >= 0.0, "terrain amplitude must be non-negative");
-        Terrain { seed, amplitude, wavelength }
+        Terrain {
+            seed,
+            amplitude,
+            wavelength,
+        }
     }
 
     /// A perfectly flat terrain (used by the indoor games).
     pub fn flat() -> Self {
-        Terrain { seed: 0, amplitude: 0.0, wavelength: 1.0 }
+        Terrain {
+            seed: 0,
+            amplitude: 0.0,
+            wavelength: 1.0,
+        }
     }
 
     /// Elevation amplitude in meters.

@@ -152,7 +152,9 @@ impl TraceSet {
 
 impl FromIterator<Trace> for TraceSet {
     fn from_iter<I: IntoIterator<Item = Trace>>(iter: I) -> Self {
-        TraceSet { traces: iter.into_iter().collect() }
+        TraceSet {
+            traces: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -230,9 +232,7 @@ mod tests {
     fn trace_set_from_iterator() {
         let (scene, spec) = session();
         let traj = Trajectory::generate(&scene, &spec, 0, 1, 2.0, 1);
-        let set: TraceSet = std::iter::repeat(Trace::record(&traj, 2.0, 0.5))
-            .take(3)
-            .collect();
+        let set: TraceSet = std::iter::repeat_n(Trace::record(&traj, 2.0, 0.5), 3).collect();
         assert_eq!(set.player_count(), 3);
     }
 

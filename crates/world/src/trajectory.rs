@@ -37,6 +37,27 @@ impl TrajectoryKind {
     }
 }
 
+/// Why a trajectory could not be generated for a scene/spec pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajectoryError {
+    /// A [`TrajectoryKind::Track`] trajectory was requested for a scene
+    /// whose reachable area is not a track (e.g. a racing spec paired
+    /// with a scene built from an open-world spec).
+    MissingTrack,
+}
+
+impl std::fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrajectoryError::MissingTrack => {
+                write!(f, "track trajectory requires a scene with a track")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
 /// A continuous-time movement path, stored as piecewise-linear knots.
 ///
 /// ```
@@ -64,6 +85,11 @@ impl Trajectory {
     /// track staggered by a couple of seconds; adventure parties trail a
     /// common leader path; shooters roam around shared hotspots.
     ///
+    /// If the genre asks for a track trajectory but the scene has no
+    /// track (a mismatched scene/spec pairing), the player falls back
+    /// to roaming the reachable area instead of failing; use
+    /// [`Trajectory::try_generate`] to detect that mismatch.
+    ///
     /// # Panics
     ///
     /// Panics if `duration` is not positive or `player >= n_players`.
@@ -75,16 +101,49 @@ impl Trajectory {
         duration: f64,
         seed: u64,
     ) -> Trajectory {
+        Trajectory::try_generate(scene, spec, player, n_players, duration, seed).unwrap_or_else(
+            |TrajectoryError::MissingTrack| {
+                // Documented fallback: roam the reachable area with the
+                // same seed so the result stays deterministic.
+                let knots = roam_knots(scene, spec, player, duration, seed);
+                Trajectory {
+                    knots,
+                    kind: TrajectoryKind::Roam,
+                }
+            },
+        )
+    }
+
+    /// Like [`Trajectory::generate`], but reports a scene/spec mismatch
+    /// instead of silently falling back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrajectoryError::MissingTrack`] when the genre requires
+    /// a [`TrajectoryKind::Track`] trajectory and the scene's reachable
+    /// area is not a track.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is not positive or `player >= n_players`.
+    pub fn try_generate(
+        scene: &Scene,
+        spec: &GameSpec,
+        player: usize,
+        n_players: usize,
+        duration: f64,
+        seed: u64,
+    ) -> Result<Trajectory, TrajectoryError> {
         assert!(duration > 0.0, "duration must be positive");
         assert!(player < n_players.max(1), "player index out of range");
         let kind = TrajectoryKind::for_genre(spec.genre);
         let knots = match kind {
-            TrajectoryKind::Track => track_knots(scene, spec, player, duration, seed),
+            TrajectoryKind::Track => track_knots(scene, spec, player, duration, seed)?,
             TrajectoryKind::Roam => roam_knots(scene, spec, player, duration, seed),
             TrajectoryKind::FollowLeader => follow_knots(scene, spec, player, duration, seed),
             TrajectoryKind::Station => station_knots(scene, spec, player, duration, seed),
         };
-        Trajectory { knots, kind }
+        Ok(Trajectory { knots, kind })
     }
 
     /// Movement archetype of this trajectory.
@@ -141,14 +200,15 @@ fn track_knots(
     player: usize,
     duration: f64,
     seed: u64,
-) -> Vec<(f64, Vec2)> {
+) -> Result<Vec<(f64, Vec2)>, TrajectoryError> {
     // The track belongs to the scene: read it from the reachable area so
     // trajectories always drive the same track the scene was built with.
     let (centerline, scene_half_width) = match scene.reachable() {
-        crate::scene::ReachableArea::Track { centerline, half_width } => {
-            (centerline.clone(), *half_width)
-        }
-        _ => panic!("track trajectory requires a scene with a track"),
+        crate::scene::ReachableArea::Track {
+            centerline,
+            half_width,
+        } => (centerline.clone(), *half_width),
+        _ => return Err(TrajectoryError::MissingTrack),
     };
     let n = centerline.len();
     // Arc lengths around the loop.
@@ -184,11 +244,10 @@ fn track_knots(
         let tangent = (b - a).normalized();
         let normal = Vec2::new(-tangent.z, tangent.x);
         let half_width = scene_half_width;
-        let lane =
-            (fbm(lane_seed ^ 0x1A4E, arc / 40.0, 0.0, 2) - 0.5) * 2.0 * (half_width * 0.6);
+        let lane = (fbm(lane_seed ^ 0x1A4E, arc / 40.0, 0.0, 2) - 0.5) * 2.0 * (half_width * 0.6);
         knots.push((t, on_line + normal * lane));
     }
-    knots
+    Ok(knots)
 }
 
 fn roam_knots(
@@ -201,8 +260,12 @@ fn roam_knots(
     let mut rng = SmallRng::new(seed ^ ROAM_TAG ^ ((player as u64) << 40));
     let bounds = scene.bounds();
     // Shared hotspots keep multiple players loosely co-located, as in the
-    // paper's shooter games.
-    let mut shared = SmallRng::new(seed ^ 0x5A5A);
+    // paper's shooter games. They are a *map* feature (capture points,
+    // chokepoints), so they derive from the world layout rather than the
+    // movement seed: every session hosted in the same world fights over
+    // the same spots, which is what gives a fleet's cross-session frame
+    // store its overlap.
+    let mut shared = SmallRng::new(scene.layout_hash() ^ 0x5A5A);
     let hotspot_count = 5usize;
     let hotspots: Vec<Vec2> = (0..hotspot_count)
         .map(|_| {
@@ -233,7 +296,10 @@ fn roam_knots(
         let mut target = if let (true, Some(leader)) = (chasing, &chase) {
             // Chase: head to where the enemy was moments ago, with only a
             // small aiming offset.
-            let lead = Trajectory { knots: leader.clone(), kind: TrajectoryKind::Roam };
+            let lead = Trajectory {
+                knots: leader.clone(),
+                kind: TrajectoryKind::Roam,
+            };
             let when = (t - rng.range(0.5, 2.0)).max(0.0);
             let aim = lead.position(when);
             Vec2::new(
@@ -306,7 +372,10 @@ fn follow_knots(
     }
     let delay = player as f64 * 1.2;
     let offset_rng_seed = seed ^ ((player as u64) << 24);
-    let leader_traj = Trajectory { knots: leader, kind: TrajectoryKind::Roam };
+    let leader_traj = Trajectory {
+        knots: leader,
+        kind: TrajectoryKind::Roam,
+    };
     let dt = 0.25;
     let steps = (duration / dt).ceil() as usize;
     let bounds = scene.bounds();
@@ -411,7 +480,10 @@ mod tests {
                 on_track += 1;
             }
         }
-        assert!(on_track as f64 >= samples as f64 * 0.8, "on track: {on_track}/{samples}");
+        assert!(
+            on_track as f64 >= samples as f64 * 0.8,
+            "on track: {on_track}/{samples}"
+        );
     }
 
     #[test]
@@ -501,5 +573,39 @@ mod tests {
     fn zero_duration_rejected() {
         let (scene, spec) = scene_and_spec(GameId::Pool);
         let _ = Trajectory::generate(&scene, &spec, 0, 1, 0.0, 1);
+    }
+
+    #[test]
+    fn try_generate_reports_missing_track() {
+        // Racing spec paired with a trackless scene (built from an FPS
+        // spec): the mismatch is an error, not a panic.
+        let scene = GameSpec::for_game(GameId::Fps).build_scene(11);
+        let racing = GameSpec::for_game(GameId::RacingMountain);
+        let err = Trajectory::try_generate(&scene, &racing, 0, 2, 10.0, 3).unwrap_err();
+        assert_eq!(err, TrajectoryError::MissingTrack);
+        assert_eq!(
+            err.to_string(),
+            "track trajectory requires a scene with a track"
+        );
+    }
+
+    #[test]
+    fn generate_falls_back_to_roam_without_track() {
+        let scene = GameSpec::for_game(GameId::Fps).build_scene(11);
+        let racing = GameSpec::for_game(GameId::RacingMountain);
+        let traj = Trajectory::generate(&scene, &racing, 0, 2, 15.0, 3);
+        assert_eq!(traj.kind(), TrajectoryKind::Roam);
+        for i in 0..60 {
+            assert!(scene.bounds().contains(traj.position(i as f64 * 0.25)));
+        }
+    }
+
+    #[test]
+    fn try_generate_matches_generate_when_valid() {
+        let (scene, spec) = scene_and_spec(GameId::RacingMountain);
+        let a = Trajectory::try_generate(&scene, &spec, 1, 2, 20.0, 7).expect("track scene");
+        let b = Trajectory::generate(&scene, &spec, 1, 2, 20.0, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.kind(), TrajectoryKind::Track);
     }
 }

@@ -182,7 +182,11 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -426,6 +430,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(format!("{}", Vec2::new(1.0, 2.0)), "(1.000, 2.000)");
-        assert_eq!(format!("{}", Vec3::new(1.0, 2.0, 3.0)), "(1.000, 2.000, 3.000)");
+        assert_eq!(
+            format!("{}", Vec3::new(1.0, 2.0, 3.0)),
+            "(1.000, 2.000, 3.000)"
+        );
     }
 }

@@ -36,10 +36,21 @@ fn replay(
         prev = Some(gp);
         let (leaf, radius, dist_thresh) = map.lookup_params(pos);
         let near_hash = scene.near_set_hash(pos, radius);
-        let query = CacheQuery { grid: gp, pos, leaf, near_hash, dist_thresh };
+        let query = CacheQuery {
+            grid: gp,
+            pos,
+            leaf,
+            near_hash,
+            dist_thresh,
+        };
         if cache.lookup(&query).is_none() {
             cache.insert(
-                FrameMeta { grid: gp, pos, leaf, near_hash },
+                FrameMeta {
+                    grid: gp,
+                    pos,
+                    leaf,
+                    near_hash,
+                },
                 FrameSource::SelfPrefetch,
                 (),
                 FRAME_BYTES,

@@ -55,5 +55,8 @@ fn main() {
         "Coterie sustains {coterie_fps:.0} FPS where Multi-Furion reaches {furion_fps:.0} FPS — \
          the paper's Figure 11 scaling result."
     );
-    assert!(coterie_fps > furion_fps, "Coterie should outscale Multi-Furion");
+    assert!(
+        coterie_fps > furion_fps,
+        "Coterie should outscale Multi-Furion"
+    );
 }

@@ -14,13 +14,11 @@
 //! ```
 
 use coterie_core::cutoff::{CutoffConfig, CutoffMap};
-use coterie_core::{
-    CacheConfig, CacheQuery, CacheVersion, FrameCache, FrameMeta, FrameSource, Prefetcher,
-};
+use coterie_core::{CacheConfig, CacheQuery, FrameCache, FrameMeta, FrameSource, Prefetcher};
 use coterie_device::DeviceProfile;
 use coterie_world::{
-    GridSpec, ObjectId, ObjectKind, Rect, Scene, SceneObject, Terrain, Vec2, Vec3,
-    scene::ReachableArea,
+    scene::ReachableArea, GridSpec, ObjectId, ObjectKind, Rect, Scene, SceneObject, Terrain, Vec2,
+    Vec3,
 };
 
 /// Step 1 — the developer's content: a small orchard world.
@@ -118,11 +116,22 @@ fn main() {
         prev_gp = Some(gp);
         let (leaf, radius, dist_thresh) = cutoffs.lookup_params(pos);
         let near_hash = scene.near_set_hash(pos, radius);
-        let query = CacheQuery { grid: gp, pos, leaf, near_hash, dist_thresh };
+        let query = CacheQuery {
+            grid: gp,
+            pos,
+            leaf,
+            near_hash,
+            dist_thresh,
+        };
         if cache.lookup(&query).is_none() {
             fetches += 1;
             cache.insert(
-                FrameMeta { grid: gp, pos, leaf, near_hash },
+                FrameMeta {
+                    grid: gp,
+                    pos,
+                    leaf,
+                    near_hash,
+                },
                 FrameSource::SelfPrefetch,
                 (),
                 250_000,

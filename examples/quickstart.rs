@@ -75,8 +75,13 @@ fn main() {
     );
 
     // Phone again: decode, merge, display.
-    let decoded = encoder.decode(&encoded).expect("server frames always decode");
-    let far_layer = Panorama { mask: vec![1; decoded.pixel_count()], frame: decoded };
+    let decoded = encoder
+        .decode(&encoded)
+        .expect("server frames always decode");
+    let far_layer = Panorama {
+        mask: vec![1; decoded.pixel_count()],
+        frame: decoded,
+    };
     let merged = merge(&near, &far_layer);
 
     // Quality check against a fully local render (Table 7's ground truth).

@@ -48,7 +48,10 @@ fn main() -> std::io::Result<()> {
     save_pgm(&decoded, out.join("04_far_be_decoded.pgm"))?;
 
     // Merge: near over decoded far — the displayed panorama.
-    let far_layer = Panorama { mask: vec![1; decoded.pixel_count()], frame: decoded };
+    let far_layer = Panorama {
+        mask: vec![1; decoded.pixel_count()],
+        frame: decoded,
+    };
     let merged = merge(&near, &far_layer);
     save_pgm(&merged, out.join("05_merged.pgm"))?;
     println!(

@@ -154,7 +154,11 @@ fn every_game_runs_every_system() {
             )
             .run();
             let m = report.aggregate();
-            assert!(m.avg_fps > 1.0 && m.avg_fps <= 60.0, "{game}/{}", system.label());
+            assert!(
+                m.avg_fps > 1.0 && m.avg_fps <= 60.0,
+                "{game}/{}",
+                system.label()
+            );
             assert!(m.inter_frame_ms >= 16.0, "{game}/{}", system.label());
             assert!((0.0..=1.0).contains(&m.cpu_load));
             assert!((0.0..=1.0).contains(&m.gpu_load));

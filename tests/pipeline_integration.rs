@@ -5,8 +5,7 @@
 use coterie_codec::{Encoder, Quality};
 use coterie_core::cutoff::{CutoffConfig, CutoffMap};
 use coterie_core::{
-    CacheConfig, CacheQuery, CacheVersion, DistThreshCalibrator, FrameCache, FrameMeta,
-    FrameSource, Prefetcher,
+    CacheConfig, CacheQuery, DistThreshCalibrator, FrameCache, FrameMeta, FrameSource, Prefetcher,
 };
 use coterie_device::DeviceProfile;
 use coterie_frame::{ssim, ssim_with, SsimOptions};
@@ -38,7 +37,10 @@ fn full_frame_path_preserves_quality() {
     let transfer = link.transfer(0.0, encoded.size_bytes() as u64);
     assert!(transfer.completed_at_ms > 0.0);
     let decoded = encoder.decode(&encoded).expect("decodes");
-    let far_layer = Panorama { mask: vec![1; decoded.pixel_count()], frame: decoded };
+    let far_layer = Panorama {
+        mask: vec![1; decoded.pixel_count()],
+        frame: decoded,
+    };
 
     let near = renderer.render_panorama(&scene, eye, RenderFilter::NearOnly { cutoff: radius });
     let merged = merge(&near, &far_layer);
@@ -131,13 +133,19 @@ fn calibration_tightens_cache_behaviour() {
             RenderFilter::FarOnly { cutoff: radius },
         );
         let s = ssim_with(&a.frame, &b.frame, &SsimOptions::fast());
-        assert!(s > 0.85, "reusable pair at angle {angle:.2} gave SSIM {s:.3}");
+        assert!(
+            s > 0.85,
+            "reusable pair at angle {angle:.2} gave SSIM {s:.3}"
+        );
         checked += 1;
     }
     // At least one reusable pair must exist somewhere inside the radius;
     // otherwise the near-set criterion gates all reuse here and the
     // threshold is vacuous (but safe).
-    assert!(checked >= 1, "no same-near-set pair found within dist_thresh");
+    assert!(
+        checked >= 1,
+        "no same-near-set pair found within dist_thresh"
+    );
 }
 
 #[test]
@@ -159,7 +167,13 @@ fn prefetcher_keeps_cache_ahead_of_movement() {
         let gp = scene.grid().snap(pos);
         let (leaf, radius, dist_thresh) = cutoffs.lookup_params(pos);
         let near_hash = scene.near_set_hash(pos, radius);
-        let query = CacheQuery { grid: gp, pos, leaf, near_hash, dist_thresh };
+        let query = CacheQuery {
+            grid: gp,
+            pos,
+            leaf,
+            near_hash,
+            dist_thresh,
+        };
         requests += 1;
         if !cache.peek(&query) && step > 60 {
             demand_misses += 1;
@@ -257,8 +271,7 @@ fn delta_coding_validates_size_asymmetry() {
         let step = Vec2::new(0.08, 0.0); // ~2-3 grid points of movement
         let (_, radius, _) = cutoffs.lookup_params(pos);
         let whole_a = renderer.render_panorama(&scene, scene.eye(pos), RenderFilter::All);
-        let whole_b =
-            renderer.render_panorama(&scene, scene.eye(pos + step), RenderFilter::All);
+        let whole_b = renderer.render_panorama(&scene, scene.eye(pos + step), RenderFilter::All);
         let far_a = renderer.render_panorama(
             &scene,
             scene.eye(pos),

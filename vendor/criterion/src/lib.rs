@@ -1,0 +1,110 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the `bench_function`/`iter`/`black_box` surface plus the
+//! `criterion_group!`/`criterion_main!` macros. Instead of criterion's
+//! statistical sampling it times a small fixed number of iterations and
+//! prints median per-iteration wall time — enough to compare orders of
+//! magnitude and, crucially, cheap enough that `cargo test` running a
+//! `harness = false` bench target finishes quickly.
+
+use std::time::Instant;
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing harness handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per batch of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.samples_ns.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() / u128::from(self.iters_per_sample));
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    samples: usize,
+    iters_per_sample: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: 7,
+            iters_per_sample: 3,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its median time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples_ns: Vec::with_capacity(self.samples),
+            iters_per_sample: self.iters_per_sample,
+        };
+        f(&mut b);
+        b.samples_ns.sort_unstable();
+        let median = b
+            .samples_ns
+            .get(b.samples_ns.len() / 2)
+            .copied()
+            .unwrap_or(0);
+        println!(
+            "bench {name:<32} {median:>12} ns/iter ({} samples)",
+            b.samples_ns.len()
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = super::Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("noop", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Provides the two facilities this workspace uses:
+//!
+//! * [`thread::scope`] — scoped threads with the crossbeam calling
+//!   convention (the spawn closure receives the scope), implemented on
+//!   `std::thread::scope` (stable since Rust 1.63).
+//! * [`deque`] — work-stealing deques (`Worker`/`Stealer`/`Injector`)
+//!   backed by mutex-guarded queues. The lock-free performance of the
+//!   real crate is not reproduced; the *scheduling semantics* (LIFO
+//!   owner pops, FIFO steals) are, which is what the pre-render farm
+//!   and `par_map_ws` rely on.
+
+/// Scoped threads (crossbeam-utils subset).
+pub mod thread {
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it
+        /// can spawn further threads, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// `scope` returns.
+    ///
+    /// Unlike upstream crossbeam (which returns `Err` when a child
+    /// panicked), a child panic propagates as a panic from this call —
+    /// equivalent for callers that `.expect(..)` the result, as this
+    /// workspace does.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+/// Work-stealing deques (crossbeam-deque subset).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// Contention; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// The owner side of a work-stealing deque.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        lifo: bool,
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO deque (owner pops oldest first).
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: false,
+            }
+        }
+
+        /// A LIFO deque (owner pops newest first).
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: true,
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("deque lock").push_back(task);
+        }
+
+        /// Pops a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().expect("deque lock");
+            if self.lifo {
+                q.pop_back()
+            } else {
+                q.pop_front()
+            }
+        }
+
+        /// Whether the deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("deque lock").is_empty()
+        }
+
+        /// A stealer handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// The thief side of a work-stealing deque; steals FIFO.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal the oldest task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// A shared injector queue (global FIFO).
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("injector lock").push_back(task);
+        }
+
+        /// Attempts to steal the oldest task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector lock").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the injector is empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector lock").is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (slot, &v) in out.iter_mut().zip(&data) {
+                s.spawn(move |_| *slot = v * 10);
+            }
+        })
+        .expect("no panics");
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn deque_steal_order_is_fifo() {
+        let w = super::deque::Worker::new_fifo();
+        let st = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(st.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(st.steal().success(), None);
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! This workspace builds in air-gapped environments with no crates-io
+//! mirror, so external dependencies are vendored as minimal stubs under
+//! `vendor/` (see DESIGN.md). The repo uses serde purely as derive
+//! decoration — nothing serializes through a serde `Serializer` — so the
+//! traits here are empty markers and the derive macros emit trivial
+//! impls. Swapping back to upstream serde is a one-line change in the
+//! workspace `Cargo.toml`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Namespace mirror of `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Namespace mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}

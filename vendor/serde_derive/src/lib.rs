@@ -1,0 +1,166 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` stub defines `Serialize`/`Deserialize` as
+//! empty marker traits (nothing in this repository serializes through a
+//! serde `Serializer`), so the derives only need to emit trivial
+//! `impl` blocks. The parser below handles the shapes this codebase
+//! uses: structs and enums, optionally generic with plain (bound-free or
+//! inline-bounded) type and lifetime parameters. `where` clauses and
+//! parameter defaults beyond `= <ty>` are out of scope.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Serialize", false)
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Deserialize", true)
+}
+
+fn derive_marker(input: TokenStream, trait_name: &str, with_de_lifetime: bool) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let decls: Vec<String> = params.iter().map(|p| p.decl.clone()).collect();
+    let args: Vec<String> = params.iter().map(|p| p.arg.clone()).collect();
+
+    let mut impl_params = Vec::new();
+    if with_de_lifetime {
+        impl_params.push("'de".to_string());
+    }
+    impl_params.extend(decls);
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let trait_path = if with_de_lifetime {
+        format!("::serde::{trait_name}<'de>")
+    } else {
+        format!("::serde::{trait_name}")
+    };
+    let type_args = if args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", args.join(", "))
+    };
+
+    format!("impl{impl_generics} {trait_path} for {name}{type_args} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// One generic parameter: its declaration text (with inline bounds,
+/// defaults stripped) and the argument text naming it.
+struct Param {
+    decl: String,
+    arg: String,
+}
+
+/// Extracts the item name and generic parameters from a derive input.
+fn parse_item(input: TokenStream) -> (String, Vec<Param>) {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // Outer/inner attributes: `#[...]` / `#![...]`.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Punct(bang)) = iter.peek() {
+                    if bang.as_char() == '!' {
+                        iter.next();
+                    }
+                }
+                iter.next(); // the bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("expected item name after `{id}`, got {other:?}"),
+                };
+                let params = match iter.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        iter.next();
+                        parse_generics(&mut iter)
+                    }
+                    _ => Vec::new(),
+                };
+                return (name, params);
+            }
+            _ => {}
+        }
+    }
+    panic!("derive input contains no struct/enum/union");
+}
+
+/// Parses `...>` after the opening `<`, splitting top-level commas.
+fn parse_generics(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Vec<Param> {
+    let mut depth = 1usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut params = Vec::new();
+    for tt in iter.by_ref() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                if !current.is_empty() {
+                    params.push(param_of(std::mem::take(&mut current)));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        params.push(param_of(current));
+    }
+    params
+}
+
+/// Builds a [`Param`] from one parameter's tokens.
+fn param_of(tokens: Vec<TokenTree>) -> Param {
+    // Strip a default (`= ...`) at top level.
+    let mut depth = 0usize;
+    let mut kept: Vec<TokenTree> = Vec::new();
+    for tt in tokens {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == '=' && depth == 0 => break,
+            _ => {}
+        }
+        kept.push(tt);
+    }
+    let decl = kept.iter().cloned().collect::<TokenStream>().to_string();
+    let arg = match kept.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => match kept.get(1) {
+            Some(TokenTree::Ident(id)) => format!("'{id}"),
+            other => panic!("malformed lifetime parameter: {other:?}"),
+        },
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => match kept.get(1) {
+            Some(TokenTree::Ident(n)) => n.to_string(),
+            other => panic!("malformed const parameter: {other:?}"),
+        },
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("malformed generic parameter: {other:?}"),
+    };
+    Param { decl, arg }
+}
