@@ -1,19 +1,23 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--seed N] [--rooms N] [--players N] <name>...
+//! experiments [--quick] [--seed N] [--rooms N] [--players N] [--net SCENARIO] <name>...
 //! experiments all
 //! experiments fleet --rooms 256 --players 2
+//! experiments fleet --rooms 2 --players 2 --net burst-loss
 //! ```
 //!
 //! Names: table1 table2 table3 table4 table5 table6 table7 table8 table9
 //! table10 fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig11 fig12 ablations fleet
 //!
-//! `--rooms`/`--players` size the `fleet` experiment only.
+//! `--rooms`/`--players`/`--net` size the `fleet` experiment only.
+//! `--net` selects the FI fault scenario (`none`, `wifi`, `burst-loss`,
+//! `latency-spikes`, `relay-outage`; default `none` = lossless).
 
 use coterie_bench::{
     ablation, cache_exp, cutoff_exp, fleet_exp, similarity, system_exp, ExpConfig,
 };
+use coterie_net::NetScenario;
 use std::time::Instant;
 
 const ALL: &[&str] = &[
@@ -44,6 +48,7 @@ const ALL: &[&str] = &[
 struct FleetArgs {
     rooms: usize,
     players: usize,
+    net: NetScenario,
 }
 
 fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<String, String> {
@@ -76,7 +81,7 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
                 ablation::ablation_lookup_criteria(config)
             ) + &format!("\n{}", ablation::ablation_panoramic(config))
         }
-        "fleet" => fleet_exp::fleet(config, fleet_args.rooms, fleet_args.players)
+        "fleet" => fleet_exp::fleet(config, fleet_args.rooms, fleet_args.players, fleet_args.net)
             .0
             .to_string(),
         other => return Err(format!("unknown experiment '{other}'")),
@@ -90,6 +95,7 @@ fn main() {
     let mut fleet_args = FleetArgs {
         rooms: 8,
         players: 2,
+        net: NetScenario::None,
     };
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
@@ -112,11 +118,22 @@ fn main() {
             "--players" => {
                 fleet_args.players = parse_usize("--players", iter.next());
             }
+            "--net" => {
+                let v = iter.next().unwrap_or_default();
+                fleet_args.net = NetScenario::parse(&v).unwrap_or_else(|| {
+                    let names: Vec<&str> = NetScenario::ALL.iter().map(NetScenario::name).collect();
+                    eprintln!("invalid --net value '{v}' (one of: {})", names.join(" "));
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--seed N] [--rooms N] [--players N] <name>...|all"
+                    "usage: experiments [--quick] [--seed N] [--rooms N] [--players N] \
+                     [--net SCENARIO] <name>...|all"
                 );
                 eprintln!("experiments: {}", ALL.join(" "));
+                let names: Vec<&str> = NetScenario::ALL.iter().map(NetScenario::name).collect();
+                eprintln!("net scenarios: {}", names.join(" "));
                 return;
             }
             name => names.push(name.to_string()),

@@ -11,6 +11,7 @@
 
 use crate::report::{f, pct, Report};
 use crate::ExpConfig;
+use coterie_net::NetScenario;
 use coterie_serve::{Fleet, FleetConfig, FleetReport};
 use coterie_world::GameId;
 
@@ -19,7 +20,13 @@ use coterie_world::GameId;
 /// Rooms cycle through two roam-family games so the store also
 /// demonstrates per-game isolation; only rooms of the same game share
 /// frames.
-pub fn fleet_config(config: &ExpConfig, rooms: usize, players: usize, shared: bool) -> FleetConfig {
+pub fn fleet_config(
+    config: &ExpConfig,
+    rooms: usize,
+    players: usize,
+    shared: bool,
+    net: NetScenario,
+) -> FleetConfig {
     FleetConfig {
         rooms: rooms.max(1),
         players: players.max(1),
@@ -28,21 +35,27 @@ pub fn fleet_config(config: &ExpConfig, rooms: usize, players: usize, shared: bo
         seed: config.seed,
         shared_store: shared,
         size_samples: if config.quick { 4 } else { 8 },
+        net,
         ..FleetConfig::default()
     }
 }
 
 /// Runs the shared-vs-isolated comparison and renders the report.
 ///
-/// The run is deterministic: the same `ExpConfig` seed and room/player
-/// counts reproduce the table byte for byte.
+/// `net` selects the FI fault scenario applied to every room
+/// ([`NetScenario::None`] reproduces the lossless pre-fault-plane
+/// table byte for byte); lossy scenarios append an FI recovery table.
+///
+/// The run is deterministic: the same `ExpConfig` seed, room/player
+/// counts and scenario reproduce the report byte for byte.
 pub fn fleet(
     config: &ExpConfig,
     rooms: usize,
     players: usize,
+    net: NetScenario,
 ) -> (Report, FleetReport, FleetReport) {
-    let shared = Fleet::new(fleet_config(config, rooms, players, true)).run();
-    let isolated = Fleet::new(fleet_config(config, rooms, players, false)).run();
+    let shared = Fleet::new(fleet_config(config, rooms, players, true, net)).run();
+    let isolated = Fleet::new(fleet_config(config, rooms, players, false, net)).run();
 
     let mut report = Report::new("Fleet: shared vs isolated cross-session frame store");
     report.note(format!(
@@ -52,6 +65,11 @@ pub fn fleet(
         config.seed
     ));
     report.note("one store shared by all rooms of a game vs the same byte budget split per room");
+    if net.is_lossy() {
+        report.note(format!(
+            "FI fault scenario '{net}': lossy per-player channels with retry + dead reckoning"
+        ));
+    }
     report.headers([
         "store",
         "fps p50",
@@ -77,6 +95,22 @@ pub fn fleet(
             format!("{}", m.degraded_rooms),
         ]);
     }
+    if net.is_lossy() {
+        for (label, run) in [("shared", &shared), ("isolated", &isolated)] {
+            let m = &run.metrics;
+            report.note(format!(
+                "fi {label}: {} syncs, {} retries, {} stale frames, {} cap violations, \
+                 max staleness {} ms, desync p95 {} m / p99 {} m",
+                m.fi_syncs,
+                m.fi_retries,
+                m.fi_stale_frames,
+                m.fi_cap_violations,
+                f(m.fi_max_staleness_ms, 2),
+                f(m.desync_p95_m, 4),
+                f(m.desync_p99_m, 4),
+            ));
+        }
+    }
     (report, shared, isolated)
 }
 
@@ -87,19 +121,33 @@ mod tests {
     #[test]
     fn fleet_report_has_both_modes() {
         let config = ExpConfig::quick();
-        let (report, shared, isolated) = fleet(&config, 2, 2);
+        let (report, shared, isolated) = fleet(&config, 2, 2, NetScenario::None);
         assert_eq!(report.len(), 2);
         assert_eq!(report.cell(0, 0), Some("shared"));
         assert_eq!(report.cell(1, 0), Some("isolated"));
         assert_eq!(shared.rooms.len(), 2);
         assert_eq!(isolated.rooms.len(), 2);
+        // Lossless runs print no FI lines.
+        assert!(!format!("{report}").contains("fi shared"));
     }
 
     #[test]
     fn fleet_experiment_is_deterministic() {
         let config = ExpConfig::quick();
-        let a = fleet(&config, 2, 2).0;
-        let b = fleet(&config, 2, 2).0;
+        let a = fleet(&config, 2, 2, NetScenario::None).0;
+        let b = fleet(&config, 2, 2, NetScenario::None).0;
         assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn lossy_fleet_experiment_reports_recovery() {
+        let config = ExpConfig::quick();
+        let (report, shared, _) = fleet(&config, 2, 2, NetScenario::BurstLoss);
+        assert!(shared.metrics.fi_retries > 0);
+        assert!(shared.metrics.fi_stale_frames > 0);
+        let text = format!("{report}");
+        assert!(text.contains("burst-loss"), "scenario named in the notes");
+        assert!(text.contains("fi shared"), "FI accounting printed");
+        assert!(text.contains("fi isolated"));
     }
 }

@@ -153,9 +153,9 @@ impl DatagramChannel {
     }
 }
 
-/// A tiny deterministic PRNG kept private to the channel so the crate
-/// has no dependency on the world crate's RNG.
-mod noise_free_rng {
+/// A tiny deterministic PRNG kept private to the crate so it has no
+/// dependency on the world crate's RNG (also used by the fault layer).
+pub(crate) mod noise_free_rng {
     use serde::{Deserialize, Serialize};
 
     /// xorshift* generator.

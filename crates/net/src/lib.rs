@@ -30,8 +30,10 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod fault;
 
 pub use channel::{DatagramChannel, Delivery, PacketLost};
+pub use fault::{FiChannel, NetScenario};
 
 use serde::{Deserialize, Serialize};
 

@@ -14,7 +14,7 @@ use crate::farm::PrerenderFarm;
 use crate::metrics::FleetMetrics;
 use crate::room::{Room, RoomReport};
 use crate::store::{SharedFrameStore, StoreConfig, StoreStats};
-use coterie_net::FleetEgress;
+use coterie_net::{FleetEgress, NetScenario};
 use coterie_sim::parallel::par_map_ws;
 use coterie_sim::{SessionConfig, SystemKind};
 use coterie_world::GameId;
@@ -51,6 +51,10 @@ pub struct FleetConfig {
     /// Measurement-pass samples per player (smaller = faster room
     /// construction, coarser size model).
     pub size_samples: usize,
+    /// FI network fault scenario applied to every room.
+    /// [`NetScenario::None`] (the default) keeps the lossless sync model
+    /// and reproduces pre-fault-plane reports byte for byte.
+    pub net: NetScenario,
 }
 
 impl Default for FleetConfig {
@@ -68,6 +72,7 @@ impl Default for FleetConfig {
             epoch_ms: 100.0,
             queue_depth: 32,
             size_samples: 8,
+            net: NetScenario::None,
         }
     }
 }
@@ -107,15 +112,19 @@ impl Fleet {
         let session_configs: Vec<SessionConfig> = (0..config.rooms)
             .map(|room_id| {
                 let game = config.games[room_id % config.games.len()];
-                let mut cfg =
-                    SessionConfig::new(game, SystemKind::coterie(), config.players)
-                        .with_duration_s(config.duration_s)
-                        // One world per (game, master seed)…
-                        .with_seed(config.seed)
-                        // …distinct movement per room.
-                        .with_trace_seed(config.seed.wrapping_add(
-                            (room_id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                        ));
+                let mut cfg = SessionConfig::new(game, SystemKind::coterie(), config.players)
+                    .with_duration_s(config.duration_s)
+                    // One world per (game, master seed)…
+                    .with_seed(config.seed)
+                    // …distinct movement per room.
+                    .with_trace_seed(
+                        config
+                            .seed
+                            .wrapping_add((room_id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    )
+                    // The fault scenario applies fleet-wide; per-room
+                    // channels still diverge via the trace seed.
+                    .with_net(config.net);
                 cfg.size_samples = config.size_samples.max(1);
                 cfg
             })
@@ -265,6 +274,32 @@ mod tests {
             "shared {:.6} vs isolated {:.6} GPU-hours",
             shared.metrics.prerender_gpu_hours,
             isolated.metrics.prerender_gpu_hours
+        );
+    }
+
+    #[test]
+    fn lossy_fleet_reports_fi_recovery() {
+        let config = FleetConfig {
+            net: NetScenario::BurstLoss,
+            ..tiny(2, true)
+        };
+        let report = Fleet::new(config).run();
+        assert!(report.metrics.fi_syncs > 0);
+        assert!(report.metrics.fi_retries > 0, "burst loss forces retries");
+        assert!(report.metrics.fi_stale_frames > 0);
+        let shown = format!("{}", report.metrics);
+        assert!(shown.contains("\n  fi "), "lossy reports print FI lines");
+        assert!(shown.contains("\n  desync "));
+    }
+
+    #[test]
+    fn lossless_fleet_omits_fi_lines() {
+        let report = Fleet::new(tiny(2, true)).run();
+        assert_eq!(report.metrics.fi_syncs, 0);
+        let shown = format!("{}", report.metrics);
+        assert!(
+            !shown.contains("\n  fi "),
+            "lossless reports stay as before"
         );
     }
 

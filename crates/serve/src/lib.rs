@@ -27,6 +27,11 @@
 //! * [`FleetMetrics`] reports tail FPS (p50/p95/p99 across rooms),
 //!   store hit ratio, shipped bandwidth, pre-render GPU-hours and peak
 //!   device temperature.
+//! * The FI fault plane: [`FleetConfig::net`] selects a
+//!   [`coterie_net::NetScenario`] (burst loss, latency spikes, relay
+//!   outage) applied to every room's per-player FI channel, and the
+//!   metrics then carry loss-aware accounting — retries, dead-reckoned
+//!   stale frames, staleness-cap violations and desync percentiles.
 //!
 //! Runs are deterministic: the epoch loop serializes store transactions
 //! in room-id order, so a fixed [`FleetConfig`] reproduces its report

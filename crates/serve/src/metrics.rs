@@ -40,18 +40,29 @@ pub struct FleetMetrics {
     pub queue_overflows: u64,
     /// Frames evicted by the store's global LRU.
     pub store_evictions: u64,
+    /// FI sync rounds attempted on the lossy fault plane across all
+    /// rooms (0 when the fleet ran without a fault scenario).
+    pub fi_syncs: u64,
+    /// FI retransmissions across all rooms.
+    pub fi_retries: u64,
+    /// Intervals that fell back to dead reckoning across all rooms.
+    pub fi_stale_frames: u64,
+    /// Stale intervals at or past the dead-reckoning staleness cap.
+    pub fi_cap_violations: u64,
+    /// Worst displayed avatar staleness across rooms, ms.
+    pub fi_max_staleness_ms: f64,
+    /// Worst room's p95 dead-reckoned avatar position error, meters.
+    pub desync_p95_m: f64,
+    /// Worst room's p99 dead-reckoned avatar position error, meters.
+    pub desync_p99_m: f64,
 }
 
-/// `p`-th percentile (0–100) of `samples` under linear selection
-/// (nearest-rank on the sorted array). Deterministic for finite inputs.
+/// `p`-th percentile (0–100) of `samples` under linear interpolation
+/// between closest ranks (delegates to [`coterie_sim::percentile`]).
+/// NaN samples sort last rather than panicking; deterministic for
+/// identical inputs.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    coterie_sim::percentile(samples, p)
 }
 
 impl FleetMetrics {
@@ -96,6 +107,22 @@ impl FleetMetrics {
             egress_refusals: reports.iter().map(|r| r.egress_refusals).sum(),
             queue_overflows: reports.iter().map(|r| r.queue_overflows).sum(),
             store_evictions: store_stats.evictions,
+            fi_syncs: reports.iter().map(|r| r.session.fi.syncs).sum(),
+            fi_retries: reports.iter().map(|r| r.session.fi.retries).sum(),
+            fi_stale_frames: reports.iter().map(|r| r.session.fi.stale_frames).sum(),
+            fi_cap_violations: reports.iter().map(|r| r.session.fi.cap_violations).sum(),
+            fi_max_staleness_ms: reports
+                .iter()
+                .map(|r| r.session.fi.max_staleness_ms)
+                .fold(0.0, f64::max),
+            desync_p95_m: reports
+                .iter()
+                .map(|r| r.session.fi.desync_p95_m)
+                .fold(0.0, f64::max),
+            desync_p99_m: reports
+                .iter()
+                .map(|r| r.session.fi.desync_p99_m)
+                .fold(0.0, f64::max),
         }
     }
 }
@@ -123,7 +150,22 @@ impl fmt::Display for FleetMetrics {
             f,
             "  devices    peak {:.2} degC  {} degraded rooms",
             self.peak_temperature_c, self.degraded_rooms
-        )
+        )?;
+        // Only lossy runs print FI lines, keeping lossless reports
+        // byte-identical to those predating the fault plane.
+        if self.fi_syncs > 0 {
+            writeln!(
+                f,
+                "  fi         {} syncs  {} retries  {} stale frames  {} cap violations",
+                self.fi_syncs, self.fi_retries, self.fi_stale_frames, self.fi_cap_violations
+            )?;
+            writeln!(
+                f,
+                "  desync     max staleness {:.2} ms  p95 {:.4} m  p99 {:.4} m",
+                self.fi_max_staleness_ms, self.desync_p95_m, self.desync_p99_m
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -132,9 +174,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentile_nearest_rank() {
+    fn percentile_interpolates_between_ranks() {
         let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&samples, 50.0), 51.0);
+        // Linear interpolation, not rounded nearest-rank: the median of
+        // 1..=100 is 50.5 (the old rounding returned 51).
+        assert_eq!(percentile(&samples, 50.0), 50.5);
         assert_eq!(percentile(&samples, 0.0), 1.0);
         assert_eq!(percentile(&samples, 100.0), 100.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
@@ -147,5 +191,12 @@ mod tests {
         let b = [1.0, 2.0, 3.0, 4.0, 5.0];
         assert_eq!(percentile(&a, 50.0), percentile(&b, 50.0));
         assert_eq!(percentile(&a, 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_survives_nan_samples() {
+        // The old implementation panicked on NaN via partial_cmp.
+        let samples = [2.0, f64::NAN, 1.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
     }
 }

@@ -65,6 +65,12 @@ impl RoomReport {
             self.store_hits as f64 / total as f64
         }
     }
+
+    /// The room's FI loss/recovery accounting (all-zero when the fleet
+    /// ran without a fault scenario).
+    pub fn fi(&self) -> coterie_sim::FiReport {
+        self.session.fi
+    }
 }
 
 /// A hosted session plus its fleet-side bookkeeping.

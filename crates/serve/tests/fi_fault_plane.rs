@@ -1,0 +1,89 @@
+//! Property tests for the FI fault plane (PR 2 acceptance properties):
+//!
+//! (a) the same seed + scenario always reproduces identical
+//!     [`FleetMetrics`];
+//! (b) reported avatar staleness never exceeds the dead-reckoning cap;
+//! (c) a lossless (`NetScenario::None`) run is bit-for-bit identical to
+//!     a run predating the fault plane (the default config).
+//!
+//! Fleet runs are expensive (each builds worlds and runs the render
+//! measurement pass), so the configs are tiny and the case counts low —
+//! the properties are about determinism and invariants, not coverage.
+
+use coterie_net::NetScenario;
+use coterie_serve::{Fleet, FleetConfig};
+use coterie_sim::DEAD_RECKON_CAP_MS;
+use proptest::prelude::*;
+
+fn quick(seed: u64, net: NetScenario) -> FleetConfig {
+    FleetConfig {
+        rooms: 2,
+        players: 2,
+        duration_s: 2.0,
+        size_samples: 2,
+        seed,
+        net,
+        ..FleetConfig::default()
+    }
+}
+
+const LOSSY: [NetScenario; 4] = [
+    NetScenario::Wifi,
+    NetScenario::BurstLoss,
+    NetScenario::LatencySpikes,
+    NetScenario::RelayOutage,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn same_seed_and_scenario_reproduce_identical_metrics(
+        seed in 1u64..1_000,
+        scenario_idx in 0usize..LOSSY.len(),
+    ) {
+        let scenario = LOSSY[scenario_idx];
+        let a = Fleet::new(quick(seed, scenario)).run();
+        let b = Fleet::new(quick(seed, scenario)).run();
+        prop_assert_eq!(&a.metrics, &b.metrics);
+        prop_assert_eq!(format!("{}", a.metrics), format!("{}", b.metrics));
+    }
+
+    #[test]
+    fn staleness_never_exceeds_dead_reckoning_cap(seed in 1u64..1_000) {
+        let report = Fleet::new(quick(seed, NetScenario::BurstLoss)).run();
+        for room in &report.rooms {
+            prop_assert!(
+                room.fi().max_staleness_ms <= DEAD_RECKON_CAP_MS,
+                "room {} staleness {} ms breaches the {} ms cap",
+                room.id,
+                room.fi().max_staleness_ms,
+                DEAD_RECKON_CAP_MS
+            );
+        }
+        prop_assert!(report.metrics.fi_max_staleness_ms <= DEAD_RECKON_CAP_MS);
+    }
+
+    #[test]
+    fn lossless_scenario_matches_pre_fault_plane_run(seed in 1u64..1_000) {
+        // `net` defaults to None, so the second config is exactly what
+        // callers built before the fault plane existed.
+        let explicit = Fleet::new(quick(seed, NetScenario::None)).run();
+        let legacy = Fleet::new(FleetConfig {
+            rooms: 2,
+            players: 2,
+            duration_s: 2.0,
+            size_samples: 2,
+            seed,
+            ..FleetConfig::default()
+        })
+        .run();
+        prop_assert_eq!(&explicit.metrics, &legacy.metrics);
+        prop_assert_eq!(explicit.metrics.fi_syncs, 0);
+        prop_assert_eq!(explicit.metrics.fi_retries, 0);
+        prop_assert_eq!(
+            format!("{}", explicit.metrics),
+            format!("{}", legacy.metrics)
+        );
+    }
+}

@@ -9,12 +9,34 @@
 //!   single player (keep-alives) growing to ~260–275 Kbps at four
 //!   players (Table 9).
 
+use coterie_net::FiChannel;
 use coterie_world::{ObjectId, ObjectKind, SceneObject, Vec2};
 use serde::{Deserialize, Serialize};
 
 /// Per-interval FI synchronization latency, ms (paper footnote 1:
 /// "2-3 ms"). Never the critical path of Eq. 2.
 pub const FI_SYNC_LATENCY_MS: f64 = 2.5;
+
+/// Attempts per interval on the lossy FI path (one initial send plus
+/// two retries). Worst case the sync task spends
+/// `3 * FI_RETRY_TIMEOUT_MS + 0.5 + 1.0 = 9.0 ms` before giving up —
+/// bounded well inside the 16.7 ms frame budget, leaving room for the
+/// merge step even when sync is the critical path.
+pub const FI_RETRY_ATTEMPTS: u32 = 3;
+
+/// Loss-detection timeout charged per failed attempt, ms (the client
+/// declares the round trip dead after ~the paper's 2–3 ms sync band).
+pub const FI_RETRY_TIMEOUT_MS: f64 = 2.5;
+
+/// Exponential backoff inserted before the 2nd and 3rd attempts, ms.
+pub const FI_RETRY_BACKOFF_MS: [f64; 2] = [0.5, 1.0];
+
+/// Dead-reckoning staleness cap, ms. A remote avatar is extrapolated
+/// from its last-known pose and velocity for at most this long (six
+/// vsync intervals); past the cap extrapolation freezes — so *displayed*
+/// staleness never exceeds the cap — and every further stale interval
+/// is counted as a consistency violation (the quality penalty).
+pub const DEAD_RECKON_CAP_MS: f64 = 100.0;
 
 /// Bytes of one FI state-sync message (pose + rotation + animation
 /// state for one object, with PUN framing).
@@ -90,9 +112,100 @@ impl FiSync {
     }
 }
 
+/// Outcome of one interval's FI sync on the lossy path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiSyncAttempt {
+    /// Latency charged to the interval's sync task, ms: retry time plus
+    /// the successful round trip, or the full (bounded) retry budget on
+    /// exhaustion.
+    pub sync_ms: f64,
+    /// Retries spent (0 when the first attempt lands).
+    pub retries: u32,
+    /// Whether fresh state arrived this interval. `false` means the
+    /// client falls back to dead reckoning.
+    pub synced: bool,
+}
+
+/// Runs one interval's state sync over the lossy FI channel with
+/// bounded retry and exponential backoff (see [`FI_RETRY_ATTEMPTS`]).
+pub fn sync_with_retries(channel: &mut FiChannel, now_ms: f64) -> FiSyncAttempt {
+    let mut elapsed = 0.0;
+    let mut retries = 0u32;
+    for attempt in 0..FI_RETRY_ATTEMPTS {
+        if let Some(rtt) = channel.relay_sync_at(now_ms + elapsed) {
+            return FiSyncAttempt {
+                sync_ms: elapsed + rtt,
+                retries,
+                synced: true,
+            };
+        }
+        elapsed += FI_RETRY_TIMEOUT_MS;
+        if attempt + 1 < FI_RETRY_ATTEMPTS {
+            elapsed += FI_RETRY_BACKOFF_MS[attempt as usize];
+            retries += 1;
+        }
+    }
+    FiSyncAttempt {
+        sync_ms: elapsed,
+        retries,
+        synced: false,
+    }
+}
+
+/// Dead-reckons a remote avatar: last-known position extrapolated along
+/// the last-known velocity for `staleness_s` seconds. Callers clamp
+/// `staleness_s` at [`DEAD_RECKON_CAP_MS`].
+pub fn dead_reckon(last_pos: Vec2, velocity: Vec2, staleness_s: f64) -> Vec2 {
+    last_pos + velocity * staleness_s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use coterie_net::NetScenario;
+
+    #[test]
+    fn retry_budget_is_bounded_within_frame() {
+        // Even total exhaustion must leave room for the merge step.
+        let worst = FI_RETRY_ATTEMPTS as f64 * FI_RETRY_TIMEOUT_MS
+            + FI_RETRY_BACKOFF_MS.iter().sum::<f64>();
+        assert!(worst < 16.7 - 1.0, "retry budget {worst} ms too large");
+        // A channel in permanent outage exhausts all attempts at the
+        // bounded cost.
+        let mut ch = FiChannel::new(NetScenario::RelayOutage, 1);
+        let outcome = sync_with_retries(&mut ch, 1_510.0);
+        assert!(!outcome.synced);
+        assert_eq!(outcome.retries, FI_RETRY_ATTEMPTS - 1);
+        assert!((outcome.sync_ms - worst).abs() < 1e-9);
+    }
+
+    #[test]
+    fn healthy_channel_syncs_first_try_in_paper_band() {
+        let mut ch = FiChannel::new(NetScenario::Wifi, 11);
+        let mut total = 0.0;
+        let mut n = 0;
+        for i in 0..500 {
+            let o = sync_with_retries(&mut ch, i as f64 * 16.7);
+            assert!(o.synced || o.retries > 0);
+            if o.synced && o.retries == 0 {
+                total += o.sync_ms;
+                n += 1;
+            }
+        }
+        assert!(n > 450, "healthy channel mostly syncs first try: {n}");
+        let mean = total / n as f64;
+        assert!((2.0..3.2).contains(&mean), "mean sync {mean:.2} ms");
+    }
+
+    #[test]
+    fn dead_reckoning_extrapolates_linearly() {
+        let est = dead_reckon(Vec2::new(1.0, 2.0), Vec2::new(2.0, -1.0), 0.5);
+        assert!((est.x - 2.0).abs() < 1e-12);
+        assert!((est.z - 1.5).abs() < 1e-12);
+        // Zero staleness returns the last-known pose untouched.
+        let frozen = dead_reckon(Vec2::new(1.0, 2.0), Vec2::new(9.0, 9.0), 0.0);
+        assert_eq!(frozen, Vec2::new(1.0, 2.0));
+    }
 
     #[test]
     fn single_player_traffic_is_keepalive() {

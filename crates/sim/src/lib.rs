@@ -44,8 +44,11 @@ pub mod server;
 pub mod session;
 pub mod study;
 
-pub use fi::{FiSync, FI_SYNC_LATENCY_MS};
-pub use metrics::{PlayerMetrics, ResourceSeries, SessionReport};
+pub use fi::{
+    dead_reckon, sync_with_retries, FiSync, FiSyncAttempt, DEAD_RECKON_CAP_MS, FI_RETRY_ATTEMPTS,
+    FI_RETRY_BACKOFF_MS, FI_RETRY_TIMEOUT_MS, FI_SYNC_LATENCY_MS,
+};
+pub use metrics::{percentile, FiReport, PlayerMetrics, ResourceSeries, SessionReport};
 pub use prerender::{prerender_patch, storage_estimate, PrerenderBatch, StorageEstimate};
 pub use server::RenderServer;
 pub use session::{

@@ -132,6 +132,57 @@ impl ResourceSeries {
     }
 }
 
+/// `p`-th percentile (0–100) of `samples` under linear interpolation
+/// between closest ranks. NaN samples sort last (`f64::total_cmp`), so
+/// the function never panics; deterministic for identical inputs.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+}
+
+/// Loss-aware accounting of the session's FI synchronization path.
+///
+/// All-zero when the session ran without a fault scenario (the lossless
+/// constant-latency model) — the fault plane then never touches the
+/// simulation, keeping lossless results bit-for-bit identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FiReport {
+    /// FI sync rounds attempted on the lossy path (one per interval of
+    /// every player of a multiplayer session).
+    pub syncs: u64,
+    /// Retransmissions spent across all rounds.
+    pub retries: u64,
+    /// Intervals where retries exhausted and the remote avatars were
+    /// dead-reckoned instead.
+    pub stale_frames: u64,
+    /// Stale intervals at or beyond the dead-reckoning staleness cap
+    /// (each one is a consistency penalty: the avatar froze).
+    pub cap_violations: u64,
+    /// Maximum *displayed* avatar staleness, ms (clamped at the
+    /// dead-reckoning cap by construction).
+    pub max_staleness_ms: f64,
+    /// Mean per-interval sync latency actually charged to Eq. 2, ms.
+    pub mean_sync_ms: f64,
+    /// 95th percentile of dead-reckoned avatar position error over
+    /// stale frames, meters.
+    pub desync_p95_m: f64,
+    /// 99th percentile of dead-reckoned avatar position error over
+    /// stale frames, meters.
+    pub desync_p99_m: f64,
+}
+
 /// Full result of one simulated session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SessionReport {
@@ -141,6 +192,8 @@ pub struct SessionReport {
     pub resources: ResourceSeries,
     /// Total session duration, seconds.
     pub duration_s: f64,
+    /// FI loss/recovery accounting (all-zero for lossless runs).
+    pub fi: FiReport,
 }
 
 impl SessionReport {
@@ -212,7 +265,33 @@ mod tests {
             players: vec![sample(50.0), sample(60.0)],
             resources: ResourceSeries::default(),
             duration_s: 600.0,
+            fi: FiReport::default(),
         };
         assert!((report.aggregate().avg_fps - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolates_linearly() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        // Linear interpolation: p50 of 1..=100 is 50.5, not 51.
+        assert_eq!(percentile(&samples, 50.0), 50.5);
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 100.0), 100.0);
+        assert_eq!(percentile(&samples, 95.0), 95.05);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+        // A quartile landing between ranks interpolates.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0, 4.0], 50.0), 2.5);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_without_panicking() {
+        let samples = [3.0, f64::NAN, 1.0, 2.0];
+        // total_cmp sorts NaN last; finite percentiles stay meaningful.
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(
+            percentile(&samples, 33.0),
+            percentile(&[1.0, 2.0, 3.0, f64::NAN], 33.0)
+        );
     }
 }

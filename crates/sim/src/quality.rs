@@ -40,10 +40,21 @@ fn full_layer(frame: LumaFrame) -> Panorama {
 fn stream_degrade(frame: &LumaFrame) -> LumaFrame {
     let w = frame.width();
     let h = frame.height();
-    if !w.is_multiple_of(2) || !h.is_multiple_of(2) {
+    // `downsample(2)` needs even dimensions; degrade the largest even
+    // sub-region and let the clamped bilinear reconstruction extend the
+    // loss over any odd border row/column — streamed content must never
+    // silently skip the resolution loss.
+    let ew = w & !1;
+    let eh = h & !1;
+    if ew == 0 || eh == 0 {
         return frame.clone();
     }
-    let half = frame.downsample(2);
+    let even = if ew == w && eh == h {
+        frame.clone()
+    } else {
+        LumaFrame::from_fn(ew, eh, |x, y| frame.get(x, y))
+    };
+    let half = even.downsample(2);
     LumaFrame::from_fn(w, h, |x, y| {
         half.sample_bilinear((x as f32 - 0.5) / 2.0, (y as f32 - 0.5) / 2.0)
     })
@@ -78,12 +89,19 @@ pub fn measure_visual_quality(
     for p in pts.iter().step_by(stride).take(samples) {
         let pos = p.position;
         let yaw = p.yaw;
-        // Other players' positions at the same time drive the FI avatars.
+        // Other players' positions at the same time drive the FI
+        // avatars. Players with empty traces contribute no avatar
+        // (rather than underflowing the index math); player 0's trace is
+        // non-empty here, so the viewer stays at index 0.
         let others: Vec<Vec2> = (0..traces.player_count())
-            .map(|i| {
-                let tr = traces.player(i).expect("player exists");
-                let idx = ((p.time / tr.interval()) as usize).min(tr.points().len() - 1);
-                tr.points()[idx].position
+            .filter_map(|i| {
+                let tr = traces.player(i)?;
+                let tr_pts = tr.points();
+                if tr_pts.is_empty() {
+                    return None;
+                }
+                let idx = ((p.time / tr.interval()) as usize).min(tr_pts.len() - 1);
+                Some(tr_pts[idx].position)
             })
             .collect();
         let avatars = fi.remote_avatars(&others, 0);
@@ -157,7 +175,59 @@ pub fn measure_visual_quality(
 mod tests {
     use super::*;
     use crate::session::{Session, SessionConfig};
-    use coterie_world::GameId;
+    use coterie_render::{RenderOptions, Renderer};
+    use coterie_world::{GameId, GameSpec, Trace};
+
+    #[test]
+    fn stream_degrade_applies_loss_to_odd_dimensions() {
+        // A high-frequency checkerboard loses contrast under the 2×
+        // round trip; odd-dimension frames must not skip that loss.
+        let board = |w, h| LumaFrame::from_fn(w, h, |x, y| ((x + y) % 2) as f32);
+        for (w, h) in [(8, 8), (7, 5), (8, 5), (7, 8)] {
+            let frame = board(w, h);
+            let degraded = stream_degrade(&frame);
+            assert_eq!(degraded.width(), w);
+            assert_eq!(degraded.height(), h);
+            let mut changed = 0usize;
+            for y in 0..h {
+                for x in 0..w {
+                    if (degraded.get(x, y) - frame.get(x, y)).abs() > 0.05 {
+                        changed += 1;
+                    }
+                }
+            }
+            assert!(
+                changed > (w * h) as usize / 2,
+                "{w}x{h}: only {changed} pixels degraded"
+            );
+        }
+        // Degenerate frames (too small to halve) pass through unscathed.
+        let tiny = board(1, 4);
+        assert_eq!(stream_degrade(&tiny), tiny);
+    }
+
+    #[test]
+    fn quality_pass_tolerates_empty_remote_traces() {
+        // Regression: an empty remote trace used to underflow
+        // `points().len() - 1` and panic the quality pass.
+        let spec = GameSpec::for_game(GameId::Pool);
+        let scene = spec.build_scene(2);
+        let generated = TraceSet::generate(&scene, &spec, 1, 2.0, 0.5, 2);
+        let t0 = generated.player(0).expect("player 0").clone();
+        let traces: TraceSet = [t0, Trace::from_parts(vec![], 0.5)].into_iter().collect();
+        let server = RenderServer::new(&scene, Renderer::new(RenderOptions::fast()));
+        let ssim = measure_visual_quality(
+            &scene,
+            &server,
+            None,
+            SystemKind::Mobile,
+            &traces,
+            &FiSync::new(2),
+            1,
+            2,
+        );
+        assert!(ssim > 0.99, "mobile displays ground truth: {ssim:.3}");
+    }
 
     #[test]
     fn coterie_quality_beats_thin_client() {

@@ -22,8 +22,8 @@
 //!    (including codec loss and cache-displacement) and compared by SSIM
 //!    against locally rendered ground truth (Table 7).
 
-use crate::fi::FiSync;
-use crate::metrics::{PlayerMetrics, ResourceSeries, SessionReport};
+use crate::fi::{self, FiSync, DEAD_RECKON_CAP_MS};
+use crate::metrics::{percentile, FiReport, PlayerMetrics, ResourceSeries, SessionReport};
 use crate::parallel::par_map;
 use crate::quality;
 use crate::server::RenderServer;
@@ -32,7 +32,7 @@ use coterie_core::{
     EvictionPolicy, FrameCache, FrameMeta, FrameSource,
 };
 use coterie_device::{DeviceProfile, PowerModel, ThermalModel, FRAME_BUDGET_MS};
-use coterie_net::SharedLink;
+use coterie_net::{FiChannel, NetScenario, SharedLink};
 use coterie_render::{RenderOptions, Renderer};
 use coterie_world::{GameId, GameSpec, GridPoint, Scene, TraceSet, Vec2};
 use serde::{Deserialize, Serialize};
@@ -119,6 +119,12 @@ pub struct SessionConfig {
     /// docs for why this is resolution-compensated relative to the
     /// paper's 0.9.
     pub ssim_threshold: f64,
+    /// FI network fault scenario. [`NetScenario::None`] (the default)
+    /// keeps the lossless constant-latency sync model — bit-for-bit
+    /// identical to runs predating the fault plane. Any other scenario
+    /// routes every per-interval FI sync through a seeded per-player
+    /// [`FiChannel`] with bounded retry and dead-reckoning recovery.
+    pub net: NetScenario,
 }
 
 impl SessionConfig {
@@ -137,6 +143,7 @@ impl SessionConfig {
             eviction: EvictionPolicy::Lru,
             calibrate_dist_thresh: false,
             ssim_threshold: 0.99,
+            net: NetScenario::None,
         }
     }
 
@@ -162,6 +169,13 @@ impl SessionConfig {
     /// Enables the quality (SSIM) pass with the given sample count.
     pub fn with_quality_samples(mut self, samples: usize) -> Self {
         self.quality_samples = samples;
+        self
+    }
+
+    /// Selects the FI network fault scenario (see
+    /// [`SessionConfig::net`]).
+    pub fn with_net(mut self, net: NetScenario) -> Self {
+        self.net = net;
         self
     }
 }
@@ -200,6 +214,13 @@ struct PlayerState {
     fetch_count: u64,
     net_delay_sum_ms: f64,
     prev_gp: Option<GridPoint>,
+    // Lossy FI path accounting (untouched when the fault plane is off).
+    fi_retries: u64,
+    fi_stale_frames: u64,
+    fi_cap_violations: u64,
+    fi_last_sync_ms: f64,
+    fi_staleness_ms: f64,
+    fi_max_staleness_ms: f64,
 }
 
 /// One simulated testbed run.
@@ -329,6 +350,10 @@ pub struct SessionSim {
     profiles: Vec<Profile>,
     traces: TraceSet,
     fi: FiSync,
+    fi_channels: Vec<FiChannel>,
+    fi_syncs: u64,
+    fi_sync_sum_ms: f64,
+    desync_samples: Vec<f64>,
     device: DeviceProfile,
     link: SharedLink,
     states: Vec<PlayerState>,
@@ -407,8 +432,31 @@ impl SessionSim {
                 fetch_count: 0,
                 net_delay_sum_ms: 0.0,
                 prev_gp: None,
+                fi_retries: 0,
+                fi_stale_frames: 0,
+                fi_cap_violations: 0,
+                fi_last_sync_ms: 0.0,
+                fi_staleness_ms: 0.0,
+                fi_max_staleness_ms: 0.0,
             })
             .collect();
+
+        // The fault plane only exists for lossy multiplayer sessions: a
+        // lone player exchanges keep-alives, and `NetScenario::None`
+        // must leave the lossless path untouched bit for bit.
+        let fi_channels: Vec<FiChannel> = if config.net.is_lossy() && config.players > 1 {
+            let base = config.trace_seed.unwrap_or(config.seed);
+            (0..config.players)
+                .map(|pi| {
+                    let seed = base
+                        ^ (pi as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ 0x00F1_C4A2_00F1_C4A2;
+                    FiChannel::new(config.net, seed)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         SessionSim {
             scene,
@@ -416,6 +464,10 @@ impl SessionSim {
             profiles,
             traces,
             fi,
+            fi_channels,
+            fi_syncs: 0,
+            fi_sync_sum_ms: 0.0,
+            desync_samples: Vec::new(),
             device,
             link: SharedLink::wifi_80211ac(config.players),
             states,
@@ -502,6 +554,30 @@ impl SessionSim {
         let sample = self.profiles[pi].index_at(t_s);
         let gp = self.scene.grid().snap(pos);
 
+        // FI sync latency for this interval: drawn from the lossy fault
+        // plane when active (with retry + dead-reckoning recovery),
+        // otherwise the paper's constant model. Mobile and Thin-client
+        // never charge FI sync to Eq. 2, so the plane stays untouched
+        // for them.
+        let fi_sync_ms = match self.config.system {
+            SystemKind::MultiFurion { .. } | SystemKind::Coterie { .. }
+                if !self.fi_channels.is_empty() =>
+            {
+                let sync_ms = fi_fault_sync(
+                    &mut self.fi_channels[pi],
+                    &mut self.states[pi],
+                    &self.traces,
+                    pi,
+                    now,
+                    &mut self.desync_samples,
+                );
+                self.fi_syncs += 1;
+                self.fi_sync_sum_ms += sync_ms;
+                sync_ms
+            }
+            _ => self.fi.sync_latency_ms(),
+        };
+
         // Per-system task timing (Eq. 2).
         let mut fetched: Option<(u64, f64)> = None; // (bytes, latency)
         let (critical_ms, cpu_core_ms, gpu_ms) = match self.config.system {
@@ -574,11 +650,8 @@ impl SessionSim {
                     fetched = Some((resp.bytes, resp.completed_at_ms - now));
                     resp.completed_at_ms - now
                 };
-                let critical = render_fi
-                    .max(decode)
-                    .max(prefetch)
-                    .max(self.fi.sync_latency_ms())
-                    + self.device.merge_ms;
+                let critical =
+                    render_fi.max(decode).max(prefetch).max(fi_sync_ms) + self.device.merge_ms;
                 let cpu = self.device.cpu_base_ms_per_frame + self.device.net_cpu_ms(bytes) + 1.0;
                 (critical, cpu, render_fi + 1.0)
             }
@@ -637,11 +710,8 @@ impl SessionSim {
                     fetched = Some((resp.bytes, resp.completed_at_ms - now));
                     resp.completed_at_ms - now
                 };
-                let critical = near_render
-                    .max(decode)
-                    .max(prefetch)
-                    .max(self.fi.sync_latency_ms())
-                    + self.device.merge_ms;
+                let critical =
+                    near_render.max(decode).max(prefetch).max(fi_sync_ms) + self.device.merge_ms;
                 // Cache maintenance + merge adds steady CPU work.
                 let cpu = self.device.cpu_base_ms_per_frame
                     + self
@@ -731,6 +801,25 @@ impl SessionSim {
             0.0
         };
 
+        let fi = if self.fi_syncs > 0 {
+            FiReport {
+                syncs: self.fi_syncs,
+                retries: self.states.iter().map(|s| s.fi_retries).sum(),
+                stale_frames: self.states.iter().map(|s| s.fi_stale_frames).sum(),
+                cap_violations: self.states.iter().map(|s| s.fi_cap_violations).sum(),
+                max_staleness_ms: self
+                    .states
+                    .iter()
+                    .map(|s| s.fi_max_staleness_ms)
+                    .fold(0.0, f64::max),
+                mean_sync_ms: self.fi_sync_sum_ms / self.fi_syncs as f64,
+                desync_p95_m: percentile(&self.desync_samples, 95.0),
+                desync_p99_m: percentile(&self.desync_samples, 99.0),
+            }
+        } else {
+            FiReport::default()
+        };
+
         let players = self
             .states
             .iter()
@@ -780,6 +869,7 @@ impl SessionSim {
             players,
             resources: self.resources,
             duration_s: cfg.duration_s,
+            fi,
         }
     }
 }
@@ -889,6 +979,72 @@ fn trace_position(trace: &coterie_world::Trace, t_s: f64) -> Vec2 {
     } else {
         pts[i].position.lerp(pts[i + 1].position, frac)
     }
+}
+
+/// Finite-difference velocity along a trace at `t_s`, m/s (zero for
+/// traces too short to difference, and past the trace end where the
+/// clamped position stops moving).
+fn trace_velocity(trace: &coterie_world::Trace, t_s: f64) -> Vec2 {
+    let pts = trace.points();
+    if pts.len() < 2 {
+        return Vec2::ZERO;
+    }
+    let dt = trace.interval();
+    let a = trace_position(trace, t_s);
+    let b = trace_position(trace, t_s + dt);
+    (b - a) * (1.0 / dt)
+}
+
+/// One interval's FI sync on the lossy fault plane: bounded retry, then
+/// dead-reckoning recovery on exhaustion. Returns the sync latency
+/// charged to Eq. 2 and updates the player's loss accounting. A free
+/// function (not a method) so callers can borrow the channel, the
+/// player state and the desync accumulator disjointly.
+fn fi_fault_sync(
+    channel: &mut FiChannel,
+    st: &mut PlayerState,
+    traces: &TraceSet,
+    pi: usize,
+    now_ms: f64,
+    desync_samples: &mut Vec<f64>,
+) -> f64 {
+    let attempt = fi::sync_with_retries(channel, now_ms);
+    st.fi_retries += attempt.retries as u64;
+    if attempt.synced {
+        st.fi_staleness_ms = 0.0;
+        st.fi_last_sync_ms = now_ms;
+        return attempt.sync_ms;
+    }
+
+    // Retries exhausted: remote avatars are dead-reckoned from their
+    // last synced pose + velocity. Extrapolation (and therefore the
+    // *displayed* staleness) is capped — past the cap avatars freeze and
+    // each further stale interval counts as a consistency violation.
+    st.fi_stale_frames += 1;
+    let raw_stale_ms = now_ms - st.fi_last_sync_ms;
+    if raw_stale_ms > DEAD_RECKON_CAP_MS {
+        st.fi_cap_violations += 1;
+    }
+    st.fi_staleness_ms = raw_stale_ms.min(DEAD_RECKON_CAP_MS);
+    st.fi_max_staleness_ms = st.fi_max_staleness_ms.max(st.fi_staleness_ms);
+
+    // Desync sample: worst dead-reckoned avatar position error vs the
+    // remote players' true trace positions, meters.
+    let t_s = now_ms / 1000.0;
+    let last_s = st.fi_last_sync_ms / 1000.0;
+    let stale_s = st.fi_staleness_ms / 1000.0;
+    let mut worst = 0.0f64;
+    for (ri, tr) in traces.traces().iter().enumerate() {
+        if ri == pi || tr.points().is_empty() {
+            continue;
+        }
+        let last_pos = trace_position(tr, last_s);
+        let vel = trace_velocity(tr, last_s);
+        let est = fi::dead_reckon(last_pos, vel, stale_s);
+        worst = worst.max(est.distance(trace_position(tr, t_s)));
+    }
+    desync_samples.push(worst);
+    attempt.sync_ms
 }
 
 fn exact_query(gp: GridPoint, pos: Vec2) -> CacheQuery {
@@ -1191,5 +1347,74 @@ mod tests {
     #[should_panic(expected = "at least one player")]
     fn zero_players_rejected() {
         let _ = Session::new(SessionConfig::new(GameId::Pool, SystemKind::Mobile, 0));
+    }
+
+    #[test]
+    fn lossy_session_reports_fi_recovery() {
+        let config = SessionConfig::new(GameId::Pool, SystemKind::coterie(), 2)
+            .with_duration_s(30.0)
+            .with_seed(11)
+            .with_net(NetScenario::BurstLoss);
+        let r = Session::new(config).run();
+        assert!(r.fi.syncs > 0, "lossy multiplayer sessions count syncs");
+        assert!(r.fi.retries > 0, "burst loss should force retries");
+        assert!(
+            r.fi.stale_frames > 0,
+            "burst loss should exhaust retries sometimes"
+        );
+        assert!(r.fi.mean_sync_ms > 0.0);
+        // Displayed staleness is capped by construction.
+        assert!(r.fi.max_staleness_ms <= DEAD_RECKON_CAP_MS);
+        assert!(r.fi.desync_p99_m >= r.fi.desync_p95_m);
+    }
+
+    #[test]
+    fn lossy_session_is_seed_deterministic() {
+        let config = SessionConfig::new(GameId::Pool, SystemKind::coterie(), 2)
+            .with_duration_s(20.0)
+            .with_seed(11)
+            .with_net(NetScenario::LatencySpikes);
+        let a = Session::new(config).run();
+        let b = Session::new(config).run();
+        assert_eq!(a, b, "same seed + scenario must reproduce bit-for-bit");
+    }
+
+    #[test]
+    fn net_none_is_bit_identical_to_default() {
+        let base = SessionConfig::new(GameId::Pool, SystemKind::coterie(), 2)
+            .with_duration_s(20.0)
+            .with_seed(11);
+        let a = Session::new(base).run();
+        let b = Session::new(base.with_net(NetScenario::None)).run();
+        assert_eq!(a, b);
+        assert_eq!(a.fi, FiReport::default(), "lossless runs report zero FI");
+    }
+
+    #[test]
+    fn single_player_lossy_session_skips_fault_plane() {
+        // A lone player only exchanges keep-alives; the fault plane
+        // never engages even under a lossy scenario.
+        let config = SessionConfig::new(GameId::Pool, SystemKind::coterie(), 1)
+            .with_duration_s(15.0)
+            .with_seed(4);
+        let lossless = Session::new(config).run();
+        let lossy = Session::new(config.with_net(NetScenario::BurstLoss)).run();
+        assert_eq!(lossless, lossy);
+        assert_eq!(lossy.fi, FiReport::default());
+    }
+
+    #[test]
+    fn trace_velocity_matches_finite_difference() {
+        let spec = GameSpec::for_game(GameId::Fps);
+        let scene = spec.build_scene(1);
+        let traces = TraceSet::generate(&scene, &spec, 1, 4.0, 0.5, 1);
+        let trace = traces.player(0).expect("player");
+        let v = trace_velocity(trace, 1.0);
+        let a = trace.points()[2].position;
+        let b = trace.points()[3].position;
+        assert!((v.x - (b.x - a.x) / 0.5).abs() < 1e-9);
+        assert!((v.z - (b.z - a.z) / 0.5).abs() < 1e-9);
+        // Past the trace end the clamped position stops moving.
+        assert_eq!(trace_velocity(trace, 1e9), Vec2::ZERO);
     }
 }
