@@ -20,6 +20,15 @@ fn bench_ssim(c: &mut Criterion) {
     c.bench_function("ssim_192x96", |bench| {
         bench.iter(|| ssim(black_box(&a), black_box(&b)))
     });
+    // Default options at the renderer's default resolution — the exact
+    // configuration the simulator's similarity sweeps run, and the one
+    // BENCH_render.json tracks.
+    let a = LumaFrame::from_fn(256, 128, |x, y| ((x * 7 + y * 13) % 97) as f32 / 96.0);
+    let mut b = a.clone();
+    b.set(70, 70, 1.0);
+    c.bench_function("ssim_default_256x128", |bench| {
+        bench.iter(|| ssim(black_box(&a), black_box(&b)))
+    });
 }
 
 fn bench_codec(c: &mut Criterion) {
@@ -49,6 +58,23 @@ fn bench_render(c: &mut Criterion) {
                 eye,
                 RenderFilter::FarOnly { cutoff: 8.0 },
             )
+        })
+    });
+    // Per-filter benches at the default 256x128 resolution — the hot-path
+    // configuration the experiments and BENCH_render.json measure.
+    let renderer = Renderer::new(RenderOptions::default());
+    let cutoff = 10.0;
+    c.bench_function("render_all_256x128", |bench| {
+        bench.iter(|| renderer.render_panorama(black_box(&scene), eye, RenderFilter::All))
+    });
+    c.bench_function("render_near_256x128", |bench| {
+        bench.iter(|| {
+            renderer.render_panorama(black_box(&scene), eye, RenderFilter::NearOnly { cutoff })
+        })
+    });
+    c.bench_function("render_far_256x128", |bench| {
+        bench.iter(|| {
+            renderer.render_panorama(black_box(&scene), eye, RenderFilter::FarOnly { cutoff })
         })
     });
 }

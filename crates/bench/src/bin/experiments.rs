@@ -9,13 +9,18 @@
 //!
 //! Names: table1 table2 table3 table4 table5 table6 table7 table8 table9
 //! table10 fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig11 fig12 ablations fleet
+//! bench-json
+//!
+//! `bench-json` times the render/SSIM hot kernels and writes the medians
+//! to `BENCH_render.json` (the committed perf trajectory); it is not part
+//! of `all`.
 //!
 //! `--rooms`/`--players`/`--net` size the `fleet` experiment only.
 //! `--net` selects the FI fault scenario (`none`, `wifi`, `burst-loss`,
 //! `latency-spikes`, `relay-outage`; default `none` = lossless).
 
 use coterie_bench::{
-    ablation, cache_exp, cutoff_exp, fleet_exp, similarity, system_exp, ExpConfig,
+    ablation, cache_exp, cutoff_exp, fleet_exp, kernel_bench, similarity, system_exp, ExpConfig,
 };
 use coterie_net::NetScenario;
 use std::time::Instant;
@@ -84,6 +89,14 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
         "fleet" => fleet_exp::fleet(config, fleet_args.rooms, fleet_args.players, fleet_args.net)
             .0
             .to_string(),
+        "bench-json" => {
+            let samples = if config.quick { 5 } else { 21 };
+            let timings = kernel_bench::run(samples);
+            let json = kernel_bench::to_json(&timings);
+            std::fs::write("BENCH_render.json", &json)
+                .map_err(|e| format!("writing BENCH_render.json: {e}"))?;
+            format!("wrote BENCH_render.json\n{json}")
+        }
         other => return Err(format!("unknown experiment '{other}'")),
     };
     Ok(out)
@@ -131,7 +144,7 @@ fn main() {
                     "usage: experiments [--quick] [--seed N] [--rooms N] [--players N] \
                      [--net SCENARIO] <name>...|all"
                 );
-                eprintln!("experiments: {}", ALL.join(" "));
+                eprintln!("experiments: {} bench-json", ALL.join(" "));
                 let names: Vec<&str> = NetScenario::ALL.iter().map(NetScenario::name).collect();
                 eprintln!("net scenarios: {}", names.join(" "));
                 return;

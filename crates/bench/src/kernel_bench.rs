@@ -1,0 +1,123 @@
+//! Dependency-free timing of the two hot kernels (render, SSIM) with a
+//! machine-readable JSON report.
+//!
+//! Criterion gives interactive numbers; this module gives the *committed*
+//! perf trajectory: `experiments bench-json` writes `BENCH_render.json`
+//! with the median nanoseconds per kernel so every PR can be compared to
+//! the last. The binary cannot use criterion (a dev-dependency), so this
+//! is a deliberately simple warmup + median-of-samples harness.
+
+use coterie_frame::ssim;
+use coterie_render::{RenderFilter, RenderOptions, Renderer};
+use coterie_world::{GameId, GameSpec, Vec2};
+use std::time::Instant;
+
+/// One timed kernel: median wall-clock nanoseconds per call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTiming {
+    /// Kernel name as it appears in the JSON report.
+    pub name: String,
+    /// Median nanoseconds per call over all samples.
+    pub median_ns: u64,
+    /// Number of timed samples (after warmup).
+    pub samples: usize,
+}
+
+/// Times `f`, returning the median ns per call over `samples` runs.
+fn time_kernel<R>(samples: usize, mut f: impl FnMut() -> R) -> (u64, usize) {
+    // Warmup: populate caches (scene index, trig tables) off the clock.
+    std::hint::black_box(f());
+    let mut runs: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_nanos() as u64
+        })
+        .collect();
+    runs.sort_unstable();
+    (runs[runs.len() / 2], samples)
+}
+
+/// Benchmarks the render + SSIM hot kernels at the acceptance-criteria
+/// configuration: default 256×128 options, VikingVillage scene.
+pub fn run(samples: usize) -> Vec<KernelTiming> {
+    let spec = GameSpec::for_game(GameId::VikingVillage);
+    let scene = spec.build_scene(7);
+    let renderer = Renderer::new(RenderOptions::default());
+    let eye = scene.eye(scene.bounds().center());
+    let cutoff = 10.0;
+
+    let mut out = Vec::new();
+    let mut push = |name: &str, (median_ns, samples): (u64, usize)| {
+        out.push(KernelTiming {
+            name: name.to_string(),
+            median_ns,
+            samples,
+        });
+    };
+
+    push(
+        "render_all_256x128",
+        time_kernel(samples, || {
+            renderer.render_panorama(&scene, eye, RenderFilter::All)
+        }),
+    );
+    push(
+        "render_near_256x128",
+        time_kernel(samples, || {
+            renderer.render_panorama(&scene, eye, RenderFilter::NearOnly { cutoff })
+        }),
+    );
+    push(
+        "render_far_256x128",
+        time_kernel(samples, || {
+            renderer.render_panorama(&scene, eye, RenderFilter::FarOnly { cutoff })
+        }),
+    );
+
+    let a = renderer
+        .render_panorama(&scene, eye, RenderFilter::All)
+        .frame;
+    let eye_b = scene.eye(scene.bounds().center() + Vec2::new(0.4, 0.0));
+    let b = renderer
+        .render_panorama(&scene, eye_b, RenderFilter::All)
+        .frame;
+    push(
+        "ssim_default_256x128",
+        time_kernel(samples, || ssim(&a, &b)),
+    );
+
+    out
+}
+
+/// Renders the timings as the committed `BENCH_render.json` document.
+pub fn to_json(timings: &[KernelTiming]) -> String {
+    let mut s = String::from("{\n  \"kernels\": {\n");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    \"{}\": {{ \"median_ns\": {}, \"samples\": {} }}{comma}\n",
+            t.name, t.median_ns, t.samples
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_positive_and_json_well_formed() {
+        let timings = run(3);
+        assert_eq!(timings.len(), 4);
+        for t in &timings {
+            assert!(t.median_ns > 0, "{} must take measurable time", t.name);
+        }
+        let json = to_json(&timings);
+        assert!(json.contains("\"render_all_256x128\""));
+        assert!(json.contains("\"ssim_default_256x128\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

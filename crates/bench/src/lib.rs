@@ -18,6 +18,7 @@ pub mod ablation;
 pub mod cache_exp;
 pub mod cutoff_exp;
 pub mod fleet_exp;
+pub mod kernel_bench;
 pub mod report;
 pub mod similarity;
 pub mod system_exp;

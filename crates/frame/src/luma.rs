@@ -101,6 +101,30 @@ impl LumaFrame {
         &mut self.data
     }
 
+    /// Pixel row `y` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
+    #[inline]
+    pub fn row(&self, y: u32) -> &[f32] {
+        assert!(y < self.height, "row {y} out of bounds");
+        let start = (y * self.width) as usize;
+        &self.data[start..start + self.width as usize]
+    }
+
+    /// Pixel row `y` as a mutable contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, y: u32) -> &mut [f32] {
+        assert!(y < self.height, "row {y} out of bounds");
+        let start = (y * self.width) as usize;
+        &mut self.data[start..start + self.width as usize]
+    }
+
     /// Pixel value at `(x, y)`.
     ///
     /// # Panics
@@ -241,6 +265,23 @@ mod tests {
     fn get_out_of_bounds_panics() {
         let f = LumaFrame::new(4, 4);
         let _ = f.get(4, 0);
+    }
+
+    #[test]
+    fn row_accessors_view_contiguous_rows() {
+        let mut f = LumaFrame::from_fn(3, 2, |x, y| (y * 3 + x) as f32 / 10.0);
+        assert_eq!(f.row(0), &[0.0, 0.1, 0.2]);
+        assert_eq!(f.row(1), &[0.3, 0.4, 0.5]);
+        f.row_mut(1).copy_from_slice(&[0.9, 0.8, 0.7]);
+        assert_eq!(f.get(0, 1), 0.9);
+        assert_eq!(f.row(1), &[0.9, 0.8, 0.7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let f = LumaFrame::new(4, 4);
+        let _ = f.row(4);
     }
 
     #[test]

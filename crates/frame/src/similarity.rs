@@ -4,7 +4,9 @@
 //! CDFs (Figures 1, 2, 5), for the cache `dist_thresh` calibration
 //! (SSIM > 0.9, §5.3) and for visual quality (Table 7). This is the
 //! standard single-scale implementation: 11×11 Gaussian window with
-//! σ = 1.5 and the usual stabilizing constants for dynamic range 1.0.
+//! σ = 1.5 and the usual stabilizing constants for dynamic range 1.0,
+//! evaluated with a two-pass separable Gaussian over the five moment
+//! planes (O(k) per window instead of O(k²)).
 
 use crate::luma::LumaFrame;
 
@@ -102,51 +104,99 @@ pub fn ssim_map(a: &LumaFrame, b: &LumaFrame) -> Vec<f64> {
     ssim_map_with(a, b, &SsimOptions::default())
 }
 
+/// Rows below this threshold run the horizontal moment pass serially;
+/// at or above it, the pass fans out on [`coterie_parallel::par_for_each`]
+/// over disjoint row bands (the default 256×128 frames stay serial —
+/// thread spawn would cost more than the pass).
+const PAR_MIN_ROWS: usize = 256;
+
 fn ssim_map_with(a: &LumaFrame, b: &LumaFrame, opts: &SsimOptions) -> Vec<f64> {
     assert_eq!(a.width(), b.width(), "frame widths differ");
     assert_eq!(a.height(), b.height(), "frame heights differ");
-    let w = a.width() as i64;
-    let h = a.height() as i64;
+    let w = a.width() as usize;
+    let h = a.height() as usize;
     let kernel = opts.kernel();
-    let r = opts.radius as i64;
-    let stride = opts.stride.max(1) as i64;
-
-    // Separable Gaussian: blur horizontally into temp rows, then
-    // accumulate vertically per evaluated center.
-    // For clarity (frames here are small) we evaluate windows directly
-    // with the separable trick applied per-window-row.
+    let r = opts.radius as usize;
+    if w < 2 * r + 1 || h < 2 * r + 1 {
+        // No window fits.
+        return Vec::new();
+    }
+    let stride = opts.stride.max(1) as usize;
     let ax = a.data();
     let bx = b.data();
-    let mut out = Vec::new();
-    let mut y = r;
-    while y < h - r {
-        let mut x = r;
-        while x < w - r {
-            let (mut mu_a, mut mu_b) = (0.0f64, 0.0f64);
-            let (mut aa, mut bb, mut ab) = (0.0f64, 0.0f64, 0.0f64);
-            for dy in -r..=r {
-                let wy = kernel[(dy + r) as usize];
-                let row = ((y + dy) * w) as usize;
-                for dx in -r..=r {
-                    let wxy = wy * kernel[(dx + r) as usize];
-                    let va = ax[row + (x + dx) as usize] as f64;
-                    let vb = bx[row + (x + dx) as usize] as f64;
-                    mu_a += wxy * va;
-                    mu_b += wxy * vb;
-                    aa += wxy * va * va;
-                    bb += wxy * vb * vb;
-                    ab += wxy * va * vb;
+
+    // The Gaussian window is separable, so instead of an O(k²) sum per
+    // window we blur each of the five moment planes (a, b, a², b², ab)
+    // horizontally once per row (pass 1), then combine the blurred rows
+    // vertically at each window center (pass 2): O(k) per output. The
+    // planes stay interleaved as [f64; 5] so both passes touch memory
+    // sequentially.
+    let xs: Vec<usize> = (r..w - r).step_by(stride).collect();
+    let n_x = xs.len();
+    let mut moments = vec![[0.0f64; 5]; h * n_x];
+    let blur_rows = |rows: &mut [[f64; 5]], y0: usize| {
+        for (row_i, out_row) in rows.chunks_mut(n_x).enumerate() {
+            let row = (y0 + row_i) * w;
+            for (ci, &x) in xs.iter().enumerate() {
+                let mut m = [0.0f64; 5];
+                for (ki, &kx) in kernel.iter().enumerate() {
+                    let idx = row + x - r + ki;
+                    let va = ax[idx] as f64;
+                    let vb = bx[idx] as f64;
+                    m[0] += kx * va;
+                    m[1] += kx * vb;
+                    m[2] += kx * va * va;
+                    m[3] += kx * vb * vb;
+                    m[4] += kx * va * vb;
                 }
+                out_row[ci] = m;
             }
+        }
+    };
+    if h >= PAR_MIN_ROWS {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(h);
+        let rows_per = h.div_ceil(threads);
+        let mut bands = Vec::with_capacity(threads);
+        let mut rest = moments.as_mut_slice();
+        let mut y0 = 0usize;
+        while y0 < h {
+            let rows = rows_per.min(h - y0);
+            let (head, tail) = rest.split_at_mut(rows * n_x);
+            rest = tail;
+            bands.push((y0, head));
+            y0 += rows;
+        }
+        coterie_parallel::par_for_each(bands, |(y0, rows)| blur_rows(rows, y0));
+    } else {
+        blur_rows(&mut moments, 0);
+    }
+
+    // Pass 2: vertical combination at the strided centers, in the same
+    // (y outer, x inner) order the dense evaluation produced.
+    let ys: Vec<usize> = (r..h - r).step_by(stride).collect();
+    let mut out = Vec::with_capacity(ys.len() * n_x);
+    for &y in &ys {
+        for ci in 0..n_x {
+            let mut m = [0.0f64; 5];
+            for (ki, &ky) in kernel.iter().enumerate() {
+                let src = &moments[(y - r + ki) * n_x + ci];
+                m[0] += ky * src[0];
+                m[1] += ky * src[1];
+                m[2] += ky * src[2];
+                m[3] += ky * src[3];
+                m[4] += ky * src[4];
+            }
+            let [mu_a, mu_b, aa, bb, ab] = m;
             let var_a = (aa - mu_a * mu_a).max(0.0);
             let var_b = (bb - mu_b * mu_b).max(0.0);
             let cov = ab - mu_a * mu_b;
             let numerator = (2.0 * mu_a * mu_b + opts.c1) * (2.0 * cov + opts.c2);
             let denominator = (mu_a * mu_a + mu_b * mu_b + opts.c1) * (var_a + var_b + opts.c2);
             out.push(numerator / denominator);
-            x += stride;
         }
-        y += stride;
     }
     out
 }
@@ -311,6 +361,89 @@ mod tests {
         // Symmetric and peaked at center.
         assert!((k[0] - k[10]).abs() < 1e-15);
         assert!(k[5] > k[0]);
+    }
+
+    /// The dense O(k²) evaluation the separable implementation replaced,
+    /// kept as the oracle it must agree with.
+    fn ssim_map_dense(a: &LumaFrame, b: &LumaFrame, opts: &SsimOptions) -> Vec<f64> {
+        let w = a.width() as i64;
+        let h = a.height() as i64;
+        let kernel = opts.kernel();
+        let r = opts.radius as i64;
+        let stride = opts.stride.max(1) as i64;
+        let ax = a.data();
+        let bx = b.data();
+        let mut out = Vec::new();
+        let mut y = r;
+        while y < h - r {
+            let mut x = r;
+            while x < w - r {
+                let (mut mu_a, mut mu_b) = (0.0f64, 0.0f64);
+                let (mut aa, mut bb, mut ab) = (0.0f64, 0.0f64, 0.0f64);
+                for dy in -r..=r {
+                    let wy = kernel[(dy + r) as usize];
+                    let row = ((y + dy) * w) as usize;
+                    for dx in -r..=r {
+                        let wxy = wy * kernel[(dx + r) as usize];
+                        let va = ax[row + (x + dx) as usize] as f64;
+                        let vb = bx[row + (x + dx) as usize] as f64;
+                        mu_a += wxy * va;
+                        mu_b += wxy * vb;
+                        aa += wxy * va * va;
+                        bb += wxy * vb * vb;
+                        ab += wxy * va * vb;
+                    }
+                }
+                let var_a = (aa - mu_a * mu_a).max(0.0);
+                let var_b = (bb - mu_b * mu_b).max(0.0);
+                let cov = ab - mu_a * mu_b;
+                let numerator = (2.0 * mu_a * mu_b + opts.c1) * (2.0 * cov + opts.c2);
+                let denominator = (mu_a * mu_a + mu_b * mu_b + opts.c1) * (var_a + var_b + opts.c2);
+                out.push(numerator / denominator);
+                x += stride;
+            }
+            y += stride;
+        }
+        out
+    }
+
+    #[test]
+    fn separable_matches_dense_reference() {
+        let a = textured(21);
+        let mut b = a.clone();
+        for (i, v) in b.data_mut().iter_mut().enumerate() {
+            *v = (*v + ((i % 11) as f32 - 5.0) * 0.01).clamp(0.0, 1.0);
+        }
+        for opts in [SsimOptions::default(), SsimOptions::fast()] {
+            let dense = ssim_map_dense(&a, &b, &opts);
+            let separable = ssim_map_with(&a, &b, &opts);
+            assert_eq!(dense.len(), separable.len());
+            for (i, (d, s)) in dense.iter().zip(&separable).enumerate() {
+                assert!(
+                    (d - s).abs() < 1e-10,
+                    "window {i}: dense {d} vs separable {s} (opts {opts:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_pass_matches_dense_on_tall_frames() {
+        // Tall enough to cross PAR_MIN_ROWS and take the banded path.
+        let a = LumaFrame::from_fn(24, 300, |x, y| {
+            ((x.wrapping_mul(37) ^ y.wrapping_mul(23)) % 89) as f32 / 88.0
+        });
+        let mut b = a.clone();
+        for v in b.data_mut().iter_mut().step_by(13) {
+            *v = (*v * 0.85).clamp(0.0, 1.0);
+        }
+        let opts = SsimOptions::default();
+        let dense = ssim_map_dense(&a, &b, &opts);
+        let separable = ssim_map_with(&a, &b, &opts);
+        assert_eq!(dense.len(), separable.len());
+        for (d, s) in dense.iter().zip(&separable) {
+            assert!((d - s).abs() < 1e-10, "dense {d} vs separable {s}");
+        }
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! # coterie-parallel
+//!
+//! Minimal data-parallel substrate built on crossbeam's scoped threads,
+//! shared by the renderer (band-parallel panoramas), the frame crate
+//! (separable SSIM on large frames), the simulator (similarity sweeps,
+//! pre-render batches) and the serve fleet (room boot, farm batches).
+//!
+//! Three primitives cover every hot path in the workspace:
+//!
+//! * [`par_map`] — chunked fan-out for uniform per-item cost,
+//! * [`par_map_ws`] — work-stealing-style dynamic claiming for skewed
+//!   per-item cost,
+//! * [`par_for_each`] — explicit task-per-thread execution for callers
+//!   that pre-partition mutable state (e.g. disjoint frame bands).
+//!
+//! All three preserve determinism: results come back in input order and
+//! side effects land in caller-partitioned disjoint state, so output is
+//! independent of scheduling and thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Applies `f` to every item, fanning out across up to
+/// `available_parallelism` threads, and returns results in input order.
+///
+/// Items are distributed in contiguous chunks, so `f` should have
+/// roughly uniform cost per item.
+///
+/// # Example
+///
+/// ```
+/// use coterie_parallel::par_map;
+/// let squares = par_map(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut rest = results.as_mut_slice();
+        for chunk_items in items.chunks(chunk) {
+            let (head, tail) = rest.split_at_mut(chunk_items.len().min(rest.len()));
+            rest = tail;
+            let f = &f;
+            scope.spawn(move |_| {
+                for (slot, item) in head.iter_mut().zip(chunk_items) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("parallel workers must not panic");
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Applies `f` to every item with dynamic (work-stealing) scheduling,
+/// returning results in input order.
+///
+/// Unlike [`par_map`], which hands each worker one contiguous chunk up
+/// front, workers here claim items one at a time: a shared counter
+/// hands out indices and each worker parks `(index, result)` pairs in
+/// its own deque until the queue drains. A single pathologically
+/// expensive item therefore occupies one worker while the rest of the
+/// input flows through the others — no straggling tail. Use it when
+/// per-item cost is non-uniform (e.g. pre-rendering frames whose
+/// triangle counts vary by orders of magnitude); for uniform work it
+/// falls back to the cheaper chunked path, since dynamic claiming only
+/// adds contention there.
+///
+/// # Example
+///
+/// ```
+/// use coterie_parallel::par_map_ws;
+/// let squares = par_map_ws(&[1, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map_ws<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    // With at most one item per worker there is nothing to steal;
+    // the chunked path handles these (and the serial cases) fine.
+    if threads <= 1 || items.len() <= threads {
+        return par_map(items, f);
+    }
+
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                scope.spawn(move |_| {
+                    let worker = crossbeam::deque::Worker::new_fifo();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        worker.push((i, f(&items[i])));
+                    }
+                    let mut out = Vec::new();
+                    while let Some(pair) = worker.pop() {
+                        out.push(pair);
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel workers must not panic"))
+            .collect()
+    })
+    .expect("parallel workers must not panic");
+
+    // Re-assemble in input order regardless of which worker produced
+    // which item, so callers see deterministic output.
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    for (i, r) in per_worker.into_iter().flatten() {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Runs `f` once per item, one scoped thread per item (serial when there
+/// is at most one item).
+///
+/// This is the primitive for *pre-partitioned* mutable work: the caller
+/// splits its state into disjoint pieces — e.g. a frame buffer split into
+/// horizontal bands with `split_at_mut` — wraps each piece in an item,
+/// and decides the fan-out by how many items it builds. Because every
+/// item owns its slice exclusively, the result is bit-identical to the
+/// serial execution no matter how the threads are scheduled.
+///
+/// # Example
+///
+/// ```
+/// use coterie_parallel::par_for_each;
+/// let mut buf = vec![0u64; 8];
+/// let (lo, hi) = buf.split_at_mut(4);
+/// par_for_each(vec![(0u64, lo), (4u64, hi)], |(base, half)| {
+///     for (i, v) in half.iter_mut().enumerate() {
+///         *v = base + i as u64;
+///     }
+/// });
+/// assert_eq!(buf, (0..8).collect::<Vec<u64>>());
+/// ```
+pub fn par_for_each<T, F>(items: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    if items.len() <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    crossbeam::thread::scope(|scope| {
+        for item in items {
+            let f = &f;
+            scope.spawn(move |_| f(item));
+        }
+    })
+    .expect("parallel workers must not panic");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out = par_map(&input, |&x| x * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(&[7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_serial_map() {
+        let input: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let serial: Vec<f64> = input.iter().map(|&x| x.sin()).collect();
+        let parallel = par_map(&input, |&x| x.sin());
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn heavy_closure_with_captured_state() {
+        let factor = 3u64;
+        let input: Vec<u64> = (0..64).collect();
+        let out = par_map(&input, |&x| x * factor);
+        assert_eq!(out[10], 30);
+    }
+
+    #[test]
+    fn ws_matches_serial_map() {
+        let input: Vec<f64> = (0..513).map(|i| i as f64 * 0.31).collect();
+        let serial: Vec<f64> = input.iter().map(|&x| x.cos()).collect();
+        assert_eq!(par_map_ws(&input, |&x| x.cos()), serial);
+    }
+
+    #[test]
+    fn ws_empty_and_small_inputs() {
+        let out: Vec<u32> = par_map_ws(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+        assert_eq!(par_map_ws(&[7], |&x| x + 1), vec![8]);
+        assert_eq!(par_map_ws(&[1, 2], |&x| x * 10), vec![10, 20]);
+    }
+
+    /// One item 100× heavier than the rest: dynamic claiming must not
+    /// serialize the light items behind it. The worker that draws the
+    /// heavy item (index 0, claimed first) stays busy on it while the
+    /// other workers drain everything else, so it ends up with far
+    /// fewer items than an even chunked split would give it.
+    #[test]
+    fn ws_skewed_workload_does_not_straggle() {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if threads < 2 {
+            return; // no second worker to absorb the light items
+        }
+        let spin = |units: u64| -> u64 {
+            let mut acc = 0x9E3779B97F4A7C15u64;
+            for i in 0..units * 20_000 {
+                acc = acc.rotate_left(7) ^ i;
+            }
+            acc
+        };
+        // Item 0 costs 100 units, the other 255 cost 1 unit each.
+        let weights: Vec<u64> = std::iter::once(100)
+            .chain(std::iter::repeat_n(1, 255))
+            .collect();
+        let who: Vec<std::sync::Mutex<std::thread::ThreadId>> = weights
+            .iter()
+            .map(|_| std::sync::Mutex::new(std::thread::current().id()))
+            .collect();
+        let out = par_map_ws(
+            &weights.iter().copied().enumerate().collect::<Vec<_>>(),
+            |&(i, w)| {
+                *who[i].lock().expect("who lock") = std::thread::current().id();
+                spin(w)
+            },
+        );
+        assert_eq!(out.len(), weights.len());
+        let heavy_worker = *who[0].lock().expect("who lock");
+        let handled_by_heavy = who
+            .iter()
+            .filter(|m| *m.lock().expect("who lock") == heavy_worker)
+            .count();
+        // A chunked split would hand the heavy worker len/threads items
+        // (>= 16 on <= 16 cores); with stealing it should finish the
+        // heavy item plus at most a handful it claimed before/after.
+        let chunk = weights.len() / threads.min(weights.len());
+        assert!(
+            handled_by_heavy < chunk.max(8),
+            "heavy worker handled {handled_by_heavy} items (chunk would be {chunk})"
+        );
+    }
+
+    #[test]
+    fn for_each_covers_disjoint_bands() {
+        let mut buf = vec![0u32; 64];
+        let mut bands = Vec::new();
+        let mut rest = buf.as_mut_slice();
+        let mut base = 0u32;
+        for _ in 0..7 {
+            let take = rest.len().min(10);
+            let (head, tail) = rest.split_at_mut(take);
+            bands.push((base, head));
+            base += take as u32;
+            rest = tail;
+        }
+        bands.push((base, rest));
+        par_for_each(bands, |(start, slice)| {
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = start + i as u32;
+            }
+        });
+        let expect: Vec<u32> = (0..64).collect();
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn for_each_empty_and_single() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        par_for_each(Vec::<u8>::new(), |_| panic!("must not run"));
+        let hits = AtomicUsize::new(0);
+        par_for_each(vec![()], |()| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

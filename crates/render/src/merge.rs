@@ -32,11 +32,21 @@ pub fn merge(near: &Panorama, far: &Panorama) -> LumaFrame {
     let w = near.frame.width();
     let h = near.frame.height();
     let mut out = LumaFrame::new(w, h);
-    let nd = near.frame.data();
-    let fd = far.frame.data();
-    let od = out.data_mut();
-    for i in 0..od.len() {
-        od[i] = if near.mask[i] != 0 { nd[i] } else { fd[i] };
+    for y in 0..h {
+        let row_start = (y * w) as usize;
+        let nd = near.frame.row(y);
+        let fd = far.frame.row(y);
+        let nm = &near.mask[row_start..row_start + w as usize];
+        let od = out.row_mut(y);
+        // Bulk-copy the far row, then overwrite the near-masked pixels;
+        // near coverage is sparse in typical cutoffs, so most rows are a
+        // single memcpy.
+        od.copy_from_slice(fd);
+        for i in 0..od.len() {
+            if nm[i] != 0 {
+                od[i] = nd[i];
+            }
+        }
     }
     out
 }

@@ -1,9 +1,36 @@
 //! Equirectangular panorama rendering with near/far filtering.
+//!
+//! # Hot-path design
+//!
+//! Rendering cost is the mobile-VR bottleneck the paper is built around
+//! (§4.3), and every experiment in this repro funnels through this
+//! rasterizer, so it is engineered as a hot kernel:
+//!
+//! * **Trig tables.** The pixel grid is fixed by [`RenderOptions`], so
+//!   every per-pixel transcendental — the `sin_cos` pair behind each
+//!   pixel's direction vector, the `atan2`/`asin` of the sky and object
+//!   hit tests — is a function of the pixel's row/column alone. They are
+//!   computed once per renderer (lazily, shared across clones) and every
+//!   frame after that is table lookups plus arithmetic.
+//! * **Row hoisting.** A pixel row shares one elevation, so the ground
+//!   ray length, the fog attenuation `exp`, and the sky gradient are
+//!   lifted out of the column loop.
+//! * **Object binning.** Scene/FI objects are projected to their angular
+//!   row/column spans once per frame ([`coterie_world::AngularExtent`])
+//!   and only rasterized over the rows they can touch.
+//! * **Band parallelism.** The panorama splits into horizontal bands
+//!   that own disjoint `frame`/`mask`/`depth` slices; bands run on the
+//!   shared [`coterie_parallel`] substrate. Rows are computed
+//!   independently (background first, then objects in a fixed order), so
+//!   output is bit-identical at any worker count — the golden-frame test
+//!   pins this against the original scalar renderer's hashes.
 
 use coterie_frame::LumaFrame;
-use coterie_world::noise::value_noise;
-use coterie_world::{ObjectKind, Scene, SceneObject, Vec3};
+use coterie_parallel::par_for_each;
+use coterie_world::noise::{value_noise, value_noise_cached, NoiseCellCache};
+use coterie_world::{ObjectKind, Scene, SceneObject, Terrain, Vec3};
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 /// Restricts which part of the background environment is rendered.
 ///
@@ -113,21 +140,179 @@ impl Panorama {
     }
 }
 
+/// Per-options trig tables (see the module docs).
+///
+/// Each entry reproduces, bit-exactly, the value the scalar renderer
+/// computed per pixel: `col_*`/`row_*` are the `sin_cos` factors of
+/// [`Renderer::pixel_dir`], `azimuth` is `dir.x.atan2(dir.z)` and
+/// `elevation` is `dir.y.asin()`. The azimuth roundtrip picks up the
+/// row's `cos(elevation)` factor in its low bits, so it is a full
+/// per-pixel map rather than a per-column table; `elevation` depends on
+/// the row alone.
+#[derive(Debug)]
+struct TrigTables {
+    /// `sin(azimuth)` per column.
+    col_sin: Vec<f64>,
+    /// `cos(azimuth)` per column.
+    col_cos: Vec<f64>,
+    /// `sin(elevation)` per row (this is `dir.y`).
+    row_sin: Vec<f64>,
+    /// `cos(elevation)` per row.
+    row_cos: Vec<f64>,
+    /// `dir.x.atan2(dir.z)` per pixel, row-major.
+    azimuth: Vec<f64>,
+    /// `dir.y.asin()` per row.
+    elevation: Vec<f64>,
+}
+
+impl TrigTables {
+    fn build(opts: &RenderOptions) -> Self {
+        let w = opts.width as usize;
+        let h = opts.height as usize;
+        let mut col_sin = Vec::with_capacity(w);
+        let mut col_cos = Vec::with_capacity(w);
+        for px in 0..w {
+            let azimuth = ((px as f64 + 0.5) / opts.width as f64) * std::f64::consts::TAU
+                - std::f64::consts::PI;
+            let (sa, ca) = azimuth.sin_cos();
+            col_sin.push(sa);
+            col_cos.push(ca);
+        }
+        let mut row_sin = Vec::with_capacity(h);
+        let mut row_cos = Vec::with_capacity(h);
+        let mut elevation = Vec::with_capacity(h);
+        for py in 0..h {
+            let elev = std::f64::consts::FRAC_PI_2
+                - ((py as f64 + 0.5) / opts.height as f64) * std::f64::consts::PI;
+            let (se, ce) = elev.sin_cos();
+            row_sin.push(se);
+            row_cos.push(ce);
+            elevation.push(se.asin());
+        }
+        let mut azimuth = Vec::with_capacity(w * h);
+        for &ce in row_cos.iter().take(h) {
+            for (&cs, &cc) in col_sin.iter().zip(&col_cos) {
+                azimuth.push((cs * ce).atan2(cc * ce));
+            }
+        }
+        TrigTables {
+            col_sin,
+            col_cos,
+            row_sin,
+            row_cos,
+            azimuth,
+            elevation,
+        }
+    }
+
+    /// Direction of the pixel center `(px, py)` — the same products
+    /// `pixel_dir` evaluates, with the `sin_cos` factors looked up.
+    #[inline]
+    fn dir(&self, px: usize, py: usize) -> Vec3 {
+        let ce = self.row_cos[py];
+        Vec3::new(
+            self.col_sin[px] * ce,
+            self.row_sin[py],
+            self.col_cos[px] * ce,
+        )
+    }
+}
+
+/// One frame-binned paint job: an object plus its projected pixel spans
+/// and every per-object quantity the scalar inner loop recomputed per
+/// pixel (hit-test cosine, fog attenuation, texture normalization).
+struct ObjectJob<'a> {
+    obj: &'a SceneObject,
+    /// Eye-to-center vector.
+    v: Vec3,
+    dist: f64,
+    half_width: f64,
+    /// `half_width.cos()` — the sphere hit-test threshold.
+    cos_half_width: f64,
+    base_elevation: f64,
+    top_elevation: f64,
+    center_azimuth: f64,
+    /// Fractional center column.
+    cx: f64,
+    half_w_px: i64,
+    /// Candidate row span (unclamped; bands clip it).
+    py_top: i64,
+    py_bot: i64,
+    /// `exp(-dist / fog_distance) as f32`, hoisted out of the pixel loop.
+    fog_k: f32,
+    /// `bounding_radius().max(1e-6)` — texture-space normalization.
+    bounding: f64,
+}
+
+/// A horizontal band owning disjoint slices of the output buffers.
+struct Band<'a> {
+    /// First row of the band.
+    y0: usize,
+    rows: usize,
+    frame: &'a mut [f32],
+    mask: &'a mut [u8],
+    depth: &'a mut [f32],
+}
+
 /// The software panoramic renderer.
 #[derive(Debug, Clone, Default)]
 pub struct Renderer {
     opts: RenderOptions,
+    /// Requested band-parallel worker count; `0`/`1` renders serially.
+    workers: usize,
+    /// Lazily built trig tables, shared across clones of this renderer.
+    tables: OnceLock<Arc<TrigTables>>,
 }
 
 impl Renderer {
     /// Creates a renderer with explicit options.
     pub fn new(opts: RenderOptions) -> Self {
-        Renderer { opts }
+        Renderer {
+            opts,
+            workers: 1,
+            tables: OnceLock::new(),
+        }
+    }
+
+    /// Sets the band-parallel worker count. The panorama is split into
+    /// that many horizontal bands rendered concurrently on scoped
+    /// threads; output is bit-identical at any count. Defaults to 1
+    /// (serial) so nested parallelism — e.g. the pre-render farm mapping
+    /// over frames — stays under the caller's control.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Renderer options.
     pub fn options(&self) -> &RenderOptions {
         &self.opts
+    }
+
+    /// Effective band-parallel worker count.
+    pub fn workers(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    fn tables(&self) -> &Arc<TrigTables> {
+        self.tables.get_or_init(|| {
+            let t = Arc::new(TrigTables::build(&self.opts));
+            // The tables must reproduce pixel_dir bit-for-bit; spot-check
+            // the corners and center so a drifted formula fails fast.
+            for &(px, py) in &[
+                (0u32, 0u32),
+                (self.opts.width - 1, 0),
+                (0, self.opts.height - 1),
+                (self.opts.width / 2, self.opts.height / 2),
+            ] {
+                debug_assert_eq!(
+                    t.dir(px as usize, py as usize),
+                    self.pixel_dir(px, py),
+                    "trig table drifted from pixel_dir at ({px},{py})"
+                );
+            }
+            t
+        })
     }
 
     /// Renders the background environment seen from `eye`, restricted by
@@ -149,30 +334,79 @@ impl Renderer {
     ) -> Panorama {
         let w = self.opts.width;
         let h = self.opts.height;
+        let tables = Arc::clone(self.tables());
         let mut frame = LumaFrame::new(w, h);
         let mut mask = vec![0u8; (w * h) as usize];
         let mut depth = vec![f32::INFINITY; (w * h) as usize];
 
-        self.paint_background(scene, eye, filter, &mut frame, &mut mask, &mut depth);
-
-        // Static BE objects, filtered by the cutoff.
+        // Bin the frame's objects by angular span, preserving the scalar
+        // renderer's paint order: filtered BE objects first, FI last.
+        let mut jobs: Vec<ObjectJob<'_>> = Vec::new();
         for obj in scene.objects_within(eye.ground(), self.opts.render_distance) {
             let d = obj.ground_distance(eye);
             if !filter.includes(d) {
                 continue;
             }
-            self.paint_object(obj, eye, &mut frame, &mut mask, &mut depth);
-        }
-        // FI objects are never filtered.
-        for obj in fi_objects {
-            if obj.ground_distance(eye) <= self.opts.render_distance {
-                self.paint_object(obj, eye, &mut frame, &mut mask, &mut depth);
+            if let Some(job) = self.object_job(obj, eye) {
+                jobs.push(job);
             }
         }
+        for obj in fi_objects {
+            if obj.ground_distance(eye) <= self.opts.render_distance {
+                if let Some(job) = self.object_job(obj, eye) {
+                    jobs.push(job);
+                }
+            }
+        }
+
+        // Split the output buffers into per-band row ranges; every band
+        // paints its rows completely (background, then objects clipped to
+        // the band), so bands never touch each other's memory.
+        let band_count = self.workers().min(h as usize).max(1);
+        let rows_per_band = (h as usize).div_ceil(band_count);
+        let mut bands: Vec<Band<'_>> = Vec::with_capacity(band_count);
+        {
+            let mut frame_rest = frame.data_mut();
+            let mut mask_rest = mask.as_mut_slice();
+            let mut depth_rest = depth.as_mut_slice();
+            let mut y0 = 0usize;
+            while y0 < h as usize {
+                let rows = rows_per_band.min(h as usize - y0);
+                let take = rows * w as usize;
+                let (f_head, f_tail) = frame_rest.split_at_mut(take);
+                let (m_head, m_tail) = mask_rest.split_at_mut(take);
+                let (d_head, d_tail) = depth_rest.split_at_mut(take);
+                frame_rest = f_tail;
+                mask_rest = m_tail;
+                depth_rest = d_tail;
+                bands.push(Band {
+                    y0,
+                    rows,
+                    frame: f_head,
+                    mask: m_head,
+                    depth: d_head,
+                });
+                y0 += rows;
+            }
+        }
+        par_for_each(bands, |mut band| {
+            self.paint_background_band(scene, eye, filter, &tables, &mut band);
+            let band_end = (band.y0 + band.rows) as i64;
+            for job in &jobs {
+                if job.py_bot < band.y0 as i64 || job.py_top >= band_end {
+                    continue;
+                }
+                self.paint_object_band(job, &tables, &mut band);
+            }
+        });
         Panorama { frame, mask }
     }
 
     /// Direction of the panorama pixel center `(px, py)`.
+    ///
+    /// The table-driven fast path reproduces this exactly; it remains the
+    /// readable reference definition (and the source of truth the tables
+    /// are checked against).
     #[inline]
     fn pixel_dir(&self, px: u32, py: u32) -> Vec3 {
         let azimuth = ((px as f64 + 0.5) / self.opts.width as f64) * std::f64::consts::TAU
@@ -196,185 +430,234 @@ impl Renderer {
         (x, y)
     }
 
-    fn fog(&self, base: f32, dist: f64) -> f32 {
-        let k = (-dist / self.opts.fog_distance).exp() as f32;
+    /// Fog blend with a precomputed attenuation factor
+    /// `k = exp(-dist / fog_distance) as f32`.
+    #[inline]
+    fn fog_apply(&self, base: f32, k: f32) -> f32 {
         base * k + self.opts.fog_luma * (1.0 - k)
     }
 
-    fn paint_background(
+    fn fog_k(&self, dist: f64) -> f32 {
+        (-dist / self.opts.fog_distance).exp() as f32
+    }
+
+    /// Projects an object to its pixel-space paint job, or `None` when
+    /// it is degenerate or spans less than `min_pixel_size` pixels.
+    fn object_job<'a>(&self, obj: &'a SceneObject, eye: Vec3) -> Option<ObjectJob<'a>> {
+        let ext = obj.angular_extent(eye)?;
+        // Angular diameter in pixels; cull sub-pixel specks.
+        let px_per_rad = self.opts.width as f64 / std::f64::consts::TAU;
+        if 2.0 * ext.half_width * px_per_rad < self.opts.min_pixel_size {
+            return None;
+        }
+        let v = obj.center() - eye;
+        let cos_mid = ((ext.base_elevation + ext.top_elevation) * 0.5)
+            .cos()
+            .abs()
+            .max(0.05);
+        let half_w_px = (ext.half_width / cos_mid * px_per_rad).ceil() as i64 + 1;
+        let (cx, _) = self.dir_to_pixel(v);
+        let py_top = ((std::f64::consts::FRAC_PI_2 - ext.top_elevation) / std::f64::consts::PI
+            * self.opts.height as f64)
+            .floor() as i64
+            - 1;
+        let py_bot = ((std::f64::consts::FRAC_PI_2 - ext.base_elevation) / std::f64::consts::PI
+            * self.opts.height as f64)
+            .ceil() as i64
+            + 1;
+        Some(ObjectJob {
+            obj,
+            v,
+            dist: ext.distance,
+            half_width: ext.half_width,
+            cos_half_width: ext.half_width.cos(),
+            base_elevation: ext.base_elevation,
+            top_elevation: ext.top_elevation,
+            center_azimuth: ext.center_azimuth,
+            cx,
+            half_w_px,
+            py_top: py_top.max(0),
+            py_bot: py_bot.min(self.opts.height as i64 - 1),
+            fog_k: self.fog_k(ext.distance),
+            bounding: obj.bounding_radius().max(1e-6),
+        })
+    }
+
+    fn paint_background_band(
         &self,
         scene: &Scene,
         eye: Vec3,
         filter: RenderFilter,
-        frame: &mut LumaFrame,
-        mask: &mut [u8],
-        depth: &mut [f32],
+        tables: &TrigTables,
+        band: &mut Band<'_>,
     ) {
-        let w = self.opts.width;
-        let h = self.opts.height;
-        let terrain = scene.terrain();
+        let w = self.opts.width as usize;
+        let terrain: &Terrain = scene.terrain();
         let local_ground = terrain.height(eye.ground());
         let eye_above = (eye.y - local_ground).max(0.2);
         let include_sky = filter.includes_sky();
         let mountain_seed = 0x304E_7411u64;
+        // Hoisted: the scalar renderer rebuilt this unit vector per pixel.
+        let light = Vec3::new(0.35, 0.85, 0.40).normalized();
+        // Cell-cached noise: consecutive pixels share lattice cells, so
+        // these skip nearly all hashing while returning identical values.
+        let mut sampler = terrain.sampler();
+        let mut ridge_broad = NoiseCellCache::new();
+        let mut ridge_fine = NoiseCellCache::new();
+        let mut mountain_tex = NoiseCellCache::new();
+        let mut cloud_tex = NoiseCellCache::new();
 
-        for py in 0..h {
-            for px in 0..w {
-                let dir = self.pixel_dir(px, py);
-                let idx = (py * w + px) as usize;
-                if dir.y >= -1e-4 {
-                    // Sky or distant mountain silhouette: both at infinite
-                    // distance, part of the far BE.
-                    if !include_sky {
-                        continue;
-                    }
-                    let azimuth = dir.x.atan2(dir.z);
-                    let elevation = dir.y.asin();
+        for row in 0..band.rows {
+            let py = band.y0 + row;
+            let se = tables.row_sin[py];
+            let row_off = row * w;
+            if se >= -1e-4 {
+                // Sky or distant mountain silhouette: both at infinite
+                // distance, part of the far BE. One elevation per row.
+                if !include_sky {
+                    continue;
+                }
+                let elevation = tables.elevation[py];
+                let t = (elevation / std::f64::consts::FRAC_PI_2).clamp(0.0, 1.0);
+                let sky_base = 0.80 + 0.12 * t;
+                let az_row = &tables.azimuth[py * w..(py + 1) * w];
+                for (px, &azimuth) in az_row.iter().enumerate() {
                     let ridge = 0.02
-                        + 0.06 * value_noise(mountain_seed, azimuth * 2.2 + 9.0, 0.0)
-                        + 0.03 * value_noise(mountain_seed ^ 1, azimuth * 7.0, 0.3);
+                        + 0.06
+                            * value_noise_cached(
+                                &mut ridge_broad,
+                                mountain_seed,
+                                azimuth * 2.2 + 9.0,
+                                0.0,
+                            )
+                        + 0.03
+                            * value_noise_cached(
+                                &mut ridge_fine,
+                                mountain_seed ^ 1,
+                                azimuth * 7.0,
+                                0.3,
+                            );
                     let v = if elevation < ridge {
                         // Mountain band.
                         (0.45
                             + 0.12
-                                * value_noise(mountain_seed ^ 2, azimuth * 5.0, elevation * 30.0))
-                            as f32
+                                * value_noise_cached(
+                                    &mut mountain_tex,
+                                    mountain_seed ^ 2,
+                                    azimuth * 5.0,
+                                    elevation * 30.0,
+                                )) as f32
                     } else {
                         // Sky gradient with faint clouds.
-                        let t = (elevation / std::f64::consts::FRAC_PI_2).clamp(0.0, 1.0);
-                        (0.80
-                            + 0.12 * t
-                            + 0.05 * value_noise(mountain_seed ^ 3, azimuth * 3.0, elevation * 6.0))
-                            as f32
+                        (sky_base
+                            + 0.05
+                                * value_noise_cached(
+                                    &mut cloud_tex,
+                                    mountain_seed ^ 3,
+                                    azimuth * 3.0,
+                                    elevation * 6.0,
+                                )) as f32
                     };
-                    frame.set(px, py, v);
-                    mask[idx] = 1;
-                    depth[idx] = f32::INFINITY;
-                } else {
-                    // Ground: intersect the local ground plane, then shade
-                    // from the terrain albedo at the hit point. This gives
-                    // true ground parallax — the near ground texture
-                    // streams past a moving viewpoint, far ground barely
-                    // moves.
-                    let t = eye_above / (-dir.y);
-                    if t > self.opts.render_distance {
-                        if !include_sky {
+                    let idx = row_off + px;
+                    band.frame[idx] = v.clamp(0.0, 1.0);
+                    band.mask[idx] = 1;
+                    band.depth[idx] = f32::INFINITY;
+                }
+            } else {
+                // Ground: intersect the local ground plane, then shade
+                // from the terrain albedo at the hit point. This gives
+                // true ground parallax — the near ground texture
+                // streams past a moving viewpoint, far ground barely
+                // moves. The ray length `t` is shared by the whole row.
+                let t = eye_above / (-se);
+                if t > self.opts.render_distance {
+                    if !include_sky {
+                        continue;
+                    }
+                    // Beyond the render distance the ground fades into
+                    // fog (treated as far BE).
+                    let fog = self.opts.fog_luma.clamp(0.0, 1.0);
+                    for px in 0..w {
+                        let idx = row_off + px;
+                        band.frame[idx] = fog;
+                        band.mask[idx] = 1;
+                        band.depth[idx] = self.opts.render_distance as f32;
+                    }
+                    continue;
+                }
+                let fog_k = self.fog_k(t);
+                // The cutoff radius is horizontal (Figure 4), so the
+                // filter tests the ground-plane distance of the hit. With
+                // the `All` filter that distance is never consumed, so
+                // skip computing it (a sqrt per pixel).
+                let filtered = !matches!(filter, RenderFilter::All);
+                for px in 0..w {
+                    let dir = tables.dir(px, py);
+                    if filtered {
+                        let ground_dist = t * dir.ground().length();
+                        if !filter.includes(ground_dist) {
                             continue;
                         }
-                        // Beyond the render distance the ground fades into
-                        // fog (treated as far BE).
-                        frame.set(px, py, self.opts.fog_luma);
-                        mask[idx] = 1;
-                        depth[idx] = self.opts.render_distance as f32;
-                        continue;
-                    }
-                    // The cutoff radius is horizontal (Figure 4), so the
-                    // filter tests the ground-plane distance of the hit.
-                    let ground_dist = t * dir.ground().length();
-                    if !filter.includes(ground_dist) {
-                        continue;
                     }
                     let hit = eye + dir * t;
-                    let albedo = terrain.albedo(hit.ground()) as f32;
+                    let albedo = sampler.albedo(hit.ground()) as f32;
                     // Slope shading from the terrain normal.
-                    let n = terrain.normal(hit.ground());
-                    let light = Vec3::new(0.35, 0.85, 0.40).normalized();
+                    let n = sampler.normal(hit.ground());
                     let lambert = n.dot(light).max(0.0) as f32;
-                    let v = self.fog(albedo * (0.45 + 0.55 * lambert), t);
-                    frame.set(px, py, v);
-                    mask[idx] = 1;
-                    depth[idx] = t as f32;
+                    let v = self.fog_apply(albedo * (0.45 + 0.55 * lambert), fog_k);
+                    let idx = row_off + px;
+                    band.frame[idx] = v.clamp(0.0, 1.0);
+                    band.mask[idx] = 1;
+                    band.depth[idx] = t as f32;
                 }
             }
         }
     }
 
-    fn paint_object(
-        &self,
-        obj: &SceneObject,
-        eye: Vec3,
-        frame: &mut LumaFrame,
-        mask: &mut [u8],
-        depth: &mut [f32],
-    ) {
+    fn paint_object_band(&self, job: &ObjectJob<'_>, tables: &TrigTables, band: &mut Band<'_>) {
         let w = self.opts.width as i64;
-        let h = self.opts.height as i64;
-        let center = obj.center();
-        let v = center - eye;
-        let dist = v.length();
-        if dist < 1e-6 {
-            return;
-        }
-        // Angular extents.
-        let (half_width_ang, base_elev, top_elev) = match obj.kind {
-            ObjectKind::Sphere => {
-                let a = (obj.radius / dist).min(1.0).asin();
-                let ce = (v.y / dist).asin();
-                (a, ce - a, ce + a)
-            }
-            ObjectKind::Cylinder | ObjectKind::Box => {
-                let ground_dist = v.ground().length().max(1e-6);
-                let widen = if obj.kind == ObjectKind::Box {
-                    1.3
-                } else {
-                    1.0
-                };
-                let a = ((obj.radius * widen / ground_dist).min(1.0)).asin();
-                let base = (obj.position.y - eye.y).atan2(ground_dist);
-                let top = (obj.position.y + obj.height - eye.y).atan2(ground_dist);
-                (a, base, top)
-            }
-        };
-        // Angular diameter in pixels; cull sub-pixel specks.
-        let px_per_rad = self.opts.width as f64 / std::f64::consts::TAU;
-        if 2.0 * half_width_ang * px_per_rad < self.opts.min_pixel_size {
-            return;
-        }
-
-        let center_azimuth = v.x.atan2(v.z);
-        let cos_mid = ((base_elev + top_elev) * 0.5).cos().abs().max(0.05);
-        let half_w_px = (half_width_ang / cos_mid * px_per_rad).ceil() as i64 + 1;
-        let (_, cy) = self.dir_to_pixel(v);
-        let py_top = ((std::f64::consts::FRAC_PI_2 - top_elev) / std::f64::consts::PI
-            * self.opts.height as f64)
-            .floor() as i64
-            - 1;
-        let py_bot = ((std::f64::consts::FRAC_PI_2 - base_elev) / std::f64::consts::PI
-            * self.opts.height as f64)
-            .ceil() as i64
-            + 1;
-        let cx = (center_azimuth + std::f64::consts::PI) / std::f64::consts::TAU
-            * self.opts.width as f64;
-        let _ = cy;
-
+        let wu = self.opts.width as usize;
+        let band_end = (band.y0 + band.rows) as i64;
         let tex_scale = 14.0;
-        for py in py_top.max(0)..=py_bot.min(h - 1) {
-            for dxi in -half_w_px..=half_w_px {
-                let px = (cx as i64 + dxi).rem_euclid(w);
-                let dir = self.pixel_dir(px as u32, py as u32);
-                let hit = match obj.kind {
+        let dist_f32 = job.dist as f32;
+        for py in job.py_top.max(band.y0 as i64)..=job.py_bot.min(band_end - 1) {
+            let pyu = py as usize;
+            // The slab hit test's elevation half is row-constant; rows in
+            // the conservative [py_top, py_bot] margin that miss it reject
+            // every column, so skip them wholesale.
+            if matches!(job.obj.kind, ObjectKind::Cylinder | ObjectKind::Box) {
+                let elevation = tables.elevation[pyu];
+                if !(job.base_elevation..=job.top_elevation).contains(&elevation) {
+                    continue;
+                }
+            }
+            let row_off = (pyu - band.y0) * wu;
+            for dxi in -job.half_w_px..=job.half_w_px {
+                let px = (job.cx as i64 + dxi).rem_euclid(w) as usize;
+                let dir = tables.dir(px, pyu);
+                let hit = match job.obj.kind {
                     ObjectKind::Sphere => {
-                        let cosang = dir.dot(v) / dist;
-                        cosang >= half_width_ang.cos()
+                        let cosang = dir.dot(job.v) / job.dist;
+                        cosang >= job.cos_half_width
                     }
                     ObjectKind::Cylinder | ObjectKind::Box => {
-                        let azimuth = dir.x.atan2(dir.z);
-                        let mut da = azimuth - center_azimuth;
+                        // Elevation containment already held for this row.
+                        let azimuth = tables.azimuth[pyu * wu + px];
+                        let mut da = azimuth - job.center_azimuth;
                         while da > std::f64::consts::PI {
                             da -= std::f64::consts::TAU;
                         }
                         while da < -std::f64::consts::PI {
                             da += std::f64::consts::TAU;
                         }
-                        let elevation = dir.y.asin();
-                        da.abs() <= half_width_ang && (base_elev..=top_elev).contains(&elevation)
+                        da.abs() <= job.half_width
                     }
                 };
                 if !hit {
                     continue;
                 }
-                let idx = (py as u32 * self.opts.width + px as u32) as usize;
-                if depth[idx] <= dist as f32 {
+                let idx = row_off + px;
+                if band.depth[idx] <= dist_f32 {
                     continue;
                 }
                 // World-anchored-ish texture: parameterize by the viewing
@@ -382,16 +665,16 @@ impl Renderer {
                 // a stable parameterization; near objects' texture slides
                 // quickly with viewpoint — amplifying the near-object
                 // effect exactly as real parallax does.
-                let rel = (dir * dist - v) / obj.bounding_radius().max(1e-6);
+                let rel = (dir * job.dist - job.v) / job.bounding;
                 let tex = value_noise(
-                    obj.texture_seed,
+                    job.obj.texture_seed,
                     (rel.x + rel.y * 0.7) * tex_scale,
                     (rel.z - rel.y * 0.4) * tex_scale,
                 );
-                let shade = (obj.albedo * (0.55 + 0.45 * tex)) as f32;
-                frame.set(px as u32, py as u32, self.fog(shade, dist));
-                mask[idx] = 1;
-                depth[idx] = dist as f32;
+                let shade = (job.obj.albedo * (0.55 + 0.45 * tex)) as f32;
+                band.frame[idx] = self.fog_apply(shade, job.fog_k).clamp(0.0, 1.0);
+                band.mask[idx] = 1;
+                band.depth[idx] = dist_f32;
             }
         }
     }
@@ -458,6 +741,29 @@ mod tests {
         let a = r.render_panorama(&scene, eye, RenderFilter::All);
         let b = r.render_panorama(&scene, eye, RenderFilter::All);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        let spec = GameSpec::for_game(GameId::VikingVillage);
+        let scene = spec.build_scene(7);
+        let eye = scene.eye(scene.bounds().center());
+        let serial = Renderer::default();
+        let reference = serial.render_panorama(&scene, eye, RenderFilter::All);
+        for workers in [2usize, 3, 8, 64] {
+            let banded = Renderer::default().with_workers(workers);
+            for filter in [
+                RenderFilter::All,
+                RenderFilter::NearOnly { cutoff: 10.0 },
+                RenderFilter::FarOnly { cutoff: 10.0 },
+            ] {
+                let a = serial.render_panorama(&scene, eye, filter);
+                let b = banded.render_panorama(&scene, eye, filter);
+                assert_eq!(a, b, "filter {filter:?} diverged at {workers} workers");
+            }
+            let again = banded.render_panorama(&scene, eye, RenderFilter::All);
+            assert_eq!(reference, again);
+        }
     }
 
     #[test]
@@ -567,6 +873,32 @@ mod tests {
             let (x, y) = r.dir_to_pixel(dir);
             assert!((x - (px as f64 + 0.5)).abs() < 0.51, "px {px} -> {x}");
             assert!((y - (py as f64 + 0.5)).abs() < 0.51, "py {py} -> {y}");
+        }
+    }
+
+    #[test]
+    fn trig_tables_match_pixel_dir_everywhere() {
+        let r = Renderer::default();
+        let tables = r.tables();
+        for py in 0..r.opts.height {
+            for px in 0..r.opts.width {
+                assert_eq!(
+                    tables.dir(px as usize, py as usize),
+                    r.pixel_dir(px, py),
+                    "table dir drifted at ({px},{py})"
+                );
+            }
+        }
+        // The azimuth/elevation maps must be the exact roundtrips the
+        // scalar hit tests computed.
+        for py in (0..r.opts.height as usize).step_by(7) {
+            for px in (0..r.opts.width as usize).step_by(11) {
+                let dir = tables.dir(px, py);
+                assert_eq!(tables.azimuth[py * r.opts.width as usize + px], {
+                    dir.x.atan2(dir.z)
+                });
+                assert_eq!(tables.elevation[py], dir.y.asin());
+            }
         }
     }
 

@@ -7,7 +7,7 @@
 //! through that area hits the store instead of stalling a GPU. Frames
 //! whose triangle loads differ by orders of magnitude make per-job cost
 //! wildly non-uniform, which is exactly the workload
-//! [`coterie_sim::parallel::par_map_ws`] (shared-counter claiming +
+//! [`coterie_parallel::par_map_ws`] (shared-counter claiming +
 //! per-worker crossbeam deques) exists for — one monster panorama must
 //! not straggle a whole batch.
 //!
@@ -18,7 +18,7 @@
 
 use crate::store::SharedFrameStore;
 use coterie_core::FrameMeta;
-use coterie_sim::parallel::par_map_ws;
+use coterie_parallel::par_map_ws;
 use coterie_world::{GameId, GridPoint, Vec2};
 
 /// Fixed per-panorama server render overhead, GPU-ms (scheduling,

@@ -15,7 +15,7 @@ use crate::metrics::FleetMetrics;
 use crate::room::{Room, RoomReport};
 use crate::store::{SharedFrameStore, StoreConfig, StoreStats};
 use coterie_net::{FleetEgress, NetScenario};
-use coterie_sim::parallel::par_map_ws;
+use coterie_parallel::par_map_ws;
 use coterie_sim::{SessionConfig, SystemKind};
 use coterie_world::GameId;
 

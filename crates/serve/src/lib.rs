@@ -19,7 +19,7 @@
 //!   serve any other room of the same game.
 //! * [`PrerenderFarm`] turns store misses into speculative neighbour
 //!   renders, batched per epoch and swept with the work-stealing
-//!   [`coterie_sim::parallel::par_map_ws`].
+//!   [`coterie_parallel::par_map_ws`].
 //! * [`Fleet`] runs admission control (bounded per-room queues, a
 //!   fleet-wide [`coterie_net::FleetEgress`] downlink budget) and
 //!   graceful degradation (rooms violating the 16.7 ms frame budget

@@ -48,10 +48,10 @@ pub mod vec;
 pub use games::{GameCatalog, GameGenre, GameId, GameSpec};
 pub use grid::{GridPoint, GridSpec};
 pub use head::{HeadModel, HeadPose};
-pub use object::{ObjectId, ObjectKind, SceneObject};
+pub use object::{AngularExtent, ObjectId, ObjectKind, SceneObject};
 pub use quadtree::{LeafId, Quadtree, QuadtreeStats, Rect};
 pub use scene::Scene;
-pub use terrain::Terrain;
+pub use terrain::{Terrain, TerrainSampler};
 pub use trace::{Trace, TracePoint, TraceSet};
 pub use trajectory::{Trajectory, TrajectoryError, TrajectoryKind};
 pub use vec::{Vec2, Vec3};

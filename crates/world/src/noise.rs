@@ -21,9 +21,29 @@ pub fn lattice(seed: u64, ix: i64, iz: i64) -> f64 {
 }
 
 /// Smoothstep interpolation weight.
-#[inline]
+#[inline(always)]
 fn smooth(t: f64) -> f64 {
     t * t * (3.0 - 2.0 * t)
+}
+
+/// Inline `f64::floor`. The workspace targets baseline x86-64 (SSE2, no
+/// `roundsd`), where `f64::floor` lowers to an out-of-line libm call —
+/// and the noise hot path calls it twice per evaluation. Truncating via
+/// `i64` and correcting negatives gives the same value with two cheap
+/// conversions. Exact for `|x| < 2^53`; above that every `f64` is an
+/// integer, and infinities/NaN take the libm path unchanged.
+#[inline(always)]
+fn fast_floor(x: f64) -> f64 {
+    if x.abs() < 9_007_199_254_740_992.0 {
+        let t = x as i64 as f64;
+        if t > x {
+            t - 1.0
+        } else {
+            t
+        }
+    } else {
+        x.floor()
+    }
 }
 
 /// Bilinear value noise in `[0, 1)` at a continuous 2-D coordinate.
@@ -37,9 +57,10 @@ fn smooth(t: f64) -> f64 {
 /// assert_eq!(a, b); // deterministic
 /// assert!((0.0..1.0).contains(&a));
 /// ```
+#[inline]
 pub fn value_noise(seed: u64, x: f64, z: f64) -> f64 {
-    let x0 = x.floor();
-    let z0 = z.floor();
+    let x0 = fast_floor(x);
+    let z0 = fast_floor(z);
     let fx = smooth(x - x0);
     let fz = smooth(z - z0);
     let (ix, iz) = (x0 as i64, z0 as i64);
@@ -50,6 +71,155 @@ pub fn value_noise(seed: u64, x: f64, z: f64) -> f64 {
     let a = v00 + (v10 - v00) * fx;
     let b = v01 + (v11 - v01) * fx;
     a + (b - a) * fz
+}
+
+/// One-cell memo for spatially coherent [`value_noise`] sweeps.
+///
+/// `value_noise` spends nearly all its time hashing the four lattice
+/// corners of the cell containing the sample point. Renderer sweeps
+/// (ground rows, sky columns) move through cells slowly — tens to
+/// hundreds of consecutive samples share a cell — so remembering the
+/// last cell's corners skips the hashes entirely on a hit. The
+/// interpolation path is unchanged, so [`value_noise_cached`] returns
+/// results bit-identical to [`value_noise`] regardless of hit pattern.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseCellCache {
+    valid: bool,
+    seed: u64,
+    ix: i64,
+    iz: i64,
+    v00: f64,
+    v10: f64,
+    v01: f64,
+    v11: f64,
+}
+
+impl NoiseCellCache {
+    /// An empty cache (first lookup always misses).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`value_noise`] with a one-cell corner memo; bit-identical results.
+///
+/// ```
+/// use coterie_world::noise::{value_noise, value_noise_cached, NoiseCellCache};
+/// let mut cache = NoiseCellCache::new();
+/// for i in 0..100 {
+///     let x = i as f64 * 0.071;
+///     assert_eq!(value_noise_cached(&mut cache, 9, x, 0.4), value_noise(9, x, 0.4));
+/// }
+/// ```
+#[inline(always)]
+pub fn value_noise_cached(cache: &mut NoiseCellCache, seed: u64, x: f64, z: f64) -> f64 {
+    let x0 = fast_floor(x);
+    let z0 = fast_floor(z);
+    let fx = smooth(x - x0);
+    let fz = smooth(z - z0);
+    let (ix, iz) = (x0 as i64, z0 as i64);
+    if !(cache.valid && cache.seed == seed && cache.ix == ix && cache.iz == iz) {
+        fill_cell(cache, seed, ix, iz);
+    }
+    let a = cache.v00 + (cache.v10 - cache.v00) * fx;
+    let b = cache.v01 + (cache.v11 - cache.v01) * fx;
+    a + (b - a) * fz
+}
+
+#[inline(always)]
+fn fill_cell(cache: &mut NoiseCellCache, seed: u64, ix: i64, iz: i64) {
+    cache.valid = true;
+    cache.seed = seed;
+    cache.ix = ix;
+    cache.iz = iz;
+    cache.v00 = lattice(seed, ix, iz);
+    cache.v10 = lattice(seed, ix + 1, iz);
+    cache.v01 = lattice(seed, ix, iz + 1);
+    cache.v11 = lattice(seed, ix + 1, iz + 1);
+}
+
+/// Evaluates the four points of a central-difference cross — `(x1, zc)`,
+/// `(x0, zc)`, `(xc, z1)`, `(xc, z0)` — against one cache, in that
+/// order. Bit-identical to four [`value_noise_cached`] calls.
+///
+/// The terrain normal's probes sit `2·eps` apart, so almost always in
+/// one lattice cell: the cell is then checked and filled once, the two
+/// x-probes share their column weight, and the two z-probes share their
+/// row interpolants. Probes straddling a cell edge fall back to
+/// independent cached evaluation (same values, by [`value_noise_cached`]'s
+/// own guarantee).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub fn value_noise_cached_cross(
+    cache: &mut NoiseCellCache,
+    seed: u64,
+    x1: f64,
+    x0: f64,
+    xc: f64,
+    z1: f64,
+    z0: f64,
+    zc: f64,
+) -> [f64; 4] {
+    let x1f = fast_floor(x1);
+    let x0f = fast_floor(x0);
+    let xcf = fast_floor(xc);
+    let z1f = fast_floor(z1);
+    let z0f = fast_floor(z0);
+    let zcf = fast_floor(zc);
+    let (ix1, ix0, ixc) = (x1f as i64, x0f as i64, xcf as i64);
+    let (iz1, iz0, izc) = (z1f as i64, z0f as i64, zcf as i64);
+    if ix1 == ixc && ix0 == ixc && iz1 == izc && iz0 == izc {
+        if !(cache.valid && cache.seed == seed && cache.ix == ixc && cache.iz == izc) {
+            fill_cell(cache, seed, ixc, izc);
+        }
+        let fx1 = smooth(x1 - x1f);
+        let fx0 = smooth(x0 - x0f);
+        let fxc = smooth(xc - xcf);
+        let fz1 = smooth(z1 - z1f);
+        let fz0 = smooth(z0 - z0f);
+        let fzc = smooth(zc - zcf);
+        let a1 = cache.v00 + (cache.v10 - cache.v00) * fx1;
+        let b1 = cache.v01 + (cache.v11 - cache.v01) * fx1;
+        let a0 = cache.v00 + (cache.v10 - cache.v00) * fx0;
+        let b0 = cache.v01 + (cache.v11 - cache.v01) * fx0;
+        let ac = cache.v00 + (cache.v10 - cache.v00) * fxc;
+        let bc = cache.v01 + (cache.v11 - cache.v01) * fxc;
+        [
+            a1 + (b1 - a1) * fzc,
+            a0 + (b0 - a0) * fzc,
+            ac + (bc - ac) * fz1,
+            ac + (bc - ac) * fz0,
+        ]
+    } else {
+        [
+            value_noise_cached(cache, seed, x1, zc),
+            value_noise_cached(cache, seed, x0, zc),
+            value_noise_cached(cache, seed, xc, z1),
+            value_noise_cached(cache, seed, xc, z0),
+        ]
+    }
+}
+
+/// [`fbm`] with one [`NoiseCellCache`] per octave (`caches.len()` is the
+/// octave count); bit-identical to the uncached evaluation.
+#[inline(always)]
+pub fn fbm_cached(caches: &mut [NoiseCellCache], seed: u64, x: f64, z: f64) -> f64 {
+    let mut amp = 0.5;
+    let mut freq = 1.0;
+    let mut total = 0.0;
+    let mut norm = 0.0;
+    for (octave, cache) in caches.iter_mut().enumerate() {
+        total +=
+            amp * value_noise_cached(cache, seed.wrapping_add(octave as u64), x * freq, z * freq);
+        norm += amp;
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    if norm > 0.0 {
+        total / norm
+    } else {
+        0.0
+    }
 }
 
 /// Fractional Brownian motion: `octaves` layers of [`value_noise`] with
@@ -167,6 +337,89 @@ mod tests {
         let a = value_noise(3, 1.5, 2.5);
         let b = value_noise(3, 1.5 + 1e-6, 2.5);
         assert!((a - b).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fast_floor_matches_floor() {
+        let mut cases = vec![
+            0.0,
+            -0.0,
+            0.5,
+            -0.5,
+            1.0,
+            -1.0,
+            1.999_999_9,
+            -1.999_999_9,
+            9_007_199_254_740_991.5,
+            -9_007_199_254_740_991.5,
+            9_007_199_254_740_992.0,
+            1e300,
+            -1e300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ];
+        for i in -1000..1000 {
+            cases.push(i as f64 * 0.137);
+        }
+        for x in cases {
+            assert_eq!(fast_floor(x), x.floor(), "fast_floor diverged at {x}");
+        }
+        assert!(fast_floor(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn cached_noise_is_bit_identical_across_cells_and_seeds() {
+        let mut cache = NoiseCellCache::new();
+        // Sweep across many cell boundaries, interleaving two seeds so
+        // every kind of cache miss (cell change, seed change) is hit.
+        for i in -300..300 {
+            let x = i as f64 * 0.173;
+            let z = (i as f64 * 0.091).sin() * 5.0;
+            for seed in [3u64, 9] {
+                assert_eq!(
+                    value_noise_cached(&mut cache, seed, x, z),
+                    value_noise(seed, x, z),
+                    "diverged at seed {seed}, ({x}, {z})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_matches_independent_evaluation() {
+        let mut cache = NoiseCellCache::new();
+        let eps = 0.04;
+        // Sweep the cross straight through lattice lines so both the
+        // shared-cell fast path and the straddling fallback are hit.
+        for i in 0..4000 {
+            let x = -2.0 + i as f64 * 0.001;
+            let z = 1.5 + (i as f64 * 0.0007).sin();
+            let got =
+                value_noise_cached_cross(&mut cache, 7, x + eps, x - eps, x, z + eps, z - eps, z);
+            let want = [
+                value_noise(7, x + eps, z),
+                value_noise(7, x - eps, z),
+                value_noise(7, x, z + eps),
+                value_noise(7, x, z - eps),
+            ];
+            assert_eq!(got, want, "cross diverged at ({x}, {z})");
+        }
+    }
+
+    #[test]
+    fn cached_fbm_matches_fbm() {
+        let mut caches = [
+            NoiseCellCache::new(),
+            NoiseCellCache::new(),
+            NoiseCellCache::new(),
+            NoiseCellCache::new(),
+        ];
+        for i in 0..200 {
+            let x = i as f64 * 0.083 - 7.0;
+            let z = i as f64 * 0.031 + 2.0;
+            assert_eq!(fbm_cached(&mut caches, 11, x, z), fbm(11, x, z, 4));
+        }
+        assert_eq!(fbm_cached(&mut [], 11, 0.5, 0.5), fbm(11, 0.5, 0.5, 0));
     }
 
     #[test]

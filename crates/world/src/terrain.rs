@@ -6,7 +6,9 @@
 //! evaluation, and the renderer ray-marches the same function for ground
 //! pixels.
 
-use crate::noise::{fbm, value_noise};
+use crate::noise::{
+    fbm, fbm_cached, value_noise, value_noise_cached, value_noise_cached_cross, NoiseCellCache,
+};
 use crate::vec::{Vec2, Vec3};
 use serde::{Deserialize, Serialize};
 
@@ -86,6 +88,7 @@ impl Terrain {
 
     /// Approximate surface normal via central differences (used for
     /// shading slopes).
+    #[inline]
     pub fn normal(&self, p: Vec2) -> Vec3 {
         let eps = 0.1;
         let hx1 = self.height(Vec2::new(p.x + eps, p.z));
@@ -93,6 +96,122 @@ impl Terrain {
         let hz1 = self.height(Vec2::new(p.x, p.z + eps));
         let hz0 = self.height(Vec2::new(p.x, p.z - eps));
         Vec3::new(-(hx1 - hx0) / (2.0 * eps), 1.0, -(hz1 - hz0) / (2.0 * eps)).normalized()
+    }
+
+    /// A stateful sampler for spatially coherent sweeps (renderer ground
+    /// rows). Returns values bit-identical to the corresponding
+    /// [`Terrain`] methods while memoizing noise-lattice corners across
+    /// consecutive samples — the renderer hot path's biggest cost.
+    pub fn sampler(&self) -> TerrainSampler<'_> {
+        TerrainSampler {
+            terrain: self,
+            height_octaves: Default::default(),
+            normal_octaves: Default::default(),
+            albedo_broad: NoiseCellCache::new(),
+            albedo_fine: NoiseCellCache::new(),
+        }
+    }
+}
+
+/// Cell-cached view of a [`Terrain`] (see [`Terrain::sampler`]).
+///
+/// Each noise call site gets its own [`NoiseCellCache`] so interleaved
+/// queries (albedo then normal, per pixel) never evict each other.
+#[derive(Debug, Clone)]
+pub struct TerrainSampler<'t> {
+    terrain: &'t Terrain,
+    height_octaves: [NoiseCellCache; 4],
+    normal_octaves: [NoiseCellCache; 4],
+    albedo_broad: NoiseCellCache,
+    albedo_fine: NoiseCellCache,
+}
+
+impl TerrainSampler<'_> {
+    /// Cached [`Terrain::height`].
+    #[inline]
+    pub fn height(&mut self, p: Vec2) -> f64 {
+        if self.terrain.amplitude == 0.0 {
+            return 0.0;
+        }
+        self.terrain.amplitude
+            * fbm_cached(
+                &mut self.height_octaves,
+                self.terrain.seed,
+                p.x / self.terrain.wavelength,
+                p.z / self.terrain.wavelength,
+            )
+    }
+
+    /// Cached [`Terrain::albedo`].
+    #[inline]
+    pub fn albedo(&mut self, p: Vec2) -> f64 {
+        let broad = value_noise_cached(
+            &mut self.albedo_broad,
+            self.terrain.seed ^ 0xA1B2,
+            p.x * 0.15,
+            p.z * 0.15,
+        );
+        let fine = value_noise_cached(
+            &mut self.albedo_fine,
+            self.terrain.seed ^ 0xC3D4,
+            p.x * 3.0,
+            p.z * 3.0,
+        );
+        0.22 + 0.42 * broad + 0.28 * fine
+    }
+
+    /// Cached [`Terrain::normal`]. The four central-difference height
+    /// probes are evaluated octave by octave through
+    /// [`value_noise_cached_cross`]: probes sit `2·eps` apart, so each
+    /// octave almost always pays a single cell check and the probes
+    /// share interpolation subexpressions. Every probe's value and
+    /// per-octave accumulation order match [`Terrain::normal`] exactly,
+    /// so the result is bit-identical.
+    #[inline]
+    pub fn normal(&mut self, p: Vec2) -> Vec3 {
+        let eps = 0.1;
+        let [hx1, hx0, hz1, hz0] = self.normal_probe_heights(p, eps);
+        Vec3::new(-(hx1 - hx0) / (2.0 * eps), 1.0, -(hz1 - hz0) / (2.0 * eps)).normalized()
+    }
+
+    /// Heights at `(x±eps, z)` and `(x, z±eps)`, in that order —
+    /// the same fBm each probe would compute through
+    /// [`Terrain::height`], batched per octave.
+    #[inline]
+    fn normal_probe_heights(&mut self, p: Vec2, eps: f64) -> [f64; 4] {
+        let t = self.terrain;
+        if t.amplitude == 0.0 {
+            return [0.0; 4];
+        }
+        let x1 = (p.x + eps) / t.wavelength;
+        let x0 = (p.x - eps) / t.wavelength;
+        let xc = p.x / t.wavelength;
+        let z1 = (p.z + eps) / t.wavelength;
+        let z0 = (p.z - eps) / t.wavelength;
+        let zc = p.z / t.wavelength;
+        let mut amp = 0.5;
+        let mut freq = 1.0;
+        let mut totals = [0.0f64; 4];
+        let mut norm = 0.0;
+        for (octave, cache) in self.normal_octaves.iter_mut().enumerate() {
+            let vals = value_noise_cached_cross(
+                cache,
+                t.seed.wrapping_add(octave as u64),
+                x1 * freq,
+                x0 * freq,
+                xc * freq,
+                z1 * freq,
+                z0 * freq,
+                zc * freq,
+            );
+            for (total, v) in totals.iter_mut().zip(vals) {
+                *total += amp * v;
+            }
+            norm += amp;
+            amp *= 0.5;
+            freq *= 2.0;
+        }
+        totals.map(|total| t.amplitude * (if norm > 0.0 { total / norm } else { 0.0 }))
     }
 }
 
@@ -158,5 +277,32 @@ mod tests {
         let p = Vec2::new(13.0, 31.0);
         assert_eq!(a.height(p), b.height(p));
         assert_eq!(a.albedo(p), b.albedo(p));
+    }
+
+    #[test]
+    fn sampler_matches_terrain_bit_for_bit() {
+        let t = Terrain::new(42, 8.0, 80.0);
+        let mut s = t.sampler();
+        // A sweep resembling a renderer ground row: slowly drifting
+        // positions with occasional jumps (new rows / bands).
+        for i in 0..500 {
+            let p = if i % 97 == 0 {
+                Vec2::new(i as f64 * 3.7 - 200.0, i as f64 * -1.9)
+            } else {
+                Vec2::new(i as f64 * 0.11, (i as f64 * 0.05).sin() * 30.0)
+            };
+            assert_eq!(s.height(p), t.height(p), "height diverged at {p:?}");
+            assert_eq!(s.albedo(p), t.albedo(p), "albedo diverged at {p:?}");
+            assert_eq!(s.normal(p), t.normal(p), "normal diverged at {p:?}");
+        }
+    }
+
+    #[test]
+    fn sampler_on_flat_terrain() {
+        let t = Terrain::flat();
+        let mut s = t.sampler();
+        let p = Vec2::new(3.0, -4.0);
+        assert_eq!(s.height(p), 0.0);
+        assert_eq!(s.normal(p), Vec3::new(0.0, 1.0, 0.0));
     }
 }
