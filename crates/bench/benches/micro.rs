@@ -11,6 +11,7 @@ use coterie_device::DeviceProfile;
 use coterie_frame::{ssim, LumaFrame};
 use coterie_render::{RenderFilter, RenderOptions, Renderer};
 use coterie_serve::{SharedFrameStore, StoreConfig};
+use coterie_telemetry::{Stage, TelemetryConfig, TelemetrySink, TrackId};
 use coterie_world::{GameId, GameSpec, GridPoint, LeafId, Vec2};
 
 fn bench_ssim(c: &mut Criterion) {
@@ -165,6 +166,43 @@ fn bench_fleet_store(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    // The zero-cost-when-disabled gate. `render_all_256x128` above
+    // already runs the instrumented hot path with the default disabled
+    // sink, so BENCH_render.json tracks any regression against the
+    // pre-telemetry seed; these benches make the overhead directly
+    // visible: the raw no-op call, and the same render with a disabled
+    // vs a recording sink explicitly attached (the disabled variant
+    // must stay within 1 % of `render_all_256x128`).
+    let track = TrackId { pid: 1, tid: 0 };
+    let disabled = TelemetrySink::disabled();
+    c.bench_function("telemetry_noop_span", |bench| {
+        bench.iter(|| {
+            black_box(&disabled).span(track, Stage::Render, "noop", 0.0, 1.0, 0);
+        })
+    });
+    let recording = TelemetrySink::recording(TelemetryConfig::default());
+    c.bench_function("telemetry_recording_span", |bench| {
+        bench.iter(|| {
+            black_box(&recording).span(track, Stage::Render, "hot", 0.0, 1.0, 0);
+        })
+    });
+
+    let spec = GameSpec::for_game(GameId::VikingVillage);
+    let scene = spec.build_scene(7);
+    let eye = scene.eye(scene.bounds().center());
+    let renderer_off =
+        Renderer::new(RenderOptions::default()).with_telemetry(TelemetrySink::disabled());
+    c.bench_function("render_all_256x128_sink_disabled", |bench| {
+        bench.iter(|| renderer_off.render_panorama(black_box(&scene), eye, RenderFilter::All))
+    });
+    let renderer_on = Renderer::new(RenderOptions::default())
+        .with_telemetry(TelemetrySink::recording(TelemetryConfig::default()));
+    c.bench_function("render_all_256x128_sink_recording", |bench| {
+        bench.iter(|| renderer_on.render_panorama(black_box(&scene), eye, RenderFilter::All))
+    });
+}
+
 criterion_group!(
     benches,
     bench_ssim,
@@ -172,6 +210,7 @@ criterion_group!(
     bench_render,
     bench_cache,
     bench_cutoff,
-    bench_fleet_store
+    bench_fleet_store,
+    bench_telemetry
 );
 criterion_main!(benches);

@@ -1,10 +1,12 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--seed N] [--rooms N] [--players N] [--net SCENARIO] <name>...
+//! experiments [--quick] [--seed N] [--rooms N] [--players N] [--net SCENARIO]
+//!             [--trace FILE] <name>...
 //! experiments all
 //! experiments fleet --rooms 256 --players 2
 //! experiments fleet --rooms 2 --players 2 --net burst-loss
+//! experiments fleet --trace trace.json
 //! ```
 //!
 //! Names: table1 table2 table3 table4 table5 table6 table7 table8 table9
@@ -12,12 +14,18 @@
 //! bench-json
 //!
 //! `bench-json` times the render/SSIM hot kernels and writes the medians
-//! to `BENCH_render.json` (the committed perf trajectory); it is not part
-//! of `all`.
+//! to `BENCH_render.json`, plus the fleet headline numbers (tail FPS,
+//! store hit ratio, egress) to `BENCH_fleet.json` (the committed perf
+//! trajectory); it is not part of `all`.
 //!
 //! `--rooms`/`--players`/`--net` size the `fleet` experiment only.
 //! `--net` selects the FI fault scenario (`none`, `wifi`, `burst-loss`,
 //! `latency-spikes`, `relay-outage`; default `none` = lossless).
+//! `--trace FILE` additionally runs the shared fleet with budget
+//! attribution enabled and writes a Chrome `trace_event` JSON (load in
+//! Perfetto or `chrome://tracing`); the export is validated — it must
+//! parse and every frame slice's stage decomposition must recombine to
+//! its duration within 1 % — before `trace ok` is printed.
 
 use coterie_bench::{
     ablation, cache_exp, cutoff_exp, fleet_exp, kernel_bench, similarity, system_exp, ExpConfig,
@@ -54,6 +62,7 @@ struct FleetArgs {
     rooms: usize,
     players: usize,
     net: NetScenario,
+    trace: Option<String>,
 }
 
 fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<String, String> {
@@ -86,16 +95,55 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
                 ablation::ablation_lookup_criteria(config)
             ) + &format!("\n{}", ablation::ablation_panoramic(config))
         }
-        "fleet" => fleet_exp::fleet(config, fleet_args.rooms, fleet_args.players, fleet_args.net)
-            .0
-            .to_string(),
+        "fleet" => {
+            let (report, shared, _isolated, trace_json) = fleet_exp::fleet_traced(
+                config,
+                fleet_args.rooms,
+                fleet_args.players,
+                fleet_args.net,
+                fleet_args.trace.is_some(),
+            );
+            let mut out = report.to_string();
+            if let (Some(path), Some(json)) = (&fleet_args.trace, &trace_json) {
+                std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+                let check = coterie_telemetry::validate_chrome_trace(json)
+                    .map_err(|e| format!("trace validation failed: {e}"))?;
+                let frames = shared
+                    .metrics
+                    .telemetry
+                    .as_ref()
+                    .map(|t| t.frames)
+                    .unwrap_or(0);
+                out.push_str(&format!(
+                    "\ntrace ok: {} events, {} frame slices ({} frames attributed), \
+                     max attribution error {:.4}%, wrote {path}",
+                    check.events,
+                    check.frames,
+                    frames,
+                    check.max_rel_err * 100.0,
+                ));
+            }
+            out
+        }
         "bench-json" => {
             let samples = if config.quick { 5 } else { 21 };
             let timings = kernel_bench::run(samples);
             let json = kernel_bench::to_json(&timings);
             std::fs::write("BENCH_render.json", &json)
                 .map_err(|e| format!("writing BENCH_render.json: {e}"))?;
-            format!("wrote BENCH_render.json\n{json}")
+            // Fleet headline numbers ride along: the shared-store run at
+            // the fixed --rooms/--players/--net configuration.
+            let shared =
+                fleet_exp::fleet(config, fleet_args.rooms, fleet_args.players, fleet_args.net).1;
+            let fleet_json = fleet_exp::fleet_bench_json(
+                &shared.metrics,
+                fleet_args.rooms,
+                fleet_args.players,
+                fleet_args.net,
+            );
+            std::fs::write("BENCH_fleet.json", &fleet_json)
+                .map_err(|e| format!("writing BENCH_fleet.json: {e}"))?;
+            format!("wrote BENCH_render.json\n{json}\nwrote BENCH_fleet.json\n{fleet_json}")
         }
         other => return Err(format!("unknown experiment '{other}'")),
     };
@@ -109,6 +157,7 @@ fn main() {
         rooms: 8,
         players: 2,
         net: NetScenario::None,
+        trace: None,
     };
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
@@ -131,6 +180,14 @@ fn main() {
             "--players" => {
                 fleet_args.players = parse_usize("--players", iter.next());
             }
+            "--trace" => {
+                let v = iter.next().unwrap_or_default();
+                if v.is_empty() {
+                    eprintln!("--trace needs an output file path");
+                    std::process::exit(2);
+                }
+                fleet_args.trace = Some(v);
+            }
             "--net" => {
                 let v = iter.next().unwrap_or_default();
                 fleet_args.net = NetScenario::parse(&v).unwrap_or_else(|| {
@@ -142,7 +199,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [--seed N] [--rooms N] [--players N] \
-                     [--net SCENARIO] <name>...|all"
+                     [--net SCENARIO] [--trace FILE] <name>...|all"
                 );
                 eprintln!("experiments: {} bench-json", ALL.join(" "));
                 let names: Vec<&str> = NetScenario::ALL.iter().map(NetScenario::name).collect();

@@ -13,6 +13,7 @@ use crate::report::{f, pct, Report};
 use crate::ExpConfig;
 use coterie_net::NetScenario;
 use coterie_serve::{Fleet, FleetConfig, FleetReport};
+use coterie_telemetry::{chrome_trace_json, TelemetryConfig, TelemetrySink};
 use coterie_world::GameId;
 
 /// Builds the fleet configuration for the experiment.
@@ -54,8 +55,41 @@ pub fn fleet(
     players: usize,
     net: NetScenario,
 ) -> (Report, FleetReport, FleetReport) {
-    let shared = Fleet::new(fleet_config(config, rooms, players, true, net)).run();
+    let (report, shared, isolated, _) = fleet_traced(config, rooms, players, net, false);
+    (report, shared, isolated)
+}
+
+/// [`fleet`] with optional budget-attribution tracing of the *shared*
+/// run. When `trace` is set the shared fleet runs with a recording
+/// [`TelemetrySink`]; the returned string is the Chrome `trace_event`
+/// JSON export (loadable in Perfetto / `chrome://tracing`) and the
+/// report gains a telemetry note. Telemetry is observation-only, so the
+/// comparison table is byte-identical either way.
+pub fn fleet_traced(
+    config: &ExpConfig,
+    rooms: usize,
+    players: usize,
+    net: NetScenario,
+    trace: bool,
+) -> (Report, FleetReport, FleetReport, Option<String>) {
+    let sink = if trace {
+        TelemetrySink::recording(TelemetryConfig::default())
+    } else {
+        TelemetrySink::disabled()
+    };
+    let shared = Fleet::new_with_telemetry(
+        fleet_config(config, rooms, players, true, net),
+        sink.clone(),
+    )
+    .run();
     let isolated = Fleet::new(fleet_config(config, rooms, players, false, net)).run();
+    let trace_json = sink.is_enabled().then(|| {
+        chrome_trace_json(
+            &sink.spans_snapshot(),
+            &sink.frames_snapshot(),
+            sink.budget_ms(),
+        )
+    });
 
     let mut report = Report::new("Fleet: shared vs isolated cross-session frame store");
     report.note(format!(
@@ -111,7 +145,34 @@ pub fn fleet(
             ));
         }
     }
-    (report, shared, isolated)
+    if let Some(t) = &shared.metrics.telemetry {
+        report.note(format!(
+            "telemetry shared: {} frames attributed, {} over the {} ms budget ({})",
+            t.frames,
+            t.over_budget,
+            f(t.budget_ms, 1),
+            pct(t.over_budget_ratio()),
+        ));
+    }
+    (report, shared, isolated, trace_json)
+}
+
+/// Renders the shared-store fleet headline numbers as the committed
+/// `BENCH_fleet.json` document (the fleet-level companion of
+/// `BENCH_render.json`): tail FPS percentiles, store hit ratio and
+/// shipped egress for a fixed rooms/players/net configuration.
+pub fn fleet_bench_json(
+    metrics: &coterie_serve::FleetMetrics,
+    rooms: usize,
+    players: usize,
+    net: NetScenario,
+) -> String {
+    format!(
+        "{{\n  \"config\": {{ \"rooms\": {rooms}, \"players\": {players}, \"net\": \"{net}\" }},\n  \
+         \"fleet\": {{\n    \"fps_p50\": {:.4},\n    \"fps_p95\": {:.4},\n    \"fps_p99\": {:.4},\n    \
+         \"store_hit_ratio\": {:.6},\n    \"egress_mbps\": {:.4}\n  }}\n}}\n",
+        metrics.fps_p50, metrics.fps_p95, metrics.fps_p99, metrics.store_hit_ratio, metrics.egress_mbps
+    )
 }
 
 #[cfg(test)]
@@ -137,6 +198,57 @@ mod tests {
         let a = fleet(&config, 2, 2, NetScenario::None).0;
         let b = fleet(&config, 2, 2, NetScenario::None).0;
         assert_eq!(format!("{a}"), format!("{b}"));
+    }
+
+    #[test]
+    fn traced_fleet_exports_valid_chrome_trace() {
+        let config = ExpConfig::quick();
+        let (report, shared, _, trace_json) = fleet_traced(&config, 1, 2, NetScenario::None, true);
+        let json = trace_json.expect("traced run exports JSON");
+        let check = coterie_telemetry::validate_chrome_trace(&json).expect("trace validates");
+        assert!(check.events > 0);
+        assert!(check.frames > 0);
+        assert!(check.max_rel_err <= 0.01, "err {}", check.max_rel_err);
+        let summary = shared.metrics.telemetry.expect("traced metrics summarize");
+        assert!(summary.frames > 0);
+        assert!(format!("{report}").contains("telemetry shared"));
+        // The comparison table itself is unchanged by tracing.
+        let untraced = fleet(&config, 1, 2, NetScenario::None).0;
+        let strip_notes = |r: String| -> String {
+            r.lines()
+                .filter(|l| !l.contains("telemetry shared"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip_notes(format!("{report}")),
+            strip_notes(format!("{untraced}"))
+        );
+    }
+
+    #[test]
+    fn fleet_bench_json_is_well_formed() {
+        let config = ExpConfig::quick();
+        let (_, shared, _) = fleet(&config, 1, 2, NetScenario::None);
+        let json = fleet_bench_json(&shared.metrics, 1, 2, NetScenario::None);
+        let doc = coterie_telemetry::parse_json(&json).expect("valid JSON");
+        let fleet = doc.get("fleet").expect("fleet object");
+        for key in [
+            "fps_p50",
+            "fps_p95",
+            "fps_p99",
+            "store_hit_ratio",
+            "egress_mbps",
+        ] {
+            let v = fleet.get(key).and_then(|v| v.as_f64()).expect(key);
+            assert!(v.is_finite(), "{key} = {v}");
+        }
+        assert_eq!(
+            doc.get("config")
+                .and_then(|c| c.get("rooms"))
+                .and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
     }
 
     #[test]

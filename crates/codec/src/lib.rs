@@ -131,6 +131,59 @@ impl Encoder {
         self.quality
     }
 
+    /// [`Encoder::encode`] wrapped in a telemetry span on the caller's
+    /// lane (wall-clock duration — encoding is real compute). A
+    /// disabled sink adds one branch.
+    pub fn encode_traced(
+        &self,
+        frame: &LumaFrame,
+        sink: &coterie_telemetry::TelemetrySink,
+        track: coterie_telemetry::TrackId,
+        frame_no: u64,
+    ) -> EncodedFrame {
+        let started = sink.is_enabled().then(std::time::Instant::now);
+        let encoded = self.encode(frame);
+        if let Some(t0) = started {
+            sink.span(
+                track,
+                coterie_telemetry::Stage::Encode,
+                "encode",
+                sink.now_ms(),
+                t0.elapsed().as_secs_f64() * 1000.0,
+                frame_no,
+            );
+        }
+        encoded
+    }
+
+    /// [`Encoder::decode`] wrapped in a telemetry span on the caller's
+    /// lane (wall-clock duration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] if the payload is truncated or malformed.
+    pub fn decode_traced(
+        &self,
+        encoded: &EncodedFrame,
+        sink: &coterie_telemetry::TelemetrySink,
+        track: coterie_telemetry::TrackId,
+        frame_no: u64,
+    ) -> Result<LumaFrame, CodecError> {
+        let started = sink.is_enabled().then(std::time::Instant::now);
+        let decoded = self.decode(encoded);
+        if let Some(t0) = started {
+            sink.span(
+                track,
+                coterie_telemetry::Stage::Decode,
+                "decode",
+                sink.now_ms(),
+                t0.elapsed().as_secs_f64() * 1000.0,
+                frame_no,
+            );
+        }
+        decoded
+    }
+
     /// Encodes a luma frame.
     pub fn encode(&self, frame: &LumaFrame) -> EncodedFrame {
         let w = frame.width();

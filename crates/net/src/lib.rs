@@ -136,6 +136,31 @@ impl SharedLink {
         }
     }
 
+    /// [`SharedLink::transfer`] plus a telemetry span covering the
+    /// whole wait (queueing, transmission, base latency) on the
+    /// caller's lane, in simulated time. The link itself cannot own a
+    /// sink — it is part of the serialized, comparable session state —
+    /// so the sink rides in per call. A disabled sink adds one branch.
+    pub fn transfer_traced(
+        &mut self,
+        now_ms: f64,
+        bytes: u64,
+        sink: &coterie_telemetry::TelemetrySink,
+        track: coterie_telemetry::TrackId,
+        frame_no: u64,
+    ) -> Transfer {
+        let t = self.transfer(now_ms, bytes);
+        sink.span(
+            track,
+            coterie_telemetry::Stage::Net,
+            "transfer",
+            now_ms,
+            t.latency_ms(now_ms),
+            frame_no,
+        );
+        t
+    }
+
     /// When the medium next becomes free, ms.
     pub fn busy_until_ms(&self) -> f64 {
         self.busy_until_ms

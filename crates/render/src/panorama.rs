@@ -27,6 +27,7 @@
 
 use coterie_frame::LumaFrame;
 use coterie_parallel::par_for_each;
+use coterie_telemetry::{Stage, TelemetrySink, TrackId, KERNEL_PID};
 use coterie_world::noise::{value_noise, value_noise_cached, NoiseCellCache};
 use coterie_world::{ObjectKind, Scene, SceneObject, Terrain, Vec3};
 use serde::{Deserialize, Serialize};
@@ -262,6 +263,9 @@ pub struct Renderer {
     workers: usize,
     /// Lazily built trig tables, shared across clones of this renderer.
     tables: OnceLock<Arc<TrigTables>>,
+    /// Telemetry sink for per-band render spans; disabled (a single
+    /// branch per band) unless installed with [`Renderer::with_telemetry`].
+    telemetry: TelemetrySink,
 }
 
 impl Renderer {
@@ -271,7 +275,16 @@ impl Renderer {
             opts,
             workers: 1,
             tables: OnceLock::new(),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Installs a telemetry sink: each rendered band emits one span on
+    /// the kernel lane (wall-clock duration — bands are real compute,
+    /// not simulated time).
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
     }
 
     /// Sets the band-parallel worker count. The panorama is split into
@@ -390,6 +403,7 @@ impl Renderer {
             }
         }
         par_for_each(bands, |mut band| {
+            let started = self.telemetry.is_enabled().then(std::time::Instant::now);
             self.paint_background_band(scene, eye, filter, &tables, &mut band);
             let band_end = (band.y0 + band.rows) as i64;
             for job in &jobs {
@@ -397,6 +411,19 @@ impl Renderer {
                     continue;
                 }
                 self.paint_object_band(job, &tables, &mut band);
+            }
+            if let Some(t0) = started {
+                self.telemetry.span(
+                    TrackId {
+                        pid: KERNEL_PID,
+                        tid: (band.y0 / rows_per_band) as u32,
+                    },
+                    Stage::Render,
+                    "render-band",
+                    self.telemetry.now_ms(),
+                    t0.elapsed().as_secs_f64() * 1000.0,
+                    0,
+                );
             }
         });
         Panorama { frame, mask }

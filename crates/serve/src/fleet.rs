@@ -17,6 +17,7 @@ use crate::store::{SharedFrameStore, StoreConfig, StoreStats};
 use coterie_net::{FleetEgress, NetScenario};
 use coterie_parallel::par_map_ws;
 use coterie_sim::{SessionConfig, SystemKind};
+use coterie_telemetry::{Stage, TelemetrySink, TrackId, FLEET_PID};
 use coterie_world::GameId;
 
 /// Fleet composition and resource provisioning.
@@ -88,6 +89,11 @@ pub struct FleetReport {
     pub store_stats: StoreStats,
 }
 
+/// Trace lane (tid, under [`FLEET_PID`]) of the pre-render farm's
+/// epoch-drain spans, clearly apart from the per-room tick lanes
+/// (tid = room id).
+const FARM_TID: u32 = 10_000;
+
 /// The fleet runtime.
 pub struct Fleet {
     config: FleetConfig,
@@ -95,6 +101,7 @@ pub struct Fleet {
     stores: Vec<SharedFrameStore>,
     egress: FleetEgress,
     farm: PrerenderFarm,
+    telemetry: TelemetrySink,
 }
 
 impl Fleet {
@@ -106,6 +113,20 @@ impl Fleet {
     /// Panics if the config has no rooms, no games, a non-positive
     /// duration or a zero store budget.
     pub fn new(config: FleetConfig) -> Self {
+        Fleet::new_with_telemetry(config, TelemetrySink::disabled())
+    }
+
+    /// [`Fleet::new`] with an observation-only telemetry sink shared by
+    /// every room: each displayed frame is attributed to its pipeline
+    /// stages, the epoch loop and pre-render farm get their own spans,
+    /// and [`FleetMetrics::telemetry`] carries the fleet-wide summary.
+    /// With a disabled sink this is [`Fleet::new`] exactly — the run and
+    /// its report are byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Fleet::new`].
+    pub fn new_with_telemetry(config: FleetConfig, telemetry: TelemetrySink) -> Self {
         assert!(config.rooms > 0, "fleet needs at least one room");
         assert!(!config.games.is_empty(), "fleet needs at least one game");
         assert!(config.duration_s > 0.0, "duration must be positive");
@@ -135,9 +156,12 @@ impl Fleet {
         // order, so parallelism cannot perturb room identity.
         let rooms: Vec<Room> = {
             let queue_depth = config.queue_depth;
+            let sink = telemetry.clone();
             let indexed: Vec<(usize, SessionConfig)> =
                 session_configs.into_iter().enumerate().collect();
-            par_map_ws(&indexed, |(id, cfg)| Room::new(*id, *cfg, queue_depth))
+            par_map_ws(&indexed, |(id, cfg)| {
+                Room::new_with_telemetry(*id, *cfg, queue_depth, sink.clone())
+            })
         };
         let stores = if config.shared_store {
             vec![SharedFrameStore::new(StoreConfig {
@@ -161,6 +185,7 @@ impl Fleet {
             stores,
             egress,
             farm: PrerenderFarm::new(),
+            telemetry,
         }
     }
 
@@ -169,14 +194,22 @@ impl Fleet {
         &self.config
     }
 
+    /// The fleet's telemetry sink (disabled unless the fleet was built
+    /// with [`Fleet::new_with_telemetry`]).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
     /// Runs every room to completion and aggregates the report.
     pub fn run(mut self) -> FleetReport {
         let epoch_ms = self.config.epoch_ms.max(1.0);
         let mut epoch = 0u64;
         while self.rooms.iter().any(|r| !r.finished()) {
+            let start = epoch as f64 * epoch_ms;
             let end = (epoch + 1) as f64 * epoch_ms;
             for (i, room) in self.rooms.iter_mut().enumerate() {
                 let store_idx = if self.config.shared_store { 0 } else { i };
+                let tick_started = self.telemetry.is_enabled().then(std::time::Instant::now);
                 room.tick(
                     end,
                     &self.stores[store_idx],
@@ -184,10 +217,37 @@ impl Fleet {
                     &mut self.egress,
                     &mut self.farm,
                 );
+                if let Some(t0) = tick_started {
+                    self.telemetry.span(
+                        TrackId {
+                            pid: FLEET_PID,
+                            tid: i as u32,
+                        },
+                        Stage::Tick,
+                        "room-tick",
+                        start,
+                        t0.elapsed().as_secs_f64() * 1000.0,
+                        epoch,
+                    );
+                }
             }
             // Epoch boundary: speculative renders land, controllers run.
             let store_refs: Vec<&SharedFrameStore> = self.stores.iter().collect();
+            let drain_started = self.telemetry.is_enabled().then(std::time::Instant::now);
             self.farm.drain_into(&store_refs);
+            if let Some(t0) = drain_started {
+                self.telemetry.span(
+                    TrackId {
+                        pid: FLEET_PID,
+                        tid: FARM_TID,
+                    },
+                    Stage::Farm,
+                    "farm-drain",
+                    end,
+                    t0.elapsed().as_secs_f64() * 1000.0,
+                    epoch,
+                );
+            }
             for room in &mut self.rooms {
                 room.end_epoch();
             }
@@ -205,8 +265,11 @@ impl Fleet {
                     duplicates: a.duplicates + b.duplicates,
                     evictions: a.evictions + b.evictions,
                 });
-        let metrics =
+        let mut metrics =
             FleetMetrics::from_run(&reports, store_stats, &self.farm, self.config.duration_s);
+        // Budget-attribution summary — `None` when the sink is disabled,
+        // keeping the default report (and its Display) bit-identical.
+        metrics.telemetry = self.telemetry.summary();
         FleetReport {
             metrics,
             rooms: reports,
@@ -301,6 +364,64 @@ mod tests {
             !shown.contains("\n  fi "),
             "lossless reports stay as before"
         );
+    }
+
+    #[test]
+    fn telemetry_is_observation_only() {
+        // The golden determinism guard: a `--net none` fleet report must
+        // be byte-identical with telemetry enabled vs disabled once the
+        // (None vs Some) telemetry fields themselves are stripped.
+        use coterie_telemetry::{TelemetryConfig, TelemetrySink};
+        let plain = Fleet::new(tiny(2, true)).run();
+        let sink = TelemetrySink::recording(TelemetryConfig::default());
+        let mut traced = Fleet::new_with_telemetry(tiny(2, true), sink.clone()).run();
+
+        let summary = traced
+            .metrics
+            .telemetry
+            .take()
+            .expect("traced run summarizes");
+        assert!(summary.frames > 0, "rooms must attribute frames");
+        assert!(summary.spans_recorded > 0, "pipeline must emit spans");
+        for room in &mut traced.rooms {
+            let stats = room.telemetry.take().expect("traced rooms carry stats");
+            assert!(stats.frames > 0);
+        }
+        assert_eq!(plain.metrics, traced.metrics);
+        assert_eq!(plain.store_stats, traced.store_stats);
+        assert_eq!(format!("{}", plain.metrics), format!("{}", traced.metrics));
+        for (a, b) in plain.rooms.iter().zip(&traced.rooms) {
+            assert_eq!(a.session, b.session, "room {} diverged", a.id);
+            assert_eq!(a.store_hits, b.store_hits);
+            assert_eq!(a.store_misses, b.store_misses);
+            assert_eq!(a.shipped_bytes, b.shipped_bytes);
+        }
+        assert!(plain.metrics.telemetry.is_none(), "untraced stays None");
+
+        // The traced run's spans cover every instrumented subsystem.
+        let spans = sink.spans_snapshot();
+        for name in ["room-tick", "farm-drain", "transfer", "render-band"] {
+            assert!(
+                spans.iter().any(|s| s.name == name),
+                "missing {name} spans in {} recorded",
+                spans.len()
+            );
+        }
+        assert!(
+            spans.iter().any(|s| s.name.starts_with("store-")),
+            "missing store lookup spans"
+        );
+    }
+
+    #[test]
+    fn traced_summary_lands_in_display() {
+        use coterie_telemetry::{TelemetryConfig, TelemetrySink};
+        let sink = TelemetrySink::recording(TelemetryConfig::default());
+        let report = Fleet::new_with_telemetry(tiny(1, true), sink).run();
+        let shown = format!("{}", report.metrics);
+        assert!(shown.contains("telemetry: "), "summary block: {shown}");
+        assert!(shown.contains("  render "), "stage table: {shown}");
+        assert!(shown.contains("  worst: "), "drilldown: {shown}");
     }
 
     #[test]

@@ -27,6 +27,13 @@
 //! * [`FleetMetrics`] reports tail FPS (p50/p95/p99 across rooms),
 //!   store hit ratio, shipped bandwidth, pre-render GPU-hours and peak
 //!   device temperature.
+//! * Observability: [`Fleet::new_with_telemetry`] threads a
+//!   `coterie_telemetry::TelemetrySink` through every room, attributing
+//!   each displayed frame to its pipeline stages against the 16.7 ms
+//!   budget; [`FleetMetrics::telemetry`] carries the fleet-wide summary
+//!   and the sink's snapshots export as a Chrome trace. Telemetry is
+//!   observation-only — untraced runs are byte-identical to builds
+//!   without it.
 //! * The FI fault plane: [`FleetConfig::net`] selects a
 //!   [`coterie_net::NetScenario`] (burst loss, latency spikes, relay
 //!   outage) applied to every room's per-player FI channel, and the

@@ -8,6 +8,7 @@
 use crate::farm::PrerenderFarm;
 use crate::room::RoomReport;
 use crate::store::StoreStats;
+use coterie_telemetry::TelemetrySummary;
 use std::fmt;
 
 /// Aggregated fleet outcome.
@@ -55,6 +56,11 @@ pub struct FleetMetrics {
     pub desync_p95_m: f64,
     /// Worst room's p99 dead-reckoned avatar position error, meters.
     pub desync_p99_m: f64,
+    /// Fleet-wide per-frame budget attribution (stage p50/p95/p99,
+    /// over-budget frame count, worst-frame drilldown). `None` when the
+    /// fleet ran without a telemetry sink — the default — keeping the
+    /// untraced report byte-identical to pre-telemetry builds.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 /// `p`-th percentile (0–100) of `samples` under linear interpolation
@@ -68,6 +74,11 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
 impl FleetMetrics {
     /// Assembles the metrics from per-room reports and the fleet's
     /// shared accounting objects.
+    ///
+    /// An empty `reports` slice (a zero-room fleet — only reachable
+    /// through this API, since [`crate::Fleet::new`] rejects it) yields
+    /// the documented all-zero sentinel: every field is finite, counts
+    /// are 0 and `telemetry` is `None`; nothing divides by zero.
     pub fn from_run(
         reports: &[RoomReport],
         store_stats: StoreStats,
@@ -123,6 +134,7 @@ impl FleetMetrics {
                 .iter()
                 .map(|r| r.session.fi.desync_p99_m)
                 .fold(0.0, f64::max),
+            telemetry: None,
         }
     }
 }
@@ -165,6 +177,11 @@ impl fmt::Display for FleetMetrics {
                 self.fi_max_staleness_ms, self.desync_p95_m, self.desync_p99_m
             )?;
         }
+        // Only traced runs print attribution lines, keeping untraced
+        // reports byte-identical to pre-telemetry builds.
+        if let Some(t) = &self.telemetry {
+            writeln!(f, "{t}")?;
+        }
         Ok(())
     }
 }
@@ -198,5 +215,42 @@ mod tests {
         // The old implementation panicked on NaN via partial_cmp.
         let samples = [2.0, f64::NAN, 1.0];
         assert_eq!(percentile(&samples, 0.0), 1.0);
+    }
+
+    #[test]
+    fn zero_room_fleet_yields_finite_sentinel() {
+        // A zero-room fleet (reachable only through this API — the
+        // Fleet constructor rejects it) must produce the documented
+        // all-zero sentinel with no inf/NaN from empty reductions.
+        let m = FleetMetrics::from_run(&[], StoreStats::default(), &PrerenderFarm::new(), 10.0);
+        assert_eq!(m.rooms, 0);
+        assert_eq!(m.players, 0);
+        for v in [
+            m.fps_p50,
+            m.fps_p95,
+            m.fps_p99,
+            m.store_hit_ratio,
+            m.egress_mbps,
+            m.prerender_gpu_hours,
+            m.peak_temperature_c,
+            m.fi_max_staleness_ms,
+            m.desync_p95_m,
+            m.desync_p99_m,
+        ] {
+            assert!(v.is_finite());
+            assert_eq!(v, 0.0);
+        }
+        assert!(m.telemetry.is_none());
+        // The Display never divides by zero either.
+        let shown = format!("{m}");
+        assert!(shown.contains("fleet: 0 rooms x 0 players"));
+        assert!(!shown.contains("NaN") && !shown.contains("inf"));
+    }
+
+    #[test]
+    fn zero_duration_fleet_reports_zero_egress() {
+        let m = FleetMetrics::from_run(&[], StoreStats::default(), &PrerenderFarm::new(), 0.0);
+        assert_eq!(m.egress_mbps, 0.0);
+        assert!(m.egress_mbps.is_finite());
     }
 }

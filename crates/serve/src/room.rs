@@ -14,6 +14,7 @@ use coterie_core::{CacheQuery, FrameMeta};
 use coterie_device::FRAME_BUDGET_MS;
 use coterie_net::FleetEgress;
 use coterie_sim::{SessionConfig, SessionReport, SessionSim};
+use coterie_telemetry::{room_pid, FrameStats, Stage, TelemetrySink, TrackId};
 use coterie_world::GameId;
 
 /// Smoothing factor of the critical-path EMA (per frame).
@@ -25,6 +26,10 @@ const RECOVER_AFTER_EPOCHS: u32 = 4;
 /// Multiplicative quality decrease / recovery steps.
 const DEGRADE_STEP: f64 = 0.75;
 const RECOVER_STEP: f64 = 1.15;
+/// Trace lane (tid) of a room's fleet-side service spans — store
+/// lookups and far-BE transfers — kept clearly apart from the
+/// per-player frame lanes (tid = player index).
+const SERVICE_TID: u32 = 9_999;
 
 /// Per-room outcome of a fleet run.
 #[derive(Debug, Clone)]
@@ -53,6 +58,10 @@ pub struct RoomReport {
     pub inline_gpu_ms: f64,
     /// Far-BE bytes actually shipped to this room's clients.
     pub shipped_bytes: u64,
+    /// Per-frame budget attribution totals (`None` when the fleet ran
+    /// without a telemetry sink — the default, and the configuration
+    /// golden reports are recorded under).
+    pub telemetry: Option<FrameStats>,
 }
 
 impl RoomReport {
@@ -90,6 +99,7 @@ pub struct Room {
     degradations: u64,
     inline_gpu_ms: f64,
     shipped_bytes: u64,
+    telemetry: TelemetrySink,
 }
 
 impl Room {
@@ -103,6 +113,23 @@ impl Room {
     /// Panics if `queue_depth` is zero — a room must be able to issue at
     /// least one prefetch per epoch.
     pub fn new(id: usize, config: SessionConfig, queue_depth: usize) -> Self {
+        Room::new_with_telemetry(id, config, queue_depth, TelemetrySink::disabled())
+    }
+
+    /// [`Room::new`] with an observation-only telemetry sink: the
+    /// wrapped session attributes every displayed frame to `sink`, and
+    /// the room adds store-lookup and farm spans on its own trace lane.
+    /// With a disabled sink this is [`Room::new`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_depth` is zero.
+    pub fn new_with_telemetry(
+        id: usize,
+        config: SessionConfig,
+        queue_depth: usize,
+        telemetry: TelemetrySink,
+    ) -> Self {
         assert!(
             queue_depth > 0,
             "rooms need a prefetch queue depth of at least 1"
@@ -111,7 +138,7 @@ impl Room {
         Room {
             id,
             game,
-            sim: SessionSim::new(config),
+            sim: SessionSim::new_with_telemetry(config, telemetry.clone(), id as u32),
             queue_depth,
             queued_this_epoch: 0,
             ema_critical_ms: 0.0,
@@ -124,6 +151,7 @@ impl Room {
             degradations: 0,
             inline_gpu_ms: 0.0,
             shipped_bytes: 0,
+            telemetry,
         }
     }
 
@@ -176,6 +204,13 @@ impl Room {
         let mut inline_gpu_ms = 0.0f64;
         let mut shipped_bytes = 0u64;
         let mut ema = self.ema_critical_ms;
+        let telemetry = self.telemetry.clone();
+        // Room-level service spans (store lookups, far-BE transfers)
+        // get their own trace lane next to the per-player frame lanes.
+        let track = TrackId {
+            pid: room_pid(self.id as u32),
+            tid: SERVICE_TID,
+        };
 
         let mut fetch = |link: &mut coterie_net::SharedLink,
                          req: coterie_sim::FarRequest|
@@ -204,7 +239,19 @@ impl Room {
                 // points are about to be requested (duplicates are
                 // deduped at drain time, so this is cheap).
                 farm.enqueue_neighbors(store_idx, game, meta, req.bytes, req.dist_thresh);
-                if store.lookup(game, &query) {
+                let lookup_started = telemetry.is_enabled().then(std::time::Instant::now);
+                let hit = store.lookup(game, &query);
+                if let Some(t0) = lookup_started {
+                    telemetry.span(
+                        track,
+                        Stage::Store,
+                        if hit { "store-hit" } else { "store-miss" },
+                        req.now_ms,
+                        t0.elapsed().as_secs_f64() * 1000.0,
+                        0,
+                    );
+                }
+                if hit {
                     store_hits += 1;
                     0.0 // pre-rendered: transfer only
                 } else {
@@ -233,7 +280,7 @@ impl Room {
                 shrunk
             };
             shipped_bytes += bytes;
-            let tx = link.transfer(req.now_ms + render_ms, bytes);
+            let tx = link.transfer_traced(req.now_ms + render_ms, bytes, &telemetry, track, 0);
             coterie_sim::FarResponse {
                 bytes,
                 completed_at_ms: tx.completed_at_ms,
@@ -241,6 +288,9 @@ impl Room {
         };
 
         while !self.sim.finished() && self.sim.now_ms() < epoch_end_ms {
+            // Pin the sink's clock to simulated time so wall-clock spans
+            // (render bands, codec work) land at coherent trace offsets.
+            self.telemetry.set_time_ms(self.sim.now_ms());
             let Some(event) = self.sim.step_with(&mut fetch) else {
                 break;
             };
@@ -297,6 +347,7 @@ impl Room {
     /// bundles the fleet-side counters.
     pub fn finish(self) -> RoomReport {
         let final_quality_scale = self.sim.quality_scale();
+        let telemetry = self.sim.telemetry_stats();
         RoomReport {
             id: self.id,
             game: self.game,
@@ -309,6 +360,7 @@ impl Room {
             final_quality_scale,
             inline_gpu_ms: self.inline_gpu_ms,
             shipped_bytes: self.shipped_bytes,
+            telemetry,
         }
     }
 }

@@ -55,7 +55,10 @@ impl PlayerMetrics {
         out
     }
 
-    /// All-zero metrics.
+    /// All-zero metrics — also the documented sentinel for a player
+    /// that displayed no frames: every field is finite (no `1000/0`
+    /// FPS artifacts), and downstream percentile/mean reductions treat
+    /// the zeros like any other sample.
     pub fn zero() -> PlayerMetrics {
         PlayerMetrics {
             avg_fps: 0.0,

@@ -9,6 +9,7 @@
 use coterie_codec::{EncodedFrame, Encoder, Quality, SizeModel};
 use coterie_frame::LumaFrame;
 use coterie_render::{FovOptions, Panorama, RenderFilter, Renderer};
+use coterie_telemetry::{TelemetrySink, TrackId};
 use coterie_world::{Scene, SceneObject, Vec2};
 
 /// A rendered-and-encoded frame plus its 4K-equivalent transfer size.
@@ -41,6 +42,10 @@ pub struct RenderServer<'a> {
     /// low-resolution crop smooths away.
     fov_size_model: SizeModel,
     fov: FovOptions,
+    /// Telemetry sink for encode/decode spans; disabled by default.
+    telemetry: TelemetrySink,
+    /// Trace lane the codec spans land on.
+    telemetry_track: TrackId,
 }
 
 impl<'a> RenderServer<'a> {
@@ -64,7 +69,16 @@ impl<'a> RenderServer<'a> {
                 h264_efficiency: 3.0,
             },
             fov: FovOptions::default(),
+            telemetry: TelemetrySink::disabled(),
+            telemetry_track: TrackId { pid: 0, tid: 0 },
         }
+    }
+
+    /// Routes encode/decode spans to `sink` on trace lane `track`.
+    pub fn with_telemetry(mut self, sink: TelemetrySink, track: TrackId) -> Self {
+        self.telemetry = sink;
+        self.telemetry_track = track;
+        self
     }
 
     /// The scene being served.
@@ -112,7 +126,9 @@ impl<'a> RenderServer<'a> {
             avatars,
         );
         let view = self.fov.crop(&pano.frame, yaw, 0.0);
-        let encoded = self.encoder.encode(&view);
+        let encoded = self
+            .encoder
+            .encode_traced(&view, &self.telemetry, self.telemetry_track, 0);
         let transfer_bytes = self.fov_size_model.scaled_bytes(&encoded);
         ServedFrame {
             encoded,
@@ -128,12 +144,14 @@ impl<'a> RenderServer<'a> {
     /// produced by this server.
     pub fn decode(&self, frame: &ServedFrame) -> LumaFrame {
         self.encoder
-            .decode(&frame.encoded)
+            .decode_traced(&frame.encoded, &self.telemetry, self.telemetry_track, 0)
             .expect("server-encoded frames always decode")
     }
 
     fn encode_pano(&self, pano: &Panorama, model: &SizeModel) -> ServedFrame {
-        let encoded = self.encoder.encode(&pano.frame);
+        let encoded =
+            self.encoder
+                .encode_traced(&pano.frame, &self.telemetry, self.telemetry_track, 0);
         let transfer_bytes = model.scaled_bytes(&encoded);
         ServedFrame {
             encoded,

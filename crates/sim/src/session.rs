@@ -34,6 +34,9 @@ use coterie_core::{
 use coterie_device::{DeviceProfile, PowerModel, ThermalModel, FRAME_BUDGET_MS};
 use coterie_net::{FiChannel, NetScenario, SharedLink};
 use coterie_render::{RenderOptions, Renderer};
+use coterie_telemetry::{
+    room_pid, AttributionModel, FrameRecord, FrameStats, Stage, TelemetrySink, TrackId, KERNEL_PID,
+};
 use coterie_world::{GameId, GameSpec, GridPoint, Scene, TraceSet, Vec2};
 use serde::{Deserialize, Serialize};
 
@@ -368,6 +371,45 @@ pub struct SessionSim {
     window_gpu: f64,
     window_time: f64,
     window_bytes: u64,
+    /// Observation-only telemetry sink; disabled (one branch per use)
+    /// unless the session was built with
+    /// [`SessionSim::new_with_telemetry`].
+    telemetry: TelemetrySink,
+    /// Trace lane this session's frames land in (the fleet room id).
+    telemetry_room: u32,
+    /// Exact per-session frame accounting (independent of ring
+    /// capacity), surfaced through [`SessionSim::telemetry_stats`].
+    telemetry_stats: FrameStats,
+}
+
+/// Stage decomposition of one display interval, for budget
+/// attribution. Each arm of the timing match fills in exactly the
+/// stages Eq. 2 charges it, so the record re-combines to the critical
+/// path under its model.
+#[derive(Debug, Clone, Copy)]
+struct StageBreakdown {
+    render: f64,
+    decode: f64,
+    net: f64,
+    sync: f64,
+    cache: f64,
+    compose: f64,
+    model: AttributionModel,
+}
+
+impl StageBreakdown {
+    /// All-zero parallel breakdown; arms overwrite what they charge.
+    fn parallel() -> Self {
+        StageBreakdown {
+            render: 0.0,
+            decode: 0.0,
+            net: 0.0,
+            sync: 0.0,
+            cache: 0.0,
+            compose: 0.0,
+            model: AttributionModel::Parallel,
+        }
+    }
 }
 
 impl SessionSim {
@@ -375,11 +417,20 @@ impl SessionSim {
     /// profiles (steps 1–3 of the session pipeline), leaving the timing
     /// pass to be driven by [`SessionSim::step`].
     pub fn new(config: SessionConfig) -> Self {
+        Self::new_with_telemetry(config, TelemetrySink::disabled(), 0)
+    }
+
+    /// [`SessionSim::new`] with an observation-only telemetry sink:
+    /// the measurement pass's render bands and encodes land on the
+    /// kernel lane, and every display interval records a
+    /// [`FrameRecord`] on `room`'s lane. A disabled sink reproduces
+    /// [`SessionSim::new`] exactly.
+    pub fn new_with_telemetry(config: SessionConfig, telemetry: TelemetrySink, room: u32) -> Self {
         assert!(config.players >= 1, "sessions need at least one player");
         assert!(config.duration_s > 0.0, "duration must be positive");
         let spec = GameSpec::for_game(config.game);
         let scene = spec.build_scene(config.seed);
-        let renderer = Renderer::new(RenderOptions::fast());
+        let renderer = Renderer::new(RenderOptions::fast()).with_telemetry(telemetry.clone());
         let device = DeviceProfile::pixel2();
         let fi = FiSync::new(config.players);
         let traces = TraceSet::generate(
@@ -415,7 +466,13 @@ impl SessionSim {
 
         // Measurement pass: render + encode at sampled positions.
         let profiles = {
-            let server = RenderServer::new(&scene, renderer);
+            let server = RenderServer::new(&scene, renderer).with_telemetry(
+                telemetry.clone(),
+                TrackId {
+                    pid: KERNEL_PID,
+                    tid: room,
+                },
+            );
             measure_profiles(&config, &scene, &server, &traces, cutoffs.as_ref())
         };
 
@@ -482,8 +539,22 @@ impl SessionSim {
             window_gpu: 0.0,
             window_time: 0.0,
             window_bytes: 0,
+            telemetry,
+            telemetry_room: room,
+            telemetry_stats: FrameStats::default(),
             config,
         }
+    }
+
+    /// The telemetry sink this session records into.
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
+    /// Exact per-session frame accounting; `None` when telemetry is
+    /// disabled, so reports stay identical with and without it.
+    pub fn telemetry_stats(&self) -> Option<FrameStats> {
+        self.telemetry.is_enabled().then_some(self.telemetry_stats)
     }
 
     /// The session configuration.
@@ -580,11 +651,19 @@ impl SessionSim {
 
         // Per-system task timing (Eq. 2).
         let mut fetched: Option<(u64, f64)> = None; // (bytes, latency)
-        let (critical_ms, cpu_core_ms, gpu_ms) = match self.config.system {
+        let (critical_ms, cpu_core_ms, gpu_ms, stages) = match self.config.system {
             SystemKind::Mobile => {
                 let tris = self.profiles[pi].visible_tris[sample] + self.fi.fi_triangles();
                 let render = self.device.render_ms(tris);
-                (render, self.device.cpu_base_ms_per_frame, render)
+                (
+                    render,
+                    self.device.cpu_base_ms_per_frame,
+                    render,
+                    StageBreakdown {
+                        render,
+                        ..StageBreakdown::parallel()
+                    },
+                )
             }
             SystemKind::ThinClient => {
                 let bytes = self.profiles[pi].fov_bytes[sample];
@@ -602,7 +681,23 @@ impl SessionSim {
                 fetched = Some((bytes, tx.completed_at_ms - render_done));
                 let cpu = self.device.cpu_base_ms_per_frame + self.device.net_cpu_ms(bytes) + 1.0;
                 // GPU only composites the decoded stream.
-                (critical, cpu, 1.4)
+                (
+                    critical,
+                    cpu,
+                    1.4,
+                    StageBreakdown {
+                        // Attribution splits the sequential pipeline at
+                        // its handoffs: server render (queueing
+                        // included), the network wait, then decode.
+                        render: render_done - now,
+                        decode,
+                        net: tx.completed_at_ms - render_done,
+                        sync: 0.0,
+                        cache: 0.0,
+                        compose: 0.0,
+                        model: AttributionModel::Sequential,
+                    },
+                )
             }
             SystemKind::MultiFurion { cache } => {
                 let bytes = self.scaled(self.profiles[pi].whole_bytes[sample]);
@@ -619,6 +714,8 @@ impl SessionSim {
                     dist_thresh: 0.0,
                     bytes,
                 };
+                let mut net_ms = 0.0;
+                let mut cache_ms = 0.0;
                 let prefetch = if !new_grid_point {
                     // Still at the same grid point: the current frame
                     // remains valid, nothing to prefetch.
@@ -627,7 +724,8 @@ impl SessionSim {
                     let cache_ref = self.states[pi].cache.as_mut().expect("cache enabled");
                     let query = exact_query(gp, pos);
                     if cache_ref.lookup(&query).is_some() {
-                        0.3
+                        cache_ms = 0.3;
+                        cache_ms
                     } else {
                         let resp = fetch(&mut self.link, request);
                         cache_ref.insert(
@@ -643,17 +741,32 @@ impl SessionSim {
                             pos,
                         );
                         fetched = Some((resp.bytes, resp.completed_at_ms - now));
-                        resp.completed_at_ms - now
+                        net_ms = resp.completed_at_ms - now;
+                        net_ms
                     }
                 } else {
                     let resp = fetch(&mut self.link, request);
                     fetched = Some((resp.bytes, resp.completed_at_ms - now));
-                    resp.completed_at_ms - now
+                    net_ms = resp.completed_at_ms - now;
+                    net_ms
                 };
                 let critical =
                     render_fi.max(decode).max(prefetch).max(fi_sync_ms) + self.device.merge_ms;
                 let cpu = self.device.cpu_base_ms_per_frame + self.device.net_cpu_ms(bytes) + 1.0;
-                (critical, cpu, render_fi + 1.0)
+                (
+                    critical,
+                    cpu,
+                    render_fi + 1.0,
+                    StageBreakdown {
+                        render: render_fi,
+                        decode,
+                        net: net_ms,
+                        sync: fi_sync_ms,
+                        cache: cache_ms,
+                        compose: self.device.merge_ms,
+                        model: AttributionModel::Parallel,
+                    },
+                )
             }
             SystemKind::Coterie { cache } => {
                 let bytes = self.scaled(self.profiles[pi].far_bytes[sample]);
@@ -675,6 +788,8 @@ impl SessionSim {
                     dist_thresh,
                     bytes,
                 };
+                let mut net_ms = 0.0;
+                let mut cache_ms = 0.0;
                 let prefetch = if !new_grid_point {
                     0.0
                 } else if cache {
@@ -687,7 +802,8 @@ impl SessionSim {
                         dist_thresh,
                     };
                     if cache_ref.lookup(&query).is_some() {
-                        0.3
+                        cache_ms = 0.3;
+                        cache_ms
                     } else {
                         let resp = fetch(&mut self.link, request);
                         cache_ref.insert(
@@ -703,12 +819,14 @@ impl SessionSim {
                             pos,
                         );
                         fetched = Some((resp.bytes, resp.completed_at_ms - now));
-                        resp.completed_at_ms - now
+                        net_ms = resp.completed_at_ms - now;
+                        net_ms
                     }
                 } else {
                     let resp = fetch(&mut self.link, request);
                     fetched = Some((resp.bytes, resp.completed_at_ms - now));
-                    resp.completed_at_ms - now
+                    net_ms = resp.completed_at_ms - now;
+                    net_ms
                 };
                 let critical =
                     near_render.max(decode).max(prefetch).max(fi_sync_ms) + self.device.merge_ms;
@@ -718,13 +836,27 @@ impl SessionSim {
                         .device
                         .net_cpu_ms(if fetched.is_some() { bytes } else { 0 })
                     + 2.5;
-                (critical, cpu, near_render + 1.0)
+                (
+                    critical,
+                    cpu,
+                    near_render + 1.0,
+                    StageBreakdown {
+                        render: near_render,
+                        decode,
+                        net: net_ms,
+                        sync: fi_sync_ms,
+                        cache: cache_ms,
+                        compose: self.device.merge_ms,
+                        model: AttributionModel::Parallel,
+                    },
+                )
             }
         };
 
         let state = &mut self.states[pi];
         let interval = critical_ms.max(FRAME_BUDGET_MS);
         state.frames += 1;
+        let frame_no = state.frames;
         state.interval_sum_ms += interval;
         state.critical_sum_ms += critical_ms;
         state.cpu_busy_core_ms += cpu_core_ms;
@@ -772,6 +904,44 @@ impl SessionSim {
             }
         }
 
+        // Observation only: the record reuses quantities already
+        // computed above, so enabling telemetry cannot perturb the
+        // simulation.
+        if self.telemetry.is_enabled() {
+            let rec = FrameRecord {
+                room: self.telemetry_room,
+                player: pi as u32,
+                frame: frame_no,
+                start_ms: now,
+                render_ms: stages.render,
+                decode_ms: stages.decode,
+                net_ms: stages.net,
+                sync_ms: stages.sync,
+                cache_ms: stages.cache,
+                compose_ms: stages.compose,
+                critical_ms,
+                model: stages.model,
+            };
+            self.telemetry.frame(rec);
+            self.telemetry_stats
+                .record(&rec, self.telemetry.budget_ms());
+            if stages.sync > 0.0 {
+                // The sync span covers retries and backoff waits too —
+                // `fi_fault_sync` folds them into the charged latency.
+                self.telemetry.span(
+                    TrackId {
+                        pid: room_pid(self.telemetry_room),
+                        tid: pi as u32,
+                    },
+                    Stage::Sync,
+                    "fi-sync",
+                    now,
+                    stages.sync,
+                    frame_no,
+                );
+            }
+        }
+
         Some(StepEvent {
             player: pi,
             now_ms: now,
@@ -785,8 +955,15 @@ impl SessionSim {
     pub fn finish(self) -> SessionReport {
         let cfg = &self.config;
         let visual_ssim = if cfg.quality_samples > 0 {
-            let renderer = Renderer::new(RenderOptions::fast());
-            let server = RenderServer::new(&self.scene, renderer);
+            let renderer =
+                Renderer::new(RenderOptions::fast()).with_telemetry(self.telemetry.clone());
+            let server = RenderServer::new(&self.scene, renderer).with_telemetry(
+                self.telemetry.clone(),
+                TrackId {
+                    pid: KERNEL_PID,
+                    tid: self.telemetry_room,
+                },
+            );
             quality::measure_visual_quality(
                 &self.scene,
                 &server,
@@ -824,7 +1001,13 @@ impl SessionSim {
             .states
             .iter()
             .map(|s| {
-                let frames = s.frames.max(1) as f64;
+                if s.frames == 0 {
+                    // A player that never displayed a frame reports the
+                    // all-zero sentinel rather than `1000/0 → inf`
+                    // artifacts (NaN/empty-input audit).
+                    return PlayerMetrics::zero();
+                }
+                let frames = s.frames as f64;
                 let total_ms = s.interval_sum_ms.max(1e-9);
                 PlayerMetrics {
                     avg_fps: (1000.0 / (s.interval_sum_ms / frames)).min(60.0),
@@ -1341,6 +1524,65 @@ mod tests {
         assert_eq!(sim.quality_scale(), 1.0);
         sim.set_quality_scale(0.0);
         assert_eq!(sim.quality_scale(), 0.25);
+    }
+
+    #[test]
+    fn unstepped_session_reports_finite_zero_metrics() {
+        // A session finished before any frame is displayed hits the
+        // documented zero-frame sentinel: every metric is the finite
+        // `PlayerMetrics::zero()`, never an inf/NaN 1000/0 artifact.
+        let config = SessionConfig::new(GameId::Pool, SystemKind::coterie(), 2)
+            .with_duration_s(10.0)
+            .with_seed(3);
+        let report = SessionSim::new(config).finish();
+        assert_eq!(report.players.len(), 2);
+        for p in &report.players {
+            assert_eq!(*p, PlayerMetrics::zero());
+            assert!(p.avg_fps.is_finite() && p.inter_frame_ms.is_finite());
+        }
+        assert!(report.aggregate().avg_fps.is_finite());
+    }
+
+    #[test]
+    fn telemetry_sink_observes_without_changing_results() {
+        use coterie_telemetry::{TelemetryConfig, TelemetrySink};
+        let config = SessionConfig::new(GameId::Pool, SystemKind::coterie(), 2)
+            .with_duration_s(15.0)
+            .with_seed(9);
+        let plain = {
+            let mut sim = SessionSim::new(config);
+            while sim.step().is_some() {}
+            sim.finish()
+        };
+        let sink = TelemetrySink::recording(TelemetryConfig::default());
+        let (traced, stats) = {
+            let mut sim = SessionSim::new_with_telemetry(config, sink.clone(), 3);
+            while sim.step().is_some() {}
+            let stats = sim.telemetry_stats().expect("enabled sink tracks stats");
+            (sim.finish(), stats)
+        };
+        assert_eq!(plain, traced, "telemetry must be observation-only");
+        assert!(stats.frames > 0);
+        let summary = sink.summary().expect("recording sink summarizes");
+        assert_eq!(summary.frames, stats.frames);
+        assert_eq!(summary.over_budget, stats.over_budget);
+        let worst = summary.worst.expect("frames were recorded");
+        assert_eq!(worst.room, 3);
+        // Every stage duration the sink saw is finite and non-negative.
+        for rec in sink.frames_snapshot() {
+            assert!(rec.attributed_ms().is_finite());
+            for stage in Stage::ATTRIBUTED {
+                let d = rec.stage_ms(stage);
+                assert!(d.is_finite() && d >= 0.0, "{stage}: {d}");
+            }
+            // Attribution reconstructs the simulated critical path.
+            let err = (rec.attributed_ms() - rec.critical_ms).abs();
+            assert!(
+                err <= rec.critical_ms.max(1.0) * 0.01,
+                "attribution off by {err:.4} ms on frame {:?}",
+                rec
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Injected monotonic clocks.
+//!
+//! The recorder never reads `std::time` on its own: the caller injects
+//! a [`TickClock`], so deterministic simulations can drive telemetry
+//! with simulated milliseconds (byte-identical run to run) while live
+//! tools may use [`WallClock`]. Only trace export ever consumes clock
+//! readings; the deterministic summary is fed exclusively by the
+//! timestamps the simulation passes explicitly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic source of milliseconds.
+pub trait TickClock: Send + Sync + std::fmt::Debug {
+    /// Current time in milliseconds from an arbitrary fixed origin.
+    fn now_ms(&self) -> f64;
+}
+
+/// A clock advanced explicitly by the caller — the deterministic
+/// default. Stores the f64 tick as raw bits in an atomic so readers
+/// never block writers.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    bits: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock starting at 0 ms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the clock to `now_ms`. Callers are responsible for passing
+    /// monotonically non-decreasing values.
+    pub fn set_ms(&self, now_ms: f64) {
+        self.bits.store(now_ms.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl TickClock for ManualClock {
+    fn now_ms(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Wall-clock time since the clock's creation. Never use this to feed
+/// summaries that must be deterministic.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TickClock for WallClock {
+    fn now_ms(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64() * 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_reports_what_was_set() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ms(), 0.0);
+        c.set_ms(16.7);
+        assert_eq!(c.now_ms(), 16.7);
+        c.set_ms(33.4);
+        assert_eq!(c.now_ms(), 33.4);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+}

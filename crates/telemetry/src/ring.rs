@@ -1,0 +1,138 @@
+//! Fixed-capacity overwrite-oldest ring buffer.
+//!
+//! The hot path must never allocate or grow: a [`Ring`] is a
+//! pre-allocated `Vec` written circularly. When full, the newest event
+//! overwrites the oldest and a drop counter records the loss — recent
+//! history is what an operator drills into; ancient spans age out.
+
+/// A fixed-capacity ring of `Copy` items, oldest-overwritten-first.
+#[derive(Debug, Clone)]
+pub struct Ring<T: Copy> {
+    slots: Vec<T>,
+    capacity: usize,
+    /// Index of the next write.
+    head: usize,
+    /// Items pushed over the ring's lifetime.
+    pushed: u64,
+}
+
+impl<T: Copy> Ring<T> {
+    /// A ring holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Ring {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Appends an item, overwriting the oldest once full. Amortized
+    /// O(1), and allocation-free after the ring first fills (the
+    /// backing vector is pre-reserved, so even the filling pushes never
+    /// reallocate).
+    pub fn push(&mut self, item: T) {
+        if self.slots.len() < self.capacity {
+            self.slots.push(item);
+        } else {
+            self.slots[self.head] = item;
+        }
+        self.head = (self.head + 1) % self.capacity;
+        self.pushed += 1;
+    }
+
+    /// Items currently held.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Maximum items held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items pushed over the ring's lifetime (including overwritten).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Items lost to overwriting.
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.slots.len() as u64
+    }
+
+    /// The retained items, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        if self.slots.len() < self.capacity {
+            return self.slots.clone();
+        }
+        let mut out = Vec::with_capacity(self.capacity);
+        out.extend_from_slice(&self.slots[self.head..]);
+        out.extend_from_slice(&self.slots[..self.head]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut r = Ring::new(3);
+        assert!(r.is_empty());
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.snapshot(), vec![1, 2]);
+        r.push(3);
+        r.push(4); // overwrites 1
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.snapshot(), vec![2, 3, 4]);
+        assert_eq!(r.pushed(), 4);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_order_across_many_wraps() {
+        let mut r = Ring::new(4);
+        for i in 0..23 {
+            r.push(i);
+        }
+        assert_eq!(r.snapshot(), vec![19, 20, 21, 22]);
+        assert_eq!(r.dropped(), 19);
+    }
+
+    #[test]
+    fn capacity_one_keeps_newest() {
+        let mut r = Ring::new(1);
+        r.push(7);
+        r.push(8);
+        assert_eq!(r.snapshot(), vec![8]);
+    }
+
+    #[test]
+    fn no_reallocation_after_construction() {
+        let mut r = Ring::new(8);
+        let cap = r.slots.capacity();
+        for i in 0..100 {
+            r.push(i);
+        }
+        assert_eq!(r.slots.capacity(), cap, "ring must never reallocate");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Ring::<u32>::new(0);
+    }
+}

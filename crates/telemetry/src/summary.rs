@@ -1,0 +1,421 @@
+//! Budget attribution: per-frame stage decomposition and summaries.
+//!
+//! Eq. 2 of the paper says a frame's interval is
+//! `max(T_render, T_decode, T_prefetch, T_sync) + T_merge` — the tasks
+//! run concurrently and the slowest one owns the frame. A
+//! [`FrameRecord`] captures each task's cost for one displayed frame;
+//! [`AttributionModel`] says how they combine (parallel for
+//! Coterie/Multi-Furion/Mobile, sequential for the thin client's
+//! render→transmit→decode pipeline). Frames whose attributed time
+//! exceeds the 16.7 ms vsync budget are flagged with the dominating
+//! stage named, which is precisely the question aggregates cannot
+//! answer: *which stage* of *which frame* blew the budget.
+
+use crate::hist::LogHistogram;
+use std::fmt;
+
+/// The vsync frame budget the paper's constraint 1 targets, ms (60 Hz).
+pub const VSYNC_BUDGET_MS: f64 = 16.7;
+
+/// A pipeline stage a span or frame component is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// FI + near-BE (or full-scene) rendering.
+    Render,
+    /// Codec encode (server side).
+    Encode,
+    /// Codec decode (client side).
+    Decode,
+    /// Network transfer, including retries and backoff waits.
+    Net,
+    /// FI state synchronization.
+    Sync,
+    /// Frame-cache / store lookup.
+    CacheLookup,
+    /// Merge/compose of FI over the BE panorama.
+    Compose,
+    /// A whole session or room tick.
+    Tick,
+    /// Pre-render farm work.
+    Farm,
+    /// Shared frame-store operations.
+    Store,
+}
+
+impl Stage {
+    /// The six stages a [`FrameRecord`] attributes time to, in display
+    /// order. `Encode` is charged to the server GPU (it happens before
+    /// the transfer the client waits on), so client-side attribution
+    /// folds it into `Net`; `Tick`/`Farm`/`Store` are span-only.
+    pub const ATTRIBUTED: [Stage; 6] = [
+        Stage::Render,
+        Stage::Decode,
+        Stage::Net,
+        Stage::Sync,
+        Stage::CacheLookup,
+        Stage::Compose,
+    ];
+
+    /// Stable lowercase name (used as the trace category).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Render => "render",
+            Stage::Encode => "encode",
+            Stage::Decode => "decode",
+            Stage::Net => "net",
+            Stage::Sync => "sync",
+            Stage::CacheLookup => "cache",
+            Stage::Compose => "compose",
+            Stage::Tick => "tick",
+            Stage::Farm => "farm",
+            Stage::Store => "store",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a frame's stage costs combine into its display interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttributionModel {
+    /// Stages run concurrently; the slowest owns the frame and compose
+    /// runs after (Eq. 2 — Mobile, Multi-Furion, Coterie).
+    Parallel,
+    /// Stages run back to back (thin client: server render, then
+    /// transmit, then decode).
+    Sequential,
+}
+
+impl AttributionModel {
+    /// Stable lowercase name for trace args.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttributionModel::Parallel => "parallel",
+            AttributionModel::Sequential => "sequential",
+        }
+    }
+}
+
+/// One displayed frame, decomposed into stage costs (all ms, simulated
+/// time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameRecord {
+    /// Room (fleet) or 0 for standalone sessions.
+    pub room: u32,
+    /// Player index within the room.
+    pub player: u32,
+    /// Frame number within the session.
+    pub frame: u64,
+    /// Interval start, simulated ms.
+    pub start_ms: f64,
+    /// Local rendering (FI + near BE, or everything for Mobile).
+    pub render_ms: f64,
+    /// Far-BE / streamed-frame decode.
+    pub decode_ms: f64,
+    /// Network transfer latency the client waited on (retries and
+    /// backoff included).
+    pub net_ms: f64,
+    /// FI synchronization.
+    pub sync_ms: f64,
+    /// Frame-cache lookup.
+    pub cache_ms: f64,
+    /// FI-over-BE merge/compose.
+    pub compose_ms: f64,
+    /// The simulation's own critical-path time for the interval
+    /// (ground truth the attribution is validated against).
+    pub critical_ms: f64,
+    /// How the stages combine.
+    pub model: AttributionModel,
+}
+
+impl FrameRecord {
+    /// The cost attributed to one stage.
+    pub fn stage_ms(&self, stage: Stage) -> f64 {
+        match stage {
+            Stage::Render => self.render_ms,
+            Stage::Decode => self.decode_ms,
+            Stage::Net => self.net_ms,
+            Stage::Sync => self.sync_ms,
+            Stage::CacheLookup => self.cache_ms,
+            Stage::Compose => self.compose_ms,
+            _ => 0.0,
+        }
+    }
+
+    /// The frame's interval as reconstructed from its stages under the
+    /// attribution model. Matches `critical_ms` when the decomposition
+    /// is complete.
+    pub fn attributed_ms(&self) -> f64 {
+        match self.model {
+            AttributionModel::Parallel => {
+                self.render_ms
+                    .max(self.decode_ms)
+                    .max(self.net_ms)
+                    .max(self.sync_ms)
+                    .max(self.cache_ms)
+                    + self.compose_ms
+            }
+            AttributionModel::Sequential => {
+                self.render_ms
+                    + self.decode_ms
+                    + self.net_ms
+                    + self.sync_ms
+                    + self.cache_ms
+                    + self.compose_ms
+            }
+        }
+    }
+
+    /// The stage contributing the most time (ties break toward the
+    /// earlier stage in [`Stage::ATTRIBUTED`] order).
+    pub fn dominant(&self) -> Stage {
+        let mut best = Stage::ATTRIBUTED[0];
+        let mut best_ms = self.stage_ms(best);
+        for &s in &Stage::ATTRIBUTED[1..] {
+            let ms = self.stage_ms(s);
+            if ms > best_ms {
+                best = s;
+                best_ms = ms;
+            }
+        }
+        best
+    }
+
+    /// Whether the frame blew the budget.
+    pub fn over_budget(&self, budget_ms: f64) -> bool {
+        self.attributed_ms() > budget_ms
+    }
+}
+
+/// Quantiles of one stage's per-frame cost across a run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageSummary {
+    /// Median, ms.
+    pub p50_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Worst observed, ms.
+    pub max_ms: f64,
+}
+
+impl StageSummary {
+    /// Summarizes a histogram (all zeros when empty — the documented
+    /// sentinel for runs that displayed no frames).
+    pub fn from_hist(h: &LogHistogram) -> Self {
+        StageSummary {
+            p50_ms: h.quantile(0.50),
+            p95_ms: h.quantile(0.95),
+            p99_ms: h.quantile(0.99),
+            max_ms: h.max_ms(),
+        }
+    }
+}
+
+/// The compact run summary merged into `FleetMetrics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummary {
+    /// Frames attributed.
+    pub frames: u64,
+    /// Frames whose attributed time exceeded the budget.
+    pub over_budget: u64,
+    /// The budget used, ms.
+    pub budget_ms: f64,
+    /// Per-stage quantiles, aligned with [`Stage::ATTRIBUTED`].
+    pub stages: [StageSummary; 6],
+    /// Quantiles of whole-frame attributed time.
+    pub frame: StageSummary,
+    /// The worst frame observed (by attributed time), for drill-down.
+    pub worst: Option<FrameRecord>,
+    /// Span events recorded across all ring shards.
+    pub spans_recorded: u64,
+    /// Span events lost to ring overwrites.
+    pub spans_dropped: u64,
+}
+
+impl TelemetrySummary {
+    /// Fraction of frames over budget (0.0 when no frames).
+    pub fn over_budget_ratio(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.over_budget as f64 / self.frames as f64
+        }
+    }
+}
+
+impl fmt::Display for TelemetrySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "telemetry: {} frames, {} over {:.1} ms budget ({:.2}%), spans {} ({} dropped)",
+            self.frames,
+            self.over_budget,
+            self.budget_ms,
+            self.over_budget_ratio() * 100.0,
+            self.spans_recorded,
+            self.spans_dropped,
+        )?;
+        writeln!(
+            f,
+            "  {:<8} {:>8} {:>8} {:>8} {:>8}",
+            "stage", "p50", "p95", "p99", "max"
+        )?;
+        for (stage, s) in Stage::ATTRIBUTED.iter().zip(self.stages.iter()) {
+            writeln!(
+                f,
+                "  {:<8} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+                stage.name(),
+                s.p50_ms,
+                s.p95_ms,
+                s.p99_ms,
+                s.max_ms
+            )?;
+        }
+        writeln!(
+            f,
+            "  {:<8} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            "frame", self.frame.p50_ms, self.frame.p95_ms, self.frame.p99_ms, self.frame.max_ms
+        )?;
+        match &self.worst {
+            Some(w) => write!(
+                f,
+                "  worst: frame {} room {} player {} at {:.1} ms — {:.2} ms, dominated by {} ({:.2} ms)",
+                w.frame,
+                w.room,
+                w.player,
+                w.start_ms,
+                w.attributed_ms(),
+                w.dominant(),
+                w.stage_ms(w.dominant()),
+            ),
+            None => write!(f, "  worst: none (no frames displayed)"),
+        }
+    }
+}
+
+/// Per-room frame accounting, small enough to ride in a `RoomReport`.
+/// Accumulated by the session itself (not snapshotted from rings), so
+/// it is exact regardless of ring capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrameStats {
+    /// Frames attributed.
+    pub frames: u64,
+    /// Frames over budget.
+    pub over_budget: u64,
+    /// Worst frame observed, by attributed time.
+    pub worst: Option<FrameRecord>,
+}
+
+impl FrameStats {
+    /// Folds one frame in.
+    pub fn record(&mut self, rec: &FrameRecord, budget_ms: f64) {
+        self.frames += 1;
+        if rec.over_budget(budget_ms) {
+            self.over_budget += 1;
+        }
+        let worse = match &self.worst {
+            Some(w) => rec.attributed_ms() > w.attributed_ms(),
+            None => true,
+        };
+        if worse {
+            self.worst = Some(*rec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(model: AttributionModel) -> FrameRecord {
+        FrameRecord {
+            room: 1,
+            player: 2,
+            frame: 42,
+            start_ms: 700.0,
+            render_ms: 9.0,
+            decode_ms: 11.0,
+            net_ms: 4.0,
+            sync_ms: 2.5,
+            cache_ms: 0.3,
+            compose_ms: 2.0,
+            critical_ms: 13.0,
+            model,
+        }
+    }
+
+    #[test]
+    fn parallel_attribution_is_max_plus_compose() {
+        let r = rec(AttributionModel::Parallel);
+        assert!((r.attributed_ms() - 13.0).abs() < 1e-12);
+        assert_eq!(r.dominant(), Stage::Decode);
+        assert!(!r.over_budget(VSYNC_BUDGET_MS));
+    }
+
+    #[test]
+    fn sequential_attribution_is_sum() {
+        let r = rec(AttributionModel::Sequential);
+        assert!((r.attributed_ms() - 28.8).abs() < 1e-12);
+        assert!(r.over_budget(VSYNC_BUDGET_MS));
+    }
+
+    #[test]
+    fn dominant_breaks_ties_toward_earlier_stage() {
+        let mut r = rec(AttributionModel::Parallel);
+        r.render_ms = 11.0; // equal to decode
+        assert_eq!(r.dominant(), Stage::Render);
+    }
+
+    #[test]
+    fn frame_stats_track_worst_and_over_budget() {
+        let mut stats = FrameStats::default();
+        let mut a = rec(AttributionModel::Parallel);
+        stats.record(&a, VSYNC_BUDGET_MS);
+        a.decode_ms = 20.0;
+        a.frame = 43;
+        stats.record(&a, VSYNC_BUDGET_MS);
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.over_budget, 1);
+        assert_eq!(stats.worst.unwrap().frame, 43);
+    }
+
+    #[test]
+    fn summary_display_names_dominating_stage() {
+        let summary = TelemetrySummary {
+            frames: 10,
+            over_budget: 1,
+            budget_ms: VSYNC_BUDGET_MS,
+            stages: [StageSummary::default(); 6],
+            frame: StageSummary::default(),
+            worst: Some(rec(AttributionModel::Parallel)),
+            spans_recorded: 5,
+            spans_dropped: 0,
+        };
+        let text = summary.to_string();
+        assert!(text.contains("10 frames"), "{text}");
+        assert!(text.contains("dominated by decode"), "{text}");
+        assert!(text.contains("render"), "{text}");
+    }
+
+    #[test]
+    fn empty_summary_has_finite_sentinels() {
+        let summary = TelemetrySummary {
+            frames: 0,
+            over_budget: 0,
+            budget_ms: VSYNC_BUDGET_MS,
+            stages: [StageSummary::default(); 6],
+            frame: StageSummary::default(),
+            worst: None,
+            spans_recorded: 0,
+            spans_dropped: 0,
+        };
+        assert_eq!(summary.over_budget_ratio(), 0.0);
+        assert!(summary.to_string().contains("no frames displayed"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the telemetry histograms.
+//!
+//! The fleet merges per-room histograms into one summary, so merge must
+//! behave like multiset union: commutative, associative, count
+//! conserving. Quantile estimates must stay inside the bucket that
+//! holds the sample they name.
+
+use coterie_telemetry::LogHistogram;
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..2000.0, 0..200)
+}
+
+fn hist_of(values: &[f64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(a in samples(), b in samples()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        // Counts, extremes and every bucket agree exactly; sums agree
+        // up to float addition order.
+        prop_assert_eq!(ab.counts(), ba.counts());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.min_ms(), ba.min_ms());
+        prop_assert_eq!(ab.max_ms(), ba.max_ms());
+        prop_assert!((ab.sum_ms() - ba.sum_ms()).abs() <= 1e-9 * (1.0 + ab.sum_ms().abs()));
+    }
+
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ∪ b) ∪ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ∪ (b ∪ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.counts(), right.counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min_ms(), right.min_ms());
+        prop_assert_eq!(left.max_ms(), right.max_ms());
+    }
+
+    #[test]
+    fn merge_conserves_counts(a in samples(), b in samples()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut m = ha.clone();
+        m.merge(&hb);
+        prop_assert_eq!(m.count(), (a.len() + b.len()) as u64);
+        let bucket_total: u64 = m.counts().iter().sum();
+        prop_assert_eq!(bucket_total, m.count());
+        // Merging with an empty histogram is the identity.
+        let mut id = ha.clone();
+        id.merge(&LogHistogram::new());
+        prop_assert_eq!(&id, &ha);
+    }
+
+    #[test]
+    fn quantiles_stay_inside_bucket_edges(a in samples(), q in 0.0f64..=1.0) {
+        let h = hist_of(&a);
+        let est = h.quantile(q);
+        if a.is_empty() {
+            prop_assert_eq!(est, 0.0);
+        } else {
+            // The estimate is clamped into the observed range...
+            prop_assert!(est >= h.min_ms() - 1e-12);
+            prop_assert!(est <= h.max_ms() + 1e-12);
+            // ...and equals some bucket's upper edge (or a clamped
+            // extreme), so it can overestimate the true quantile by at
+            // most one bucket's width (~9%).
+            let i = LogHistogram::bucket_index(est);
+            prop_assert!(est <= LogHistogram::bucket_upper_ms(i) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(a in samples()) {
+        let h = hist_of(&a);
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn every_sample_lands_in_its_bracketing_bucket(v in 0.0f64..1e6) {
+        let i = LogHistogram::bucket_index(v);
+        prop_assert!(v >= LogHistogram::bucket_lower_ms(i) - 1e-12);
+        // The overflow bucket has no finite upper bound by design.
+        if i < coterie_telemetry::hist::BUCKETS - 1 {
+            prop_assert!(v <= LogHistogram::bucket_upper_ms(i) + 1e-12);
+        }
+    }
+}
