@@ -18,19 +18,30 @@
 //! store hit ratio, egress) to `BENCH_fleet.json` (the committed perf
 //! trajectory); it is not part of `all`.
 //!
+//! `bench-json` also runs the serving-plane connection ladder (a real
+//! in-process UDS server under the trajectory load generator) and
+//! writes sessions/core, frame-latency percentiles and saturation
+//! egress to `BENCH_serve.json`.
+//!
 //! `--rooms`/`--players`/`--net` size the `fleet` experiment only.
 //! `--net` selects the FI fault scenario (`none`, `wifi`, `burst-loss`,
 //! `latency-spikes`, `relay-outage`; default `none` = lossless).
-//! `--trace FILE` additionally runs the shared fleet with budget
-//! attribution enabled and writes a Chrome `trace_event` JSON (load in
-//! Perfetto or `chrome://tracing`); the export is validated — it must
-//! parse and every frame slice's stage decomposition must recombine to
-//! its duration within 1 % — before `trace ok` is printed.
+//! `--trace FILE` runs the experiment with budget attribution enabled
+//! and writes a Chrome `trace_event` JSON (load in Perfetto or
+//! `chrome://tracing`): slices for spans and frames, counter ("C")
+//! tracks for gauges like store occupancy. It applies to `fleet` and to
+//! the single-session tables `table1`, `table7` and `table8`. The
+//! export is validated — it must parse and every frame slice's stage
+//! decomposition must recombine to its duration within 1 % — before
+//! `trace ok` is printed.
 
 use coterie_bench::{
     ablation, cache_exp, cutoff_exp, fleet_exp, kernel_bench, similarity, system_exp, ExpConfig,
 };
 use coterie_net::NetScenario;
+use coterie_telemetry::{
+    chrome_trace_json_full, validate_chrome_trace, TelemetryConfig, TelemetrySink,
+};
 use std::time::Instant;
 
 const ALL: &[&str] = &[
@@ -65,16 +76,48 @@ struct FleetArgs {
     trace: Option<String>,
 }
 
+/// Runs a single-session table, optionally with `--trace FILE` budget
+/// attribution: the traced run exports a validated Chrome `trace_event`
+/// JSON (slices + counter tracks) exactly like the fleet path.
+fn run_table_traced(
+    config: &ExpConfig,
+    trace: &Option<String>,
+    table: impl Fn(&ExpConfig, &TelemetrySink) -> coterie_bench::Report,
+) -> Result<String, String> {
+    let Some(path) = trace else {
+        return Ok(table(config, &TelemetrySink::disabled()).to_string());
+    };
+    let sink = TelemetrySink::recording(TelemetryConfig::default());
+    let report = table(config, &sink);
+    let json = chrome_trace_json_full(
+        &sink.spans_snapshot(),
+        &sink.frames_snapshot(),
+        &sink.counters_snapshot(),
+        sink.budget_ms(),
+    );
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    let check =
+        validate_chrome_trace(&json).map_err(|e| format!("trace validation failed: {e}"))?;
+    Ok(format!(
+        "{report}\ntrace ok: {} events, {} frame slices, {} counter samples, \
+         max attribution error {:.4}%, wrote {path}",
+        check.events,
+        check.frames,
+        check.counters,
+        check.max_rel_err * 100.0,
+    ))
+}
+
 fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<String, String> {
     let out = match name {
-        "table1" => system_exp::table1(config).to_string(),
+        "table1" => run_table_traced(config, &fleet_args.trace, system_exp::table1_traced)?,
         "table2" => cutoff_exp::table2(config).to_string(),
         "table3" => cutoff_exp::table3(config).0.to_string(),
         "table4" => cache_exp::table4(config).to_string(),
         "table5" => cache_exp::table5(config).0.to_string(),
         "table6" => cache_exp::table6(config).0.to_string(),
-        "table7" => system_exp::table7(config).to_string(),
-        "table8" => system_exp::table8(config).to_string(),
+        "table7" => run_table_traced(config, &fleet_args.trace, system_exp::table7_traced)?,
+        "table8" => run_table_traced(config, &fleet_args.trace, system_exp::table8_traced)?,
         "table9" => system_exp::table9(config).0.to_string(),
         "table10" => system_exp::table10(config).to_string(),
         "fig1" => similarity::fig1(config).0.to_string(),
@@ -116,10 +159,11 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
                     .unwrap_or(0);
                 out.push_str(&format!(
                     "\ntrace ok: {} events, {} frame slices ({} frames attributed), \
-                     max attribution error {:.4}%, wrote {path}",
+                     {} counter samples, max attribution error {:.4}%, wrote {path}",
                     check.events,
                     check.frames,
                     frames,
+                    check.counters,
                     check.max_rel_err * 100.0,
                 ));
             }
@@ -132,9 +176,17 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
             std::fs::write("BENCH_render.json", &json)
                 .map_err(|e| format!("writing BENCH_render.json: {e}"))?;
             // Fleet headline numbers ride along: the shared-store run at
-            // the fixed --rooms/--players/--net configuration.
-            let shared =
-                fleet_exp::fleet(config, fleet_args.rooms, fleet_args.players, fleet_args.net).1;
+            // the fixed --rooms/--players/--net configuration, traced so
+            // the committed document carries the mergeable per-stage
+            // histograms, not just point quantiles.
+            let shared = fleet_exp::fleet_traced(
+                config,
+                fleet_args.rooms,
+                fleet_args.players,
+                fleet_args.net,
+                true,
+            )
+            .1;
             let fleet_json = fleet_exp::fleet_bench_json(
                 &shared.metrics,
                 fleet_args.rooms,
@@ -143,7 +195,23 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
             );
             std::fs::write("BENCH_fleet.json", &fleet_json)
                 .map_err(|e| format!("writing BENCH_fleet.json: {e}"))?;
-            format!("wrote BENCH_render.json\n{json}\nwrote BENCH_fleet.json\n{fleet_json}")
+            // Serving-plane saturation ladder over a real UDS socket.
+            let serve_config = coterie_server::ServeBenchConfig {
+                seed: config.seed,
+                ..if config.quick {
+                    coterie_server::ServeBenchConfig::quick()
+                } else {
+                    coterie_server::ServeBenchConfig::default()
+                }
+            };
+            let serve = coterie_server::serve_bench(&serve_config);
+            let serve_json = coterie_server::serve_bench_json(&serve);
+            std::fs::write("BENCH_serve.json", &serve_json)
+                .map_err(|e| format!("writing BENCH_serve.json: {e}"))?;
+            format!(
+                "wrote BENCH_render.json\n{json}\nwrote BENCH_fleet.json\n{fleet_json}\
+                 wrote BENCH_serve.json\n{serve_json}"
+            )
         }
         other => return Err(format!("unknown experiment '{other}'")),
     };

@@ -13,7 +13,7 @@ use crate::report::{f, pct, Report};
 use crate::ExpConfig;
 use coterie_net::NetScenario;
 use coterie_serve::{Fleet, FleetConfig, FleetReport};
-use coterie_telemetry::{chrome_trace_json, TelemetryConfig, TelemetrySink};
+use coterie_telemetry::{chrome_trace_json_full, Stage, TelemetryConfig, TelemetrySink};
 use coterie_world::GameId;
 
 /// Builds the fleet configuration for the experiment.
@@ -84,9 +84,10 @@ pub fn fleet_traced(
     .run();
     let isolated = Fleet::new(fleet_config(config, rooms, players, false, net)).run();
     let trace_json = sink.is_enabled().then(|| {
-        chrome_trace_json(
+        chrome_trace_json_full(
             &sink.spans_snapshot(),
             &sink.frames_snapshot(),
+            &sink.counters_snapshot(),
             sink.budget_ms(),
         )
     });
@@ -167,12 +168,45 @@ pub fn fleet_bench_json(
     players: usize,
     net: NetScenario,
 ) -> String {
-    format!(
+    let mut out = format!(
         "{{\n  \"config\": {{ \"rooms\": {rooms}, \"players\": {players}, \"net\": \"{net}\" }},\n  \
          \"fleet\": {{\n    \"fps_p50\": {:.4},\n    \"fps_p95\": {:.4},\n    \"fps_p99\": {:.4},\n    \
-         \"store_hit_ratio\": {:.6},\n    \"egress_mbps\": {:.4}\n  }}\n}}\n",
+         \"store_hit_ratio\": {:.6},\n    \"egress_mbps\": {:.4}\n  }}",
         metrics.fps_p50, metrics.fps_p95, metrics.fps_p99, metrics.store_hit_ratio, metrics.egress_mbps
-    )
+    );
+    // Full mergeable histograms when the run was traced: bucket counts
+    // sum across runs, so later tooling can recompute any percentile
+    // over combined benchmark archives, not just read the quantiles we
+    // happened to print.
+    if let Some(t) = &metrics.telemetry {
+        out.push_str(",\n  \"telemetry\": {\n");
+        out.push_str(&format!(
+            "    \"frames\": {},\n    \"over_budget\": {},\n    \"frame_hist\": {},\n",
+            t.frames,
+            t.over_budget,
+            t.frame_hist.to_sparse_json()
+        ));
+        out.push_str("    \"stage_hists\": {\n");
+        for (i, (stage, hist)) in Stage::ATTRIBUTED
+            .iter()
+            .zip(t.stage_hists.iter())
+            .enumerate()
+        {
+            let sep = if i + 1 == Stage::ATTRIBUTED.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "      \"{}\": {}{sep}\n",
+                stage.name(),
+                hist.to_sparse_json()
+            ));
+        }
+        out.push_str("    }\n  }");
+    }
+    out.push_str("\n}\n");
+    out
 }
 
 #[cfg(test)]

@@ -3,7 +3,8 @@
 
 use crate::report::{f, pct, Report};
 use crate::ExpConfig;
-use coterie_sim::{run_study, Session, SessionConfig, StudyConfig, SystemKind};
+use coterie_sim::{run_study, Session, SessionConfig, SessionSim, StudyConfig, SystemKind};
+use coterie_telemetry::TelemetrySink;
 use coterie_world::GameId;
 
 fn run(
@@ -13,16 +14,47 @@ fn run(
     config: &ExpConfig,
     quality: usize,
 ) -> coterie_sim::SessionReport {
+    run_traced(
+        game,
+        system,
+        players,
+        config,
+        quality,
+        &TelemetrySink::disabled(),
+        0,
+    )
+}
+
+/// One session with budget attribution routed into `sink`; `room`
+/// becomes the trace lane, so each table cell gets its own row in the
+/// exported Chrome trace. With a disabled sink this is exactly the
+/// untraced run.
+fn run_traced(
+    game: GameId,
+    system: SystemKind,
+    players: usize,
+    config: &ExpConfig,
+    quality: usize,
+    sink: &TelemetrySink,
+    room: u32,
+) -> coterie_sim::SessionReport {
     let session = SessionConfig::new(game, system, players)
         .with_duration_s(config.session_s())
         .with_seed(config.seed)
         .with_quality_samples(quality);
-    Session::new(session).run()
+    let mut sim = SessionSim::new_with_telemetry(session, sink.clone(), room);
+    while sim.step().is_some() {}
+    sim.finish()
 }
 
 /// Table 1: Mobile, Thin-client and Multi-Furion with 1 and 2 players on
 /// the three testbed games.
 pub fn table1(config: &ExpConfig) -> Report {
+    table1_traced(config, &TelemetrySink::disabled())
+}
+
+/// [`table1`] with per-session budget attribution routed into `sink`.
+pub fn table1_traced(config: &ExpConfig, sink: &TelemetrySink) -> Report {
     let mut report = Report::new("Table 1: Mobile / Thin-client / Multi-Furion, 1P and 2P");
     report.headers([
         "App (players)",
@@ -33,6 +65,7 @@ pub fn table1(config: &ExpConfig) -> Report {
         "Frame (KB)",
         "Net delay (ms)",
     ]);
+    let mut lane = 0u32;
     for system in [
         SystemKind::Mobile,
         SystemKind::ThinClient,
@@ -41,7 +74,8 @@ pub fn table1(config: &ExpConfig) -> Report {
         report.note(format!("--- {}", system.label()));
         for players in [1usize, 2] {
             for &game in &GameId::TESTBED {
-                let m = run(game, system, players, config, 0).aggregate();
+                let m = run_traced(game, system, players, config, 0, sink, lane).aggregate();
+                lane += 1;
                 report.row([
                     format!("{} ({}P, {})", game.short_name(), players, system.label()),
                     f(m.avg_fps, 0),
@@ -60,17 +94,24 @@ pub fn table1(config: &ExpConfig) -> Report {
 /// Table 7: visual quality (SSIM), FPS and responsiveness for
 /// Thin-client, Multi-Furion and Coterie with 2 players.
 pub fn table7(config: &ExpConfig) -> Report {
+    table7_traced(config, &TelemetrySink::disabled())
+}
+
+/// [`table7`] with per-session budget attribution routed into `sink`.
+pub fn table7_traced(config: &ExpConfig, sink: &TelemetrySink) -> Report {
     let quality = if config.quick { 3 } else { 8 };
     let mut report = Report::new("Table 7: visual quality, FPS, responsiveness (2 players)");
     report.note("T: Thin-client, M: Multi-Furion, C: Coterie");
     report.headers(["App", "SSIM", "FPS", "Responsiveness (ms)"]);
+    let mut lane = 0u32;
     for (system, tag) in [
         (SystemKind::ThinClient, "T"),
         (SystemKind::multi_furion(), "M"),
         (SystemKind::coterie(), "C"),
     ] {
         for &game in &GameId::TESTBED {
-            let m = run(game, system, 2, config, quality).aggregate();
+            let m = run_traced(game, system, 2, config, quality, sink, lane).aggregate();
+            lane += 1;
             report.row([
                 format!("{} ({tag})", game.short_name()),
                 f(m.visual_ssim, 3),
@@ -84,6 +125,11 @@ pub fn table7(config: &ExpConfig) -> Report {
 
 /// Table 8: Coterie's full metrics for 1 and 2 players.
 pub fn table8(config: &ExpConfig) -> Report {
+    table8_traced(config, &TelemetrySink::disabled())
+}
+
+/// [`table8`] with per-session budget attribution routed into `sink`.
+pub fn table8_traced(config: &ExpConfig, sink: &TelemetrySink) -> Report {
     let mut report = Report::new("Table 8: Coterie on Pixel 2 over 802.11ac");
     report.headers([
         "App (players)",
@@ -94,9 +140,12 @@ pub fn table8(config: &ExpConfig) -> Report {
         "Frame (KB)",
         "Net delay (ms)",
     ]);
+    let mut lane = 0u32;
     for players in [1usize, 2] {
         for &game in &GameId::TESTBED {
-            let m = run(game, SystemKind::coterie(), players, config, 0).aggregate();
+            let m =
+                run_traced(game, SystemKind::coterie(), players, config, 0, sink, lane).aggregate();
+            lane += 1;
             report.row([
                 format!("{} ({players}P)", game.short_name()),
                 f(m.avg_fps, 0),

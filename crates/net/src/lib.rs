@@ -31,9 +31,11 @@
 
 pub mod channel;
 pub mod fault;
+pub mod wire;
 
 pub use channel::{DatagramChannel, Delivery, PacketLost};
 pub use fault::{FiChannel, NetScenario};
+pub use wire::{FrameAssembler, WireError, WireMessage};
 
 use serde::{Deserialize, Serialize};
 

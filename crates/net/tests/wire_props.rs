@@ -1,0 +1,327 @@
+//! Property and corpus tests for the serving-plane wire protocol.
+//!
+//! Three layers of assurance, matching how the protocol fails in
+//! practice:
+//!
+//! 1. **Round-trip properties** — arbitrary well-formed messages encode
+//!    and decode to themselves, through both the one-shot body codec
+//!    and the incremental [`FrameAssembler`] fed in random chunk sizes.
+//! 2. **Mutation fuzzing** — random single-byte corruptions of valid
+//!    frames either decode to *some* message or fail cleanly with a
+//!    [`WireError`]; they never panic and never desynchronize the
+//!    assembler's framing.
+//! 3. **A hand-written malformed corpus** — the specific shapes a
+//!    hostile or broken peer produces (oversize prefixes, truncations,
+//!    trailing garbage, out-of-domain fields) map to the exact error
+//!    variants the server logic matches on.
+
+use coterie_net::wire::{
+    game_from_wire, ByeReason, ErrorCode, HEADER_BYTES, MAX_BODY_BYTES, PROTO_VERSION,
+};
+use coterie_net::{FrameAssembler, WireError, WireMessage};
+use coterie_world::GameId;
+use proptest::prelude::*;
+
+fn any_game() -> impl Strategy<Value = GameId> {
+    (0u8..GameId::ALL.len() as u8).prop_map(|c| game_from_wire(c).unwrap())
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1.0e6f64..1.0e6).prop_map(|v| v)
+}
+
+fn any_message() -> impl Strategy<Value = WireMessage> {
+    let hello =
+        (any_game(), 0u32..64, 0u64..u64::MAX).prop_map(|(game, room, seed)| WireMessage::Hello {
+            proto: PROTO_VERSION,
+            game,
+            room,
+            seed,
+        });
+    let welcome = (0u32..64, 0u32..256, finite_f64()).prop_map(|(room, player, budget_ms)| {
+        WireMessage::Welcome {
+            room,
+            player,
+            budget_ms,
+        }
+    });
+    let pose = (
+        0u64..u64::MAX,
+        finite_f64(),
+        finite_f64(),
+        finite_f64(),
+        finite_f64(),
+    )
+        .prop_map(|(seq, t_ms, x, z, yaw)| WireMessage::Pose {
+            seq,
+            t_ms,
+            x,
+            z,
+            yaw,
+        });
+    let frame = (
+        0u64..u64::MAX,
+        1u32..4096,
+        1u32..4096,
+        0u8..3,
+        proptest::bool::ANY,
+        1u16..=1000,
+        proptest::collection::vec(0u8..=255, 0..512),
+    )
+        .prop_map(
+            |(seq, width, height, quality, store_hit, scale_pm, payload)| WireMessage::Frame {
+                seq,
+                width,
+                height,
+                quality,
+                store_hit,
+                scale_pm,
+                payload,
+            },
+        );
+    let degrade = (1u16..=1000).prop_map(|scale_pm| WireMessage::Degrade { scale_pm });
+    let control = (0u8..5).prop_map(|k| match k {
+        0 => WireMessage::Bye,
+        1 => WireMessage::Goodbye {
+            reason: ByeReason::Normal,
+        },
+        2 => WireMessage::Goodbye {
+            reason: ByeReason::Shutdown,
+        },
+        3 => WireMessage::Error {
+            code: ErrorCode::BadVersion,
+        },
+        _ => WireMessage::Error {
+            code: ErrorCode::BadState,
+        },
+    });
+    (0u8..6, hello, welcome, pose, frame, degrade, control).prop_map(|(pick, h, w, p, f, d, c)| {
+        match pick {
+            0 => h,
+            1 => w,
+            2 => p,
+            3 => f,
+            4 => d,
+            _ => c,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn message_round_trips_through_body_codec(msg in any_message()) {
+        let frame = msg.encode_frame();
+        let body = &frame[HEADER_BYTES..];
+        let len = u32::from_le_bytes(frame[..HEADER_BYTES].try_into().unwrap()) as usize;
+        prop_assert_eq!(len, body.len());
+        prop_assert_eq!(WireMessage::decode_body(body).unwrap(), msg);
+    }
+
+    #[test]
+    fn assembler_round_trips_random_chunking(
+        msgs in proptest::collection::vec(any_message(), 1..12),
+        chunk in 1usize..97,
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&m.encode_frame());
+        }
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            asm.push(piece);
+            while let Some(m) = asm.next_message().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(asm.pending_bytes(), 0);
+    }
+
+    /// Single-byte corruption of a valid stream must never panic, and
+    /// as long as the *length prefixes* are intact the assembler must
+    /// stay frame-synchronized: every frame either decodes or errors,
+    /// and a sane receiver can account for all bytes.
+    #[test]
+    fn corrupted_bodies_fail_cleanly(
+        msg in any_message(),
+        flip_at in 0usize..64,
+        xor in 1u8..=255,
+    ) {
+        let mut frame = msg.encode_frame();
+        // Corrupt only body bytes, leaving the length prefix valid.
+        let body_len = frame.len() - HEADER_BYTES;
+        let idx = HEADER_BYTES + (flip_at % body_len);
+        frame[idx] ^= xor;
+
+        let mut asm = FrameAssembler::new();
+        asm.push(&frame);
+        match asm.next_message() {
+            Ok(Some(_)) => {
+                // Some corruptions land in don't-care bits (payloads,
+                // seeds); the frame must have been fully consumed.
+                prop_assert_eq!(asm.pending_bytes(), 0);
+            }
+            Ok(None) => prop_assert!(false, "complete frame reported incomplete"),
+            Err(_) => {} // clean protocol error: connection would drop
+        }
+    }
+}
+
+// --- malformed corpus -----------------------------------------------------
+
+/// Hand-written hostile inputs, each pinned to the exact error the
+/// server's disconnect path matches on.
+#[test]
+fn malformed_corpus_maps_to_expected_errors() {
+    let corpus: Vec<(&str, Vec<u8>, WireError)> = vec![
+        (
+            "oversize length prefix",
+            (MAX_BODY_BYTES as u32 + 1).to_le_bytes().to_vec(),
+            WireError::Oversize(MAX_BODY_BYTES + 1),
+        ),
+        (
+            "u32::MAX length prefix",
+            u32::MAX.to_le_bytes().to_vec(),
+            WireError::Oversize(u32::MAX as usize),
+        ),
+        (
+            "zero-length body",
+            0u32.to_le_bytes().to_vec(),
+            WireError::EmptyBody,
+        ),
+        (
+            "unknown message type",
+            frame_of(&[0x7f]),
+            WireError::UnknownType(0x7f),
+        ),
+        (
+            "hello with bad game id",
+            {
+                let mut b = vec![0x01u8];
+                b.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+                b.push(250); // game code far past GameId::ALL
+                b.extend_from_slice(&0u32.to_le_bytes());
+                b.extend_from_slice(&0u64.to_le_bytes());
+                frame_of(&b)
+            },
+            WireError::BadGame(250),
+        ),
+        (
+            "truncated hello",
+            frame_of(&[0x01, 0x01]), // type + half the proto field
+            WireError::Truncated,
+        ),
+        (
+            "pose with trailing garbage",
+            {
+                let pose = WireMessage::Pose {
+                    seq: 9,
+                    t_ms: 1.0,
+                    x: 2.0,
+                    z: 3.0,
+                    yaw: 0.5,
+                };
+                let mut body = pose.encode_frame()[HEADER_BYTES..].to_vec();
+                body.push(0xAA);
+                frame_of(&body)
+            },
+            WireError::TrailingBytes,
+        ),
+        (
+            "frame with zero scale",
+            {
+                let mut b = vec![0x04u8];
+                b.extend_from_slice(&1u64.to_le_bytes()); // seq
+                b.extend_from_slice(&16u32.to_le_bytes()); // width
+                b.extend_from_slice(&16u32.to_le_bytes()); // height
+                b.push(1); // quality
+                b.push(0); // store_hit
+                b.extend_from_slice(&0u16.to_le_bytes()); // scale_pm = 0
+                frame_of(&b)
+            },
+            WireError::BadValue("scale per-mille"),
+        ),
+        (
+            "frame with store_hit of 7",
+            {
+                let mut b = vec![0x04u8];
+                b.extend_from_slice(&1u64.to_le_bytes());
+                b.extend_from_slice(&16u32.to_le_bytes());
+                b.extend_from_slice(&16u32.to_le_bytes());
+                b.push(1);
+                b.push(7);
+                b.extend_from_slice(&500u16.to_le_bytes());
+                frame_of(&b)
+            },
+            WireError::BadValue("store_hit flag"),
+        ),
+        (
+            "welcome with infinite budget",
+            {
+                let mut b = vec![0x02u8];
+                b.extend_from_slice(&0u32.to_le_bytes());
+                b.extend_from_slice(&0u32.to_le_bytes());
+                b.extend_from_slice(&f64::INFINITY.to_bits().to_le_bytes());
+                frame_of(&b)
+            },
+            WireError::BadValue("budget_ms"),
+        ),
+        (
+            "goodbye with unknown reason",
+            frame_of(&[0x07, 99]),
+            WireError::BadValue("bye reason"),
+        ),
+        (
+            "degrade over 1000 per-mille",
+            {
+                let mut b = vec![0x05u8];
+                b.extend_from_slice(&1001u16.to_le_bytes());
+                frame_of(&b)
+            },
+            WireError::BadValue("scale per-mille"),
+        ),
+    ];
+
+    for (name, bytes, want) in corpus {
+        let mut asm = FrameAssembler::new();
+        asm.push(&bytes);
+        match asm.next_message() {
+            Err(got) => assert_eq!(got, want, "corpus case {name:?}"),
+            other => panic!("corpus case {name:?}: expected Err({want:?}), got {other:?}"),
+        }
+    }
+}
+
+/// Truncating a valid frame at every possible byte boundary must leave
+/// the assembler waiting for more input, never erroring or yielding.
+#[test]
+fn every_truncation_point_waits_for_more() {
+    let msg = WireMessage::Frame {
+        seq: 77,
+        width: 128,
+        height: 64,
+        quality: 1,
+        store_hit: false,
+        scale_pm: 1000,
+        payload: vec![9; 40],
+    };
+    let frame = msg.encode_frame();
+    for cut in 0..frame.len() {
+        let mut asm = FrameAssembler::new();
+        asm.push(&frame[..cut]);
+        assert_eq!(
+            asm.next_message(),
+            Ok(None),
+            "truncation at byte {cut} should wait, not fail"
+        );
+    }
+}
+
+fn frame_of(body: &[u8]) -> Vec<u8> {
+    let mut out = (body.len() as u32).to_le_bytes().to_vec();
+    out.extend_from_slice(body);
+    out
+}

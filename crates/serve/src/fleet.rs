@@ -248,6 +248,20 @@ impl Fleet {
                     epoch,
                 );
             }
+            if self.telemetry.is_enabled() {
+                // Store-occupancy gauge, one sample per epoch: the
+                // Chrome-trace "C" track showing fill and eviction churn.
+                let occupancy: u64 = self.stores.iter().map(SharedFrameStore::bytes).sum();
+                self.telemetry.counter(
+                    TrackId {
+                        pid: FLEET_PID,
+                        tid: FARM_TID,
+                    },
+                    "store-bytes",
+                    end,
+                    occupancy as f64,
+                );
+            }
             for room in &mut self.rooms {
                 room.end_epoch();
             }

@@ -1,0 +1,261 @@
+//! Serving-plane saturation bench: a connection-count ladder over a
+//! real in-process server.
+//!
+//! Each rung binds a fresh Unix-domain server, drives it with the
+//! blocking load generator at that rung's connection count (as fast as
+//! the server answers — no display pacing), and records the measured
+//! session throughput, round-trip latency percentiles, and egress rate.
+//! The *saturation* rung is the one with the highest sustained egress;
+//! sessions/core is read off that rung. Results serialize to the
+//! committed `BENCH_serve.json` via [`serve_bench_json`], including the
+//! full mergeable latency histogram.
+
+use crate::loadgen::{self, LoadConfig, LoadReport};
+use crate::server::{Server, ServerConfig, ServerStats};
+use crate::stream::{Endpoint, Listener};
+use coterie_net::NetScenario;
+use coterie_telemetry::TelemetrySink;
+use coterie_world::GameId;
+use std::path::PathBuf;
+
+/// Bench knobs.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Short ladder and fewer frames (CI-sized).
+    pub quick: bool,
+    /// World/trajectory seed shared by server and clients.
+    pub seed: u64,
+    /// Game every session plays.
+    pub game: GameId,
+    /// Poses per client per rung.
+    pub frames_per_client: u64,
+    /// Server worker threads.
+    pub workers: usize,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            quick: false,
+            seed: 42,
+            game: GameId::VikingVillage,
+            frames_per_client: 200,
+            workers: 1,
+        }
+    }
+}
+
+impl ServeBenchConfig {
+    /// The CI-sized configuration.
+    pub fn quick() -> Self {
+        ServeBenchConfig {
+            quick: true,
+            frames_per_client: 60,
+            ..ServeBenchConfig::default()
+        }
+    }
+
+    fn ladder(&self) -> &'static [usize] {
+        if self.quick {
+            &[1, 2, 4]
+        } else {
+            &[1, 2, 4, 8]
+        }
+    }
+}
+
+/// One ladder rung: client count plus what the run measured on both
+/// sides of the socket.
+#[derive(Debug, Clone)]
+pub struct Rung {
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Client-side measurements.
+    pub load: LoadReport,
+    /// Server-side final stats.
+    pub server: ServerStats,
+}
+
+/// A full ladder run.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// Configuration the ladder ran with.
+    pub config: ServeBenchConfig,
+    /// Per-rung results, ascending client count.
+    pub rungs: Vec<Rung>,
+}
+
+impl ServeBench {
+    /// The rung with the highest sustained egress rate (the saturation
+    /// point the headline numbers are read from).
+    pub fn saturation(&self) -> &Rung {
+        self.rungs
+            .iter()
+            .max_by(|a, b| {
+                a.load
+                    .egress_bytes_per_s()
+                    .total_cmp(&b.load.egress_bytes_per_s())
+            })
+            .expect("ladder has at least one rung")
+    }
+
+    /// Sessions sustained per worker core at saturation.
+    pub fn sessions_per_core(&self) -> f64 {
+        self.saturation().clients as f64 / self.config.workers.max(1) as f64
+    }
+}
+
+/// A socket path in the temp dir that no concurrent bench collides
+/// with.
+fn bench_socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("coterie-serve-{}-{tag}.sock", std::process::id()))
+}
+
+/// Runs the connection ladder and returns the measurements.
+pub fn serve_bench(config: &ServeBenchConfig) -> ServeBench {
+    let mut rungs = Vec::new();
+    for &clients in config.ladder() {
+        let path = bench_socket_path(&format!("bench{clients}"));
+        let listener = Listener::bind_uds(&path).expect("bind bench socket");
+        let server = Server::start(
+            listener,
+            ServerConfig {
+                workers: config.workers,
+                world_seed: config.seed,
+                ..ServerConfig::default()
+            },
+            TelemetrySink::disabled(),
+        )
+        .expect("start bench server");
+
+        let load = loadgen::run(&LoadConfig {
+            endpoint: Endpoint::Uds(path.clone()),
+            clients,
+            frames_per_client: config.frames_per_client,
+            game: config.game,
+            rooms: clients.div_ceil(2).max(1) as u32,
+            net: NetScenario::None,
+            seed: config.seed,
+            realtime: false,
+        });
+        let server_stats = server.stop();
+        let _ = std::fs::remove_file(&path);
+        rungs.push(Rung {
+            clients,
+            load,
+            server: server_stats,
+        });
+    }
+    ServeBench {
+        config: config.clone(),
+        rungs,
+    }
+}
+
+/// Renders a ladder run as the committed `BENCH_serve.json` document:
+/// per-rung rows plus the saturation headline (sessions/core, latency
+/// percentiles, egress rate) and the full sparse latency histogram.
+pub fn serve_bench_json(bench: &ServeBench) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"config\": {{ \"workers\": {}, \"frames_per_client\": {}, \"transport\": \"uds\", \
+         \"quick\": {} }},\n",
+        bench.config.workers, bench.config.frames_per_client, bench.config.quick
+    ));
+    out.push_str("  \"rungs\": [\n");
+    for (i, rung) in bench.rungs.iter().enumerate() {
+        let sep = if i + 1 == bench.rungs.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"clients\": {}, \"frames\": {}, \"store_hit_ratio\": {:.6}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
+             \"egress_bytes_per_s\": {:.1}, \"frames_dropped\": {}, \
+             \"protocol_errors\": {} }}{sep}\n",
+            rung.clients,
+            rung.load.frames_received,
+            rung.server.store_hit_ratio,
+            rung.load.latency.quantile(0.50),
+            rung.load.latency.quantile(0.95),
+            rung.load.latency.quantile(0.99),
+            rung.load.egress_bytes_per_s(),
+            rung.server.frames_dropped,
+            rung.load.protocol_errors + rung.server.protocol_errors,
+        ));
+    }
+    out.push_str("  ],\n");
+    let sat = bench.saturation();
+    out.push_str(&format!(
+        "  \"saturation\": {{\n    \"clients\": {},\n    \"sessions_per_core\": {:.2},\n    \
+         \"frame_latency_ms\": {{ \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \
+         \"egress_bytes_per_s\": {:.1},\n    \"latency_hist\": {}\n  }}\n",
+        sat.clients,
+        bench.sessions_per_core(),
+        sat.load.latency.quantile(0.50),
+        sat.load.latency.quantile(0.95),
+        sat.load.latency.quantile(0.99),
+        sat.load.egress_bytes_per_s(),
+        sat.load.latency.to_sparse_json(),
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rung_bench_round_trips() {
+        let config = ServeBenchConfig {
+            quick: true,
+            frames_per_client: 12,
+            ..ServeBenchConfig::default()
+        };
+        // One rung only to keep the test fast: reuse serve_bench's
+        // machinery via a hand-rolled run.
+        let path = bench_socket_path("test");
+        let listener = Listener::bind_uds(&path).expect("bind");
+        let server = Server::start(
+            listener,
+            ServerConfig {
+                world_seed: config.seed,
+                ..ServerConfig::default()
+            },
+            TelemetrySink::disabled(),
+        )
+        .expect("start");
+        let load = loadgen::run(&LoadConfig {
+            endpoint: Endpoint::Uds(path.clone()),
+            clients: 2,
+            frames_per_client: config.frames_per_client,
+            game: config.game,
+            rooms: 1,
+            net: NetScenario::None,
+            seed: config.seed,
+            realtime: false,
+        });
+        let stats = server.stop();
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(load.sessions_completed, 2, "{}", load.summary_line());
+        assert_eq!(load.protocol_errors, 0);
+        assert_eq!(load.decode_failures, 0);
+        assert_eq!(load.frames_received, 2 * config.frames_per_client);
+        assert_eq!(stats.poses, 2 * config.frames_per_client);
+        assert_eq!(stats.protocol_errors, 0);
+
+        let bench = ServeBench {
+            config,
+            rungs: vec![Rung {
+                clients: 2,
+                load,
+                server: stats,
+            }],
+        };
+        let json = serve_bench_json(&bench);
+        let doc = coterie_telemetry::parse_json(&json).expect("valid JSON");
+        let sat = doc.get("saturation").expect("saturation object");
+        assert!(sat.get("sessions_per_core").is_some());
+        assert!(sat.get("latency_hist").is_some());
+    }
+}

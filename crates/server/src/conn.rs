@@ -1,0 +1,297 @@
+//! Per-connection state: read assembly, session state machine, and the
+//! bounded egress queue.
+//!
+//! # Backpressure policy
+//!
+//! Each connection owns one byte-budgeted egress queue. Frame
+//! deliveries are *droppable*: if queueing a frame would push the queue
+//! past its byte limit, the frame is dropped and counted instead — a
+//! slow reader loses frames, it never grows server memory. Control
+//! messages (welcome, degrade notices, goodbyes) are *not* droppable;
+//! they are tiny, so they are allowed a 4 KiB overdraft above the
+//! limit, which keeps the queue bounded at `limit + 4096` in the worst
+//! case while guaranteeing session-control delivery order.
+//!
+//! Dropped frames feed the room's quality controller: persistent drops
+//! on a connection mean its share of the egress budget is too small for
+//! the current scale, which is exactly the paper's degrade trigger
+//! (ship smaller frames until the link recovers).
+
+use crate::stream::Stream;
+use coterie_net::wire::{FrameAssembler, WireError, WireMessage};
+use coterie_world::GameId;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+
+/// Headroom above the frame byte-limit reserved for small control
+/// messages, bytes.
+pub const CONTROL_OVERDRAFT_BYTES: usize = 4096;
+
+/// Where a connection is in the session protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Waiting for the client's `Hello`.
+    Handshake,
+    /// Joined a room; poses flow in, frames flow out.
+    Active {
+        /// Game being served.
+        game: GameId,
+        /// Room joined.
+        room: u32,
+        /// Player id within the room.
+        player: u32,
+    },
+    /// Goodbye queued; close once the egress queue flushes.
+    Draining,
+    /// Finished — the event loop should deregister and drop it.
+    Closed,
+}
+
+/// What a read pass produced.
+#[derive(Debug, PartialEq)]
+pub enum ReadOutcome {
+    /// Messages extracted (possibly zero) and the peer is still open.
+    Progress(Vec<WireMessage>),
+    /// The peer closed its write half (EOF after any final messages).
+    Eof(Vec<WireMessage>),
+    /// The stream violated the protocol; drop the connection.
+    Protocol(WireError),
+}
+
+/// One accepted connection.
+#[derive(Debug)]
+pub struct Connection {
+    stream: Stream,
+    assembler: FrameAssembler,
+    state: ConnState,
+    queue: VecDeque<Vec<u8>>,
+    queued_bytes: usize,
+    /// Bytes of `queue.front()` already written to the socket.
+    front_written: usize,
+    frame_limit_bytes: usize,
+    /// Scale the client was last told about (per-mille); a change
+    /// queues a `Degrade` notice on the next interaction.
+    pub last_notified_scale_pm: u16,
+    /// Frames dropped at the egress queue (backpressure).
+    pub frames_dropped: u64,
+    /// Frames successfully queued.
+    pub frames_queued: u64,
+    /// Poses received.
+    pub poses_received: u64,
+    /// Payload bytes written to the socket.
+    pub bytes_written: u64,
+    /// High-water mark of `queued_bytes`.
+    pub peak_queue_bytes: usize,
+}
+
+impl Connection {
+    /// Wraps an accepted (already non-blocking) stream.
+    pub fn new(stream: Stream, frame_limit_bytes: usize) -> Connection {
+        Connection {
+            stream,
+            assembler: FrameAssembler::new(),
+            state: ConnState::Handshake,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            front_written: 0,
+            frame_limit_bytes,
+            last_notified_scale_pm: 1000,
+            frames_dropped: 0,
+            frames_queued: 0,
+            poses_received: 0,
+            bytes_written: 0,
+            peak_queue_bytes: 0,
+        }
+    }
+
+    /// The protocol state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// Moves the protocol state.
+    pub fn set_state(&mut self, state: ConnState) {
+        self.state = state;
+    }
+
+    /// The wrapped stream (for raw-fd registration).
+    pub fn stream(&self) -> &Stream {
+        &self.stream
+    }
+
+    /// Bytes currently queued for egress.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+
+    /// Whether the egress queue is fully flushed.
+    pub fn egress_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Queues a droppable frame delivery. Returns `false` (and counts
+    /// the drop) when the queue's byte budget cannot take it.
+    pub fn enqueue_frame(&mut self, msg: &WireMessage) -> bool {
+        let bytes = msg.encode_frame();
+        if self.queued_bytes + bytes.len() > self.frame_limit_bytes {
+            self.frames_dropped += 1;
+            return false;
+        }
+        self.push_bytes(bytes);
+        self.frames_queued += 1;
+        true
+    }
+
+    /// Queues a control message. Never dropped; may overdraw the frame
+    /// limit by at most [`CONTROL_OVERDRAFT_BYTES`]. Returns `false`
+    /// only if even the overdraft is exhausted (a protocol-violating
+    /// peer) — callers should then close the connection.
+    pub fn enqueue_control(&mut self, msg: &WireMessage) -> bool {
+        let bytes = msg.encode_frame();
+        if self.queued_bytes + bytes.len() > self.frame_limit_bytes + CONTROL_OVERDRAFT_BYTES {
+            return false;
+        }
+        self.push_bytes(bytes);
+        true
+    }
+
+    fn push_bytes(&mut self, bytes: Vec<u8>) {
+        self.queued_bytes += bytes.len();
+        self.peak_queue_bytes = self.peak_queue_bytes.max(self.queued_bytes);
+        self.queue.push_back(bytes);
+    }
+
+    /// Drains as much of the egress queue as the socket accepts.
+    /// Returns `Ok(true)` if the queue is now empty.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while let Some(front) = self.queue.front() {
+            let remaining = &front[self.front_written..];
+            match self.stream.write(remaining) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ));
+                }
+                Ok(n) => {
+                    self.front_written += n;
+                    self.queued_bytes -= n;
+                    self.bytes_written += n as u64;
+                    if self.front_written == front.len() {
+                        self.queue.pop_front();
+                        self.front_written = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Reads whatever the socket has and extracts complete messages.
+    pub fn read_ready(&mut self) -> ReadOutcome {
+        let mut buf = [0u8; 16 * 1024];
+        let mut msgs = Vec::new();
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return ReadOutcome::Eof(msgs),
+                Ok(n) => {
+                    self.assembler.push(&buf[..n]);
+                    loop {
+                        match self.assembler.next_message() {
+                            Ok(Some(m)) => msgs.push(m),
+                            Ok(None) => break,
+                            Err(e) => return ReadOutcome::Protocol(e),
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    return ReadOutcome::Progress(msgs);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Eof(msgs),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::unix::net::UnixStream;
+
+    fn pair() -> (Connection, UnixStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        (Connection::new(Stream::Unix(a), 1024), b)
+    }
+
+    fn frame_msg(payload_len: usize) -> WireMessage {
+        WireMessage::Frame {
+            seq: 1,
+            width: 8,
+            height: 8,
+            quality: 1,
+            store_hit: false,
+            scale_pm: 1000,
+            payload: vec![0xAB; payload_len],
+        }
+    }
+
+    #[test]
+    fn frame_overflow_drops_but_control_overdrafts() {
+        let (mut conn, _peer) = pair();
+        assert!(conn.enqueue_frame(&frame_msg(600)));
+        // Second frame would exceed the 1024-byte budget: dropped.
+        assert!(!conn.enqueue_frame(&frame_msg(600)));
+        assert_eq!(conn.frames_dropped, 1);
+        // Control still goes through on the overdraft.
+        assert!(conn.enqueue_control(&WireMessage::Degrade { scale_pm: 750 }));
+        assert!(conn.queued_bytes() <= 1024 + CONTROL_OVERDRAFT_BYTES);
+    }
+
+    #[test]
+    fn queue_stays_bounded_against_a_dead_reader() {
+        let (mut conn, _peer) = pair();
+        for _ in 0..100 {
+            conn.enqueue_frame(&frame_msg(600));
+        }
+        assert!(conn.peak_queue_bytes <= 1024);
+        assert_eq!(conn.frames_queued, 1);
+        assert_eq!(conn.frames_dropped, 99);
+    }
+
+    #[test]
+    fn flush_writes_through_and_reader_reassembles() {
+        use std::io::Read as _;
+        let (mut conn, mut peer) = pair();
+        let msg = frame_msg(128);
+        assert!(conn.enqueue_frame(&msg));
+        assert!(conn.flush().unwrap());
+        assert!(conn.egress_idle());
+
+        let mut asm = FrameAssembler::new();
+        let mut buf = [0u8; 4096];
+        let n = peer.read(&mut buf).unwrap();
+        asm.push(&buf[..n]);
+        assert_eq!(asm.next_message().unwrap().unwrap(), msg);
+    }
+
+    #[test]
+    fn read_ready_surfaces_messages_and_eof() {
+        use std::io::Write as _;
+        let (mut conn, mut peer) = pair();
+        peer.write_all(&WireMessage::Bye.encode_frame()).unwrap();
+        match conn.read_ready() {
+            ReadOutcome::Progress(msgs) => assert_eq!(msgs, vec![WireMessage::Bye]),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        drop(peer);
+        match conn.read_ready() {
+            ReadOutcome::Eof(msgs) => assert!(msgs.is_empty()),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,576 @@
+//! The epoll event loop: thread-per-core acceptors, per-connection
+//! state machines, write backpressure, graceful shutdown.
+//!
+//! # Architecture
+//!
+//! One non-blocking listener is shared by every worker thread. Each
+//! worker owns a private epoll instance and registers the listener with
+//! `EPOLLEXCLUSIVE`, so the kernel wakes exactly one worker per
+//! connection burst — thread-per-core accept without a thundering herd
+//! and without an accept lock. The accepting worker owns the connection
+//! for its whole life: no cross-worker handoff, no shared connection
+//! table, no locks on the read/write path. All cross-connection state
+//! (the frame store, rooms, the farm) lives in [`ServiceCore`] behind
+//! its own fine-grained locks.
+//!
+//! Readiness is level-triggered. `EPOLLOUT` is armed only while a
+//! connection's egress queue is non-empty, so an idle socket costs no
+//! wakeups. Shutdown sets a flag; workers notice within one poll
+//! timeout (25 ms), queue a `Goodbye` on every connection, drain
+//! egress queues, and close — bounded by a 2 s drain deadline so a
+//! dead peer cannot wedge shutdown.
+
+use crate::conn::{ConnState, Connection, ReadOutcome};
+use crate::service::{quality_to_wire, FrameReply, ServiceCore};
+use crate::stream::Listener;
+use crate::sys::{Epoll, EpollEvent, EPOLLEXCLUSIVE, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use coterie_net::wire::{ByeReason, ErrorCode, WireMessage, PROTO_VERSION};
+use coterie_telemetry::{TelemetrySink, TrackId, SERVE_PID};
+use coterie_world::{GameId, Vec2};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Epoll token reserved for the shared listener.
+const TOKEN_LISTENER: u64 = u64::MAX;
+
+/// Poll timeout; bounds shutdown-notice latency.
+const POLL_TIMEOUT_MS: i32 = 25;
+
+/// How long shutdown waits for egress queues to drain before closing
+/// connections regardless.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Interval between counter/gauge samples.
+const COUNTER_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Server tuning.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker (acceptor + event loop) threads.
+    pub workers: usize,
+    /// Per-connection egress byte budget for droppable frames.
+    pub egress_limit_bytes: usize,
+    /// Shared frame-store byte budget.
+    pub store_bytes: u64,
+    /// Seed the per-game worlds are built from (must match the load
+    /// generator's seed for trajectory-consistent traffic).
+    pub world_seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 1,
+            egress_limit_bytes: 256 * 1024,
+            store_bytes: 64 << 20,
+            world_seed: 42,
+        }
+    }
+}
+
+/// Monotonic counters shared by all workers.
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    closed: AtomicU64,
+    live: AtomicU64,
+    poses: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_dropped: AtomicU64,
+    bytes_sent: AtomicU64,
+    protocol_errors: AtomicU64,
+    degrades_sent: AtomicU64,
+    peak_queue_bytes: AtomicU64,
+}
+
+impl Counters {
+    fn note_peak(&self, bytes: u64) {
+        self.peak_queue_bytes.fetch_max(bytes, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time stats snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections closed.
+    pub closed: u64,
+    /// Connections currently open.
+    pub live: u64,
+    /// Poses received.
+    pub poses: u64,
+    /// Frames queued for delivery.
+    pub frames_sent: u64,
+    /// Frames dropped by egress backpressure.
+    pub frames_dropped: u64,
+    /// Bytes written to sockets.
+    pub bytes_sent: u64,
+    /// Connections dropped for protocol violations.
+    pub protocol_errors: u64,
+    /// Degrade notices sent.
+    pub degrades_sent: u64,
+    /// Largest egress queue ever observed on one connection, bytes.
+    pub peak_queue_bytes: u64,
+    /// Frame-store occupancy, bytes.
+    pub store_bytes: u64,
+    /// Frame-store hit ratio so far.
+    pub store_hit_ratio: f64,
+}
+
+struct Shared {
+    service: Arc<ServiceCore>,
+    listener: Listener,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// A running server; dropping it without [`ServerHandle::stop`] aborts
+/// the workers on the next poll tick.
+pub struct Server {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts worker threads serving `listener`.
+    pub fn start(
+        listener: Listener,
+        config: ServerConfig,
+        telemetry: TelemetrySink,
+    ) -> io::Result<Server> {
+        let service = Arc::new(ServiceCore::new(
+            config.store_bytes,
+            config.world_seed,
+            telemetry,
+        ));
+        let shared = Arc::new(Shared {
+            service,
+            listener,
+            config: config.clone(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let workers = config.workers.max(1);
+        let mut threads = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("coterie-serve-{worker}"))
+                    .spawn(move || worker_loop(&shared, worker as u32))?,
+            );
+        }
+        Ok(Server { shared, threads })
+    }
+
+    /// The bound TCP address, when serving TCP (useful with port 0).
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        self.shared.listener.local_addr_tcp()
+    }
+
+    /// A live stats snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        let store = self.shared.service.store();
+        ServerStats {
+            accepted: c.accepted.load(Ordering::Relaxed),
+            closed: c.closed.load(Ordering::Relaxed),
+            live: c.live.load(Ordering::Relaxed),
+            poses: c.poses.load(Ordering::Relaxed),
+            frames_sent: c.frames_sent.load(Ordering::Relaxed),
+            frames_dropped: c.frames_dropped.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            degrades_sent: c.degrades_sent.load(Ordering::Relaxed),
+            peak_queue_bytes: c.peak_queue_bytes.load(Ordering::Relaxed),
+            store_bytes: store.bytes(),
+            store_hit_ratio: store.stats().hit_ratio(),
+        }
+    }
+
+    /// The worker count the server was started with.
+    pub fn workers(&self) -> usize {
+        self.config().workers.max(1)
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.shared.config
+    }
+
+    /// The service core (store/room introspection for harnesses).
+    pub fn service(&self) -> &Arc<ServiceCore> {
+        &self.shared.service
+    }
+
+    /// Signals shutdown, drains connections, joins the workers, and
+    /// returns the final stats.
+    pub fn stop(mut self) -> ServerStats {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: u32) {
+    let Ok(epoll) = Epoll::new() else { return };
+    if epoll
+        .add(
+            shared.listener.raw_fd(),
+            EPOLLIN | EPOLLEXCLUSIVE,
+            TOKEN_LISTENER,
+        )
+        .is_err()
+    {
+        return;
+    }
+
+    let mut events = [EpollEvent::zeroed(); 64];
+    let mut conns: HashMap<u64, Connection> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut draining = false;
+    let mut drain_started = Instant::now();
+    let mut last_counter_sample = Instant::now();
+    let sink = shared.service.telemetry().clone();
+
+    loop {
+        let n = epoll.wait(&mut events, POLL_TIMEOUT_MS).unwrap_or(0);
+        for ev in &events[..n] {
+            let token = ev.token();
+            if token == TOKEN_LISTENER {
+                if !draining {
+                    accept_burst(shared, &epoll, &mut conns, &mut next_token);
+                }
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            let ready = ev.ready();
+            if ready & EPOLLIN != 0 || ready & EPOLLRDHUP != 0 {
+                handle_readable(shared, conn, worker);
+            }
+            if ready & EPOLLOUT != 0 {
+                flush_conn(shared, conn);
+            }
+            sync_conn(&epoll, &mut conns, token, shared);
+        }
+
+        // Shutdown notice: queue goodbyes once, then drain.
+        if shared.shutdown.load(Ordering::SeqCst) && !draining {
+            draining = true;
+            drain_started = Instant::now();
+            let tokens: Vec<u64> = conns.keys().copied().collect();
+            for token in tokens {
+                if let Some(conn) = conns.get_mut(&token) {
+                    begin_goodbye(shared, conn, ByeReason::Shutdown);
+                    flush_conn(shared, conn);
+                    sync_conn(&epoll, &mut conns, token, shared);
+                }
+            }
+        }
+        if draining {
+            if conns.is_empty() {
+                break;
+            }
+            if drain_started.elapsed() > DRAIN_DEADLINE {
+                let tokens: Vec<u64> = conns.keys().copied().collect();
+                for token in tokens {
+                    close_conn(shared, &epoll, &mut conns, token);
+                }
+                break;
+            }
+        }
+
+        shared.service.maintain(worker);
+
+        if worker == 0 && last_counter_sample.elapsed() >= COUNTER_INTERVAL {
+            last_counter_sample = Instant::now();
+            sample_counters(shared, &sink, &conns, worker);
+        }
+    }
+}
+
+fn sample_counters(
+    shared: &Shared,
+    sink: &TelemetrySink,
+    conns: &HashMap<u64, Connection>,
+    worker: u32,
+) {
+    if !sink.is_enabled() {
+        return;
+    }
+    let t = sink.now_ms();
+    let track = TrackId {
+        pid: SERVE_PID,
+        tid: worker,
+    };
+    let queued: usize = conns.values().map(|c| c.queued_bytes()).sum();
+    sink.counter(
+        track,
+        "connections",
+        t,
+        shared.counters.live.load(Ordering::Relaxed) as f64,
+    );
+    sink.counter(track, "egress-queue-bytes", t, queued as f64);
+    sink.counter(
+        track,
+        "store-bytes",
+        t,
+        shared.service.store().bytes() as f64,
+    );
+}
+
+fn accept_burst(
+    shared: &Shared,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Connection>,
+    next_token: &mut u64,
+) {
+    loop {
+        match shared.listener.accept() {
+            Ok(stream) => {
+                let token = *next_token;
+                *next_token += 1;
+                let fd = stream.raw_fd();
+                let conn = Connection::new(stream, shared.config.egress_limit_bytes);
+                if epoll.add(fd, EPOLLIN | EPOLLRDHUP, token).is_ok() {
+                    conns.insert(token, conn);
+                    shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.live.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reconciles a connection's epoll interest with its queue state and
+/// reaps it once closed.
+fn sync_conn(epoll: &Epoll, conns: &mut HashMap<u64, Connection>, token: u64, shared: &Shared) {
+    let Some(conn) = conns.get(&token) else {
+        return;
+    };
+    let done_draining = conn.state() == ConnState::Draining && conn.egress_idle();
+    if conn.state() == ConnState::Closed || done_draining {
+        close_conn(shared, epoll, conns, token);
+        return;
+    }
+    let mut interest = EPOLLIN | EPOLLRDHUP;
+    if !conn.egress_idle() {
+        interest |= EPOLLOUT;
+    }
+    let _ = epoll.modify(conn.stream().raw_fd(), interest, token);
+}
+
+fn close_conn(shared: &Shared, epoll: &Epoll, conns: &mut HashMap<u64, Connection>, token: u64) {
+    if let Some(conn) = conns.remove(&token) {
+        let _ = epoll.delete(conn.stream().raw_fd());
+        if let ConnState::Active { game, room, .. } = conn.state() {
+            shared.service.leave(game, room);
+        }
+        shared.counters.note_peak(conn.peak_queue_bytes as u64);
+        shared.counters.live.fetch_sub(1, Ordering::Relaxed);
+        shared.counters.closed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn flush_conn(shared: &Shared, conn: &mut Connection) {
+    let before = conn.bytes_written;
+    match conn.flush() {
+        Ok(_) => {
+            let delta = conn.bytes_written - before;
+            if delta > 0 {
+                shared
+                    .counters
+                    .bytes_sent
+                    .fetch_add(delta, Ordering::Relaxed);
+            }
+        }
+        Err(_) => conn.set_state(ConnState::Closed),
+    }
+}
+
+fn begin_goodbye(shared: &Shared, conn: &mut Connection, reason: ByeReason) {
+    if matches!(conn.state(), ConnState::Draining | ConnState::Closed) {
+        return;
+    }
+    if let ConnState::Active { game, room, .. } = conn.state() {
+        shared.service.leave(game, room);
+    }
+    if conn.enqueue_control(&WireMessage::Goodbye { reason }) {
+        conn.set_state(ConnState::Draining);
+    } else {
+        conn.set_state(ConnState::Closed);
+    }
+}
+
+fn handle_readable(shared: &Shared, conn: &mut Connection, worker: u32) {
+    let (msgs, eof) = match conn.read_ready() {
+        ReadOutcome::Progress(msgs) => (msgs, false),
+        ReadOutcome::Eof(msgs) => (msgs, true),
+        ReadOutcome::Protocol(_) => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = conn.enqueue_control(&WireMessage::Error {
+                code: ErrorCode::Malformed,
+            });
+            begin_goodbye(shared, conn, ByeReason::Normal);
+            return;
+        }
+    };
+    for msg in msgs {
+        handle_message(shared, conn, msg, worker);
+        if conn.state() == ConnState::Closed {
+            break;
+        }
+    }
+    if eof && conn.state() != ConnState::Closed {
+        // Peer is gone; whatever is queued can never matter.
+        if let ConnState::Active { game, room, .. } = conn.state() {
+            shared.service.leave(game, room);
+        }
+        conn.set_state(ConnState::Closed);
+    }
+}
+
+fn handle_message(shared: &Shared, conn: &mut Connection, msg: WireMessage, worker: u32) {
+    match (conn.state(), msg) {
+        (
+            ConnState::Handshake,
+            WireMessage::Hello {
+                proto, game, room, ..
+            },
+        ) => {
+            if proto != PROTO_VERSION {
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = conn.enqueue_control(&WireMessage::Error {
+                    code: ErrorCode::BadVersion,
+                });
+                begin_goodbye(shared, conn, ByeReason::Normal);
+                return;
+            }
+            let (player, scale_pm) = shared.service.join(game, room);
+            conn.last_notified_scale_pm = scale_pm;
+            conn.set_state(ConnState::Active { game, room, player });
+            let ok = conn.enqueue_control(&WireMessage::Welcome {
+                room,
+                player,
+                budget_ms: shared.service.budget_ms(),
+            });
+            if !ok {
+                conn.set_state(ConnState::Closed);
+            }
+        }
+        (ConnState::Active { game, room, .. }, WireMessage::Pose { seq, x, z, .. }) => {
+            shared.counters.poses.fetch_add(1, Ordering::Relaxed);
+            serve_pose(shared, conn, game, room, seq, Vec2::new(x, z), worker);
+        }
+        (ConnState::Active { .. }, WireMessage::Bye) | (ConnState::Handshake, WireMessage::Bye) => {
+            begin_goodbye(shared, conn, ByeReason::Normal);
+        }
+        (ConnState::Draining, _) | (ConnState::Closed, _) => {
+            // Late traffic from a peer we already said goodbye to.
+        }
+        (_, WireMessage::Error { .. }) | (_, WireMessage::Goodbye { .. }) => {
+            // Peer-side reports need no reply.
+        }
+        _ => {
+            shared
+                .counters
+                .protocol_errors
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = conn.enqueue_control(&WireMessage::Error {
+                code: ErrorCode::BadState,
+            });
+            begin_goodbye(shared, conn, ByeReason::Normal);
+        }
+    }
+}
+
+fn serve_pose(
+    shared: &Shared,
+    conn: &mut Connection,
+    game: GameId,
+    room: u32,
+    seq: u64,
+    pos: Vec2,
+    worker: u32,
+) {
+    let FrameReply {
+        encoded,
+        store_hit,
+        scale_pm,
+    } = shared.service.frame_for(game, room, pos, worker);
+
+    // Scale changed since this client last heard about it (another
+    // connection may have triggered the degrade): notify lazily.
+    if scale_pm != conn.last_notified_scale_pm {
+        conn.last_notified_scale_pm = scale_pm;
+        if conn.enqueue_control(&WireMessage::Degrade { scale_pm }) {
+            shared
+                .counters
+                .degrades_sent
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    let frame = WireMessage::Frame {
+        seq,
+        width: encoded.width,
+        height: encoded.height,
+        quality: quality_to_wire(encoded.quality),
+        store_hit,
+        scale_pm,
+        payload: encoded.payload.to_vec(),
+    };
+    let delivered = conn.enqueue_frame(&frame);
+    if delivered {
+        shared.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared
+            .counters
+            .frames_dropped
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    shared.counters.note_peak(conn.queued_bytes() as u64);
+
+    if let Some(new_scale) = shared.service.note_delivery(game, room, !delivered) {
+        if new_scale != conn.last_notified_scale_pm {
+            conn.last_notified_scale_pm = new_scale;
+            if conn.enqueue_control(&WireMessage::Degrade {
+                scale_pm: new_scale,
+            }) {
+                shared
+                    .counters
+                    .degrades_sent
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    flush_conn(shared, conn);
+}

@@ -1,0 +1,521 @@
+//! The serving core: everything between a decoded `Pose` and an
+//! encoded `Frame`, shared by all worker threads.
+//!
+//! [`ServiceCore`] hosts the `coterie-serve` fleet machinery behind the
+//! wire protocol: the cross-room [`SharedFrameStore`] answers the
+//! paper's three-criteria similarity lookup (session-id-free, so any
+//! room's frames serve any room of the same game), the
+//! [`PrerenderFarm`] turns misses into speculative neighbour renders,
+//! and a per-room quality controller converts egress-queue drops into
+//! degrade notices — the paper's "ship smaller frames until the link
+//! recovers" loop, driven by *measured* socket backpressure instead of
+//! a simulated budget.
+//!
+//! The store tracks identity and byte accounting only; the codec-encoded
+//! payloads live in a bounded FIFO payload cache alongside it. Frames
+//! are produced by a deterministic procedural renderer (a cheap smooth
+//! luma field seeded by the grid point) and encoded with the real
+//! `coterie-codec` transform — real serialization cost on the server,
+//! real decode cost on the client, without dragging the full panorama
+//! renderer into the per-request path.
+
+use coterie_codec::{EncodedFrame, Encoder, Quality};
+use coterie_core::cache::{CacheQuery, FrameMeta};
+use coterie_frame::LumaFrame;
+use coterie_serve::farm::PrerenderFarm;
+use coterie_serve::{SharedFrameStore, StoreConfig};
+use coterie_telemetry::{Stage, TelemetrySink, TrackId, SERVE_PID, VSYNC_BUDGET_MS};
+use coterie_world::{GameId, GameSpec, GridPoint, LeafId, Scene, Vec2};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Consecutive dropped frames on a room before its scale degrades.
+pub const DEGRADE_AFTER_DROPS: u32 = 4;
+/// Consecutive clean deliveries before a degraded room recovers a step.
+pub const RECOVER_AFTER_CLEAN: u32 = 64;
+/// Multiplicative degrade step, per-mille scale.
+pub const DEGRADE_STEP: f64 = 0.75;
+/// Multiplicative recovery step.
+pub const RECOVER_STEP: f64 = 1.15;
+/// Floor the controller never degrades below, per-mille.
+pub const MIN_SCALE_PM: u16 = 250;
+
+/// Base far-BE frame width at full scale, px. Height is half (the
+/// far-field band of an equirect panorama).
+pub const BASE_WIDTH: u32 = 128;
+
+/// Payload-cache entry cap. The [`SharedFrameStore`] owns the byte
+/// budget and LRU; this FIFO cap only bounds the payload map when store
+/// churn outpaces it.
+const PAYLOAD_CACHE_ENTRIES: usize = 4096;
+
+/// Per-game world state, built lazily on first join.
+struct World {
+    scene: Scene,
+    spec: GameSpec,
+    /// Similarity threshold for store lookups, meters.
+    dist_thresh: f64,
+    /// Near-set radius fed to criterion 3's hash, meters.
+    near_radius: f64,
+}
+
+/// Per-room controller state.
+struct RoomState {
+    next_player: u32,
+    players: u32,
+    scale_pm: u16,
+    drop_streak: u32,
+    clean_streak: u32,
+}
+
+/// The result of serving one pose.
+pub struct FrameReply {
+    /// The encoded far-BE frame.
+    pub encoded: Arc<EncodedFrame>,
+    /// Whether the shared store already had a similar frame.
+    pub store_hit: bool,
+    /// The room's current quality scale, per-mille.
+    pub scale_pm: u16,
+}
+
+/// Aggregate service counters (monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Poses served with a frame reply.
+    pub frames_served: u64,
+    /// Replies answered from the shared store.
+    pub store_hits: u64,
+    /// Replies that rendered + encoded on demand.
+    pub store_misses: u64,
+    /// Degrade / recover notices generated.
+    pub scale_changes: u64,
+}
+
+/// Shared serving state; one per server, `Arc`-shared across workers.
+pub struct ServiceCore {
+    worlds: Mutex<HashMap<GameId, Arc<World>>>,
+    store: SharedFrameStore,
+    payloads: Mutex<PayloadCache>,
+    farm: Mutex<PrerenderFarm>,
+    rooms: Mutex<HashMap<(GameId, u32), RoomState>>,
+    stats: Mutex<ServiceStats>,
+    encoder: Encoder,
+    telemetry: TelemetrySink,
+    world_seed: u64,
+}
+
+struct PayloadCache {
+    map: HashMap<(GameId, u64, u16), Arc<EncodedFrame>>,
+    order: VecDeque<(GameId, u64, u16)>,
+}
+
+impl ServiceCore {
+    /// A core with the given store budget and telemetry sink (pass a
+    /// disabled sink for untraced runs).
+    pub fn new(store_bytes: u64, world_seed: u64, telemetry: TelemetrySink) -> ServiceCore {
+        ServiceCore {
+            worlds: Mutex::new(HashMap::new()),
+            store: SharedFrameStore::new(StoreConfig {
+                capacity_bytes: store_bytes,
+                ..StoreConfig::default()
+            }),
+            payloads: Mutex::new(PayloadCache {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            farm: Mutex::new(PrerenderFarm::new()),
+            rooms: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ServiceStats::default()),
+            encoder: Encoder::new(Quality::CRF25),
+            telemetry,
+            world_seed,
+        }
+    }
+
+    /// The shared store (occupancy gauges, hit-ratio reporting).
+    pub fn store(&self) -> &SharedFrameStore {
+        &self.store
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        *self.stats.lock()
+    }
+
+    /// The vsync budget advertised in `Welcome`.
+    pub fn budget_ms(&self) -> f64 {
+        VSYNC_BUDGET_MS
+    }
+
+    fn world(&self, game: GameId) -> Arc<World> {
+        let mut worlds = self.worlds.lock();
+        worlds
+            .entry(game)
+            .or_insert_with(|| {
+                let spec = GameSpec::for_game(game);
+                let scene = spec.build_scene(self.world_seed);
+                let spacing = scene.grid().spacing();
+                Arc::new(World {
+                    scene,
+                    spec,
+                    dist_thresh: spacing * 0.75,
+                    near_radius: spacing * 2.0,
+                })
+            })
+            .clone()
+    }
+
+    /// The game's spec and scene, for trajectory-driven tooling that
+    /// wants to share the server's lazily-built world.
+    pub fn world_handles(&self, game: GameId) -> (GameSpec, Arc<Scene>) {
+        // The load generator builds its own scene from the same seed;
+        // this accessor exists for in-process harnesses.
+        let w = self.world(game);
+        (
+            w.spec.clone(),
+            Arc::new(w.spec.build_scene(self.world_seed)),
+        )
+    }
+
+    /// Admits a player into `(game, room)` and returns its player id
+    /// and the room's current scale.
+    pub fn join(&self, game: GameId, room: u32) -> (u32, u16) {
+        // Touch the world so first-pose latency doesn't pay scene
+        // construction.
+        let _ = self.world(game);
+        let mut rooms = self.rooms.lock();
+        let state = rooms.entry((game, room)).or_insert(RoomState {
+            next_player: 0,
+            players: 0,
+            scale_pm: 1000,
+            drop_streak: 0,
+            clean_streak: 0,
+        });
+        let player = state.next_player;
+        state.next_player += 1;
+        state.players += 1;
+        (player, state.scale_pm)
+    }
+
+    /// Removes a player from its room; empty rooms reset their
+    /// controller on the next join.
+    pub fn leave(&self, game: GameId, room: u32) {
+        let mut rooms = self.rooms.lock();
+        if let Some(state) = rooms.get_mut(&(game, room)) {
+            state.players = state.players.saturating_sub(1);
+            if state.players == 0 {
+                rooms.remove(&(game, room));
+            }
+        }
+    }
+
+    /// Feeds the room's quality controller one delivery outcome.
+    /// Returns the new scale if it changed (a `Degrade` notice should
+    /// be sent to the room's connections).
+    pub fn note_delivery(&self, game: GameId, room: u32, dropped: bool) -> Option<u16> {
+        let mut rooms = self.rooms.lock();
+        let state = rooms.get_mut(&(game, room))?;
+        if dropped {
+            state.drop_streak += 1;
+            state.clean_streak = 0;
+            if state.drop_streak >= DEGRADE_AFTER_DROPS {
+                state.drop_streak = 0;
+                let next = ((state.scale_pm as f64 * DEGRADE_STEP) as u16).max(MIN_SCALE_PM);
+                if next != state.scale_pm {
+                    state.scale_pm = next;
+                    self.stats.lock().scale_changes += 1;
+                    return Some(next);
+                }
+            }
+        } else {
+            state.clean_streak += 1;
+            state.drop_streak = 0;
+            if state.clean_streak >= RECOVER_AFTER_CLEAN && state.scale_pm < 1000 {
+                state.clean_streak = 0;
+                let next = ((state.scale_pm as f64 * RECOVER_STEP) as u16).min(1000);
+                state.scale_pm = next;
+                self.stats.lock().scale_changes += 1;
+                return Some(next);
+            }
+        }
+        None
+    }
+
+    /// Serves one pose: a store lookup, then (on miss) a procedural
+    /// render + real encode, neighbour speculation queued to the farm.
+    /// `worker` is the trace track the spans land on.
+    pub fn frame_for(&self, game: GameId, room: u32, pos: Vec2, worker: u32) -> FrameReply {
+        let world = self.world(game);
+        let grid = world.scene.grid().snap(pos);
+        let gpos = world.scene.grid().position(grid);
+        let near_hash = world.scene.near_set_hash(gpos, world.near_radius);
+        let leaf = leaf_of(grid);
+        let scale_pm = {
+            let rooms = self.rooms.lock();
+            rooms.get(&(game, room)).map(|r| r.scale_pm).unwrap_or(1000)
+        };
+
+        let track = TrackId {
+            pid: SERVE_PID,
+            tid: worker,
+        };
+        let query = CacheQuery {
+            grid,
+            pos: gpos,
+            leaf,
+            near_hash,
+            dist_thresh: world.dist_thresh,
+        };
+
+        let t0 = self.telemetry.now_ms();
+        let store_hit = self.store.lookup(game, &query);
+        self.telemetry.span(
+            track,
+            Stage::CacheLookup,
+            "store-lookup",
+            t0,
+            self.telemetry.now_ms() - t0,
+            0,
+        );
+
+        let key = (game, grid.key(), scale_pm);
+        let cached = if store_hit {
+            self.payloads.lock().map.get(&key).cloned()
+        } else {
+            None
+        };
+
+        let encoded = match cached {
+            Some(e) => e,
+            None => {
+                let t1 = self.telemetry.now_ms();
+                let luma = procedural_far_frame(grid, near_hash, scale_pm);
+                self.telemetry.span(
+                    track,
+                    Stage::Render,
+                    "far-render",
+                    t1,
+                    self.telemetry.now_ms() - t1,
+                    0,
+                );
+                let t2 = self.telemetry.now_ms();
+                let encoded = Arc::new(self.encoder.encode(&luma));
+                self.telemetry.span(
+                    track,
+                    Stage::Encode,
+                    "far-encode",
+                    t2,
+                    self.telemetry.now_ms() - t2,
+                    0,
+                );
+                let meta = FrameMeta {
+                    grid,
+                    pos: gpos,
+                    leaf,
+                    near_hash,
+                };
+                let bytes = encoded.size_bytes() as u64;
+                self.store.insert(game, meta, bytes);
+                {
+                    let mut p = self.payloads.lock();
+                    if p.map.insert(key, encoded.clone()).is_none() {
+                        p.order.push_back(key);
+                        while p.order.len() > PAYLOAD_CACHE_ENTRIES {
+                            if let Some(old) = p.order.pop_front() {
+                                p.map.remove(&old);
+                            }
+                        }
+                    }
+                }
+                self.farm
+                    .lock()
+                    .enqueue_neighbors(0, game, meta, bytes, world.dist_thresh);
+                encoded
+            }
+        };
+
+        {
+            let mut stats = self.stats.lock();
+            stats.frames_served += 1;
+            if store_hit {
+                stats.store_hits += 1;
+            } else {
+                stats.store_misses += 1;
+            }
+        }
+        FrameReply {
+            encoded,
+            store_hit,
+            scale_pm,
+        }
+    }
+
+    /// Periodic maintenance: sweeps the pre-render farm into the store.
+    /// Workers call this between poll iterations; it is cheap when the
+    /// farm is empty.
+    pub fn maintain(&self, worker: u32) {
+        let mut farm = self.farm.lock();
+        if farm.pending() == 0 {
+            return;
+        }
+        let t0 = self.telemetry.now_ms();
+        farm.drain_into(&[&self.store]);
+        self.telemetry.span(
+            TrackId {
+                pid: SERVE_PID,
+                tid: worker,
+            },
+            Stage::Farm,
+            "farm-drain",
+            t0,
+            self.telemetry.now_ms() - t0,
+            0,
+        );
+    }
+
+    /// The telemetry sink the core records into.
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+}
+
+/// Uniform leaf tiling: 8×8 grid-point regions. The single-session
+/// pipeline derives leaves from the calibrated cutoff quadtree; the
+/// serving plane approximates that with a fixed tiling, which preserves
+/// the store's criterion-2 semantics (same-leaf requirement) without
+/// running calibration at accept time.
+fn leaf_of(grid: GridPoint) -> LeafId {
+    let lx = (grid.ix >> 3) as u32;
+    let lz = (grid.iz >> 3) as u32;
+    LeafId((lx & 0xFFFF) << 16 | (lz & 0xFFFF))
+}
+
+/// Deterministic smooth far-field luma for a grid point. Phase is
+/// seeded by the grid key and the near-set hash so different points
+/// produce different (but compressible) content, and the same point
+/// always reproduces byte-identical frames.
+fn procedural_far_frame(grid: GridPoint, near_hash: u64, scale_pm: u16) -> LumaFrame {
+    let width = (BASE_WIDTH * scale_pm as u32 / 1000).max(16);
+    let height = (width / 2).max(8);
+    let seed = grid.key() ^ near_hash;
+    let p1 = (seed & 0xFFFF) as f32 / 65536.0;
+    let p2 = ((seed >> 16) & 0xFFFF) as f32 / 65536.0;
+    LumaFrame::from_fn(width, height, |x, y| {
+        let fx = x as f32 / width as f32;
+        let fy = y as f32 / height as f32;
+        (0.5 + 0.28 * ((fx * 7.0 + p1 * 6.0).sin() * (fy * 5.0 - p2 * 4.0).cos())
+            + 0.12 * ((fx * 23.0 - p2 * 11.0).cos() * (fy * 17.0 + p1 * 9.0).sin()))
+        .clamp(0.0, 1.0)
+    })
+}
+
+/// Maps a codec quality to its wire code.
+pub fn quality_to_wire(q: Quality) -> u8 {
+    match q {
+        Quality::CRF18 => 0,
+        Quality::CRF25 => 1,
+        Quality::CRF32 => 2,
+    }
+}
+
+/// Maps a wire code back to a codec quality.
+pub fn quality_from_wire(code: u8) -> Quality {
+    match code {
+        0 => Quality::CRF18,
+        2 => Quality::CRF32,
+        _ => Quality::CRF25,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> ServiceCore {
+        ServiceCore::new(64 << 20, 42, TelemetrySink::disabled())
+    }
+
+    #[test]
+    fn join_assigns_monotonic_players_and_leave_clears_room() {
+        let c = core();
+        let (p0, s0) = c.join(GameId::VikingVillage, 0);
+        let (p1, _) = c.join(GameId::VikingVillage, 0);
+        assert_eq!((p0, p1), (0, 1));
+        assert_eq!(s0, 1000);
+        c.leave(GameId::VikingVillage, 0);
+        c.leave(GameId::VikingVillage, 0);
+        // Room reset: a new join starts at player 0 again.
+        let (p, _) = c.join(GameId::VikingVillage, 0);
+        assert_eq!(p, 0);
+    }
+
+    #[test]
+    fn repeated_pose_hits_the_store() {
+        let c = core();
+        c.join(GameId::Fps, 3);
+        let pos = Vec2::new(10.0, 12.0);
+        let first = c.frame_for(GameId::Fps, 3, pos, 0);
+        assert!(!first.store_hit);
+        let second = c.frame_for(GameId::Fps, 3, pos, 0);
+        assert!(second.store_hit);
+        assert_eq!(first.encoded.payload, second.encoded.payload);
+        let stats = c.stats();
+        assert_eq!(stats.frames_served, 2);
+        assert_eq!(stats.store_hits, 1);
+    }
+
+    #[test]
+    fn drops_degrade_and_clean_runs_recover() {
+        let c = core();
+        c.join(GameId::Fps, 0);
+        let mut changed = None;
+        for _ in 0..DEGRADE_AFTER_DROPS {
+            changed = c.note_delivery(GameId::Fps, 0, true);
+        }
+        let degraded = changed.expect("drops must degrade the room");
+        assert_eq!(degraded, 750);
+        let mut recovered = None;
+        for _ in 0..RECOVER_AFTER_CLEAN {
+            recovered = c.note_delivery(GameId::Fps, 0, false);
+        }
+        let back = recovered.expect("clean deliveries must recover");
+        assert!(back > degraded);
+    }
+
+    #[test]
+    fn scale_floor_holds_under_sustained_drops() {
+        let c = core();
+        c.join(GameId::Fps, 0);
+        for _ in 0..10_000 {
+            c.note_delivery(GameId::Fps, 0, true);
+        }
+        let reply = c.frame_for(GameId::Fps, 0, Vec2::new(0.0, 0.0), 0);
+        assert!(reply.scale_pm >= MIN_SCALE_PM);
+    }
+
+    #[test]
+    fn degraded_scale_shrinks_the_frame() {
+        let full = procedural_far_frame(GridPoint::new(4, 4), 9, 1000);
+        let degraded = procedural_far_frame(GridPoint::new(4, 4), 9, 500);
+        assert!(degraded.width() < full.width());
+        assert!(degraded.width() >= 16);
+    }
+
+    #[test]
+    fn frames_decode_with_the_real_codec() {
+        let c = core();
+        c.join(GameId::VikingVillage, 0);
+        let reply = c.frame_for(GameId::VikingVillage, 0, Vec2::new(5.0, 5.0), 0);
+        let decoder = Encoder::new(reply.encoded.quality);
+        let decoded = decoder.decode(&reply.encoded).expect("decode");
+        assert_eq!(decoded.width(), reply.encoded.width);
+    }
+
+    #[test]
+    fn quality_wire_codes_round_trip() {
+        for q in [Quality::CRF18, Quality::CRF25, Quality::CRF32] {
+            assert_eq!(quality_from_wire(quality_to_wire(q)), q);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Minimal epoll bindings.
+//!
+//! The workspace vendors no `libc`/`mio` crate, so this module declares
+//! the four syscall wrappers the event loop needs directly against the
+//! C library `std` already links on Linux. All `unsafe` in the crate
+//! lives here, behind the safe [`Epoll`] handle.
+//!
+//! ABI note: glibc declares `struct epoll_event` with
+//! `__attribute__((packed))` on x86-64 (the kernel ABI has no padding
+//! between the 32-bit event mask and the 64-bit data word). The struct
+//! below mirrors that, and packed fields are only ever read by value —
+//! never by reference — which is all the language guarantees for
+//! packed layouts.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+
+/// Readable interest (level-triggered).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable interest.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, no need to request).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Wake only one of the epoll instances sharing a listener — the
+/// thundering-herd guard for thread-per-core acceptors.
+pub const EPOLLEXCLUSIVE: u32 = 1 << 28;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+/// Kernel ABI layout of `struct epoll_event` (packed on x86-64, see
+/// module docs).
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-event bitmask (`EPOLL*` flags).
+    pub events: u32,
+    /// The token registered with the fd.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed event (for wait buffers).
+    pub fn zeroed() -> Self {
+        EpollEvent { events: 0, data: 0 }
+    }
+
+    /// The ready mask, read by value (packed field).
+    pub fn ready(&self) -> u32 {
+        self.events
+    }
+
+    /// The registered token, read by value (packed field).
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// A safe owner of one epoll instance.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is
+        // the documented error signal.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it out
+        // before returning. DEL ignores the event pointer entirely.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Registers `fd` with the given interest mask and token.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Changes an existing registration's interest mask.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Removes a registration (best-effort; closing the fd also
+    /// removes it).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout_ms` for ready events, filling `events`.
+    /// Returns how many were filled. EINTR retries internally.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: the buffer pointer and capacity describe a live,
+            // writable slice for the duration of the call.
+            let n = unsafe {
+                epoll_wait(
+                    self.fd,
+                    events.as_mut_ptr(),
+                    events.len().min(i32::MAX as usize) as i32,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this handle and closed exactly
+        // once.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn epoll_reports_readable_pair() {
+        let ep = Epoll::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN, 7).unwrap();
+
+        let mut events = [EpollEvent::zeroed(); 8];
+        // Nothing written yet: a zero-timeout wait sees nothing.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        a.write_all(b"x").unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert_ne!(events[0].ready() & EPOLLIN, 0);
+
+        ep.delete(b.as_raw_fd()).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn modify_switches_interest_to_writable() {
+        let ep = Epoll::new().unwrap();
+        let (_a, b) = UnixStream::pair().unwrap();
+        ep.add(b.as_raw_fd(), EPOLLIN, 1).unwrap();
+        ep.modify(b.as_raw_fd(), EPOLLIN | EPOLLOUT, 1).unwrap();
+        let mut events = [EpollEvent::zeroed(); 8];
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1, "an idle socket is immediately writable");
+        assert_ne!(events[0].ready() & EPOLLOUT, 0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Loopback integration: real server + real clients over UDS and TCP.
+//!
+//! These are the acceptance tests for the serving plane: N clients × M
+//! frames with zero protocol errors, bounded egress under a slow
+//! reader, and a graceful drain on shutdown.
+
+use coterie_net::wire::{ByeReason, WireMessage, PROTO_VERSION};
+use coterie_net::NetScenario;
+use coterie_server::{
+    loadgen, Endpoint, Listener, LoadConfig, Server, ServerConfig, CONTROL_OVERDRAFT_BYTES,
+};
+use coterie_telemetry::TelemetrySink;
+use coterie_world::GameId;
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("coterie-loop-{}-{tag}.sock", std::process::id()))
+}
+
+fn start_uds(tag: &str, config: ServerConfig) -> (Server, PathBuf) {
+    let path = sock_path(tag);
+    let listener = Listener::bind_uds(&path).expect("bind uds");
+    let server = Server::start(listener, config, TelemetrySink::disabled()).expect("start");
+    (server, path)
+}
+
+fn base_load(path: &Path, clients: usize, frames: u64) -> LoadConfig {
+    LoadConfig {
+        endpoint: Endpoint::Uds(path.to_path_buf()),
+        clients,
+        frames_per_client: frames,
+        game: GameId::VikingVillage,
+        rooms: 2,
+        net: NetScenario::None,
+        seed: 42,
+        realtime: false,
+    }
+}
+
+/// The headline acceptance run: N clients × M frames over UDS, every
+/// session completes the full protocol, zero errors on both sides,
+/// clean shutdown with no connections left behind.
+#[test]
+fn n_clients_m_frames_over_uds_zero_errors() {
+    let (server, path) = start_uds("accept", ServerConfig::default());
+    let clients = 4;
+    let frames = 50;
+    let report = loadgen::run(&base_load(&path, clients, frames));
+    let stats = server.stop();
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(report.sessions, clients, "{}", report.summary_line());
+    assert_eq!(
+        report.sessions_completed,
+        clients,
+        "{}",
+        report.summary_line()
+    );
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.decode_failures, 0);
+    // Every pose that left a client came back as exactly one frame
+    // (FI background loss may skip a few sends; those never reach the
+    // server, so both sides agree).
+    assert_eq!(report.frames_received, report.poses_sent);
+    assert_eq!(
+        report.poses_sent + report.poses_lost,
+        clients as u64 * frames
+    );
+    assert_eq!(stats.poses, report.poses_sent);
+    assert_eq!(stats.frames_sent, report.frames_received);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.accepted, clients as u64);
+    assert_eq!(stats.closed, clients as u64);
+    assert_eq!(stats.live, 0);
+    // Co-located players in a room share poses → the store serves hits.
+    assert!(stats.store_hit_ratio > 0.0, "stats {stats:?}");
+}
+
+/// Same protocol over real TCP loopback.
+#[test]
+fn tcp_loopback_round_trips() {
+    let listener = Listener::bind_tcp("127.0.0.1:0").expect("bind tcp");
+    let server =
+        Server::start(listener, ServerConfig::default(), TelemetrySink::disabled()).expect("start");
+    let addr = server.local_addr().expect("tcp addr");
+    let report = loadgen::run(&LoadConfig {
+        endpoint: Endpoint::Tcp(addr.to_string()),
+        clients: 2,
+        frames_per_client: 20,
+        ..base_load(&PathBuf::new(), 2, 20)
+    });
+    let stats = server.stop();
+    assert_eq!(report.sessions_completed, 2, "{}", report.summary_line());
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(report.frames_received, report.poses_sent);
+}
+
+/// Reads until the next message, with a deadline.
+fn read_msg(
+    stream: &mut UnixStream,
+    asm: &mut coterie_net::FrameAssembler,
+    deadline: Duration,
+) -> Option<WireMessage> {
+    let start = Instant::now();
+    let mut buf = [0u8; 8192];
+    loop {
+        if let Ok(Some(m)) = asm.next_message() {
+            return Some(m);
+        }
+        if start.elapsed() > deadline {
+            return None;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => asm.push(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+            Err(_) => return None,
+        }
+    }
+}
+
+fn hello() -> Vec<u8> {
+    WireMessage::Hello {
+        proto: PROTO_VERSION,
+        game: GameId::VikingVillage,
+        room: 0,
+        seed: 42,
+    }
+    .encode_frame()
+}
+
+fn pose(seq: u64) -> Vec<u8> {
+    WireMessage::Pose {
+        seq,
+        t_ms: seq as f64 * 16.7,
+        x: (seq % 7) as f64 * 0.25,
+        z: (seq % 5) as f64 * 0.25,
+        yaw: 0.0,
+    }
+    .encode_frame()
+}
+
+/// A reader that joins, then sends poses without ever reading: the
+/// egress queue must cap at the configured limit (+ control overdraft),
+/// frames must drop rather than accumulate, and the server must keep
+/// serving other clients.
+#[test]
+fn slow_reader_egress_stays_bounded_and_drops_frames() {
+    let egress_limit = 16 * 1024;
+    let (server, path) = start_uds(
+        "slow",
+        ServerConfig {
+            egress_limit_bytes: egress_limit,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    stream.write_all(&hello()).expect("hello");
+    let mut asm = coterie_net::FrameAssembler::new();
+    let welcome = read_msg(&mut stream, &mut asm, Duration::from_secs(5));
+    assert!(matches!(welcome, Some(WireMessage::Welcome { .. })));
+
+    // Flood poses; never read. The kernel socket buffer fills first,
+    // then the server-side egress queue, then frames drop.
+    for seq in 0..600u64 {
+        stream.write_all(&pose(seq)).expect("pose");
+    }
+
+    // Wait until the server has chewed through all 600 poses.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let s = server.stats();
+        if s.poses >= 600 || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = server.stats();
+    assert_eq!(stats.poses, 600, "server never saw the flood: {stats:?}");
+    assert!(stats.frames_dropped > 0, "no backpressure drops: {stats:?}");
+
+    // The per-connection queue high-water mark is folded into the
+    // shared counters when the connection closes.
+    drop(stream);
+    let final_stats = server.stop();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(final_stats.live, 0);
+    assert!(
+        final_stats.peak_queue_bytes > 0,
+        "queue never filled: {final_stats:?}"
+    );
+    assert!(
+        final_stats.peak_queue_bytes <= (egress_limit + CONTROL_OVERDRAFT_BYTES) as u64,
+        "egress queue exceeded its bound: {final_stats:?}"
+    );
+}
+
+/// Shutdown while a session is mid-stream: the client receives a
+/// `Goodbye(Shutdown)` notice, not a silent reset.
+#[test]
+fn shutdown_drains_with_goodbye() {
+    let (server, path) = start_uds("drain", ServerConfig::default());
+
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    stream.write_all(&hello()).expect("hello");
+    let mut asm = coterie_net::FrameAssembler::new();
+    assert!(matches!(
+        read_msg(&mut stream, &mut asm, Duration::from_secs(5)),
+        Some(WireMessage::Welcome { .. })
+    ));
+    stream.write_all(&pose(0)).expect("pose");
+    assert!(matches!(
+        read_msg(&mut stream, &mut asm, Duration::from_secs(5)),
+        Some(WireMessage::Frame { .. })
+    ));
+
+    let stopper = std::thread::spawn(move || server.stop());
+    let mut saw_goodbye = false;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        match read_msg(&mut stream, &mut asm, Duration::from_secs(1)) {
+            Some(WireMessage::Goodbye { reason }) => {
+                assert_eq!(reason, ByeReason::Shutdown);
+                saw_goodbye = true;
+                break;
+            }
+            Some(_) => continue,
+            None => break,
+        }
+    }
+    let stats = stopper.join().expect("stop joins");
+    let _ = std::fs::remove_file(&path);
+    assert!(saw_goodbye, "no shutdown goodbye (stats {stats:?})");
+    assert_eq!(stats.live, 0);
+}
+
+/// Protocol misuse is answered with a typed error, then the connection
+/// is torn down without disturbing the server.
+#[test]
+fn bad_version_is_rejected_with_error() {
+    let (server, path) = start_uds("badver", ServerConfig::default());
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    stream
+        .write_all(
+            &WireMessage::Hello {
+                proto: PROTO_VERSION + 1,
+                game: GameId::VikingVillage,
+                room: 0,
+                seed: 42,
+            }
+            .encode_frame(),
+        )
+        .expect("hello");
+    let mut asm = coterie_net::FrameAssembler::new();
+    let reply = read_msg(&mut stream, &mut asm, Duration::from_secs(5));
+    assert!(
+        matches!(reply, Some(WireMessage::Error { .. })),
+        "expected Error, got {reply:?}"
+    );
+    let stats = server.stop();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(stats.protocol_errors, 1);
+}

@@ -77,12 +77,12 @@ pub mod trace;
 pub use clock::{ManualClock, TickClock, WallClock};
 pub use hist::LogHistogram;
 pub use ring::Ring;
-pub use sink::{Recorder, SpanEvent, TelemetryConfig, TelemetrySink, TrackId};
+pub use sink::{CounterEvent, Recorder, SpanEvent, TelemetryConfig, TelemetrySink, TrackId};
 pub use summary::{
     AttributionModel, FrameRecord, FrameStats, Stage, StageSummary, TelemetrySummary,
     VSYNC_BUDGET_MS,
 };
 pub use trace::{
-    chrome_trace_json, parse_json, room_pid, validate_chrome_trace, JsonValue, TraceCheck,
-    FLEET_PID, KERNEL_PID,
+    chrome_trace_json, chrome_trace_json_full, parse_json, room_pid, validate_chrome_trace,
+    JsonValue, TraceCheck, FLEET_PID, KERNEL_PID, SERVE_PID,
 };

@@ -45,6 +45,22 @@ pub struct SpanEvent {
     pub frame: u64,
 }
 
+/// One counter/gauge sample: the value of a named quantity at an
+/// instant (store occupancy, egress-queue depth, live connections).
+/// Exported as a Chrome-trace `ph:"C"` event, which renders as a
+/// stepped area chart over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterEvent {
+    /// Trace lane the counter chart lives in.
+    pub track: TrackId,
+    /// Counter name (one chart per name per lane).
+    pub name: &'static str,
+    /// Sample instant, ms.
+    pub t_ms: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
 /// Capacities and budget for a recorder.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TelemetryConfig {
@@ -54,6 +70,9 @@ pub struct TelemetryConfig {
     pub span_shards: usize,
     /// Frame-record ring capacity.
     pub frame_capacity: usize,
+    /// Counter-sample ring capacity (counters are sampled at epoch /
+    /// poll-loop granularity, so one shared ring suffices).
+    pub counter_capacity: usize,
     /// Vsync budget frames are judged against, ms.
     pub budget_ms: f64,
 }
@@ -64,6 +83,7 @@ impl Default for TelemetryConfig {
             span_capacity: 4096,
             span_shards: 8,
             frame_capacity: 16384,
+            counter_capacity: 8192,
             budget_ms: VSYNC_BUDGET_MS,
         }
     }
@@ -96,6 +116,7 @@ impl Aggregates {
 pub struct Recorder {
     shards: Vec<Mutex<Ring<SpanEvent>>>,
     frames: Mutex<Ring<FrameRecord>>,
+    counters: Mutex<Ring<CounterEvent>>,
     agg: Mutex<Aggregates>,
     clock: Arc<dyn TickClock>,
     manual: Option<Arc<ManualClock>>,
@@ -132,6 +153,7 @@ impl Recorder {
                 .map(|_| Mutex::new(Ring::new(config.span_capacity.max(1))))
                 .collect(),
             frames: Mutex::new(Ring::new(config.frame_capacity.max(1))),
+            counters: Mutex::new(Ring::new(config.counter_capacity.max(1))),
             agg: Mutex::new(Aggregates::new()),
             clock,
             manual,
@@ -265,6 +287,19 @@ impl TelemetrySink {
         }
     }
 
+    /// Records one counter/gauge sample ([`CounterEvent`]).
+    #[inline]
+    pub fn counter(&self, track: TrackId, name: &'static str, t_ms: f64, value: f64) {
+        if let Some(r) = &self.inner {
+            r.counters.lock().push(CounterEvent {
+                track,
+                name,
+                t_ms,
+                value,
+            });
+        }
+    }
+
     /// Deterministic run summary (`None` when disabled).
     pub fn summary(&self) -> Option<TelemetrySummary> {
         let r = self.inner.as_ref()?;
@@ -282,10 +317,30 @@ impl TelemetrySink {
             budget_ms: r.budget_ms,
             stages: std::array::from_fn(|i| StageSummary::from_hist(&agg.stages[i])),
             frame: StageSummary::from_hist(&agg.frame),
+            stage_hists: agg.stages.clone(),
+            frame_hist: agg.frame.clone(),
             worst: agg.worst,
             spans_recorded,
             spans_dropped,
         })
+    }
+
+    /// All retained counter samples, in deterministic order (sorted by
+    /// time, then lane, then name). Empty when disabled.
+    pub fn counters_snapshot(&self) -> Vec<CounterEvent> {
+        let Some(r) = &self.inner else {
+            return Vec::new();
+        };
+        let mut counters = r.counters.lock().snapshot();
+        counters.sort_by(|a, b| {
+            a.t_ms
+                .total_cmp(&b.t_ms)
+                .then(a.track.pid.cmp(&b.track.pid))
+                .then(a.track.tid.cmp(&b.track.tid))
+                .then(a.name.cmp(b.name))
+                .then(a.value.total_cmp(&b.value))
+        });
+        counters
     }
 
     /// All retained spans across shards, in deterministic order
@@ -409,6 +464,42 @@ mod tests {
         let s = sink.summary().unwrap();
         assert_eq!(s.spans_recorded, 3);
         assert_eq!(s.spans_dropped, 1);
+    }
+
+    #[test]
+    fn counters_snapshot_is_sorted_and_disabled_is_empty() {
+        let disabled = TelemetrySink::disabled();
+        disabled.counter(TrackId { pid: 0, tid: 0 }, "depth", 0.0, 1.0);
+        assert!(disabled.counters_snapshot().is_empty());
+
+        let sink = TelemetrySink::recording(TelemetryConfig::default());
+        let t = TrackId {
+            pid: 20_000,
+            tid: 3,
+        };
+        sink.counter(t, "egress-queue", 5.0, 2.0);
+        sink.counter(t, "egress-queue", 1.0, 7.0);
+        sink.counter(t, "connections", 1.0, 4.0);
+        let c = sink.counters_snapshot();
+        assert_eq!(c.len(), 3);
+        assert!(c.windows(2).all(|w| w[0].t_ms <= w[1].t_ms));
+        assert_eq!(c[0].name, "connections"); // name breaks the t=1 tie
+        assert_eq!(c[2].value, 2.0);
+    }
+
+    #[test]
+    fn summary_carries_mergeable_histograms() {
+        let sink = TelemetrySink::recording(TelemetryConfig::default());
+        sink.frame(rec(0, 10.0));
+        sink.frame(rec(1, 20.0));
+        let s = sink.summary().unwrap();
+        assert_eq!(s.frame_hist.count(), 2);
+        // stage_hists[1] is decode in ATTRIBUTED order.
+        assert_eq!(s.stage_hists[1].count(), 2);
+        assert_eq!(s.stage_hists[1].max_ms(), 20.0);
+        let mut merged = s.frame_hist.clone();
+        merged.merge(&s.frame_hist);
+        assert_eq!(merged.count(), 4);
     }
 
     #[test]

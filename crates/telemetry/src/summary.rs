@@ -230,6 +230,13 @@ pub struct TelemetrySummary {
     pub stages: [StageSummary; 6],
     /// Quantiles of whole-frame attributed time.
     pub frame: StageSummary,
+    /// Full per-stage histograms (same alignment as `stages`). Bucket
+    /// counts are mergeable across runs, so persisting these — not just
+    /// the quantiles — lets later tooling recompute any percentile over
+    /// combined runs.
+    pub stage_hists: [LogHistogram; 6],
+    /// Full histogram of whole-frame attributed time.
+    pub frame_hist: LogHistogram,
     /// The worst frame observed (by attributed time), for drill-down.
     pub worst: Option<FrameRecord>,
     /// Span events recorded across all ring shards.
@@ -393,6 +400,8 @@ mod tests {
             budget_ms: VSYNC_BUDGET_MS,
             stages: [StageSummary::default(); 6],
             frame: StageSummary::default(),
+            stage_hists: std::array::from_fn(|_| LogHistogram::new()),
+            frame_hist: LogHistogram::new(),
             worst: Some(rec(AttributionModel::Parallel)),
             spans_recorded: 5,
             spans_dropped: 0,
@@ -411,6 +420,8 @@ mod tests {
             budget_ms: VSYNC_BUDGET_MS,
             stages: [StageSummary::default(); 6],
             frame: StageSummary::default(),
+            stage_hists: std::array::from_fn(|_| LogHistogram::new()),
+            frame_hist: LogHistogram::new(),
             worst: None,
             spans_recorded: 0,
             spans_dropped: 0,

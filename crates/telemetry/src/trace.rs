@@ -13,7 +13,7 @@
 //! trace and checks each frame's stage decomposition re-combines to the
 //! event's duration within 1%.
 
-use crate::sink::SpanEvent;
+use crate::sink::{CounterEvent, SpanEvent};
 use crate::summary::{FrameRecord, Stage};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
@@ -25,6 +25,10 @@ pub const FLEET_PID: u32 = 0;
 /// measurement passes), kept apart from the simulated-time lanes.
 pub const KERNEL_PID: u32 = 10_000;
 
+/// Trace process lane for the socket serving plane (`coterie-server`
+/// accept/read/service/write spans and its gauges), wall-clock time.
+pub const SERVE_PID: u32 = 20_000;
+
 /// The trace lane a room's spans and frames live in.
 pub fn room_pid(room: u32) -> u32 {
     room + 1
@@ -34,6 +38,7 @@ fn pid_name(pid: u32) -> String {
     match pid {
         FLEET_PID => "fleet".to_string(),
         KERNEL_PID => "kernels".to_string(),
+        SERVE_PID => "serve".to_string(),
         p => format!("room-{}", p - 1),
     }
 }
@@ -96,12 +101,28 @@ fn push_event_head(
 /// events name every process lane so Perfetto shows `room-N` instead
 /// of bare pids. Output is deterministic for deterministic inputs.
 pub fn chrome_trace_json(spans: &[SpanEvent], frames: &[FrameRecord], budget_ms: f64) -> String {
+    chrome_trace_json_full(spans, frames, &[], budget_ms)
+}
+
+/// [`chrome_trace_json`] plus counter/gauge samples: each
+/// [`CounterEvent`] becomes a `ph:"C"` event, which trace viewers
+/// render as a stepped area chart of the value over time (store
+/// occupancy, egress-queue depth, live connections).
+pub fn chrome_trace_json_full(
+    spans: &[SpanEvent],
+    frames: &[FrameRecord],
+    counters: &[CounterEvent],
+    budget_ms: f64,
+) -> String {
     let mut pids: BTreeSet<u32> = BTreeSet::new();
     for s in spans {
         pids.insert(s.track.pid);
     }
     for f in frames {
         pids.insert(room_pid(f.room));
+    }
+    for c in counters {
+        pids.insert(c.track.pid);
     }
 
     let mut out = String::with_capacity(256 * (spans.len() + frames.len()) + 1024);
@@ -170,6 +191,18 @@ pub fn chrome_trace_json(spans: &[SpanEvent], frames: &[FrameRecord], budget_ms:
             s.track.tid,
         );
         let _ = write!(out, ",\"args\":{{\"frame\":{}}}}}", s.frame);
+    }
+
+    for c in counters {
+        sep(&mut out);
+        out.push_str("{\"name\":\"");
+        escape_into(&mut out, c.name);
+        out.push_str("\",\"ph\":\"C\",\"ts\":");
+        push_num(&mut out, c.t_ms * 1000.0);
+        let _ = write!(out, ",\"pid\":{},\"tid\":{}", c.track.pid, c.track.tid);
+        out.push_str(",\"args\":{\"value\":");
+        push_num(&mut out, c.value);
+        out.push_str("}}");
     }
 
     out.push_str("\n]}");
@@ -433,6 +466,8 @@ pub struct TraceCheck {
     pub events: usize,
     /// Frame slices checked.
     pub frames: usize,
+    /// Counter (`ph:"C"`) samples checked.
+    pub counters: usize,
     /// Worst relative error between a frame's `dur` and its stage
     /// decomposition re-combined under its model.
     pub max_rel_err: f64,
@@ -450,9 +485,25 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         .and_then(|v| v.as_array())
         .ok_or("trace has no traceEvents array")?;
     let mut frames = 0usize;
+    let mut counters = 0usize;
     let mut max_rel_err = 0.0f64;
     for (i, ev) in events.iter().enumerate() {
         let ph = ev.get("ph").and_then(|v| v.as_str()).unwrap_or("");
+        if ph == "C" {
+            let ts = ev.get("ts").and_then(|v| v.as_f64());
+            let value = ev
+                .get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(|v| v.as_f64());
+            let (Some(ts), Some(value)) = (ts, value) else {
+                return Err(format!("event {i}: C sample without ts/args.value"));
+            };
+            if !ts.is_finite() || !value.is_finite() {
+                return Err(format!("event {i}: non-finite counter sample"));
+            }
+            counters += 1;
+            continue;
+        }
         if ph != "X" {
             continue;
         }
@@ -501,6 +552,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
     Ok(TraceCheck {
         events: events.len(),
         frames,
+        counters,
         max_rel_err,
     })
 }
@@ -548,6 +600,50 @@ mod tests {
         assert!(check.max_rel_err < 0.01);
         assert!(json.contains("\"displayTimeUnit\":\"ms\""));
         assert!(json.contains("room-0"));
+    }
+
+    #[test]
+    fn counter_events_export_and_validate() {
+        let counters = vec![
+            CounterEvent {
+                track: TrackId {
+                    pid: SERVE_PID,
+                    tid: 0,
+                },
+                name: "egress-queue-bytes",
+                t_ms: 1.0,
+                value: 4096.0,
+            },
+            CounterEvent {
+                track: TrackId {
+                    pid: SERVE_PID,
+                    tid: 0,
+                },
+                name: "connections",
+                t_ms: 2.5,
+                value: 3.0,
+            },
+        ];
+        let json = chrome_trace_json_full(&[], &[frame(0, 1)], &counters, 16.7);
+        let check = validate_chrome_trace(&json).expect("trace with counters must validate");
+        assert_eq!(check.counters, 2);
+        assert_eq!(check.frames, 1);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("serve"), "serve lane must be named");
+    }
+
+    #[test]
+    fn non_finite_counter_fails_validation() {
+        let c = CounterEvent {
+            track: TrackId { pid: 0, tid: 0 },
+            name: "depth",
+            t_ms: 0.0,
+            value: 1.0,
+        };
+        let json = chrome_trace_json_full(&[], &[], &[c], 16.7);
+        let broken = json.replace("\"value\":1", "\"value\":\"oops\"");
+        assert_ne!(json, broken);
+        assert!(validate_chrome_trace(&broken).is_err());
     }
 
     #[test]
