@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! experiments [--quick] [--seed N] [--rooms N] [--players N] [--net SCENARIO]
-//!             [--trace FILE] <name>...
+//!             [--predictor POLICY] [--trace FILE] <name>...
 //! experiments all
 //! experiments fleet --rooms 256 --players 2
 //! experiments fleet --rooms 2 --players 2 --net burst-loss
+//! experiments fleet --rooms 4 --predictor vpm
 //! experiments fleet --trace trace.json
 //! ```
 //!
@@ -23,9 +24,14 @@
 //! writes sessions/core, frame-latency percentiles and saturation
 //! egress to `BENCH_serve.json`.
 //!
-//! `--rooms`/`--players`/`--net` size the `fleet` experiment only.
+//! `--rooms`/`--players`/`--net`/`--predictor` size the `fleet`
+//! experiment only.
 //! `--net` selects the FI fault scenario (`none`, `wifi`, `burst-loss`,
 //! `latency-spikes`, `relay-outage`; default `none` = lossless).
+//! `--predictor` selects the farm's speculation policy (`none`, `cv`,
+//! `vpm`; default `none` reproduces predictor-less reports byte for
+//! byte, cv/vpm rank the farm queue by predicted pose occupancy and
+//! report speculation precision/recall).
 //! `--trace FILE` runs the experiment with budget attribution enabled
 //! and writes a Chrome `trace_event` JSON (load in Perfetto or
 //! `chrome://tracing`): slices for spans and frames, counter ("C")
@@ -39,6 +45,7 @@ use coterie_bench::{
     ablation, cache_exp, cutoff_exp, fleet_exp, kernel_bench, similarity, system_exp, ExpConfig,
 };
 use coterie_net::NetScenario;
+use coterie_serve::PredictorKind;
 use coterie_telemetry::{
     chrome_trace_json_full, validate_chrome_trace, TelemetryConfig, TelemetrySink,
 };
@@ -73,6 +80,7 @@ struct FleetArgs {
     rooms: usize,
     players: usize,
     net: NetScenario,
+    predictor: PredictorKind,
     trace: Option<String>,
 }
 
@@ -144,6 +152,7 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
                 fleet_args.rooms,
                 fleet_args.players,
                 fleet_args.net,
+                fleet_args.predictor,
                 fleet_args.trace.is_some(),
             );
             let mut out = report.to_string();
@@ -184,14 +193,30 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
                 fleet_args.rooms,
                 fleet_args.players,
                 fleet_args.net,
+                fleet_args.predictor,
                 true,
             )
             .1;
+            // A predictor-driven bench also runs the `none` baseline so
+            // the committed document records the hit-ratio delta the
+            // policy bought; the default (predictor-less) document is
+            // byte-identical to the historical format.
+            let baseline = (fleet_args.predictor != PredictorKind::None).then(|| {
+                fleet_exp::fleet(
+                    config,
+                    fleet_args.rooms,
+                    fleet_args.players,
+                    fleet_args.net,
+                    PredictorKind::None,
+                )
+                .1
+            });
             let fleet_json = fleet_exp::fleet_bench_json(
                 &shared.metrics,
                 fleet_args.rooms,
                 fleet_args.players,
                 fleet_args.net,
+                baseline.as_ref().map(|b| &b.metrics),
             );
             std::fs::write("BENCH_fleet.json", &fleet_json)
                 .map_err(|e| format!("writing BENCH_fleet.json: {e}"))?;
@@ -225,6 +250,7 @@ fn main() {
         rooms: 8,
         players: 2,
         net: NetScenario::None,
+        predictor: PredictorKind::None,
         trace: None,
     };
     let mut names: Vec<String> = Vec::new();
@@ -256,6 +282,18 @@ fn main() {
                 }
                 fleet_args.trace = Some(v);
             }
+            "--predictor" => {
+                let v = iter.next().unwrap_or_default();
+                fleet_args.predictor = PredictorKind::parse(&v).unwrap_or_else(|| {
+                    let names: Vec<&str> =
+                        PredictorKind::ALL.iter().map(|p| p.name()).collect();
+                    eprintln!(
+                        "invalid --predictor value '{v}' (one of: {})",
+                        names.join(" ")
+                    );
+                    std::process::exit(2);
+                });
+            }
             "--net" => {
                 let v = iter.next().unwrap_or_default();
                 fleet_args.net = NetScenario::parse(&v).unwrap_or_else(|| {
@@ -267,11 +305,14 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [--seed N] [--rooms N] [--players N] \
-                     [--net SCENARIO] [--trace FILE] <name>...|all"
+                     [--net SCENARIO] [--predictor POLICY] [--trace FILE] <name>...|all"
                 );
                 eprintln!("experiments: {} bench-json", ALL.join(" "));
                 let names: Vec<&str> = NetScenario::ALL.iter().map(NetScenario::name).collect();
                 eprintln!("net scenarios: {}", names.join(" "));
+                let policies: Vec<&str> =
+                    PredictorKind::ALL.iter().map(|p| p.name()).collect();
+                eprintln!("predictor policies: {}", policies.join(" "));
                 return;
             }
             name => names.push(name.to_string()),

@@ -12,7 +12,7 @@
 use crate::report::{f, pct, Report};
 use crate::ExpConfig;
 use coterie_net::NetScenario;
-use coterie_serve::{Fleet, FleetConfig, FleetReport};
+use coterie_serve::{Fleet, FleetConfig, FleetReport, PredictorKind};
 use coterie_telemetry::{chrome_trace_json_full, Stage, TelemetryConfig, TelemetrySink};
 use coterie_world::GameId;
 
@@ -27,6 +27,7 @@ pub fn fleet_config(
     players: usize,
     shared: bool,
     net: NetScenario,
+    predictor: PredictorKind,
 ) -> FleetConfig {
     FleetConfig {
         rooms: rooms.max(1),
@@ -37,6 +38,7 @@ pub fn fleet_config(
         shared_store: shared,
         size_samples: if config.quick { 4 } else { 8 },
         net,
+        predictor,
         ..FleetConfig::default()
     }
 }
@@ -46,16 +48,20 @@ pub fn fleet_config(
 /// `net` selects the FI fault scenario applied to every room
 /// ([`NetScenario::None`] reproduces the lossless pre-fault-plane
 /// table byte for byte); lossy scenarios append an FI recovery table.
+/// `predictor` selects the farm's speculation policy
+/// ([`PredictorKind::None`] reproduces the predictor-less table byte
+/// for byte); cv/vpm runs append speculation precision/recall notes.
 ///
 /// The run is deterministic: the same `ExpConfig` seed, room/player
-/// counts and scenario reproduce the report byte for byte.
+/// counts, scenario and predictor reproduce the report byte for byte.
 pub fn fleet(
     config: &ExpConfig,
     rooms: usize,
     players: usize,
     net: NetScenario,
+    predictor: PredictorKind,
 ) -> (Report, FleetReport, FleetReport) {
-    let (report, shared, isolated, _) = fleet_traced(config, rooms, players, net, false);
+    let (report, shared, isolated, _) = fleet_traced(config, rooms, players, net, predictor, false);
     (report, shared, isolated)
 }
 
@@ -70,6 +76,7 @@ pub fn fleet_traced(
     rooms: usize,
     players: usize,
     net: NetScenario,
+    predictor: PredictorKind,
     trace: bool,
 ) -> (Report, FleetReport, FleetReport, Option<String>) {
     let sink = if trace {
@@ -78,11 +85,11 @@ pub fn fleet_traced(
         TelemetrySink::disabled()
     };
     let shared = Fleet::new_with_telemetry(
-        fleet_config(config, rooms, players, true, net),
+        fleet_config(config, rooms, players, true, net, predictor),
         sink.clone(),
     )
     .run();
-    let isolated = Fleet::new(fleet_config(config, rooms, players, false, net)).run();
+    let isolated = Fleet::new(fleet_config(config, rooms, players, false, net, predictor)).run();
     let trace_json = sink.is_enabled().then(|| {
         chrome_trace_json_full(
             &sink.spans_snapshot(),
@@ -103,6 +110,12 @@ pub fn fleet_traced(
     if net.is_lossy() {
         report.note(format!(
             "FI fault scenario '{net}': lossy per-player channels with retry + dead reckoning"
+        ));
+    }
+    if predictor != PredictorKind::None {
+        report.note(format!(
+            "speculation policy '{predictor}': farm queue ranked by predicted occupancy, \
+             cost-aware store admission"
         ));
     }
     report.headers([
@@ -146,6 +159,21 @@ pub fn fleet_traced(
             ));
         }
     }
+    if predictor != PredictorKind::None {
+        for (label, run) in [("shared", &shared), ("isolated", &isolated)] {
+            let m = &run.metrics;
+            report.note(format!(
+                "speculation {label}: {} rendered, {} used, {} hits, {} rejected, \
+                 precision {}, recall {}",
+                m.spec_rendered,
+                m.spec_used,
+                m.spec_hits,
+                m.spec_rejected,
+                f(m.spec_precision, 4),
+                f(m.spec_recall, 4),
+            ));
+        }
+    }
     if let Some(t) = &shared.metrics.telemetry {
         report.note(format!(
             "telemetry shared: {} frames attributed, {} over the {} ms budget ({})",
@@ -162,11 +190,19 @@ pub fn fleet_traced(
 /// `BENCH_fleet.json` document (the fleet-level companion of
 /// `BENCH_render.json`): tail FPS percentiles, store hit ratio and
 /// shipped egress for a fixed rooms/players/net configuration.
+///
+/// A predictor-driven run (`metrics.predictor != None`) appends a
+/// per-policy `speculation` object — precision, recall and (when the
+/// matching `--predictor none` baseline is supplied) the hit-ratio
+/// delta the policy bought. A predictor-less run emits the historical
+/// document byte for byte, so committed benchmark archives stay
+/// diffable across the predictor plane's introduction.
 pub fn fleet_bench_json(
     metrics: &coterie_serve::FleetMetrics,
     rooms: usize,
     players: usize,
     net: NetScenario,
+    baseline: Option<&coterie_serve::FleetMetrics>,
 ) -> String {
     let mut out = format!(
         "{{\n  \"config\": {{ \"rooms\": {rooms}, \"players\": {players}, \"net\": \"{net}\" }},\n  \
@@ -174,6 +210,28 @@ pub fn fleet_bench_json(
          \"store_hit_ratio\": {:.6},\n    \"egress_mbps\": {:.4}\n  }}",
         metrics.fps_p50, metrics.fps_p95, metrics.fps_p99, metrics.store_hit_ratio, metrics.egress_mbps
     );
+    if metrics.predictor != PredictorKind::None {
+        out.push_str(&format!(
+            ",\n  \"speculation\": {{\n    \"policy\": \"{}\",\n    \"rendered\": {},\n    \
+             \"used\": {},\n    \"hits\": {},\n    \"rejected\": {},\n    \
+             \"precision\": {:.6},\n    \"recall\": {:.6}",
+            metrics.predictor,
+            metrics.spec_rendered,
+            metrics.spec_used,
+            metrics.spec_hits,
+            metrics.spec_rejected,
+            metrics.spec_precision,
+            metrics.spec_recall,
+        ));
+        if let Some(base) = baseline {
+            out.push_str(&format!(
+                ",\n    \"baseline_hit_ratio\": {:.6},\n    \"hit_ratio_delta\": {:.6}",
+                base.store_hit_ratio,
+                metrics.store_hit_ratio - base.store_hit_ratio,
+            ));
+        }
+        out.push_str("\n  }");
+    }
     // Full mergeable histograms when the run was traced: bucket counts
     // sum across runs, so later tooling can recompute any percentile
     // over combined benchmark archives, not just read the quantiles we
@@ -216,7 +274,7 @@ mod tests {
     #[test]
     fn fleet_report_has_both_modes() {
         let config = ExpConfig::quick();
-        let (report, shared, isolated) = fleet(&config, 2, 2, NetScenario::None);
+        let (report, shared, isolated) = fleet(&config, 2, 2, NetScenario::None, PredictorKind::None);
         assert_eq!(report.len(), 2);
         assert_eq!(report.cell(0, 0), Some("shared"));
         assert_eq!(report.cell(1, 0), Some("isolated"));
@@ -229,15 +287,15 @@ mod tests {
     #[test]
     fn fleet_experiment_is_deterministic() {
         let config = ExpConfig::quick();
-        let a = fleet(&config, 2, 2, NetScenario::None).0;
-        let b = fleet(&config, 2, 2, NetScenario::None).0;
+        let a = fleet(&config, 2, 2, NetScenario::None, PredictorKind::None).0;
+        let b = fleet(&config, 2, 2, NetScenario::None, PredictorKind::None).0;
         assert_eq!(format!("{a}"), format!("{b}"));
     }
 
     #[test]
     fn traced_fleet_exports_valid_chrome_trace() {
         let config = ExpConfig::quick();
-        let (report, shared, _, trace_json) = fleet_traced(&config, 1, 2, NetScenario::None, true);
+        let (report, shared, _, trace_json) = fleet_traced(&config, 1, 2, NetScenario::None, PredictorKind::None, true);
         let json = trace_json.expect("traced run exports JSON");
         let check = coterie_telemetry::validate_chrome_trace(&json).expect("trace validates");
         assert!(check.events > 0);
@@ -247,7 +305,7 @@ mod tests {
         assert!(summary.frames > 0);
         assert!(format!("{report}").contains("telemetry shared"));
         // The comparison table itself is unchanged by tracing.
-        let untraced = fleet(&config, 1, 2, NetScenario::None).0;
+        let untraced = fleet(&config, 1, 2, NetScenario::None, PredictorKind::None).0;
         let strip_notes = |r: String| -> String {
             r.lines()
                 .filter(|l| !l.contains("telemetry shared"))
@@ -263,8 +321,8 @@ mod tests {
     #[test]
     fn fleet_bench_json_is_well_formed() {
         let config = ExpConfig::quick();
-        let (_, shared, _) = fleet(&config, 1, 2, NetScenario::None);
-        let json = fleet_bench_json(&shared.metrics, 1, 2, NetScenario::None);
+        let (_, shared, _) = fleet(&config, 1, 2, NetScenario::None, PredictorKind::None);
+        let json = fleet_bench_json(&shared.metrics, 1, 2, NetScenario::None, None);
         let doc = coterie_telemetry::parse_json(&json).expect("valid JSON");
         let fleet = doc.get("fleet").expect("fleet object");
         for key in [
@@ -286,9 +344,36 @@ mod tests {
     }
 
     #[test]
+    fn predictor_fleet_reports_speculation_and_json_delta() {
+        let config = ExpConfig::quick();
+        let (report, vpm, _) = fleet(&config, 2, 2, NetScenario::None, PredictorKind::Vpm);
+        let text = format!("{report}");
+        assert!(text.contains("speculation policy 'vpm'"), "got: {text}");
+        assert!(text.contains("speculation shared"), "got: {text}");
+        assert!(vpm.metrics.spec_rendered > 0);
+
+        let (_, none, _) = fleet(&config, 2, 2, NetScenario::None, PredictorKind::None);
+        let json = fleet_bench_json(&vpm.metrics, 2, 2, NetScenario::None, Some(&none.metrics));
+        let doc = coterie_telemetry::parse_json(&json).expect("valid JSON");
+        let spec = doc.get("speculation").expect("speculation object");
+        for key in ["rendered", "used", "hits", "rejected", "precision", "recall"] {
+            let v = spec.get(key).and_then(|v| v.as_f64()).expect(key);
+            assert!(v.is_finite(), "{key} = {v}");
+        }
+        let delta = spec
+            .get("hit_ratio_delta")
+            .and_then(|v| v.as_f64())
+            .expect("delta vs baseline");
+        assert!(delta.is_finite());
+        // The predictor-less document is unchanged: no speculation key.
+        let base_json = fleet_bench_json(&none.metrics, 2, 2, NetScenario::None, None);
+        assert!(!base_json.contains("speculation"), "got: {base_json}");
+    }
+
+    #[test]
     fn lossy_fleet_experiment_reports_recovery() {
         let config = ExpConfig::quick();
-        let (report, shared, _) = fleet(&config, 2, 2, NetScenario::BurstLoss);
+        let (report, shared, _) = fleet(&config, 2, 2, NetScenario::BurstLoss, PredictorKind::None);
         assert!(shared.metrics.fi_retries > 0);
         assert!(shared.metrics.fi_stale_frames > 0);
         let text = format!("{report}");

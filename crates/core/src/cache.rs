@@ -392,9 +392,53 @@ impl<T> FrameCache<T> {
         }
     }
 
+    /// [`FrameCache::lookup`] returning a mutable payload reference, so
+    /// callers can mark per-frame state at hit time (e.g. a fleet store
+    /// recording that a speculatively rendered frame was actually
+    /// used). Counts and refreshes recency exactly like `lookup`.
+    pub fn lookup_mut(&mut self, query: &CacheQuery) -> Option<&mut T> {
+        let best = self.find_best(query);
+        match best {
+            Some(id) => {
+                self.clock += 1;
+                self.stats.hits += 1;
+                let e = self.entries.get_mut(&id).expect("entry just found");
+                e.last_access = self.clock;
+                Some(&mut e.payload)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
     /// Whether a lookup would hit, without touching counters or recency.
     pub fn peek(&self, query: &CacheQuery) -> bool {
         self.find_best(query).is_some()
+    }
+
+    /// Payload size of the best qualifying frame for `query`, without
+    /// touching counters or recency. A fleet store uses this to detect
+    /// a re-insert that would *replace* an existing frame with a
+    /// different-sized payload (the byte budget must debit the old size
+    /// before crediting the new one).
+    pub fn peek_size(&self, query: &CacheQuery) -> Option<u64> {
+        self.find_best(query).map(|id| self.entries[&id].size_bytes)
+    }
+
+    /// Removes the best qualifying frame for `query`, returning its
+    /// payload size. Unlike eviction this does not count toward
+    /// [`CacheStats::evictions`] — it is the first half of a
+    /// replace-in-place, not a capacity decision.
+    pub fn remove_matching(&mut self, query: &CacheQuery) -> Option<u64> {
+        let id = self.find_best(query)?;
+        let e = self.entries.remove(&id).expect("entry just found");
+        self.bytes -= e.size_bytes;
+        if let Some(v) = self.buckets.get_mut(&Self::bucket_of(e.meta.pos)) {
+            v.retain(|&x| x != id);
+        }
+        Some(e.size_bytes)
     }
 
     /// The cache's logical access clock (monotonic; bumped on insert and
@@ -416,6 +460,17 @@ impl<T> FrameCache<T> {
     /// The `last_access` stamp of the least recently used entry, if any.
     pub fn oldest_access(&self) -> Option<u64> {
         self.entries.values().map(|e| e.last_access).min()
+    }
+
+    /// The least recently used entry's stamp and payload, if any. A
+    /// fleet store's cost-aware admission scores a candidate frame
+    /// against the globally-oldest entry — the one an over-budget
+    /// insert would evict.
+    pub fn oldest_entry(&self) -> Option<(u64, &T)> {
+        self.entries
+            .values()
+            .min_by_key(|e| e.last_access)
+            .map(|e| (e.last_access, &e.payload))
     }
 
     /// Evicts the least recently used entry regardless of the configured

@@ -372,6 +372,9 @@ impl WireMessage {
                 let seq = r.u64()?;
                 let width = r.u32()?;
                 let height = r.u32()?;
+                if width == 0 || height == 0 {
+                    return Err(WireError::BadValue("frame dims"));
+                }
                 let quality = r.u8()?;
                 if quality > 2 {
                     return Err(WireError::BadValue("quality code"));
@@ -386,6 +389,13 @@ impl WireMessage {
                     return Err(WireError::BadValue("scale per-mille"));
                 }
                 let payload = r.rest().to_vec();
+                // A zero-length payload is indistinguishable from a
+                // truncated encode on the receive side; encoders always
+                // produce at least one byte, so reject it outright
+                // rather than conflating it with "need more bytes".
+                if payload.is_empty() {
+                    return Err(WireError::BadValue("frame payload"));
+                }
                 return Ok(WireMessage::Frame {
                     seq,
                     width,

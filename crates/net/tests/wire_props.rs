@@ -66,7 +66,7 @@ fn any_message() -> impl Strategy<Value = WireMessage> {
         0u8..3,
         proptest::bool::ANY,
         1u16..=1000,
-        proptest::collection::vec(0u8..=255, 0..512),
+        proptest::collection::vec(0u8..=255, 1..512),
     )
         .prop_map(
             |(seq, width, height, quality, store_hit, scale_pm, payload)| WireMessage::Frame {
@@ -283,6 +283,37 @@ fn malformed_corpus_maps_to_expected_errors() {
             },
             WireError::BadValue("scale per-mille"),
         ),
+        (
+            "frame with zero-length payload",
+            {
+                // A complete Frame header and no payload bytes at all:
+                // this must be a protocol error, not "need more bytes".
+                let mut b = vec![0x04u8];
+                b.extend_from_slice(&1u64.to_le_bytes()); // seq
+                b.extend_from_slice(&16u32.to_le_bytes()); // width
+                b.extend_from_slice(&16u32.to_le_bytes()); // height
+                b.push(1); // quality
+                b.push(0); // store_hit
+                b.extend_from_slice(&500u16.to_le_bytes()); // scale_pm
+                frame_of(&b)
+            },
+            WireError::BadValue("frame payload"),
+        ),
+        (
+            "frame with zero width",
+            {
+                let mut b = vec![0x04u8];
+                b.extend_from_slice(&1u64.to_le_bytes());
+                b.extend_from_slice(&0u32.to_le_bytes()); // width = 0
+                b.extend_from_slice(&16u32.to_le_bytes());
+                b.push(1);
+                b.push(0);
+                b.extend_from_slice(&500u16.to_le_bytes());
+                b.push(0xAB); // one payload byte
+                frame_of(&b)
+            },
+            WireError::BadValue("frame dims"),
+        ),
     ];
 
     for (name, bytes, want) in corpus {
@@ -293,6 +324,47 @@ fn malformed_corpus_maps_to_expected_errors() {
             other => panic!("corpus case {name:?}: expected Err({want:?}), got {other:?}"),
         }
     }
+}
+
+/// A length prefix arriving split across reads — including one byte at
+/// a time, and with the body split at every offset after it — must
+/// reassemble exactly, never error, and never yield early. This is the
+/// shape a congested TCP stream actually produces (a 4-byte prefix has
+/// no alignment guarantee against segment boundaries).
+#[test]
+fn split_length_prefix_reassembles() {
+    let msg = WireMessage::Pose {
+        seq: 5,
+        t_ms: 33.4,
+        x: 1.0,
+        z: -2.0,
+        yaw: 0.25,
+    };
+    let frame = msg.encode_frame();
+    // Split the stream at every byte boundary inside the prefix and
+    // body: feed [..cut] then [cut..].
+    for cut in 1..frame.len() {
+        let mut asm = FrameAssembler::new();
+        asm.push(&frame[..cut]);
+        assert_eq!(
+            asm.next_message(),
+            Ok(None),
+            "prefix/body split at {cut} must wait for the rest"
+        );
+        asm.push(&frame[cut..]);
+        assert_eq!(asm.next_message(), Ok(Some(msg.clone())), "split at {cut}");
+        assert_eq!(asm.pending_bytes(), 0);
+    }
+    // Degenerate pacing: one byte per push.
+    let mut asm = FrameAssembler::new();
+    let mut got = None;
+    for &b in &frame {
+        asm.push(&[b]);
+        if let Some(m) = asm.next_message().unwrap() {
+            got = Some(m);
+        }
+    }
+    assert_eq!(got, Some(msg));
 }
 
 /// Truncating a valid frame at every possible byte boundary must leave

@@ -48,6 +48,12 @@ pub struct PrerenderJob {
     pub meta: FrameMeta,
     /// Encoded size the frame would have, bytes.
     pub bytes: u64,
+    /// Predicted-reuse priority: the pose predictor's estimated leaf-
+    /// region occupancy over the speculation window. Blind neighbour
+    /// speculation scores 0, so a predictor-driven queue renders its
+    /// predicted frames first and an all-blind queue keeps its
+    /// historical FIFO order exactly (the sort is stable).
+    pub score: f64,
 }
 
 /// Batching pre-render farm. Jobs accumulate during an epoch and are
@@ -95,8 +101,31 @@ impl PrerenderFarm {
                     near_hash: meta.near_hash,
                 },
                 bytes,
+                score: 0.0,
             });
         }
+    }
+
+    /// Queues one pose-predicted frame: a position a predictor expects
+    /// a player to occupy within the speculation window, ranked by
+    /// `score` (predicted leaf-region occupancy). Predicted frames are
+    /// rendered before blind neighbours when the epoch batch drains,
+    /// and duplicate positions keep the highest-scored copy.
+    pub fn enqueue_predicted(
+        &mut self,
+        store: usize,
+        game: GameId,
+        meta: FrameMeta,
+        bytes: u64,
+        score: f64,
+    ) {
+        self.jobs.push(PrerenderJob {
+            store,
+            game,
+            meta,
+            bytes,
+            score,
+        });
     }
 
     /// Jobs currently queued.
@@ -133,6 +162,11 @@ impl PrerenderFarm {
             return;
         }
         let mut batch = std::mem::take(&mut self.jobs);
+        // Highest predicted occupancy first. The sort is stable and
+        // blind jobs all score 0, so a predictor-less batch keeps its
+        // arrival order bit-for-bit — byte identity for
+        // `--predictor none` rides on this.
+        batch.sort_by(|a, b| b.score.total_cmp(&a.score));
         let mut seen = std::collections::HashSet::new();
         batch.retain(|j| {
             seen.insert((
@@ -151,7 +185,7 @@ impl PrerenderFarm {
             // The store skips frames already covered (e.g. the mirror
             // neighbour of an adjacent miss): those cost nothing — the
             // server checks the store before rendering.
-            if stores[job.store].insert(job.game, job.meta, job.bytes) {
+            if stores[job.store].insert_speculative(job.game, job.meta, job.bytes, job.score) {
                 self.gpu_ms += cost;
                 self.rendered += 1;
             }
@@ -207,6 +241,29 @@ mod tests {
         farm.drain_into(&[&store]);
         assert_eq!(farm.rendered(), 2, "same neighbours must render once");
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn predicted_jobs_outrank_blind_duplicates() {
+        // A blind neighbour and a predicted job land on the same grid
+        // point; the predicted (higher-scored) copy must win the dedup
+        // even though it was queued later.
+        let store = SharedFrameStore::new(StoreConfig::default());
+        let mut farm = PrerenderFarm::new();
+        farm.enqueue_neighbors(0, GameId::VikingVillage, miss_meta(), 400_000, 0.4);
+        let neighbor = FrameMeta {
+            grid: GridPoint::new(101, 50),
+            pos: Vec2::new(10.2, 5.0),
+            leaf: LeafId(2),
+            near_hash: 77,
+        };
+        farm.enqueue_predicted(0, GameId::VikingVillage, neighbor, 900_000, 2.5);
+        farm.drain_into(&[&store]);
+        assert_eq!(farm.rendered(), 2);
+        // 900 kB predicted frame + 400 kB far neighbour; had the blind
+        // 400 kB duplicate won, the total would be 800 kB.
+        assert_eq!(store.bytes(), 1_300_000);
+        assert_eq!(store.stats().spec_rendered, 2);
     }
 
     #[test]

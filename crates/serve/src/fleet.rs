@@ -12,6 +12,7 @@
 
 use crate::farm::PrerenderFarm;
 use crate::metrics::FleetMetrics;
+use crate::predict::PredictorKind;
 use crate::room::{Room, RoomReport};
 use crate::store::{SharedFrameStore, StoreConfig, StoreStats};
 use coterie_net::{FleetEgress, NetScenario};
@@ -56,6 +57,11 @@ pub struct FleetConfig {
     /// [`NetScenario::None`] (the default) keeps the lossless sync model
     /// and reproduces pre-fault-plane reports byte for byte.
     pub net: NetScenario,
+    /// Pose predictor driving the pre-render farm's speculation queue.
+    /// [`PredictorKind::None`] (the default) keeps blind neighbour
+    /// speculation and pure-LRU admission, reproducing predictor-less
+    /// reports byte for byte.
+    pub predictor: PredictorKind,
 }
 
 impl Default for FleetConfig {
@@ -74,6 +80,7 @@ impl Default for FleetConfig {
             queue_depth: 32,
             size_samples: 8,
             net: NetScenario::None,
+            predictor: PredictorKind::None,
         }
     }
 }
@@ -159,14 +166,17 @@ impl Fleet {
             let sink = telemetry.clone();
             let indexed: Vec<(usize, SessionConfig)> =
                 session_configs.into_iter().enumerate().collect();
+            let predictor = config.predictor;
             par_map_ws(&indexed, |(id, cfg)| {
                 Room::new_with_telemetry(*id, *cfg, queue_depth, sink.clone())
+                    .with_predictor(predictor)
             })
         };
         let stores = if config.shared_store {
             vec![SharedFrameStore::new(StoreConfig {
                 capacity_bytes: config.store_bytes,
                 shards: config.store_shards,
+                admission: config.predictor.admission(),
             })]
         } else {
             (0..config.rooms)
@@ -174,6 +184,7 @@ impl Fleet {
                     SharedFrameStore::new(StoreConfig {
                         capacity_bytes: (config.store_bytes / config.rooms as u64).max(1),
                         shards: config.store_shards,
+                        admission: config.predictor.admission(),
                     })
                 })
                 .collect()
@@ -268,19 +279,18 @@ impl Fleet {
             epoch += 1;
         }
         let reports: Vec<RoomReport> = self.rooms.into_iter().map(Room::finish).collect();
-        let store_stats =
-            self.stores
-                .iter()
-                .map(SharedFrameStore::stats)
-                .fold(StoreStats::default(), |a, b| StoreStats {
-                    hits: a.hits + b.hits,
-                    misses: a.misses + b.misses,
-                    insertions: a.insertions + b.insertions,
-                    duplicates: a.duplicates + b.duplicates,
-                    evictions: a.evictions + b.evictions,
-                });
-        let mut metrics =
-            FleetMetrics::from_run(&reports, store_stats, &self.farm, self.config.duration_s);
+        let store_stats = self
+            .stores
+            .iter()
+            .map(SharedFrameStore::stats)
+            .fold(StoreStats::default(), StoreStats::merged);
+        let mut metrics = FleetMetrics::from_run(
+            &reports,
+            store_stats,
+            &self.farm,
+            self.config.duration_s,
+            self.config.predictor,
+        );
         // Budget-attribution summary — `None` when the sink is disabled,
         // keeping the default report (and its Display) bit-identical.
         metrics.telemetry = self.telemetry.summary();

@@ -20,6 +20,15 @@
 //! * [`PrerenderFarm`] turns store misses into speculative neighbour
 //!   renders, batched per epoch and swept with the work-stealing
 //!   [`coterie_parallel::par_map_ws`].
+//! * [`PosePredictor`] (selected per fleet via
+//!   [`FleetConfig::predictor`]) replaces blind speculation with
+//!   pose-predictive speculation: constant-velocity (`cv`) or
+//!   viewport-pose-model-informed (`vpm`, velocity decay plus pull
+//!   toward the scene's shared hotspots) extrapolation ranks the farm's
+//!   queue by predicted leaf-region occupancy, and the store scores
+//!   speculative inserts against the LRU victim (cost-aware
+//!   admission). `--predictor none` reproduces predictor-less reports
+//!   byte for byte.
 //! * [`Fleet`] runs admission control (bounded per-room queues, a
 //!   fleet-wide [`coterie_net::FleetEgress`] downlink budget) and
 //!   graceful degradation (rooms violating the 16.7 ms frame budget
@@ -60,11 +69,13 @@
 pub mod farm;
 pub mod fleet;
 pub mod metrics;
+pub mod predict;
 pub mod room;
 pub mod store;
 
 pub use farm::{render_cost_ms, PrerenderFarm, PrerenderJob};
 pub use fleet::{Fleet, FleetConfig, FleetReport};
 pub use metrics::{percentile, FleetMetrics};
+pub use predict::{PosePredictor, PredictorKind};
 pub use room::{Room, RoomReport};
-pub use store::{SharedFrameStore, StoreConfig, StoreStats};
+pub use store::{Admission, SharedFrameStore, StoreConfig, StoreStats};

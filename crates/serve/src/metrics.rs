@@ -6,6 +6,7 @@
 //! notice.
 
 use crate::farm::PrerenderFarm;
+use crate::predict::PredictorKind;
 use crate::room::RoomReport;
 use crate::store::StoreStats;
 use coterie_telemetry::TelemetrySummary;
@@ -56,6 +57,20 @@ pub struct FleetMetrics {
     pub desync_p95_m: f64,
     /// Worst room's p99 dead-reckoned avatar position error, meters.
     pub desync_p99_m: f64,
+    /// Pose predictor that drove the farm's speculation queue.
+    pub predictor: PredictorKind,
+    /// Speculatively rendered frames admitted to the store(s).
+    pub spec_rendered: u64,
+    /// Distinct speculative frames that served at least one hit.
+    pub spec_used: u64,
+    /// Store hits served by a speculative frame.
+    pub spec_hits: u64,
+    /// Speculative inserts refused by cost-aware admission.
+    pub spec_rejected: u64,
+    /// Speculation precision: `spec_used / spec_rendered`.
+    pub spec_precision: f64,
+    /// Speculation recall: `spec_hits / (spec_hits + misses)`.
+    pub spec_recall: f64,
     /// Fleet-wide per-frame budget attribution (stage p50/p95/p99,
     /// over-budget frame count, worst-frame drilldown). `None` when the
     /// fleet ran without a telemetry sink — the default — keeping the
@@ -84,6 +99,7 @@ impl FleetMetrics {
         store_stats: StoreStats,
         farm: &PrerenderFarm,
         duration_s: f64,
+        predictor: PredictorKind,
     ) -> FleetMetrics {
         let fps: Vec<f64> = reports
             .iter()
@@ -134,6 +150,13 @@ impl FleetMetrics {
                 .iter()
                 .map(|r| r.session.fi.desync_p99_m)
                 .fold(0.0, f64::max),
+            predictor,
+            spec_rendered: store_stats.spec_rendered,
+            spec_used: store_stats.spec_used,
+            spec_hits: store_stats.spec_hits,
+            spec_rejected: store_stats.spec_rejected,
+            spec_precision: store_stats.spec_precision(),
+            spec_recall: store_stats.spec_recall(),
             telemetry: None,
         }
     }
@@ -163,6 +186,26 @@ impl fmt::Display for FleetMetrics {
             "  devices    peak {:.2} degC  {} degraded rooms",
             self.peak_temperature_c, self.degraded_rooms
         )?;
+        // Only predictor-driven runs print speculation lines: the farm
+        // tags even blind speculation, so gating on the counters would
+        // break `--predictor none` byte identity with predictor-less
+        // reports.
+        if self.predictor != PredictorKind::None {
+            writeln!(
+                f,
+                "  speculation {}  rendered {}  used {}  hits {}  rejected {}",
+                self.predictor,
+                self.spec_rendered,
+                self.spec_used,
+                self.spec_hits,
+                self.spec_rejected
+            )?;
+            writeln!(
+                f,
+                "  prediction  precision {:.4}  recall {:.4}",
+                self.spec_precision, self.spec_recall
+            )?;
+        }
         // Only lossy runs print FI lines, keeping lossless reports
         // byte-identical to those predating the fault plane.
         if self.fi_syncs > 0 {
@@ -222,7 +265,13 @@ mod tests {
         // A zero-room fleet (reachable only through this API — the
         // Fleet constructor rejects it) must produce the documented
         // all-zero sentinel with no inf/NaN from empty reductions.
-        let m = FleetMetrics::from_run(&[], StoreStats::default(), &PrerenderFarm::new(), 10.0);
+        let m = FleetMetrics::from_run(
+            &[],
+            StoreStats::default(),
+            &PrerenderFarm::new(),
+            10.0,
+            PredictorKind::None,
+        );
         assert_eq!(m.rooms, 0);
         assert_eq!(m.players, 0);
         for v in [
@@ -249,7 +298,13 @@ mod tests {
 
     #[test]
     fn zero_duration_fleet_reports_zero_egress() {
-        let m = FleetMetrics::from_run(&[], StoreStats::default(), &PrerenderFarm::new(), 0.0);
+        let m = FleetMetrics::from_run(
+            &[],
+            StoreStats::default(),
+            &PrerenderFarm::new(),
+            0.0,
+            PredictorKind::None,
+        );
         assert_eq!(m.egress_mbps, 0.0);
         assert!(m.egress_mbps.is_finite());
     }

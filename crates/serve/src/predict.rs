@@ -1,0 +1,351 @@
+//! Per-player pose prediction for the pre-render farm.
+//!
+//! The farm's original heuristic speculated blindly around recent store
+//! traffic: every observed request queued its two straddling
+//! neighbours. A pose predictor does better — it watches the stream of
+//! far-BE requests a room emits (each carries the requesting player's
+//! position and session clock) and extrapolates where each player will
+//! be over the next few vsyncs, so the farm can pre-render the frames
+//! the fleet is *about* to stall on and rank them by how many players
+//! are predicted to occupy each leaf region.
+//!
+//! Two predictors are provided:
+//!
+//! - **`cv`** — constant velocity: the classic dead-reckoning baseline,
+//!   `p(t+h) = p(t) + v·h` with `v` estimated by finite difference over
+//!   the last two observations.
+//! - **`vpm`** — viewport-pose-model informed (after the VR viewport
+//!   pose model of Chen et al., arXiv 2201.04060): linear velocity
+//!   persists only briefly (it decays with time constant `TAU_V_S`),
+//!   and the direction of motion rotates toward the scene's shared
+//!   attention hotspots — VR players do not walk in straight lines
+//!   forever, they converge on salient map features. The hotspots are
+//!   a *map* property ([`coterie_world::scene_hotspots`]) derived from
+//!   the world layout hash, so the fleet reconstructs them without
+//!   knowing any per-player movement seed.
+//!
+//! Everything here is pure arithmetic over observed poses — same
+//! observation sequence, same predictions — which is what keeps fleet
+//! runs byte-identical per policy.
+
+use crate::store::Admission;
+use coterie_world::Vec2;
+
+/// Which pose predictor drives the farm's speculation queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// No prediction: blind neighbour speculation and pure-LRU store
+    /// admission, byte-identical to a fleet without any predictor.
+    #[default]
+    None,
+    /// Constant-velocity dead reckoning.
+    Cv,
+    /// Viewport-pose-model informed (velocity decay + hotspot pull).
+    Vpm,
+}
+
+impl PredictorKind {
+    /// All policies, in reporting order.
+    pub const ALL: [PredictorKind; 3] = [PredictorKind::None, PredictorKind::Cv, PredictorKind::Vpm];
+
+    /// Parses a `--predictor` argument value.
+    pub fn parse(s: &str) -> Option<PredictorKind> {
+        match s {
+            "none" => Some(PredictorKind::None),
+            "cv" => Some(PredictorKind::Cv),
+            "vpm" => Some(PredictorKind::Vpm),
+            _ => None,
+        }
+    }
+
+    /// Canonical flag/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::None => "none",
+            PredictorKind::Cv => "cv",
+            PredictorKind::Vpm => "vpm",
+        }
+    }
+
+    /// The store admission policy this predictor implies: prediction
+    /// enables cost-aware admission (speculative inserts are scored
+    /// against the LRU victim); without prediction there is no reuse
+    /// estimate to score with, so admission stays pure LRU.
+    pub fn admission(self) -> Admission {
+        match self {
+            PredictorKind::None => Admission::Lru,
+            PredictorKind::Cv | PredictorKind::Vpm => Admission::CostAware,
+        }
+    }
+}
+
+impl std::fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Speculation horizons, in vsyncs ahead of the observed pose. The
+/// farm queues one predicted frame per horizon, so speculation covers
+/// the whole window rather than a single instant.
+pub const SPECULATION_HORIZONS_VSYNCS: [u32; 3] = [2, 4, 6];
+
+/// One vsync at the paper's 60 Hz display, ms.
+const VSYNC_MS: f64 = 16.7;
+
+/// Velocity persistence time constant of the `vpm` predictor, seconds.
+/// Walking VR players hold a velocity for under a second before
+/// slowing or turning (viewport-pose-model observation).
+const TAU_V_S: f64 = 0.8;
+
+/// Rotation-toward-hotspot time constant of the `vpm` predictor,
+/// seconds: how quickly the predicted direction of motion bends toward
+/// the nearest shared attention hotspot.
+const TAU_ROT_S: f64 = 1.5;
+
+/// The last two observed poses of one player.
+#[derive(Debug, Clone, Copy)]
+struct PoseTrack {
+    prev: Option<(f64, Vec2)>,
+    last: (f64, Vec2),
+}
+
+/// Online per-player pose predictor for one room.
+///
+/// Feed it every observed `(player, t_ms, pos)` via
+/// [`PosePredictor::observe`]; query futures with
+/// [`PosePredictor::predict`] and region crowding with
+/// [`PosePredictor::occupancy`]. Purely deterministic.
+#[derive(Debug)]
+pub struct PosePredictor {
+    kind: PredictorKind,
+    hotspots: Vec<Vec2>,
+    players: Vec<Option<PoseTrack>>,
+}
+
+impl PosePredictor {
+    /// A predictor of `kind` using the scene's shared hotspots (ignored
+    /// by `cv`). Returns `None` for [`PredictorKind::None`] — no
+    /// predictor object must exist on the byte-identity baseline path.
+    pub fn new(kind: PredictorKind, hotspots: Vec<Vec2>) -> Option<PosePredictor> {
+        match kind {
+            PredictorKind::None => None,
+            _ => Some(PosePredictor {
+                kind,
+                hotspots,
+                players: Vec::new(),
+            }),
+        }
+    }
+
+    /// The policy this predictor implements.
+    pub fn kind(&self) -> PredictorKind {
+        self.kind
+    }
+
+    /// Records an observed pose. Observations at the same timestamp
+    /// overwrite (re-requests within one display interval); older
+    /// timestamps than the last are ignored.
+    pub fn observe(&mut self, player: usize, t_ms: f64, pos: Vec2) {
+        if player >= self.players.len() {
+            self.players.resize(player + 1, None);
+        }
+        match &mut self.players[player] {
+            Some(track) => {
+                if t_ms > track.last.0 {
+                    track.prev = Some(track.last);
+                    track.last = (t_ms, pos);
+                } else if t_ms == track.last.0 {
+                    track.last = (t_ms, pos);
+                }
+            }
+            slot @ None => {
+                *slot = Some(PoseTrack {
+                    prev: None,
+                    last: (t_ms, pos),
+                });
+            }
+        }
+    }
+
+    /// Finite-difference velocity estimate (m/s); zero until a player
+    /// has two observations at distinct times.
+    fn velocity(&self, track: &PoseTrack) -> Vec2 {
+        let Some((t0, p0)) = track.prev else {
+            return Vec2::ZERO;
+        };
+        let dt_s = (track.last.0 - t0) / 1000.0;
+        if dt_s <= 1e-9 {
+            Vec2::ZERO
+        } else {
+            (track.last.1 - p0) / dt_s
+        }
+    }
+
+    /// Predicted position of `player` `horizon_ms` after their last
+    /// observation; `None` before any observation.
+    pub fn predict(&self, player: usize, horizon_ms: f64) -> Option<Vec2> {
+        let track = self.players.get(player).copied().flatten()?;
+        let h_s = horizon_ms / 1000.0;
+        let v = self.velocity(&track);
+        let p0 = track.last.1;
+        Some(match self.kind {
+            PredictorKind::None => p0,
+            PredictorKind::Cv => p0 + v * h_s,
+            PredictorKind::Vpm => {
+                let speed = v.length();
+                if speed < 1e-9 {
+                    p0
+                } else {
+                    // Displacement under exponentially decaying speed:
+                    // ∫ |v|·e^(−t/τ) dt = |v|·τ·(1 − e^(−h/τ)).
+                    let travel = speed * TAU_V_S * (1.0 - (-h_s / TAU_V_S).exp());
+                    // Direction bends from the current heading toward
+                    // the nearest hotspot as the horizon grows.
+                    let dir = v / speed;
+                    let blend = 1.0 - (-h_s / TAU_ROT_S).exp();
+                    let pull = self
+                        .hotspots
+                        .iter()
+                        .min_by(|a, b| {
+                            a.distance(p0)
+                                .partial_cmp(&b.distance(p0))
+                                .expect("finite distances")
+                        })
+                        .map(|h| {
+                            let to_h = *h - p0;
+                            if to_h.length() < 1e-9 {
+                                dir
+                            } else {
+                                to_h / to_h.length()
+                            }
+                        })
+                        .unwrap_or(dir);
+                    let mixed = dir * (1.0 - blend) + pull * blend;
+                    let mixed = if mixed.length() < 1e-9 {
+                        pull
+                    } else {
+                        mixed / mixed.length()
+                    };
+                    p0 + mixed * travel
+                }
+            }
+        })
+    }
+
+    /// Predicted occupancy of the region around `pos` at `horizon_ms`:
+    /// each tracked player contributes `1 − d/radius` (clamped at 0)
+    /// where `d` is the distance from their predicted position. This is
+    /// the farm's ranking signal — leaf regions several players are
+    /// converging on outrank lone-wolf territory.
+    pub fn occupancy(&self, pos: Vec2, horizon_ms: f64, radius: f64) -> f64 {
+        if radius <= 0.0 {
+            return 0.0;
+        }
+        (0..self.players.len())
+            .filter_map(|p| self.predict(p, horizon_ms))
+            .map(|pred| (1.0 - pred.distance(pos) / radius).max(0.0))
+            .sum()
+    }
+
+    /// The horizon of vsync step `k` of the speculation window, ms.
+    pub fn horizon_ms(vsyncs: u32) -> f64 {
+        vsyncs as f64 * VSYNC_MS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cv() -> PosePredictor {
+        PosePredictor::new(PredictorKind::Cv, vec![]).expect("cv builds")
+    }
+
+    #[test]
+    fn kind_parsing_round_trips() {
+        for kind in PredictorKind::ALL {
+            assert_eq!(PredictorKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(PredictorKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn none_kind_builds_no_predictor() {
+        assert!(PosePredictor::new(PredictorKind::None, vec![]).is_none());
+        assert_eq!(PredictorKind::None.admission(), Admission::Lru);
+        assert_eq!(PredictorKind::Vpm.admission(), Admission::CostAware);
+    }
+
+    #[test]
+    fn cv_extrapolates_linearly() {
+        let mut p = cv();
+        p.observe(0, 0.0, Vec2::new(0.0, 0.0));
+        p.observe(0, 100.0, Vec2::new(1.0, 0.0)); // 10 m/s along x
+        let pred = p.predict(0, 200.0).expect("observed");
+        assert!((pred.x - 3.0).abs() < 1e-9, "x = {}", pred.x);
+        assert!(pred.z.abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_observation_predicts_standstill() {
+        let mut p = cv();
+        p.observe(3, 50.0, Vec2::new(2.0, 2.0));
+        let pred = p.predict(3, 500.0).expect("observed");
+        assert_eq!(pred, Vec2::new(2.0, 2.0));
+        assert!(p.predict(0, 100.0).is_none(), "untracked players: None");
+    }
+
+    #[test]
+    fn vpm_bends_toward_hotspot_and_decays() {
+        let hotspot = Vec2::new(0.0, 10.0);
+        let mut vpm = PosePredictor::new(PredictorKind::Vpm, vec![hotspot]).expect("vpm");
+        let mut straight = cv();
+        for p in [&mut vpm, &mut straight] {
+            p.observe(0, 0.0, Vec2::new(0.0, 0.0));
+            p.observe(0, 100.0, Vec2::new(1.0, 0.0)); // heading +x, 10 m/s
+        }
+        let h = 500.0;
+        let v = vpm.predict(0, h).expect("observed");
+        let c = straight.predict(0, h).expect("observed");
+        // Decay: vpm travels less far than constant velocity.
+        let origin = Vec2::new(1.0, 0.0);
+        assert!(v.distance(origin) < c.distance(origin));
+        // Pull: vpm drifts toward the hotspot (positive z), cv does not.
+        assert!(v.z > 0.05, "vpm must bend toward the hotspot: {v:?}");
+        assert!(c.z.abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_counts_converging_players() {
+        let mut p = cv();
+        // Two players heading for the same spot, one heading away.
+        p.observe(0, 0.0, Vec2::new(0.0, 0.0));
+        p.observe(0, 100.0, Vec2::new(1.0, 0.0));
+        p.observe(1, 0.0, Vec2::new(10.0, 0.0));
+        p.observe(1, 100.0, Vec2::new(9.0, 0.0));
+        p.observe(2, 0.0, Vec2::new(0.0, 50.0));
+        p.observe(2, 100.0, Vec2::new(0.0, 60.0));
+        let meeting = Vec2::new(5.0, 0.0);
+        let elsewhere = Vec2::new(0.0, 80.0);
+        let h = 400.0;
+        assert!(p.occupancy(meeting, h, 5.0) > p.occupancy(elsewhere, h, 5.0));
+        assert_eq!(p.occupancy(meeting, h, 0.0), 0.0);
+    }
+
+    #[test]
+    fn predictions_are_deterministic() {
+        let build = || {
+            let mut p = PosePredictor::new(PredictorKind::Vpm, vec![Vec2::new(3.0, 4.0)]).unwrap();
+            for i in 0..50u32 {
+                let t = i as f64 * 16.7;
+                p.observe((i % 3) as usize, t, Vec2::new((i as f64 * 0.37).sin(), t * 0.001));
+            }
+            (0..3)
+                .map(|pl| p.predict(pl, 100.2))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

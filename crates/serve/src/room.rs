@@ -9,13 +9,14 @@
 //! frames (the sim's quality scale) until they fit again.
 
 use crate::farm::{render_cost_ms, PrerenderFarm};
+use crate::predict::{PosePredictor, PredictorKind, SPECULATION_HORIZONS_VSYNCS};
 use crate::store::SharedFrameStore;
 use coterie_core::{CacheQuery, FrameMeta};
 use coterie_device::FRAME_BUDGET_MS;
 use coterie_net::FleetEgress;
 use coterie_sim::{SessionConfig, SessionReport, SessionSim};
 use coterie_telemetry::{room_pid, FrameStats, Stage, TelemetrySink, TrackId};
-use coterie_world::GameId;
+use coterie_world::{scene_hotspots, GameId};
 
 /// Smoothing factor of the critical-path EMA (per frame).
 const EMA_ALPHA: f64 = 0.1;
@@ -87,6 +88,9 @@ pub struct Room {
     id: usize,
     game: GameId,
     sim: SessionSim,
+    /// Pose-predictive speculation state; `None` runs the historical
+    /// blind-neighbour farm path bit-for-bit.
+    predictor: Option<PosePredictor>,
     queue_depth: usize,
     queued_this_epoch: usize,
     ema_critical_ms: f64,
@@ -139,6 +143,7 @@ impl Room {
             id,
             game,
             sim: SessionSim::new_with_telemetry(config, telemetry.clone(), id as u32),
+            predictor: None,
             queue_depth,
             queued_this_epoch: 0,
             ema_critical_ms: 0.0,
@@ -153,6 +158,15 @@ impl Room {
             shipped_bytes: 0,
             telemetry,
         }
+    }
+
+    /// Drives the room's speculation with a pose predictor of `kind`
+    /// (the `vpm` variant reconstructs the scene's shared hotspots from
+    /// the session's world). [`PredictorKind::None`] keeps the blind
+    /// farm path byte-for-byte.
+    pub fn with_predictor(mut self, kind: PredictorKind) -> Self {
+        self.predictor = PosePredictor::new(kind, scene_hotspots(self.sim.scene()));
+        self
     }
 
     /// Room id.
@@ -204,6 +218,8 @@ impl Room {
         let mut inline_gpu_ms = 0.0f64;
         let mut shipped_bytes = 0u64;
         let mut ema = self.ema_critical_ms;
+        let grid = *self.sim.scene().grid();
+        let predictor = &mut self.predictor;
         let telemetry = self.telemetry.clone();
         // Room-level service spans (store lookups, far-BE transfers)
         // get their own trace lane next to the per-player frame lanes.
@@ -239,6 +255,47 @@ impl Room {
                 // points are about to be requested (duplicates are
                 // deduped at drain time, so this is cheap).
                 farm.enqueue_neighbors(store_idx, game, meta, req.bytes, req.dist_thresh);
+                if let Some(pred) = predictor.as_mut() {
+                    // Pose-predictive speculation on top of the blind
+                    // straddle: extrapolate the requesting player over
+                    // the speculation window and queue the grid points
+                    // they are predicted to reach, ranked by how many
+                    // players are converging there. Leaf and near set
+                    // are reused from the observed request (the same
+                    // approximation blind neighbours make).
+                    pred.observe(req.player, req.now_ms, req.pos);
+                    if req.dist_thresh > 0.0 {
+                        for vsyncs in SPECULATION_HORIZONS_VSYNCS {
+                            let horizon = PosePredictor::horizon_ms(vsyncs);
+                            let Some(future) = pred.predict(req.player, horizon) else {
+                                continue;
+                            };
+                            let pgrid = grid.snap(future);
+                            if pgrid == req.grid {
+                                continue; // frame already in flight
+                            }
+                            let ppos = grid.position(pgrid);
+                            let radius = (req.dist_thresh * 4.0).max(grid.spacing());
+                            let occupancy = pred.occupancy(ppos, horizon, radius);
+                            // Nearer horizons break ties: a frame
+                            // needed in 2 vsyncs outranks one needed
+                            // in 6 at equal crowding.
+                            let score = occupancy + 1.0 / (1.0 + vsyncs as f64);
+                            farm.enqueue_predicted(
+                                store_idx,
+                                game,
+                                FrameMeta {
+                                    grid: pgrid,
+                                    pos: ppos,
+                                    leaf: req.leaf,
+                                    near_hash: req.near_hash,
+                                },
+                                req.bytes,
+                                score,
+                            );
+                        }
+                    }
+                }
                 let lookup_started = telemetry.is_enabled().then(std::time::Instant::now);
                 let hit = store.lookup(game, &query);
                 if let Some(t0) = lookup_started {

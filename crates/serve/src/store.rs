@@ -17,6 +17,7 @@
 //! every shard from one atomic clock and always evicting from the
 //! shard holding the globally oldest entry.
 
+use crate::farm::render_cost_ms;
 use coterie_core::{
     CacheConfig, CacheQuery, CacheVersion, EvictionPolicy, FrameCache, FrameMeta, FrameSource,
 };
@@ -25,6 +26,22 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// How the store treats a speculative insert that would overflow the
+/// byte budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Admission {
+    /// Admit everything; the global LRU evicts the oldest frame
+    /// (the original fleet behaviour, and the `--predictor none`
+    /// byte-identity baseline).
+    #[default]
+    Lru,
+    /// Score the candidate's `predicted-reuse × render cost` against
+    /// the value of the globally-oldest frame (the one an over-budget
+    /// insert would evict): speculation not worth the eviction is
+    /// refused. Demand-rendered frames are always admitted.
+    CostAware,
+}
+
 /// Store configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreConfig {
@@ -32,6 +49,8 @@ pub struct StoreConfig {
     pub capacity_bytes: u64,
     /// Number of mutex-guarded shards (lock striping width).
     pub shards: usize,
+    /// Over-budget admission policy for speculative inserts.
+    pub admission: Admission,
 }
 
 impl Default for StoreConfig {
@@ -41,6 +60,7 @@ impl Default for StoreConfig {
         StoreConfig {
             capacity_bytes: 256 * 1024 * 1024,
             shards: 16,
+            admission: Admission::Lru,
         }
     }
 }
@@ -55,10 +75,23 @@ pub struct StoreStats {
     /// Frames inserted.
     pub insertions: u64,
     /// Duplicate insertions skipped (a frame for the same position,
-    /// leaf and near set was already present).
+    /// leaf and near set was already present at the same size).
     pub duplicates: u64,
+    /// Re-inserts that replaced an existing frame with a
+    /// different-sized payload (the old size is debited before the new
+    /// one is credited, so the byte budget cannot drift).
+    pub replacements: u64,
     /// Frames evicted by the global LRU.
     pub evictions: u64,
+    /// Speculatively rendered frames admitted (pre-render farm
+    /// backfill, as opposed to demand-rendered misses).
+    pub spec_rendered: u64,
+    /// Distinct speculative frames that served at least one hit.
+    pub spec_used: u64,
+    /// Lookups whose winning frame was speculative.
+    pub spec_hits: u64,
+    /// Speculative inserts refused by cost-aware admission.
+    pub spec_rejected: u64,
 }
 
 impl StoreStats {
@@ -71,13 +104,67 @@ impl StoreStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Speculation precision in `[0, 1]`: the fraction of
+    /// speculatively rendered frames that were ever used (0 before any
+    /// speculative render). Low precision means the farm burned GPU
+    /// time on frames nobody walked into.
+    pub fn spec_precision(&self) -> f64 {
+        if self.spec_rendered == 0 {
+            0.0
+        } else {
+            self.spec_used as f64 / self.spec_rendered as f64
+        }
+    }
+
+    /// Speculation recall in `[0, 1]`: of the lookups that could not
+    /// be served by a demand-rendered frame (speculative hits plus
+    /// outright misses), the fraction speculation saved. High recall
+    /// means the farm is pre-rendering the frames rooms actually
+    /// stall on.
+    pub fn spec_recall(&self) -> f64 {
+        let candidates = self.spec_hits + self.misses;
+        if candidates == 0 {
+            0.0
+        } else {
+            self.spec_hits as f64 / candidates as f64
+        }
+    }
+
+    /// Element-wise sum, for fleets aggregating per-room stores.
+    pub fn merged(self, other: StoreStats) -> StoreStats {
+        StoreStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            insertions: self.insertions + other.insertions,
+            duplicates: self.duplicates + other.duplicates,
+            replacements: self.replacements + other.replacements,
+            evictions: self.evictions + other.evictions,
+            spec_rendered: self.spec_rendered + other.spec_rendered,
+            spec_used: self.spec_used + other.spec_used,
+            spec_hits: self.spec_hits + other.spec_hits,
+            spec_rejected: self.spec_rejected + other.spec_rejected,
+        }
+    }
+}
+
+/// Per-frame store bookkeeping carried as the cache payload: how the
+/// frame came to exist and what keeping it is worth.
+#[derive(Debug, Clone, Copy)]
+struct FrameTag {
+    /// Rendered by the speculative farm (vs a demand miss).
+    speculative: bool,
+    /// A lookup has hit this frame at least once.
+    used: bool,
+    /// Admission value: predicted reuse × simulated render cost.
+    value: f64,
 }
 
 /// One lock-striped shard: the leaf caches of every `(game, leaf)`
 /// pair that hashes to this stripe.
 #[derive(Debug, Default)]
 struct Shard {
-    caches: HashMap<(GameId, u32), FrameCache<()>>,
+    caches: HashMap<(GameId, u32), FrameCache<FrameTag>>,
 }
 
 /// A server-side frame store shared by every room of the fleet.
@@ -100,7 +187,12 @@ pub struct SharedFrameStore {
     misses: AtomicU64,
     insertions: AtomicU64,
     duplicates: AtomicU64,
+    replacements: AtomicU64,
     evictions: AtomicU64,
+    spec_rendered: AtomicU64,
+    spec_used: AtomicU64,
+    spec_hits: AtomicU64,
+    spec_rejected: AtomicU64,
 }
 
 impl SharedFrameStore {
@@ -123,7 +215,12 @@ impl SharedFrameStore {
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             duplicates: AtomicU64::new(0),
+            replacements: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            spec_rendered: AtomicU64::new(0),
+            spec_used: AtomicU64::new(0),
+            spec_hits: AtomicU64::new(0),
+            spec_rejected: AtomicU64::new(0),
         }
     }
 
@@ -157,7 +254,12 @@ impl SharedFrameStore {
             misses: self.misses.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             duplicates: self.duplicates.load(Ordering::Relaxed),
+            replacements: self.replacements.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            spec_rendered: self.spec_rendered.load(Ordering::Relaxed),
+            spec_used: self.spec_used.load(Ordering::Relaxed),
+            spec_hits: self.spec_hits.load(Ordering::Relaxed),
+            spec_rejected: self.spec_rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -187,27 +289,116 @@ impl SharedFrameStore {
     pub fn lookup(&self, game: GameId, query: &CacheQuery) -> bool {
         let ticket = self.fresh_ticket();
         let mut shard = self.shards[self.shard_index(game, query.leaf.0)].lock();
+        let mut spec_hit = false;
+        let mut first_use = false;
         let hit = match shard.caches.get_mut(&(game, query.leaf.0)) {
             Some(cache) => {
                 cache.advance_clock(ticket);
-                cache.lookup(query).is_some()
+                match cache.lookup_mut(query) {
+                    Some(tag) => {
+                        if tag.speculative {
+                            spec_hit = true;
+                            first_use = !tag.used;
+                        }
+                        tag.used = true;
+                        true
+                    }
+                    None => false,
+                }
             }
             None => false,
         };
         drop(shard);
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if spec_hit {
+                self.spec_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            if first_use {
+                self.spec_used.fetch_add(1, Ordering::Relaxed);
+            }
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
         hit
     }
 
-    /// Inserts a rendered frame contributed by any session of `game`.
-    /// Duplicates (a frame already covering the exact position, leaf
-    /// and near set) are skipped so speculative backfill cannot bloat
-    /// the store. Returns whether the frame was actually admitted.
+    /// Inserts a demand-rendered frame contributed by any session of
+    /// `game`. Duplicates (a frame already covering the exact position,
+    /// leaf and near set at the same size) are skipped so backfill
+    /// cannot bloat the store. Returns whether the frame was admitted.
     pub fn insert(&self, game: GameId, meta: FrameMeta, size_bytes: u64) -> bool {
+        self.insert_tagged(
+            game,
+            meta,
+            size_bytes,
+            FrameTag {
+                speculative: false,
+                used: false,
+                value: 0.0,
+            },
+        )
+    }
+
+    /// Inserts a frame rendered speculatively by the pre-render farm.
+    /// `reuse_score` is the predictor's estimate of how soon/often the
+    /// frame will be requested; the admission value is that score
+    /// weighted by the simulated render cost of the payload, so
+    /// cost-aware admission keeps expensive frames it expects to reuse
+    /// and refuses cheap long-shots over a full budget.
+    pub fn insert_speculative(
+        &self,
+        game: GameId,
+        meta: FrameMeta,
+        size_bytes: u64,
+        reuse_score: f64,
+    ) -> bool {
+        let value = reuse_score * render_cost_ms(size_bytes);
+        if self.config.admission == Admission::CostAware
+            && self.bytes.load(Ordering::Relaxed) + size_bytes > self.config.capacity_bytes
+        {
+            // Admitting would evict the globally-oldest frame; only do
+            // it if this candidate is worth more than that victim.
+            let victim_value = self.oldest_value();
+            if victim_value.map(|v| v >= value).unwrap_or(false) {
+                self.spec_rejected.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+        let admitted = self.insert_tagged(
+            game,
+            meta,
+            size_bytes,
+            FrameTag {
+                speculative: true,
+                used: false,
+                value,
+            },
+        );
+        if admitted {
+            self.spec_rendered.fetch_add(1, Ordering::Relaxed);
+        }
+        admitted
+    }
+
+    /// The admission value of the globally-oldest frame (the one an
+    /// over-budget insert would evict), if any.
+    fn oldest_value(&self) -> Option<f64> {
+        let mut victim: Option<(u64, f64)> = None;
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for cache in shard.caches.values() {
+                if let Some((stamp, tag)) = cache.oldest_entry() {
+                    if victim.map(|(v, _)| stamp < v).unwrap_or(true) {
+                        victim = Some((stamp, tag.value));
+                    }
+                }
+            }
+        }
+        victim.map(|(_, value)| value)
+    }
+
+    fn insert_tagged(&self, game: GameId, meta: FrameMeta, size_bytes: u64, tag: FrameTag) -> bool {
         let ticket = self.fresh_ticket();
         let mut shard = self.shards[self.shard_index(game, meta.leaf.0)].lock();
         let cache = shard.caches.entry((game, meta.leaf.0)).or_insert_with(|| {
@@ -224,15 +415,33 @@ impl SharedFrameStore {
             near_hash: meta.near_hash,
             dist_thresh: 0.0,
         };
-        if cache.peek(&dup_probe) {
-            drop(shard);
-            self.duplicates.fetch_add(1, Ordering::Relaxed);
-            return false;
+        let mut replaced = false;
+        match cache.peek_size(&dup_probe) {
+            Some(old_size) if old_size == size_bytes => {
+                // Same key, same payload size: genuine duplicate.
+                drop(shard);
+                self.duplicates.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            Some(_) => {
+                // Same key, different payload size (e.g. re-rendered at
+                // another quality level): replace, debiting the old
+                // bytes *before* crediting the new so the global budget
+                // tracks the true sum of entry sizes.
+                if let Some(old_size) = cache.remove_matching(&dup_probe) {
+                    self.bytes.fetch_sub(old_size, Ordering::Relaxed);
+                    replaced = true;
+                }
+            }
+            None => {}
         }
         cache.advance_clock(ticket);
-        cache.insert(meta, FrameSource::Fleet, (), size_bytes, meta.pos);
+        cache.insert(meta, FrameSource::Fleet, tag, size_bytes, meta.pos);
         drop(shard);
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        if replaced {
+            self.replacements.fetch_add(1, Ordering::Relaxed);
+        }
         self.bytes.fetch_add(size_bytes, Ordering::Relaxed);
         self.enforce_budget();
         true
@@ -350,6 +559,119 @@ mod tests {
     }
 
     #[test]
+    fn reinsert_with_different_size_keeps_budget_exact() {
+        // Regression: re-inserting the same key with a different-sized
+        // payload used to be skipped as a "duplicate", leaving the byte
+        // budget tracking the *old* size forever. Under the old code
+        // repeated re-encodes made `bytes()` drift away from the true
+        // sum of entry sizes; now the old size is debited before the
+        // new one is credited.
+        let store = SharedFrameStore::new(StoreConfig::default());
+        let m = meta(10, 10, 3, 7);
+        assert!(store.insert(GameId::VikingVillage, m, 100));
+        assert_eq!(store.bytes(), 100);
+        // Same key, larger payload (re-rendered at a higher quality).
+        assert!(store.insert(GameId::VikingVillage, m, 900));
+        assert_eq!(store.len(), 1, "replacement must not add an entry");
+        assert_eq!(
+            store.bytes(),
+            900,
+            "budget must track the live payload, not the original insert"
+        );
+        // And shrink back down.
+        assert!(store.insert(GameId::VikingVillage, m, 40));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes(), 40);
+        let stats = store.stats();
+        assert_eq!(stats.replacements, 2);
+        assert_eq!(stats.duplicates, 0);
+        // Hammer the path: any drift compounds, so after many cycles
+        // the budget must still equal the single live entry's size.
+        for round in 0..200u64 {
+            let size = 50 + (round * 37) % 400;
+            store.insert(GameId::VikingVillage, m, size);
+            assert_eq!(store.len(), 1);
+            let expect = if store.stats().duplicates > 0 {
+                store.bytes() // a same-size round is a no-op
+            } else {
+                size
+            };
+            assert_eq!(store.bytes(), expect, "drift after round {round}");
+        }
+    }
+
+    #[test]
+    fn same_size_reinsert_is_still_a_duplicate() {
+        let store = SharedFrameStore::new(StoreConfig::default());
+        let m = meta(10, 10, 3, 7);
+        assert!(store.insert(GameId::VikingVillage, m, 100));
+        assert!(!store.insert(GameId::VikingVillage, m, 100));
+        assert_eq!(store.stats().duplicates, 1);
+        assert_eq!(store.stats().replacements, 0);
+        assert_eq!(store.bytes(), 100);
+    }
+
+    #[test]
+    fn speculative_frames_are_tracked_through_use() {
+        let store = SharedFrameStore::new(StoreConfig::default());
+        let a = meta(10, 10, 3, 7);
+        let b = meta(20, 20, 3, 7);
+        assert!(store.insert_speculative(GameId::VikingVillage, a, 100, 1.0));
+        assert!(store.insert_speculative(GameId::VikingVillage, b, 100, 1.0));
+        assert_eq!(store.stats().spec_rendered, 2);
+        // Two hits on the same speculative frame: spec_hits counts
+        // both, spec_used counts the frame once.
+        assert!(store.lookup(GameId::VikingVillage, &query(&a, 0.5)));
+        assert!(store.lookup(GameId::VikingVillage, &query(&a, 0.5)));
+        let stats = store.stats();
+        assert_eq!(stats.spec_hits, 2);
+        assert_eq!(stats.spec_used, 1);
+        assert!((stats.spec_precision() - 0.5).abs() < 1e-12);
+        assert!((stats.spec_recall() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_aware_admission_refuses_low_value_speculation() {
+        let store = SharedFrameStore::new(StoreConfig {
+            capacity_bytes: 250,
+            shards: 4,
+            admission: Admission::CostAware,
+        });
+        let a = meta(10, 10, 1, 7);
+        let b = meta(10, 10, 2, 7);
+        assert!(store.insert_speculative(GameId::VikingVillage, a, 150, 5.0));
+        // Over budget, but worth more than the resident frame: admitted
+        // (and the LRU evicts `a`).
+        assert!(store.insert_speculative(GameId::VikingVillage, b, 150, 6.0));
+        // A near-zero reuse score is worth less than the resident
+        // frame, so the insert is refused and nothing is evicted.
+        let c = meta(10, 10, 3, 7);
+        assert!(!store.insert_speculative(GameId::VikingVillage, c, 150, 0.0));
+        assert_eq!(store.stats().spec_rejected, 1);
+        assert!(store.lookup(GameId::VikingVillage, &query(&b, 0.5)));
+        // A high-value candidate still gets in (and LRU evicts).
+        let d = meta(10, 10, 4, 7);
+        assert!(store.insert_speculative(GameId::VikingVillage, d, 150, 50.0));
+    }
+
+    #[test]
+    fn lru_admission_always_admits_speculation() {
+        let store = SharedFrameStore::new(StoreConfig {
+            capacity_bytes: 250,
+            shards: 4,
+            ..StoreConfig::default()
+        });
+        let a = meta(10, 10, 1, 7);
+        let b = meta(10, 10, 2, 7);
+        let c = meta(10, 10, 3, 7);
+        assert!(store.insert_speculative(GameId::VikingVillage, a, 150, 5.0));
+        assert!(store.insert_speculative(GameId::VikingVillage, b, 150, 5.0));
+        assert!(store.insert_speculative(GameId::VikingVillage, c, 150, 0.0));
+        assert_eq!(store.stats().spec_rejected, 0);
+        assert!(store.stats().evictions > 0);
+    }
+
+    #[test]
     fn budget_evicts_globally_oldest_across_shards() {
         // Three frames of 100 B in *different leaves* (hence different
         // shards) under a 250 B budget: the first-inserted frame is the
@@ -357,6 +679,7 @@ mod tests {
         let store = SharedFrameStore::new(StoreConfig {
             capacity_bytes: 250,
             shards: 4,
+            ..StoreConfig::default()
         });
         let a = meta(10, 10, 1, 7);
         let b = meta(10, 10, 2, 7);
@@ -380,6 +703,7 @@ mod tests {
         let store = SharedFrameStore::new(StoreConfig {
             capacity_bytes: 250,
             shards: 4,
+            ..StoreConfig::default()
         });
         let a = meta(10, 10, 1, 7);
         let b = meta(10, 10, 2, 7);
@@ -407,6 +731,7 @@ mod tests {
         let store = std::sync::Arc::new(SharedFrameStore::new(StoreConfig {
             capacity_bytes: 10_000,
             shards: 4,
+            ..StoreConfig::default()
         }));
         std::thread::scope(|scope| {
             for t in 0..4i32 {

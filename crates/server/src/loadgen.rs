@@ -30,6 +30,50 @@ use std::time::{Duration, Instant};
 /// Nominal display interval the clients pace against, ms.
 pub const FRAME_INTERVAL_MS: f64 = 16.7;
 
+/// Absolute-deadline frame pacing.
+///
+/// Frame `i` is due at `start + i·interval` — a fixed schedule, like a
+/// display's vsync train. A relative `sleep(interval)` after each frame
+/// instead re-anchors the schedule every iteration, so round-trip time,
+/// sleep overshoot and skipped intervals all accumulate: after `n`
+/// frames the client runs `n·(work + overshoot)` behind the display
+/// clock it claims to model. Against the fixed schedule, per-iteration
+/// noise only delays the frame it hits; the next wait re-synchronizes.
+pub struct Pacer {
+    start: Instant,
+    interval_ns: u64,
+}
+
+impl Pacer {
+    /// A pacer whose frame 0 is due immediately.
+    pub fn new(interval_ms: f64) -> Pacer {
+        Pacer {
+            start: Instant::now(),
+            interval_ns: (interval_ms * 1_000_000.0) as u64,
+        }
+    }
+
+    /// The absolute deadline of frame `i`.
+    pub fn deadline(&self, i: u64) -> Instant {
+        self.start + Duration::from_nanos(i.saturating_mul(self.interval_ns))
+    }
+
+    /// Blocks until frame `i` is due. Returns how late the wakeup ran
+    /// in ms (0 when the sleep ended on schedule); a deadline already
+    /// in the past returns immediately without shifting the schedule.
+    pub fn wait_for(&self, i: u64) -> f64 {
+        let deadline = self.deadline(i);
+        let now = Instant::now();
+        if now < deadline {
+            std::thread::sleep(deadline - now);
+        }
+        Instant::now()
+            .saturating_duration_since(deadline)
+            .as_secs_f64()
+            * 1000.0
+    }
+}
+
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
@@ -229,15 +273,19 @@ fn run_client(config: &LoadConfig, client: usize, spec: &GameSpec, scene: &Scene
         }
     }
 
+    let pacer = config.realtime.then(|| Pacer::new(FRAME_INTERVAL_MS));
     for i in 0..config.frames_per_client {
         let t_ms = i as f64 * FRAME_INTERVAL_MS;
+        // Wait on the absolute schedule before the FI roll so lost
+        // intervals still consume display time instead of compressing
+        // the pose train.
+        if let Some(pacer) = &pacer {
+            pacer.wait_for(i);
+        }
         if fi.send_at(t_ms).latency_ms().is_none() {
             // FI interval lost: the pose never leaves the device.
             report.poses_lost += 1;
             continue;
-        }
-        if config.realtime {
-            std::thread::sleep(Duration::from_micros((FRAME_INTERVAL_MS * 1000.0) as u64));
         }
         let pos = traj.position(t_ms / 1000.0);
         let yaw = traj.heading(t_ms / 1000.0);
@@ -357,5 +405,58 @@ fn read_message(
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => return None,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pacer_deadlines_form_an_exact_lattice() {
+        let p = Pacer::new(FRAME_INTERVAL_MS);
+        let step = Duration::from_nanos((FRAME_INTERVAL_MS * 1_000_000.0) as u64);
+        assert_eq!(p.deadline(1) - p.deadline(0), step);
+        // No per-step float accumulation: frame 1000 sits exactly 1000
+        // steps out.
+        assert_eq!(p.deadline(1000) - p.deadline(0), step * 1000);
+    }
+
+    #[test]
+    fn pacer_bounds_drift_under_per_frame_work() {
+        // 30 frames at 10 ms with ~4 ms of "work" per frame. The old
+        // relative sleep stacked work on top of the interval: >= 30 x
+        // (10 + 4) = 420 ms. The absolute schedule absorbs the work
+        // inside each interval: ~300 ms, drift bounded by scheduler
+        // jitter instead of growing with n.
+        const N: u64 = 30;
+        const INTERVAL_MS: f64 = 10.0;
+        let p = Pacer::new(INTERVAL_MS);
+        for i in 0..N {
+            p.wait_for(i);
+            std::thread::sleep(Duration::from_millis(4));
+        }
+        let lateness_ms = p.wait_for(N);
+        assert!(
+            lateness_ms < 60.0,
+            "schedule drifted {lateness_ms:.1} ms over {N} frames: \
+             per-frame work is leaking into the pacing interval"
+        );
+    }
+
+    #[test]
+    fn pacer_recovers_schedule_after_a_stall() {
+        // A 30 ms stall blows through three 10 ms deadlines. The missed
+        // waits return immediately (positive lateness) and the next
+        // future deadline is honored on the original lattice — the
+        // stall does not push the whole schedule back.
+        let p = Pacer::new(10.0);
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(p.wait_for(1) > 0.0, "past deadline must not sleep");
+        let lateness = p.wait_for(8);
+        assert!(
+            lateness < 40.0,
+            "frame 8 ran {lateness:.1} ms late: stall shifted the lattice"
+        );
     }
 }

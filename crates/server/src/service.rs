@@ -67,6 +67,13 @@ struct RoomState {
     scale_pm: u16,
     drop_streak: u32,
     clean_streak: u32,
+    /// Last scale that survived a full clean streak.
+    last_stable_pm: u16,
+    /// Recovery never climbs past this; lowered to `last_stable_pm`
+    /// when a higher scale degrades, so the controller converges on the
+    /// highest sustainable scale instead of ping-ponging across it.
+    /// Sticky for the room's lifetime (rooms reset when they empty).
+    ceiling_pm: u16,
 }
 
 /// The result of serving one pose.
@@ -191,6 +198,8 @@ impl ServiceCore {
             scale_pm: 1000,
             drop_streak: 0,
             clean_streak: 0,
+            last_stable_pm: 1000,
+            ceiling_pm: 1000,
         });
         let player = state.next_player;
         state.next_player += 1;
@@ -213,6 +222,13 @@ impl ServiceCore {
     /// Feeds the room's quality controller one delivery outcome.
     /// Returns the new scale if it changed (a `Degrade` notice should
     /// be sent to the room's connections).
+    ///
+    /// Recovery is ceiling-bounded: a full clean streak marks the
+    /// current scale stable, and a degrade at a higher scale lowers the
+    /// recovery ceiling to that last stable level. Without the ceiling
+    /// the controller re-probes a known-bad scale every
+    /// [`RECOVER_AFTER_CLEAN`] frames and oscillates degrade/recover
+    /// forever on a link whose capacity sits between two steps.
     pub fn note_delivery(&self, game: GameId, room: u32, dropped: bool) -> Option<u16> {
         let mut rooms = self.rooms.lock();
         let state = rooms.get_mut(&(game, room))?;
@@ -221,6 +237,11 @@ impl ServiceCore {
             state.clean_streak = 0;
             if state.drop_streak >= DEGRADE_AFTER_DROPS {
                 state.drop_streak = 0;
+                // This scale drops frames; cap future recovery at the
+                // last level that demonstrably did not.
+                if state.last_stable_pm < state.scale_pm {
+                    state.ceiling_pm = state.last_stable_pm;
+                }
                 let next = ((state.scale_pm as f64 * DEGRADE_STEP) as u16).max(MIN_SCALE_PM);
                 if next != state.scale_pm {
                     state.scale_pm = next;
@@ -231,12 +252,17 @@ impl ServiceCore {
         } else {
             state.clean_streak += 1;
             state.drop_streak = 0;
-            if state.clean_streak >= RECOVER_AFTER_CLEAN && state.scale_pm < 1000 {
+            if state.clean_streak >= RECOVER_AFTER_CLEAN {
                 state.clean_streak = 0;
-                let next = ((state.scale_pm as f64 * RECOVER_STEP) as u16).min(1000);
-                state.scale_pm = next;
-                self.stats.lock().scale_changes += 1;
-                return Some(next);
+                state.last_stable_pm = state.scale_pm;
+                let next = ((state.scale_pm as f64 * RECOVER_STEP) as u16)
+                    .min(1000)
+                    .min(state.ceiling_pm);
+                if next > state.scale_pm {
+                    state.scale_pm = next;
+                    self.stats.lock().scale_changes += 1;
+                    return Some(next);
+                }
             }
         }
         None
@@ -481,6 +507,33 @@ mod tests {
         }
         let back = recovered.expect("clean deliveries must recover");
         assert!(back > degraded);
+    }
+
+    #[test]
+    fn lossy_then_clean_link_converges_without_oscillation() {
+        // Closed loop against a link whose capacity sits between two
+        // controller steps: every frame shipped above 750‰ drops,
+        // everything at or below 750‰ delivers clean. The unpatched
+        // controller re-probes 862‰ after every clean streak and
+        // degrade/recover ping-pongs forever; the ceiling-bounded
+        // controller must settle at 750‰ and then go quiet.
+        let c = core();
+        c.join(GameId::Fps, 0);
+        let mut scale: u16 = 1000;
+        let mut last_change_at = 0usize;
+        let total = 40_000usize;
+        for i in 0..total {
+            if let Some(next) = c.note_delivery(GameId::Fps, 0, scale > 750) {
+                scale = next;
+                last_change_at = i;
+            }
+        }
+        assert_eq!(scale, 750, "must settle on the sustainable scale");
+        assert!(
+            last_change_at < total - 10_000,
+            "controller still changing scale at iteration {last_change_at}: \
+             degrade/recover oscillation"
+        );
     }
 
     #[test]

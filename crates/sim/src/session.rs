@@ -562,6 +562,14 @@ impl SessionSim {
         &self.config
     }
 
+    /// The procedurally built scene this session plays in. Fleet-side
+    /// consumers use it to reconstruct map features (the grid spec,
+    /// shared attention hotspots) that a pose predictor needs, without
+    /// rebuilding the world from the seed.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
     /// Whether every player clock has passed the configured duration.
     pub fn finished(&self) -> bool {
         self.states.iter().all(|s| s.t_ms >= self.duration_ms)

@@ -53,5 +53,5 @@ pub use quadtree::{LeafId, Quadtree, QuadtreeStats, Rect};
 pub use scene::Scene;
 pub use terrain::{Terrain, TerrainSampler};
 pub use trace::{Trace, TracePoint, TraceSet};
-pub use trajectory::{Trajectory, TrajectoryError, TrajectoryKind};
+pub use trajectory::{scene_hotspots, Trajectory, TrajectoryError, TrajectoryKind};
 pub use vec::{Vec2, Vec3};

@@ -192,6 +192,42 @@ impl Trajectory {
             d.heading()
         }
     }
+
+    /// Velocity (m/s) at time `t`, estimated by central finite
+    /// difference over the same window [`Trajectory::heading`] uses.
+    /// Zero at rest and outside the covered range (positions clamp).
+    pub fn velocity(&self, t: f64) -> Vec2 {
+        let dt = 0.05;
+        let a = self.position((t - dt).max(0.0));
+        let b = self.position(t + dt);
+        let span = (t + dt) - (t - dt).max(0.0);
+        if span <= 0.0 {
+            Vec2::ZERO
+        } else {
+            (b - a) / span
+        }
+    }
+}
+
+/// The shared attention hotspots of a scene — capture points and
+/// chokepoints that every session hosted in the same world fights over.
+/// These are a *map* feature: they derive from the world layout hash,
+/// not from any movement seed, so a fleet-side pose predictor can
+/// reconstruct exactly the attractors [`Trajectory`] roaming converges
+/// toward without knowing per-player seeds (the viewport-pose-model
+/// observation that head/body motion decays toward scene salience).
+pub fn scene_hotspots(scene: &Scene) -> Vec<Vec2> {
+    let bounds = scene.bounds();
+    let mut shared = SmallRng::new(scene.layout_hash() ^ 0x5A5A);
+    let hotspot_count = 5usize;
+    (0..hotspot_count)
+        .map(|_| {
+            Vec2::new(
+                shared.range(bounds.width() * 0.15, bounds.width() * 0.85),
+                shared.range(bounds.depth() * 0.15, bounds.depth() * 0.85),
+            )
+        })
+        .collect()
 }
 
 fn track_knots(
@@ -260,21 +296,10 @@ fn roam_knots(
     let mut rng = SmallRng::new(seed ^ ROAM_TAG ^ ((player as u64) << 40));
     let bounds = scene.bounds();
     // Shared hotspots keep multiple players loosely co-located, as in the
-    // paper's shooter games. They are a *map* feature (capture points,
-    // chokepoints), so they derive from the world layout rather than the
-    // movement seed: every session hosted in the same world fights over
-    // the same spots, which is what gives a fleet's cross-session frame
-    // store its overlap.
-    let mut shared = SmallRng::new(scene.layout_hash() ^ 0x5A5A);
-    let hotspot_count = 5usize;
-    let hotspots: Vec<Vec2> = (0..hotspot_count)
-        .map(|_| {
-            Vec2::new(
-                shared.range(bounds.width() * 0.15, bounds.width() * 0.85),
-                shared.range(bounds.depth() * 0.15, bounds.depth() * 0.85),
-            )
-        })
-        .collect();
+    // paper's shooter games; see [`scene_hotspots`] for why they derive
+    // from the layout rather than the movement seed.
+    let hotspots = scene_hotspots(scene);
+    let hotspot_count = hotspots.len();
     // Shooters chase each other ("roaming and killing enemies"): players
     // other than player 0 spend part of their time retracing the routes
     // player 0 takes, which is what gives the paper's Version-4 cache its
@@ -558,6 +583,57 @@ mod tests {
             let h = traj.heading(i as f64 * 0.3);
             assert!(h.is_finite());
         }
+    }
+
+    #[test]
+    fn velocity_is_finite_and_bounded() {
+        let (scene, spec) = scene_and_spec(GameId::Fps);
+        let traj = Trajectory::generate(&scene, &spec, 0, 1, 30.0, 5);
+        for i in 0..120 {
+            let v = traj.velocity(i as f64 * 0.25);
+            assert!(v.x.is_finite() && v.z.is_finite());
+            assert!(
+                v.length() <= spec.player_speed * 1.6 + 0.5,
+                "velocity {} exceeds plausible bound",
+                v.length()
+            );
+        }
+    }
+
+    #[test]
+    fn velocity_predicts_short_horizon_motion() {
+        // Extrapolating pos + v*dt must land near the true future
+        // position while the player is mid-segment (the constant-
+        // velocity predictor's core assumption).
+        let (scene, spec) = scene_and_spec(GameId::Fps);
+        let traj = Trajectory::generate(&scene, &spec, 0, 1, 30.0, 5);
+        let mut good = 0;
+        let samples = 100;
+        for i in 0..samples {
+            let t = i as f64 * 0.25;
+            let predicted = traj.position(t) + traj.velocity(t) * 0.1;
+            if predicted.distance(traj.position(t + 0.1)) < 0.5 {
+                good += 1;
+            }
+        }
+        // Knot corners break the assumption occasionally; most samples
+        // must still extrapolate well.
+        assert!(good > samples * 7 / 10, "only {good}/{samples} predicted");
+    }
+
+    #[test]
+    fn hotspots_are_deterministic_map_features() {
+        let (scene, _) = scene_and_spec(GameId::Fps);
+        let a = scene_hotspots(&scene);
+        let b = scene_hotspots(&scene);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        for h in &a {
+            assert!(scene.bounds().contains(*h), "hotspot {h} out of bounds");
+        }
+        // A different world layout yields different hotspots.
+        let other = GameSpec::for_game(GameId::Fps).build_scene(12);
+        assert_ne!(a, scene_hotspots(&other));
     }
 
     #[test]
