@@ -8,7 +8,8 @@ use coterie_codec::{Encoder, Quality};
 use coterie_core::cutoff::{max_cutoff_radius, CutoffConfig};
 use coterie_core::{CacheConfig, CacheQuery, CacheVersion, FrameCache, FrameMeta, FrameSource};
 use coterie_device::DeviceProfile;
-use coterie_frame::{ssim, LumaFrame};
+use coterie_frame::{ssim, ssim_with_simd, LumaFrame, SsimOptions};
+use coterie_parallel::simd;
 use coterie_render::{RenderFilter, RenderOptions, Renderer};
 use coterie_serve::{SharedFrameStore, StoreConfig};
 use coterie_telemetry::{Stage, TelemetryConfig, TelemetrySink, TrackId};
@@ -78,6 +79,52 @@ fn bench_render(c: &mut Criterion) {
             renderer.render_panorama(black_box(&scene), eye, RenderFilter::FarOnly { cutoff })
         })
     });
+}
+
+fn bench_simd_levels(c: &mut Criterion) {
+    // Every hot kernel at every dispatch level the CPU supports; the
+    // scalar entries double as the pre-SIMD baselines since the kernels
+    // are bit-identical across levels.
+    let frame = LumaFrame::from_fn(256, 128, |x, y| ((x * 7 + y * 13) % 97) as f32 / 96.0);
+    let mut other = frame.clone();
+    other.set(70, 70, 1.0);
+    let opts = SsimOptions::default();
+    let dct = simd::Dct8x8::new();
+    let mut block = [0.0f32; 64];
+    for (i, v) in block.iter_mut().enumerate() {
+        *v = ((i * 7919) % 100) as f32 / 100.0 - 0.5;
+    }
+    let mut coeffs = [0.0f32; 64];
+    dct.forward(&block, &mut coeffs, simd::SimdLevel::Scalar);
+    let qtable: [f32; 64] = std::array::from_fn(|i| 1.0 + (i as f32) * 0.25);
+    for level in simd::available_levels() {
+        let name = level.name();
+        c.bench_function(&format!("ssim_default_256x128/{name}"), |bench| {
+            bench.iter(|| ssim_with_simd(black_box(&frame), black_box(&other), &opts, level))
+        });
+        let enc = Encoder::with_simd_level(Quality::CRF25, level);
+        let encoded = enc.encode(&frame);
+        c.bench_function(&format!("codec_encode_256x128/{name}"), |bench| {
+            bench.iter(|| enc.encode(black_box(&frame)))
+        });
+        c.bench_function(&format!("codec_decode_256x128/{name}"), |bench| {
+            bench.iter(|| enc.decode(black_box(&encoded)).expect("decodes"))
+        });
+        c.bench_function(&format!("dct_8x8/{name}"), |bench| {
+            bench.iter(|| {
+                let mut out = [0.0f32; 64];
+                dct.forward(black_box(&block), &mut out, level);
+                out
+            })
+        });
+        c.bench_function(&format!("quantize_8x8/{name}"), |bench| {
+            bench.iter(|| {
+                let mut q = [0i32; 64];
+                simd::quantize_8x8(black_box(&coeffs), &qtable, &mut q, level);
+                q
+            })
+        });
+    }
 }
 
 fn bench_cache(c: &mut Criterion) {
@@ -208,6 +255,7 @@ criterion_group!(
     bench_ssim,
     bench_codec,
     bench_render,
+    bench_simd_levels,
     bench_cache,
     bench_cutoff,
     bench_fleet_store,

@@ -181,7 +181,8 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
         "bench-json" => {
             let samples = if config.quick { 5 } else { 21 };
             let timings = kernel_bench::run(samples);
-            let json = kernel_bench::to_json(&timings);
+            let levels = kernel_bench::run_levels(samples);
+            let json = kernel_bench::to_json(&timings, &levels);
             std::fs::write("BENCH_render.json", &json)
                 .map_err(|e| format!("writing BENCH_render.json: {e}"))?;
             // Fleet headline numbers ride along: the shared-store run at
@@ -285,8 +286,7 @@ fn main() {
             "--predictor" => {
                 let v = iter.next().unwrap_or_default();
                 fleet_args.predictor = PredictorKind::parse(&v).unwrap_or_else(|| {
-                    let names: Vec<&str> =
-                        PredictorKind::ALL.iter().map(|p| p.name()).collect();
+                    let names: Vec<&str> = PredictorKind::ALL.iter().map(|p| p.name()).collect();
                     eprintln!(
                         "invalid --predictor value '{v}' (one of: {})",
                         names.join(" ")
@@ -310,8 +310,7 @@ fn main() {
                 eprintln!("experiments: {} bench-json", ALL.join(" "));
                 let names: Vec<&str> = NetScenario::ALL.iter().map(NetScenario::name).collect();
                 eprintln!("net scenarios: {}", names.join(" "));
-                let policies: Vec<&str> =
-                    PredictorKind::ALL.iter().map(|p| p.name()).collect();
+                let policies: Vec<&str> = PredictorKind::ALL.iter().map(|p| p.name()).collect();
                 eprintln!("predictor policies: {}", policies.join(" "));
                 return;
             }

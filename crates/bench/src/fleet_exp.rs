@@ -274,7 +274,8 @@ mod tests {
     #[test]
     fn fleet_report_has_both_modes() {
         let config = ExpConfig::quick();
-        let (report, shared, isolated) = fleet(&config, 2, 2, NetScenario::None, PredictorKind::None);
+        let (report, shared, isolated) =
+            fleet(&config, 2, 2, NetScenario::None, PredictorKind::None);
         assert_eq!(report.len(), 2);
         assert_eq!(report.cell(0, 0), Some("shared"));
         assert_eq!(report.cell(1, 0), Some("isolated"));
@@ -295,7 +296,8 @@ mod tests {
     #[test]
     fn traced_fleet_exports_valid_chrome_trace() {
         let config = ExpConfig::quick();
-        let (report, shared, _, trace_json) = fleet_traced(&config, 1, 2, NetScenario::None, PredictorKind::None, true);
+        let (report, shared, _, trace_json) =
+            fleet_traced(&config, 1, 2, NetScenario::None, PredictorKind::None, true);
         let json = trace_json.expect("traced run exports JSON");
         let check = coterie_telemetry::validate_chrome_trace(&json).expect("trace validates");
         assert!(check.events > 0);
@@ -356,7 +358,14 @@ mod tests {
         let json = fleet_bench_json(&vpm.metrics, 2, 2, NetScenario::None, Some(&none.metrics));
         let doc = coterie_telemetry::parse_json(&json).expect("valid JSON");
         let spec = doc.get("speculation").expect("speculation object");
-        for key in ["rendered", "used", "hits", "rejected", "precision", "recall"] {
+        for key in [
+            "rendered",
+            "used",
+            "hits",
+            "rejected",
+            "precision",
+            "recall",
+        ] {
             let v = spec.get(key).and_then(|v| v.as_f64()).expect(key);
             assert!(v.is_finite(), "{key} = {v}");
         }

@@ -1,135 +1,83 @@
 //! 8×8 type-II DCT and its inverse (separable, orthonormal).
+//!
+//! The transform itself lives in [`coterie_parallel::simd::Dct8x8`],
+//! which precomputes the cosine basis (and its transpose, the layout
+//! the SIMD row pass needs) once per instance — the encoder constructs
+//! one per codec instead of consulting a `OnceLock` per block — and
+//! dispatches between scalar, SSE2 and AVX2 matmuls that are
+//! bit-identical to each other.
 
-use std::sync::OnceLock;
-
-/// Cosine basis: `COS[u][x] = c(u) * cos((2x+1) u π / 16)` with the
-/// orthonormal scaling `c(0)=sqrt(1/8)`, `c(u)=sqrt(2/8)`.
-fn basis() -> &'static [[f32; 8]; 8] {
-    static BASIS: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
-    BASIS.get_or_init(|| {
-        let mut b = [[0.0f32; 8]; 8];
-        for (u, row) in b.iter_mut().enumerate() {
-            let c = if u == 0 {
-                (1.0f64 / 8.0).sqrt()
-            } else {
-                (2.0f64 / 8.0).sqrt()
-            };
-            for (x, v) in row.iter_mut().enumerate() {
-                *v = (c * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos())
-                    as f32;
-            }
-        }
-        b
-    })
-}
-
-/// Forward 2-D DCT of an 8×8 block (row-major).
-pub fn forward_8x8(input: &[f32; 64], output: &mut [f32; 64]) {
-    let b = basis();
-    // Rows first.
-    let mut tmp = [0.0f32; 64];
-    for y in 0..8 {
-        for u in 0..8 {
-            let mut acc = 0.0f32;
-            for x in 0..8 {
-                acc += input[y * 8 + x] * b[u][x];
-            }
-            tmp[y * 8 + u] = acc;
-        }
-    }
-    // Then columns.
-    for u in 0..8 {
-        for v in 0..8 {
-            let mut acc = 0.0f32;
-            for y in 0..8 {
-                acc += tmp[y * 8 + u] * b[v][y];
-            }
-            output[v * 8 + u] = acc;
-        }
-    }
-}
-
-/// Inverse 2-D DCT of an 8×8 coefficient block (row-major).
-pub fn inverse_8x8(coeffs: &[f32; 64], output: &mut [f32; 64]) {
-    let b = basis();
-    let mut tmp = [0.0f32; 64];
-    // Columns first (transpose of forward).
-    for u in 0..8 {
-        for y in 0..8 {
-            let mut acc = 0.0f32;
-            for v in 0..8 {
-                acc += coeffs[v * 8 + u] * b[v][y];
-            }
-            tmp[y * 8 + u] = acc;
-        }
-    }
-    for y in 0..8 {
-        for x in 0..8 {
-            let mut acc = 0.0f32;
-            for u in 0..8 {
-                acc += tmp[y * 8 + u] * b[u][x];
-            }
-            output[y * 8 + x] = acc;
-        }
-    }
-}
+pub(crate) use coterie_parallel::simd::Dct8x8;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use coterie_parallel::simd::available_levels;
 
     #[test]
     fn roundtrip_is_identity() {
+        let dct = Dct8x8::new();
         let mut input = [0.0f32; 64];
         for (i, v) in input.iter_mut().enumerate() {
             *v = ((i * 7919) % 100) as f32 / 100.0 - 0.5;
         }
-        let mut coeffs = [0.0f32; 64];
-        let mut back = [0.0f32; 64];
-        forward_8x8(&input, &mut coeffs);
-        inverse_8x8(&coeffs, &mut back);
-        for i in 0..64 {
-            assert!((input[i] - back[i]).abs() < 1e-5, "idx {i}");
+        for level in available_levels() {
+            let mut coeffs = [0.0f32; 64];
+            let mut back = [0.0f32; 64];
+            dct.forward(&input, &mut coeffs, level);
+            dct.inverse(&coeffs, &mut back, level);
+            for i in 0..64 {
+                assert!((input[i] - back[i]).abs() < 1e-5, "{level:?} idx {i}");
+            }
         }
     }
 
     #[test]
     fn dc_of_constant_block() {
+        let dct = Dct8x8::new();
         let input = [0.25f32; 64];
-        let mut coeffs = [0.0f32; 64];
-        forward_8x8(&input, &mut coeffs);
-        // Orthonormal: DC = 8 * mean = 8 * 0.25.
-        assert!((coeffs[0] - 2.0).abs() < 1e-5);
-        for (i, &c) in coeffs.iter().enumerate().skip(1) {
-            assert!(c.abs() < 1e-5, "AC {i} = {c}");
+        for level in available_levels() {
+            let mut coeffs = [0.0f32; 64];
+            dct.forward(&input, &mut coeffs, level);
+            // Orthonormal: DC = 8 * mean = 8 * 0.25.
+            assert!((coeffs[0] - 2.0).abs() < 1e-5, "{level:?}");
+            for (i, &c) in coeffs.iter().enumerate().skip(1) {
+                assert!(c.abs() < 1e-5, "{level:?} AC {i} = {c}");
+            }
         }
     }
 
     #[test]
     fn energy_preservation_parseval() {
+        let dct = Dct8x8::new();
         let mut input = [0.0f32; 64];
         for (i, v) in input.iter_mut().enumerate() {
             *v = (i as f32 * 0.37).sin() * 0.5;
         }
-        let mut coeffs = [0.0f32; 64];
-        forward_8x8(&input, &mut coeffs);
-        let e_in: f32 = input.iter().map(|v| v * v).sum();
-        let e_out: f32 = coeffs.iter().map(|v| v * v).sum();
-        assert!((e_in - e_out).abs() < 1e-4, "{e_in} vs {e_out}");
+        for level in available_levels() {
+            let mut coeffs = [0.0f32; 64];
+            dct.forward(&input, &mut coeffs, level);
+            let e_in: f32 = input.iter().map(|v| v * v).sum();
+            let e_out: f32 = coeffs.iter().map(|v| v * v).sum();
+            assert!((e_in - e_out).abs() < 1e-4, "{level:?}: {e_in} vs {e_out}");
+        }
     }
 
     #[test]
     fn smooth_gradient_concentrates_low_frequencies() {
+        let dct = Dct8x8::new();
         let mut input = [0.0f32; 64];
         for y in 0..8 {
             for x in 0..8 {
                 input[y * 8 + x] = x as f32 / 8.0 - 0.5;
             }
         }
-        let mut coeffs = [0.0f32; 64];
-        forward_8x8(&input, &mut coeffs);
-        let low: f32 = coeffs[..16].iter().map(|v| v.abs()).sum();
-        let high: f32 = coeffs[32..].iter().map(|v| v.abs()).sum();
-        assert!(low > high * 10.0, "low {low} vs high {high}");
+        for level in available_levels() {
+            let mut coeffs = [0.0f32; 64];
+            dct.forward(&input, &mut coeffs, level);
+            let low: f32 = coeffs[..16].iter().map(|v| v.abs()).sum();
+            let high: f32 = coeffs[32..].iter().map(|v| v.abs()).sum();
+            assert!(low > high * 10.0, "{level:?}: low {low} vs high {high}");
+        }
     }
 }

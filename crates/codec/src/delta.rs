@@ -15,9 +15,13 @@
 //! adjacent-viewpoint renders are materially larger for far-BE layers
 //! than for whole-BE layers.
 
-use crate::{dct, entropy, CodecError, Quality, BASE_QUANT, ZIGZAG};
+use crate::{
+    dct, entropy, gather_block, quant_table, scatter_block, zigzag_order, CodecError, Quality,
+    ZIGZAG,
+};
 use bytes::Bytes;
 use coterie_frame::LumaFrame;
+use coterie_parallel::simd::{self, SimdLevel};
 
 /// An encoded inter-frame: residual payload plus bookkeeping.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,15 +47,38 @@ impl EncodedDelta {
 }
 
 /// Inter-frame encoder/decoder.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DeltaEncoder {
     quality: Quality,
+    qtable: [f32; 64],
+    dct: dct::Dct8x8,
+    zz: [i32; 64],
+    level: SimdLevel,
+}
+
+impl Default for DeltaEncoder {
+    fn default() -> Self {
+        DeltaEncoder::new(Quality::default())
+    }
 }
 
 impl DeltaEncoder {
-    /// Creates a P-frame encoder at the given quality.
+    /// Creates a P-frame encoder at the given quality, using the
+    /// process-wide detected SIMD level.
     pub fn new(quality: Quality) -> Self {
-        DeltaEncoder { quality }
+        Self::with_simd_level(quality, simd::detected_level())
+    }
+
+    /// Creates a P-frame encoder pinned to an explicit SIMD dispatch
+    /// level (all levels produce byte-identical payloads).
+    pub fn with_simd_level(quality: Quality, level: SimdLevel) -> Self {
+        DeltaEncoder {
+            quality,
+            qtable: quant_table(quality),
+            dct: dct::Dct8x8::new(),
+            zz: zigzag_order(),
+            level,
+        }
     }
 
     /// Encodes `frame` as a residual against `reference`.
@@ -62,53 +89,42 @@ impl DeltaEncoder {
     pub fn encode(&self, frame: &LumaFrame, reference: &LumaFrame) -> EncodedDelta {
         assert_eq!(frame.width(), reference.width(), "frame widths differ");
         assert_eq!(frame.height(), reference.height(), "frame heights differ");
-        let w = frame.width();
-        let h = frame.height();
+        let w = frame.width() as usize;
+        let h = frame.height() as usize;
         let bw = w.div_ceil(8);
         let bh = h.div_ceil(8);
-        let scale = self.quality.quant_scale();
         let mut writer = entropy::Writer::new();
         let mut skipped = 0u32;
         let mut block = [0.0f32; 64];
         let mut coeffs = [0.0f32; 64];
         let mut quantized = [0i32; 64];
+        let mut scan = [0i32; 64];
+        // One plane-wide subtraction replaces the per-pixel residual
+        // gather; blocks then memcpy out of the residual plane.
+        let mut residual = vec![0.0f32; w * h];
+        simd::sub_planes_f32(frame.data(), reference.data(), &mut residual, self.level);
         for by in 0..bh {
             for bx in 0..bw {
-                let mut any_residual = false;
-                for y in 0..8 {
-                    for x in 0..8 {
-                        let sx = (bx * 8 + x).min(w - 1);
-                        let sy = (by * 8 + y).min(h - 1);
-                        let r = frame.get(sx, sy) - reference.get(sx, sy);
-                        block[(y * 8 + x) as usize] = r;
-                        if r.abs() > 1e-6 {
-                            any_residual = true;
-                        }
-                    }
-                }
-                if !any_residual {
+                gather_block(&residual, w, h, bx, by, &mut block);
+                if !simd::any_abs_above(&block, 1e-6, self.level) {
                     // Skip flag: zero DC delta + EOB.
                     writer.write_signed(0);
                     writer.write_eob();
                     skipped += 1;
                     continue;
                 }
-                dct::forward_8x8(&block, &mut coeffs);
-                let mut all_zero = true;
-                for i in 0..64 {
-                    let q = BASE_QUANT[i] * scale / 255.0;
-                    quantized[i] = (coeffs[i] / q).round() as i32;
-                    all_zero &= quantized[i] == 0;
-                }
+                self.dct.forward(&block, &mut coeffs, self.level);
+                let all_zero =
+                    simd::quantize_8x8(&coeffs, &self.qtable, &mut quantized, self.level);
                 if all_zero {
                     skipped += 1;
                 }
+                simd::zigzag_gather(&quantized, &self.zz, &mut scan, self.level);
                 // Residual DC is coded directly (no prediction chain:
                 // residual DCs are already near zero).
-                writer.write_signed(quantized[0]);
+                writer.write_signed(scan[0]);
                 let mut run = 0u32;
-                for &zi in ZIGZAG.iter().skip(1) {
-                    let v = quantized[zi];
+                for &v in scan.iter().skip(1) {
                     if v == 0 {
                         run += 1;
                     } else {
@@ -121,8 +137,8 @@ impl DeltaEncoder {
             }
         }
         EncodedDelta {
-            width: w,
-            height: h,
+            width: frame.width(),
+            height: frame.height(),
             quality: self.quality,
             payload: writer.into_bytes(),
             skipped_blocks: skipped,
@@ -149,16 +165,23 @@ impl DeltaEncoder {
             encoded.height,
             "reference height differs"
         );
-        let w = encoded.width;
-        let h = encoded.height;
+        let w = encoded.width as usize;
+        let h = encoded.height as usize;
         let bw = w.div_ceil(8);
         let bh = h.div_ceil(8);
-        let scale = encoded.quality.quant_scale();
+        let qtable = if encoded.quality == self.quality {
+            self.qtable
+        } else {
+            quant_table(encoded.quality)
+        };
         let mut reader = entropy::Reader::new(&encoded.payload);
-        let mut frame = LumaFrame::new(w, h);
         let mut quantized = [0i32; 64];
         let mut coeffs = [0.0f32; 64];
         let mut block = [0.0f32; 64];
+        // Decoded residual blocks land in a zero plane, then one
+        // plane-wide add applies the reference (reference + residual,
+        // exactly the old per-pixel order).
+        let mut residual = vec![0.0f32; w * h];
         for by in 0..bh {
             for bx in 0..bw {
                 quantized.fill(0);
@@ -183,24 +206,16 @@ impl DeltaEncoder {
                         }
                     }
                 }
-                for i in 0..64 {
-                    let q = BASE_QUANT[i] * scale / 255.0;
-                    coeffs[i] = quantized[i] as f32 * q;
-                }
-                dct::inverse_8x8(&coeffs, &mut block);
-                for y in 0..8 {
-                    for x in 0..8 {
-                        let dx = bx * 8 + x;
-                        let dy = by * 8 + y;
-                        if dx < w && dy < h {
-                            let v = reference.get(dx, dy) + block[(y * 8 + x) as usize];
-                            frame.set(dx, dy, v);
-                        }
-                    }
-                }
+                simd::dequantize_8x8(&quantized, &qtable, &mut coeffs, self.level);
+                self.dct.inverse(&coeffs, &mut block, self.level);
+                scatter_block(&mut residual, w, h, bx, by, &block);
             }
         }
-        Ok(frame)
+        let mut out = reference.data().to_vec();
+        simd::add_planes_f32(&mut out, &residual, self.level);
+        // The `[0, 1]` clamp `LumaFrame::set` used to apply per pixel.
+        simd::clamp_unit_f32(&mut out, self.level);
+        Ok(LumaFrame::from_raw(encoded.width, encoded.height, out))
     }
 }
 

@@ -119,9 +119,23 @@ impl<'a> Reader<'a> {
     ///
     /// [`CodecError::Truncated`] if the payload ends mid-varint, or
     /// [`CodecError::Malformed`] if the varint overflows 32 bits.
+    #[inline]
     pub fn read_unsigned(&mut self) -> Result<u32, CodecError> {
-        let mut result: u32 = 0;
-        let mut shift = 0u32;
+        // Fast path: almost every symbol (runs, small quantized
+        // coefficients) fits one byte.
+        let byte = *self.data.get(self.pos).ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        if byte & 0x80 == 0 {
+            return Ok(byte as u32);
+        }
+        self.read_unsigned_slow((byte & 0x7F) as u32)
+    }
+
+    /// Continuation bytes of a multi-byte varint (first byte's payload
+    /// already in `result`).
+    #[cold]
+    fn read_unsigned_slow(&mut self, mut result: u32) -> Result<u32, CodecError> {
+        let mut shift = 7u32;
         loop {
             let byte = *self.data.get(self.pos).ok_or(CodecError::Truncated)?;
             self.pos += 1;
@@ -141,6 +155,7 @@ impl<'a> Reader<'a> {
     /// # Errors
     ///
     /// Same conditions as [`Reader::read_unsigned`].
+    #[inline]
     pub fn read_signed(&mut self) -> Result<i32, CodecError> {
         Ok(zigzag_decode(self.read_unsigned()?))
     }
@@ -151,6 +166,7 @@ impl<'a> Reader<'a> {
     ///
     /// Same conditions as [`Reader::read_unsigned`], plus
     /// [`CodecError::Malformed`] for an impossible run length.
+    #[inline]
     pub fn read_run(&mut self) -> Result<Run, CodecError> {
         let run = self.read_unsigned()?;
         if run == RUN_EOB {

@@ -49,6 +49,7 @@ pub use entropy::CodecError;
 
 use bytes::Bytes;
 use coterie_frame::LumaFrame;
+use coterie_parallel::simd::{self, SimdLevel};
 use serde::{Deserialize, Serialize};
 
 /// Encoding quality, named after x264's Constant Rate Factor scale
@@ -114,16 +115,113 @@ pub(crate) const ZIGZAG: [usize; 64] = [
     52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
+/// Builds the quantization table for a quality level, entry-for-entry
+/// the historical per-coefficient expression.
+pub(crate) fn quant_table(quality: Quality) -> [f32; 64] {
+    let scale = quality.quant_scale();
+    let mut q = [0.0f32; 64];
+    for (i, v) in q.iter_mut().enumerate() {
+        *v = BASE_QUANT[i] * scale / 255.0;
+    }
+    q
+}
+
+/// The zig-zag order as the i32 table [`simd::zigzag_gather`] consumes.
+pub(crate) fn zigzag_order() -> [i32; 64] {
+    let mut zz = [0i32; 64];
+    for (i, v) in zz.iter_mut().enumerate() {
+        *v = ZIGZAG[i] as i32;
+    }
+    zz
+}
+
+/// Copies the 8×8 block at `(bx, by)` out of a row-major plane with
+/// edge clamping (the same `min(w-1)/min(h-1)` replication the per-pixel
+/// gather used). Interior blocks take the eight-row memcpy fast path.
+pub(crate) fn gather_block(
+    plane: &[f32],
+    w: usize,
+    h: usize,
+    bx: usize,
+    by: usize,
+    block: &mut [f32; 64],
+) {
+    let x0 = bx * 8;
+    let y0 = by * 8;
+    if x0 + 8 <= w && y0 + 8 <= h {
+        for y in 0..8 {
+            let row = (y0 + y) * w + x0;
+            block[y * 8..y * 8 + 8].copy_from_slice(&plane[row..row + 8]);
+        }
+    } else {
+        for y in 0..8 {
+            let sy = (y0 + y).min(h - 1);
+            for x in 0..8 {
+                let sx = (x0 + x).min(w - 1);
+                block[y * 8 + x] = plane[sy * w + sx];
+            }
+        }
+    }
+}
+
+/// Writes an 8×8 block into a row-major plane, clipping at the edges
+/// (every pixel belongs to exactly one block, so no write overlaps).
+pub(crate) fn scatter_block(
+    plane: &mut [f32],
+    w: usize,
+    h: usize,
+    bx: usize,
+    by: usize,
+    block: &[f32; 64],
+) {
+    let x0 = bx * 8;
+    let y0 = by * 8;
+    let cols = (w - x0).min(8);
+    for y in 0..8 {
+        let dy = y0 + y;
+        if dy >= h {
+            break;
+        }
+        let row = dy * w + x0;
+        plane[row..row + cols].copy_from_slice(&block[y * 8..y * 8 + cols]);
+    }
+}
+
 /// The intra-frame encoder/decoder.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Encoder {
     quality: Quality,
+    qtable: [f32; 64],
+    dct: dct::Dct8x8,
+    zz: [i32; 64],
+    level: SimdLevel,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Encoder::new(Quality::default())
+    }
 }
 
 impl Encoder {
-    /// Creates an encoder at the given quality.
+    /// Creates an encoder at the given quality, using the process-wide
+    /// detected SIMD level.
     pub fn new(quality: Quality) -> Self {
-        Encoder { quality }
+        Self::with_simd_level(quality, simd::detected_level())
+    }
+
+    /// Creates an encoder pinned to an explicit SIMD dispatch level
+    /// (clamped to CPU capability inside every kernel). All levels
+    /// produce byte-identical payloads; this exists for tests and
+    /// benchmarks.
+    pub fn with_simd_level(quality: Quality, level: SimdLevel) -> Self {
+        Encoder {
+            quality,
+            qtable: quant_table(quality),
+            dct: dct::Dct8x8::new(),
+            zz: zigzag_order(),
+            level,
+        }
     }
 
     /// The configured quality.
@@ -186,38 +284,33 @@ impl Encoder {
 
     /// Encodes a luma frame.
     pub fn encode(&self, frame: &LumaFrame) -> EncodedFrame {
-        let w = frame.width();
-        let h = frame.height();
+        let w = frame.width() as usize;
+        let h = frame.height() as usize;
         let bw = w.div_ceil(8);
         let bh = h.div_ceil(8);
-        let scale = self.quality.quant_scale();
         let mut writer = entropy::Writer::new();
         let mut prev_dc: i32 = 0;
         let mut block = [0.0f32; 64];
         let mut coeffs = [0.0f32; 64];
         let mut quantized = [0i32; 64];
+        let mut scan = [0i32; 64];
+        // Center the whole plane once (pixel - 0.5, exactly the old
+        // per-pixel gather), then blocks are plain memcpys.
+        let mut centered = vec![0.0f32; w * h];
+        simd::sub_scalar_f32(frame.data(), 0.5, &mut centered, self.level);
         for by in 0..bh {
             for bx in 0..bw {
-                // Gather the 8x8 block with edge clamping.
-                for y in 0..8 {
-                    for x in 0..8 {
-                        let sx = (bx * 8 + x).min(w - 1);
-                        let sy = (by * 8 + y).min(h - 1);
-                        block[(y * 8 + x) as usize] = frame.get(sx, sy) - 0.5;
-                    }
-                }
-                dct::forward_8x8(&block, &mut coeffs);
-                for i in 0..64 {
-                    let q = BASE_QUANT[i] * scale / 255.0;
-                    quantized[i] = (coeffs[i] / q).round() as i32;
-                }
-                // DC delta + zig-zag RLE for AC.
-                let dc = quantized[0];
+                gather_block(&centered, w, h, bx, by, &mut block);
+                self.dct.forward(&block, &mut coeffs, self.level);
+                simd::quantize_8x8(&coeffs, &self.qtable, &mut quantized, self.level);
+                simd::zigzag_gather(&quantized, &self.zz, &mut scan, self.level);
+                // DC delta + zig-zag RLE for AC (scan[0] is the DC:
+                // ZIGZAG[0] == 0).
+                let dc = scan[0];
                 writer.write_signed(dc - prev_dc);
                 prev_dc = dc;
                 let mut run = 0u32;
-                for &zi in ZIGZAG.iter().skip(1) {
-                    let v = quantized[zi];
+                for &v in scan.iter().skip(1) {
                     if v == 0 {
                         run += 1;
                     } else {
@@ -230,8 +323,8 @@ impl Encoder {
             }
         }
         EncodedFrame {
-            width: w,
-            height: h,
+            width: frame.width(),
+            height: frame.height(),
             quality: self.quality,
             payload: writer.into_bytes(),
         }
@@ -243,13 +336,19 @@ impl Encoder {
     ///
     /// Returns [`CodecError`] if the payload is truncated or malformed.
     pub fn decode(&self, encoded: &EncodedFrame) -> Result<LumaFrame, CodecError> {
-        let w = encoded.width;
-        let h = encoded.height;
+        let w = encoded.width as usize;
+        let h = encoded.height as usize;
         let bw = w.div_ceil(8);
         let bh = h.div_ceil(8);
-        let scale = encoded.quality.quant_scale();
+        // The payload's quality wins over the decoder's own (it may
+        // have been encoded elsewhere at a different operating point).
+        let qtable = if encoded.quality == self.quality {
+            self.qtable
+        } else {
+            quant_table(encoded.quality)
+        };
         let mut reader = entropy::Reader::new(&encoded.payload);
-        let mut frame = LumaFrame::new(w, h);
+        let mut plane = vec![0.0f32; w * h];
         let mut prev_dc: i32 = 0;
         let mut quantized = [0i32; 64];
         let mut coeffs = [0.0f32; 64];
@@ -281,23 +380,16 @@ impl Encoder {
                         }
                     }
                 }
-                for i in 0..64 {
-                    let q = BASE_QUANT[i] * scale / 255.0;
-                    coeffs[i] = quantized[i] as f32 * q;
-                }
-                dct::inverse_8x8(&coeffs, &mut block);
-                for y in 0..8 {
-                    for x in 0..8 {
-                        let dx = bx * 8 + x;
-                        let dy = by * 8 + y;
-                        if dx < w && dy < h {
-                            frame.set(dx, dy, block[(y * 8 + x) as usize] + 0.5);
-                        }
-                    }
-                }
+                simd::dequantize_8x8(&quantized, &qtable, &mut coeffs, self.level);
+                self.dct.inverse(&coeffs, &mut block, self.level);
+                scatter_block(&mut plane, w, h, bx, by, &block);
             }
         }
-        Ok(frame)
+        // Un-center and clamp in one fused plane pass (block value
+        // + 0.5, then the `[0, 1]` clamp `LumaFrame::set` used to
+        // apply — same values as the two separate passes).
+        simd::add_clamp_unit_f32(&mut plane, 0.5, self.level);
+        Ok(LumaFrame::from_raw(encoded.width, encoded.height, plane))
     }
 }
 

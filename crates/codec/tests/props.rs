@@ -1,7 +1,10 @@
-//! Property-based tests for the transform codec.
+//! Property-based tests for the transform codec, including scalar-vs-SIMD
+//! parity for every kernel the codec dispatches through
+//! [`coterie_parallel::simd`].
 
-use coterie_codec::{Encoder, Quality, SizeModel};
+use coterie_codec::{DeltaEncoder, Encoder, Quality, SizeModel};
 use coterie_frame::{ssim_with, LumaFrame, SsimOptions};
+use coterie_parallel::simd::{self, SimdLevel};
 use proptest::prelude::*;
 
 fn frame_strategy() -> impl Strategy<Value = LumaFrame> {
@@ -94,5 +97,143 @@ proptest! {
         let small = SizeModel { target_width: 1280, target_height: 720, h264_efficiency: 0.35 };
         let big = SizeModel { target_width: 3840, target_height: 2160, h264_efficiency: 0.35 };
         prop_assert!(small.scaled_bytes(&e) <= big.scaled_bytes(&e));
+    }
+
+    // --- scalar-vs-SIMD parity ------------------------------------------
+    //
+    // Integer/byte kernels must agree *exactly* across dispatch levels;
+    // the f32 DCT gets the spec'd ≤1e-5 relative tolerance (in practice
+    // the kernels replicate the scalar association and are bit-identical,
+    // so these bounds are loose by design).
+
+    #[test]
+    fn quantize_zigzag_dequantize_parity_is_exact(
+        coeffs in proptest::collection::vec(-512.0f32..512.0, 64),
+        qraw in proptest::collection::vec(0.5f32..64.0, 64),
+        order_raw in proptest::collection::vec(0i32..64, 64),
+    ) {
+        let coeffs: [f32; 64] = coeffs.try_into().unwrap();
+        let qtable: [f32; 64] = qraw.try_into().unwrap();
+        let order: [i32; 64] = order_raw.try_into().unwrap();
+        let mut want_q = [0i32; 64];
+        let want_zero = simd::quantize_8x8(&coeffs, &qtable, &mut want_q, SimdLevel::Scalar);
+        let mut want_z = [0i32; 64];
+        simd::zigzag_gather(&want_q, &order, &mut want_z, SimdLevel::Scalar);
+        let mut want_d = [0.0f32; 64];
+        simd::dequantize_8x8(&want_q, &qtable, &mut want_d, SimdLevel::Scalar);
+        for level in simd::available_levels() {
+            let mut got_q = [0i32; 64];
+            let got_zero = simd::quantize_8x8(&coeffs, &qtable, &mut got_q, level);
+            prop_assert_eq!(got_q, want_q, "quantize diverged at {:?}", level);
+            prop_assert_eq!(got_zero, want_zero, "all_zero flag diverged at {:?}", level);
+            let mut got_z = [0i32; 64];
+            simd::zigzag_gather(&got_q, &order, &mut got_z, level);
+            prop_assert_eq!(got_z, want_z, "zig-zag diverged at {:?}", level);
+            let mut got_d = [0.0f32; 64];
+            simd::dequantize_8x8(&got_q, &qtable, &mut got_d, level);
+            for (g, w) in got_d.iter().zip(&want_d) {
+                prop_assert_eq!(g.to_bits(), w.to_bits(), "dequantize diverged at {:?}", level);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_plane_kernels_parity_is_exact(
+        a in proptest::collection::vec(-2.0f32..2.0, 67),
+        b in proptest::collection::vec(-2.0f32..2.0, 67),
+        s in -1.0f32..1.0,
+    ) {
+        // 67 elements: odd length exercises every SIMD tail path.
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        let mut want_sub = vec![0.0f32; a.len()];
+        simd::sub_planes_f32(&a, &b, &mut want_sub, SimdLevel::Scalar);
+        let mut want_add = a.clone();
+        simd::add_planes_f32(&mut want_add, &b, SimdLevel::Scalar);
+        let mut want_subs = vec![0.0f32; a.len()];
+        simd::sub_scalar_f32(&a, s, &mut want_subs, SimdLevel::Scalar);
+        let mut want_adds = a.clone();
+        simd::add_scalar_f32(&mut want_adds, s, SimdLevel::Scalar);
+        let mut want_clamp = a.clone();
+        simd::clamp_unit_f32(&mut want_clamp, SimdLevel::Scalar);
+        let want_above = simd::any_abs_above(&a, 0.5, SimdLevel::Scalar);
+        for level in simd::available_levels() {
+            let mut got = vec![0.0f32; a.len()];
+            simd::sub_planes_f32(&a, &b, &mut got, level);
+            prop_assert_eq!(bits(&got), bits(&want_sub), "sub_planes diverged at {:?}", level);
+            let mut got = a.clone();
+            simd::add_planes_f32(&mut got, &b, level);
+            prop_assert_eq!(bits(&got), bits(&want_add), "add_planes diverged at {:?}", level);
+            let mut got = vec![0.0f32; a.len()];
+            simd::sub_scalar_f32(&a, s, &mut got, level);
+            prop_assert_eq!(bits(&got), bits(&want_subs), "sub_scalar diverged at {:?}", level);
+            let mut got = a.clone();
+            simd::add_scalar_f32(&mut got, s, level);
+            prop_assert_eq!(bits(&got), bits(&want_adds), "add_scalar diverged at {:?}", level);
+            let mut got = a.clone();
+            simd::clamp_unit_f32(&mut got, level);
+            prop_assert_eq!(bits(&got), bits(&want_clamp), "clamp_unit diverged at {:?}", level);
+            prop_assert_eq!(
+                simd::any_abs_above(&a, 0.5, level), want_above,
+                "any_abs_above diverged at {:?}", level
+            );
+        }
+    }
+
+    #[test]
+    fn dct_parity_within_tolerance(block in proptest::collection::vec(-0.5f32..0.5, 64)) {
+        let block: [f32; 64] = block.try_into().unwrap();
+        let dct = simd::Dct8x8::new();
+        let mut want_f = [0.0f32; 64];
+        dct.forward(&block, &mut want_f, SimdLevel::Scalar);
+        let mut want_i = [0.0f32; 64];
+        dct.inverse(&want_f, &mut want_i, SimdLevel::Scalar);
+        for level in simd::available_levels() {
+            let mut got_f = [0.0f32; 64];
+            dct.forward(&block, &mut got_f, level);
+            for (g, w) in got_f.iter().zip(&want_f) {
+                let tol = 1e-5f32 * w.abs().max(1.0);
+                prop_assert!((g - w).abs() <= tol, "forward DCT diverged at {level:?}: {g} vs {w}");
+            }
+            let mut got_i = [0.0f32; 64];
+            dct.inverse(&got_f, &mut got_i, level);
+            for (g, w) in got_i.iter().zip(&want_i) {
+                let tol = 1e-5f32 * w.abs().max(1.0);
+                prop_assert!((g - w).abs() <= tol, "inverse DCT diverged at {level:?}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_codec_is_identical_across_levels(f in frame_strategy(), g in frame_strategy()) {
+        // End-to-end: the kernels replicate scalar operation order, so the
+        // *entire* intra and delta codec paths — bitstream included — must
+        // agree bit-for-bit at every dispatch level.
+        let want_enc = Encoder::with_simd_level(Quality::CRF25, SimdLevel::Scalar);
+        let want = want_enc.encode(&f);
+        let want_dec = want_enc.decode(&want).unwrap();
+        for level in simd::available_levels() {
+            let enc = Encoder::with_simd_level(Quality::CRF25, level);
+            let e = enc.encode(&f);
+            prop_assert_eq!(&e, &want, "intra bitstream diverged at {:?}", level);
+            let d = enc.decode(&e).unwrap();
+            prop_assert_eq!(d.data(), want_dec.data(), "intra decode diverged at {:?}", level);
+        }
+        // Delta path needs same-sized frames; resample g onto f's grid.
+        let reference = LumaFrame::from_fn(f.width(), f.height(), |x, y| {
+            g.sample_bilinear(
+                x as f32 * g.width() as f32 / f.width() as f32,
+                y as f32 * g.height() as f32 / f.height() as f32,
+            )
+        });
+        let want_enc = DeltaEncoder::with_simd_level(Quality::CRF25, SimdLevel::Scalar);
+        let want = want_enc.encode(&f, &reference);
+        let want_dec = want_enc.decode(&want, &reference).unwrap();
+        for level in simd::available_levels() {
+            let enc = DeltaEncoder::with_simd_level(Quality::CRF25, level);
+            let e = enc.encode(&f, &reference);
+            prop_assert_eq!(&e, &want, "delta bitstream diverged at {:?}", level);
+            let d = enc.decode(&e, &reference).unwrap();
+            prop_assert_eq!(d.data(), want_dec.data(), "delta decode diverged at {:?}", level);
+        }
     }
 }

@@ -37,5 +37,5 @@ pub mod stats;
 
 pub use image_io::{read_pgm, save_pgm, write_pgm};
 pub use luma::LumaFrame;
-pub use similarity::{mse, psnr, ssim, ssim_map, ssim_with, SsimOptions};
+pub use similarity::{mse, psnr, ssim, ssim_map, ssim_with, ssim_with_simd, SsimOptions};
 pub use stats::{Cdf, Summary};

@@ -7,8 +7,17 @@
 //! σ = 1.5 and the usual stabilizing constants for dynamic range 1.0,
 //! evaluated with a two-pass separable Gaussian over the five moment
 //! planes (O(k) per window instead of O(k²)).
+//!
+//! The dense (stride 1) path stores the five moment planes
+//! structure-of-arrays and runs both Gaussian passes through the
+//! runtime-dispatched SIMD kernels in [`coterie_parallel::simd`]; the
+//! kernels replicate the scalar association exactly, so every dispatch
+//! level produces bit-identical SSIM values. Strided subsampling keeps
+//! the original interleaved scalar walk (its window centers are not
+//! contiguous, so the row kernel does not apply).
 
 use crate::luma::LumaFrame;
+use coterie_parallel::simd::{self, MomentRowsMut, SimdLevel};
 
 /// Parameters of the SSIM computation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,7 +95,18 @@ pub fn ssim(a: &LumaFrame, b: &LumaFrame) -> f64 {
 ///
 /// Panics if the frames have different dimensions.
 pub fn ssim_with(a: &LumaFrame, b: &LumaFrame, opts: &SsimOptions) -> f64 {
-    let map = ssim_map_with(a, b, opts);
+    ssim_with_simd(a, b, opts, simd::detected_level())
+}
+
+/// Mean SSIM with explicit options and an explicit SIMD dispatch level
+/// (all levels produce bit-identical results; useful for benches and
+/// parity tests).
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+pub fn ssim_with_simd(a: &LumaFrame, b: &LumaFrame, opts: &SsimOptions, level: SimdLevel) -> f64 {
+    let map = ssim_map_with_level(a, b, opts, level);
     if map.is_empty() {
         1.0
     } else {
@@ -111,6 +131,27 @@ pub fn ssim_map(a: &LumaFrame, b: &LumaFrame) -> Vec<f64> {
 const PAR_MIN_ROWS: usize = 256;
 
 fn ssim_map_with(a: &LumaFrame, b: &LumaFrame, opts: &SsimOptions) -> Vec<f64> {
+    ssim_map_with_level(a, b, opts, simd::detected_level())
+}
+
+/// The SSIM window formula applied to the five blurred moments.
+#[inline]
+fn ssim_term(m: [f64; 5], opts: &SsimOptions) -> f64 {
+    let [mu_a, mu_b, aa, bb, ab] = m;
+    let var_a = (aa - mu_a * mu_a).max(0.0);
+    let var_b = (bb - mu_b * mu_b).max(0.0);
+    let cov = ab - mu_a * mu_b;
+    let numerator = (2.0 * mu_a * mu_b + opts.c1) * (2.0 * cov + opts.c2);
+    let denominator = (mu_a * mu_a + mu_b * mu_b + opts.c1) * (var_a + var_b + opts.c2);
+    numerator / denominator
+}
+
+fn ssim_map_with_level(
+    a: &LumaFrame,
+    b: &LumaFrame,
+    opts: &SsimOptions,
+    level: SimdLevel,
+) -> Vec<f64> {
     assert_eq!(a.width(), b.width(), "frame widths differ");
     assert_eq!(a.height(), b.height(), "frame heights differ");
     let w = a.width() as usize;
@@ -122,6 +163,9 @@ fn ssim_map_with(a: &LumaFrame, b: &LumaFrame, opts: &SsimOptions) -> Vec<f64> {
         return Vec::new();
     }
     let stride = opts.stride.max(1) as usize;
+    if stride == 1 {
+        return ssim_map_dense_soa(a, b, opts, &kernel, level);
+    }
     let ax = a.data();
     let bx = b.data();
 
@@ -189,16 +233,167 @@ fn ssim_map_with(a: &LumaFrame, b: &LumaFrame, opts: &SsimOptions) -> Vec<f64> {
                 m[3] += ky * src[3];
                 m[4] += ky * src[4];
             }
-            let [mu_a, mu_b, aa, bb, ab] = m;
-            let var_a = (aa - mu_a * mu_a).max(0.0);
-            let var_b = (bb - mu_b * mu_b).max(0.0);
-            let cov = ab - mu_a * mu_b;
-            let numerator = (2.0 * mu_a * mu_b + opts.c1) * (2.0 * cov + opts.c2);
-            let denominator = (mu_a * mu_a + mu_b * mu_b + opts.c1) * (var_a + var_b + opts.c2);
-            out.push(numerator / denominator);
+            out.push(ssim_term(m, opts));
         }
     }
     out
+}
+
+/// Dense (stride 1) SSIM map with structure-of-arrays moment planes and
+/// SIMD row kernels.
+///
+/// Pass 1 runs [`simd::ssim_moments_row`] straight over the `f32` pixel
+/// rows (the kernel widens in register — exact, matching the scalar
+/// `as f64`), banded across threads above [`PAR_MIN_ROWS`] rows exactly
+/// like the strided path. Pass 2 is one [`simd::ssim_windows_row`] call
+/// per output row: vertical taps accumulate in registers and feed the
+/// SSIM formula without touching memory in between — the same
+/// kernel-tap accumulation order as the scalar walk, so the result is
+/// bit-identical at every dispatch level.
+///
+/// The five moment planes live in a thread-local scratch buffer: pass 1
+/// overwrites every cell before pass 2 reads it, so reusing the
+/// allocation across calls (SSIM runs per prefetch candidate, many
+/// times a frame) skips a ~1 MB `calloc` + memset per call without
+/// affecting any value.
+fn ssim_map_dense_soa(
+    a: &LumaFrame,
+    b: &LumaFrame,
+    opts: &SsimOptions,
+    kernel: &[f64],
+    level: SimdLevel,
+) -> Vec<f64> {
+    let w = a.width() as usize;
+    let h = a.height() as usize;
+    let r = opts.radius as usize;
+    let n_x = w - 2 * r;
+    let ax = a.data();
+    let bx = b.data();
+
+    thread_local! {
+        static MOMENT_SCRATCH: std::cell::RefCell<Vec<f64>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    MOMENT_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let plane = h * n_x;
+        if scratch.len() < 5 * plane {
+            scratch.resize(5 * plane, 0.0);
+        }
+        let (p_a, rest) = scratch.split_at_mut(plane);
+        let (p_b, rest) = rest.split_at_mut(plane);
+        let (p_aa, rest) = rest.split_at_mut(plane);
+        let (p_bb, p_ab) = rest.split_at_mut(plane);
+        let p_ab = &mut p_ab[..plane];
+
+        // One band of the five moment planes: `rows` consecutive rows
+        // starting at absolute row `y0`.
+        struct MomentBand<'a> {
+            y0: usize,
+            rows: usize,
+            a: &'a mut [f64],
+            b: &'a mut [f64],
+            aa: &'a mut [f64],
+            bb: &'a mut [f64],
+            ab: &'a mut [f64],
+        }
+        let blur_band = |band: MomentBand<'_>| {
+            let MomentBand {
+                y0,
+                rows,
+                a,
+                b,
+                aa,
+                bb,
+                ab,
+            } = band;
+            for i in 0..rows {
+                let row = (y0 + i) * w;
+                let o = i * n_x;
+                let mut out = MomentRowsMut {
+                    a: &mut a[o..o + n_x],
+                    b: &mut b[o..o + n_x],
+                    aa: &mut aa[o..o + n_x],
+                    bb: &mut bb[o..o + n_x],
+                    ab: &mut ab[o..o + n_x],
+                };
+                simd::ssim_moments_row(
+                    &ax[row..row + w],
+                    &bx[row..row + w],
+                    kernel,
+                    &mut out,
+                    level,
+                );
+            }
+        };
+        if h >= PAR_MIN_ROWS {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(h);
+            let rows_per = h.div_ceil(threads);
+            let mut bands = Vec::with_capacity(threads);
+            let (mut ra, mut rb, mut raa, mut rbb, mut rab) =
+                (&mut *p_a, &mut *p_b, &mut *p_aa, &mut *p_bb, &mut *p_ab);
+            let mut y0 = 0usize;
+            while y0 < h {
+                let rows = rows_per.min(h - y0);
+                let n = rows * n_x;
+                let (ha, ta) = ra.split_at_mut(n);
+                let (hb, tb) = rb.split_at_mut(n);
+                let (haa, taa) = raa.split_at_mut(n);
+                let (hbb, tbb) = rbb.split_at_mut(n);
+                let (hab, tab) = rab.split_at_mut(n);
+                (ra, rb, raa, rbb, rab) = (ta, tb, taa, tbb, tab);
+                bands.push(MomentBand {
+                    y0,
+                    rows,
+                    a: ha,
+                    b: hb,
+                    aa: haa,
+                    bb: hbb,
+                    ab: hab,
+                });
+                y0 += rows;
+            }
+            coterie_parallel::par_for_each(bands, blur_band);
+        } else {
+            blur_band(MomentBand {
+                y0: 0,
+                rows: h,
+                a: &mut *p_a,
+                b: &mut *p_b,
+                aa: &mut *p_aa,
+                bb: &mut *p_bb,
+                ab: &mut *p_ab,
+            });
+        }
+
+        // Pass 2: fused vertical Gaussian + SSIM formula, one kernel call
+        // per output row over the `kernel.len()` blurred rows above it.
+        let mut out = vec![0.0f64; (h - 2 * r) * n_x];
+        for (oy, y) in (r..h - r).enumerate() {
+            let base = (y - r) * n_x;
+            let end = base + kernel.len() * n_x;
+            let rows = simd::MomentRows {
+                a: &p_a[base..end],
+                b: &p_b[base..end],
+                aa: &p_aa[base..end],
+                bb: &p_bb[base..end],
+                ab: &p_ab[base..end],
+            };
+            simd::ssim_windows_row(
+                &rows,
+                n_x,
+                kernel,
+                opts.c1,
+                opts.c2,
+                &mut out[oy * n_x..(oy + 1) * n_x],
+                level,
+            );
+        }
+        out
+    })
 }
 
 /// Mean squared error between two frames.
@@ -443,6 +638,27 @@ mod tests {
         assert_eq!(dense.len(), separable.len());
         for (d, s) in dense.iter().zip(&separable) {
             assert!((d - s).abs() < 1e-10, "dense {d} vs separable {s}");
+        }
+    }
+
+    #[test]
+    fn dispatch_levels_are_bit_identical() {
+        let a = textured(21);
+        let mut b = a.clone();
+        for (i, v) in b.data_mut().iter_mut().enumerate() {
+            *v = (*v + ((i % 13) as f32 - 6.0) * 0.01).clamp(0.0, 1.0);
+        }
+        let opts = SsimOptions::default();
+        let base = ssim_map_with_level(&a, &b, &opts, SimdLevel::Scalar);
+        for level in coterie_parallel::simd::available_levels() {
+            let got = ssim_map_with_level(&a, &b, &opts, level);
+            assert_eq!(base.len(), got.len());
+            for (i, (x, y)) in base.iter().zip(&got).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{level:?} window {i}: {x} vs {y}");
+            }
+            let s = ssim_with_simd(&a, &b, &opts, level);
+            let s0 = ssim_with_simd(&a, &b, &opts, SimdLevel::Scalar);
+            assert_eq!(s.to_bits(), s0.to_bits(), "{level:?} mean");
         }
     }
 

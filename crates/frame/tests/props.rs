@@ -1,6 +1,7 @@
 //! Property-based tests for frame buffers and metrics.
 
-use coterie_frame::{mse, psnr, ssim_with, Cdf, LumaFrame, SsimOptions};
+use coterie_frame::{mse, psnr, ssim_with, ssim_with_simd, Cdf, LumaFrame, SsimOptions};
+use coterie_parallel::simd::{self, SimdLevel};
 use proptest::prelude::*;
 
 /// Strategy: a small frame with arbitrary pixel content.
@@ -95,6 +96,28 @@ proptest! {
         let cdf = Cdf::from_samples(samples);
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         prop_assert!(cdf.quantile(lo) <= cdf.quantile(hi));
+    }
+
+    #[test]
+    fn ssim_parity_across_simd_levels((a, b) in paired_frames()) {
+        // Dense (stride 1) path: every dispatch level must agree with
+        // scalar within the spec'd ≤1e-5 relative tolerance (the kernels
+        // replicate scalar association, so in practice they are
+        // bit-identical and this bound is loose by design).
+        let opts = SsimOptions::default();
+        let want = ssim_with_simd(&a, &b, &opts, SimdLevel::Scalar);
+        for level in simd::available_levels() {
+            let got = ssim_with_simd(&a, &b, &opts, level);
+            let tol = 1e-5 * want.abs().max(1.0);
+            prop_assert!((got - want).abs() <= tol, "SSIM diverged at {level:?}: {got} vs {want}");
+        }
+        // Strided subsampling keeps the scalar walk at every level.
+        let fast = SsimOptions::fast();
+        let want = ssim_with_simd(&a, &b, &fast, SimdLevel::Scalar);
+        for level in simd::available_levels() {
+            let got = ssim_with_simd(&a, &b, &fast, level);
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "strided SSIM diverged at {:?}", level);
+        }
     }
 
     #[test]

@@ -17,8 +17,12 @@
 //! side effects land in caller-partitioned disjoint state, so output is
 //! independent of scheduling and thread count.
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the `simd` module can opt back in for its
+// intrinsics with a module-level `allow`; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod simd;
 
 /// Applies `f` to every item, fanning out across up to
 /// `available_parallelism` threads, and returns results in input order.

@@ -8,6 +8,7 @@
 
 use crate::panorama::Panorama;
 use coterie_frame::LumaFrame;
+use coterie_parallel::simd;
 
 /// Composites the near-BE layer over the far-BE layer.
 ///
@@ -23,6 +24,16 @@ use coterie_frame::LumaFrame;
 ///
 /// Panics if the layers have different dimensions.
 pub fn merge(near: &Panorama, far: &Panorama) -> LumaFrame {
+    merge_with_simd(near, far, simd::detected_level())
+}
+
+/// [`merge`] pinned to an explicit SIMD dispatch level (all levels are
+/// bit-identical — the select copies near-layer bits verbatim).
+///
+/// # Panics
+///
+/// Panics if the layers have different dimensions.
+pub fn merge_with_simd(near: &Panorama, far: &Panorama, level: simd::SimdLevel) -> LumaFrame {
     assert_eq!(near.frame.width(), far.frame.width(), "layer widths differ");
     assert_eq!(
         near.frame.height(),
@@ -32,22 +43,10 @@ pub fn merge(near: &Panorama, far: &Panorama) -> LumaFrame {
     let w = near.frame.width();
     let h = near.frame.height();
     let mut out = LumaFrame::new(w, h);
-    for y in 0..h {
-        let row_start = (y * w) as usize;
-        let nd = near.frame.row(y);
-        let fd = far.frame.row(y);
-        let nm = &near.mask[row_start..row_start + w as usize];
-        let od = out.row_mut(y);
-        // Bulk-copy the far row, then overwrite the near-masked pixels;
-        // near coverage is sparse in typical cutoffs, so most rows are a
-        // single memcpy.
-        od.copy_from_slice(fd);
-        for i in 0..od.len() {
-            if nm[i] != 0 {
-                od[i] = nd[i];
-            }
-        }
-    }
+    // Bulk-copy the far plane, then overwrite the near-masked pixels with
+    // a masked select over the whole plane.
+    out.data_mut().copy_from_slice(far.frame.data());
+    simd::masked_select_f32(out.data_mut(), near.frame.data(), &near.mask, level);
     out
 }
 

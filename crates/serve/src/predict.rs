@@ -46,7 +46,8 @@ pub enum PredictorKind {
 
 impl PredictorKind {
     /// All policies, in reporting order.
-    pub const ALL: [PredictorKind; 3] = [PredictorKind::None, PredictorKind::Cv, PredictorKind::Vpm];
+    pub const ALL: [PredictorKind; 3] =
+        [PredictorKind::None, PredictorKind::Cv, PredictorKind::Vpm];
 
     /// Parses a `--predictor` argument value.
     pub fn parse(s: &str) -> Option<PredictorKind> {
@@ -340,11 +341,13 @@ mod tests {
             let mut p = PosePredictor::new(PredictorKind::Vpm, vec![Vec2::new(3.0, 4.0)]).unwrap();
             for i in 0..50u32 {
                 let t = i as f64 * 16.7;
-                p.observe((i % 3) as usize, t, Vec2::new((i as f64 * 0.37).sin(), t * 0.001));
+                p.observe(
+                    (i % 3) as usize,
+                    t,
+                    Vec2::new((i as f64 * 0.37).sin(), t * 0.001),
+                );
             }
-            (0..3)
-                .map(|pl| p.predict(pl, 100.2))
-                .collect::<Vec<_>>()
+            (0..3).map(|pl| p.predict(pl, 100.2)).collect::<Vec<_>>()
         };
         assert_eq!(build(), build());
     }
