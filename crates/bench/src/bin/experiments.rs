@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! experiments [--quick] [--seed N] [--rooms N] [--players N] [--net SCENARIO]
-//!             [--predictor POLICY] [--trace FILE] <name>...
+//!             [--predictor POLICY] [--shards N] [--store local|sharded]
+//!             [--trace FILE] <name>...
 //! experiments all
 //! experiments fleet --rooms 256 --players 2
 //! experiments fleet --rooms 2 --players 2 --net burst-loss
 //! experiments fleet --rooms 4 --predictor vpm
+//! experiments fleet --rooms 8 --shards 4
 //! experiments fleet --trace trace.json
 //! ```
 //!
@@ -32,6 +34,12 @@
 //! `vpm`; default `none` reproduces predictor-less reports byte for
 //! byte, cv/vpm rank the farm queue by predicted pose occupancy and
 //! report speculation precision/recall).
+//! `--shards N` spreads the fleet over N worker processes; with more
+//! than one worker the fleet experiment compares the sharded store
+//! fabric against isolated per-worker stores. `--store` picks the
+//! backend (`local`, `sharded`; default sharded when `--shards` > 1,
+//! local otherwise — `--shards 1 --store local` reproduces the
+//! single-worker report byte for byte).
 //! `--trace FILE` runs the experiment with budget attribution enabled
 //! and writes a Chrome `trace_event` JSON (load in Perfetto or
 //! `chrome://tracing`): slices for spans and frames, counter ("C")
@@ -45,7 +53,7 @@ use coterie_bench::{
     ablation, cache_exp, cutoff_exp, fleet_exp, kernel_bench, similarity, system_exp, ExpConfig,
 };
 use coterie_net::NetScenario;
-use coterie_serve::PredictorKind;
+use coterie_serve::{PredictorKind, StoreBackend};
 use coterie_telemetry::{
     chrome_trace_json_full, validate_chrome_trace, TelemetryConfig, TelemetrySink,
 };
@@ -81,7 +89,21 @@ struct FleetArgs {
     players: usize,
     net: NetScenario,
     predictor: PredictorKind,
+    shards: usize,
+    store: Option<StoreBackend>,
     trace: Option<String>,
+}
+
+impl FleetArgs {
+    /// The store backend after defaulting: sharded for a multi-worker
+    /// fleet, local otherwise.
+    fn backend(&self) -> StoreBackend {
+        self.store.unwrap_or(if self.shards > 1 {
+            StoreBackend::Sharded
+        } else {
+            StoreBackend::Local
+        })
+    }
 }
 
 /// Runs a single-session table, optionally with `--trace FILE` budget
@@ -147,14 +169,33 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
             ) + &format!("\n{}", ablation::ablation_panoramic(config))
         }
         "fleet" => {
-            let (report, shared, _isolated, trace_json) = fleet_exp::fleet_traced(
-                config,
-                fleet_args.rooms,
-                fleet_args.players,
-                fleet_args.net,
-                fleet_args.predictor,
-                fleet_args.trace.is_some(),
-            );
+            // A multi-worker fleet takes the sharded-comparison path;
+            // one worker keeps the historical shared-vs-isolated table
+            // (so `--shards 1 --store local` is byte-identical to the
+            // flagless run).
+            let (report, shared, trace_json) = if fleet_args.shards > 1 {
+                let (report, primary, _isolated, trace_json) = fleet_exp::fleet_sharded_traced(
+                    config,
+                    fleet_args.rooms,
+                    fleet_args.players,
+                    fleet_args.shards,
+                    fleet_args.backend(),
+                    fleet_args.net,
+                    fleet_args.predictor,
+                    fleet_args.trace.is_some(),
+                );
+                (report, primary, trace_json)
+            } else {
+                let (report, shared, _isolated, trace_json) = fleet_exp::fleet_traced(
+                    config,
+                    fleet_args.rooms,
+                    fleet_args.players,
+                    fleet_args.net,
+                    fleet_args.predictor,
+                    fleet_args.trace.is_some(),
+                );
+                (report, shared, trace_json)
+            };
             let mut out = report.to_string();
             if let (Some(path), Some(json)) = (&fleet_args.trace, &trace_json) {
                 std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
@@ -212,12 +253,21 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
                 )
                 .1
             });
+            // The worker-scaling curve: sharded fabric vs isolated
+            // workers at 1/2/4/8 shards, same load and byte budget.
+            let curve = fleet_exp::fleet_scaling(
+                config,
+                fleet_args.rooms,
+                fleet_args.players,
+                &[1, 2, 4, 8],
+            );
             let fleet_json = fleet_exp::fleet_bench_json(
                 &shared.metrics,
                 fleet_args.rooms,
                 fleet_args.players,
                 fleet_args.net,
                 baseline.as_ref().map(|b| &b.metrics),
+                Some(&curve),
             );
             std::fs::write("BENCH_fleet.json", &fleet_json)
                 .map_err(|e| format!("writing BENCH_fleet.json: {e}"))?;
@@ -252,6 +302,8 @@ fn main() {
         players: 2,
         net: NetScenario::None,
         predictor: PredictorKind::None,
+        shards: 1,
+        store: None,
         trace: None,
     };
     let mut names: Vec<String> = Vec::new();
@@ -274,6 +326,17 @@ fn main() {
             }
             "--players" => {
                 fleet_args.players = parse_usize("--players", iter.next());
+            }
+            "--shards" => {
+                fleet_args.shards = parse_usize("--shards", iter.next()).max(1);
+            }
+            "--store" => {
+                let v = iter.next().unwrap_or_default();
+                fleet_args.store = Some(StoreBackend::parse(&v).unwrap_or_else(|| {
+                    let names: Vec<&str> = StoreBackend::ALL.iter().map(|b| b.name()).collect();
+                    eprintln!("invalid --store value '{v}' (one of: {})", names.join(" "));
+                    std::process::exit(2);
+                }));
             }
             "--trace" => {
                 let v = iter.next().unwrap_or_default();
@@ -305,13 +368,16 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [--seed N] [--rooms N] [--players N] \
-                     [--net SCENARIO] [--predictor POLICY] [--trace FILE] <name>...|all"
+                     [--net SCENARIO] [--predictor POLICY] [--shards N] \
+                     [--store local|sharded] [--trace FILE] <name>...|all"
                 );
                 eprintln!("experiments: {} bench-json", ALL.join(" "));
                 let names: Vec<&str> = NetScenario::ALL.iter().map(NetScenario::name).collect();
                 eprintln!("net scenarios: {}", names.join(" "));
                 let policies: Vec<&str> = PredictorKind::ALL.iter().map(|p| p.name()).collect();
                 eprintln!("predictor policies: {}", policies.join(" "));
+                let backends: Vec<&str> = StoreBackend::ALL.iter().map(|b| b.name()).collect();
+                eprintln!("store backends: {}", backends.join(" "));
                 return;
             }
             name => names.push(name.to_string()),

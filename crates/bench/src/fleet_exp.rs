@@ -12,7 +12,7 @@
 use crate::report::{f, pct, Report};
 use crate::ExpConfig;
 use coterie_net::NetScenario;
-use coterie_serve::{Fleet, FleetConfig, FleetReport, PredictorKind};
+use coterie_serve::{Fleet, FleetConfig, FleetReport, PredictorKind, StoreBackend};
 use coterie_telemetry::{chrome_trace_json_full, Stage, TelemetryConfig, TelemetrySink};
 use coterie_world::GameId;
 
@@ -186,6 +186,216 @@ pub fn fleet_traced(
     (report, shared, isolated, trace_json)
 }
 
+/// Builds the multi-worker fleet configuration: the same rooms/players
+/// mix spread round-robin over `shards` worker processes, with
+/// `backend` selecting the store wiring ([`StoreBackend::Sharded`] =
+/// one partitioned store exchanged between workers,
+/// [`StoreBackend::Local`] = fully isolated per-worker stores with the
+/// same total byte budget).
+pub fn sharded_fleet_config(
+    config: &ExpConfig,
+    rooms: usize,
+    players: usize,
+    shards: usize,
+    backend: StoreBackend,
+    net: NetScenario,
+    predictor: PredictorKind,
+) -> FleetConfig {
+    FleetConfig {
+        shards: shards.max(1),
+        backend,
+        ..fleet_config(config, rooms, players, true, net, predictor)
+    }
+}
+
+/// Runs the multi-worker fleet experiment: the sharded store fabric
+/// against the same byte budget split into isolated per-worker stores.
+///
+/// With `backend` = [`StoreBackend::Sharded`] the report compares both
+/// wirings (rows `sharded` and `isolated`) and the returned pair is
+/// (sharded run, isolated baseline). With [`StoreBackend::Local`] only
+/// the isolated fleet runs — a single `local` row, baseline `None`.
+///
+/// When `trace` is set the primary run records telemetry; the returned
+/// string is the merged Chrome `trace_event` export spanning every
+/// worker's process lane (each worker's spans rebased onto the shared
+/// fleet epoch). Deterministic: same inputs, byte-identical report.
+#[allow(clippy::too_many_arguments)]
+pub fn fleet_sharded_traced(
+    config: &ExpConfig,
+    rooms: usize,
+    players: usize,
+    shards: usize,
+    backend: StoreBackend,
+    net: NetScenario,
+    predictor: PredictorKind,
+    trace: bool,
+) -> (Report, FleetReport, Option<FleetReport>, Option<String>) {
+    let sink = if trace {
+        TelemetrySink::recording(TelemetryConfig::default())
+    } else {
+        TelemetrySink::disabled()
+    };
+    let primary = Fleet::new_with_telemetry(
+        sharded_fleet_config(config, rooms, players, shards, backend, net, predictor),
+        sink.clone(),
+    )
+    .run();
+    let isolated = (backend == StoreBackend::Sharded).then(|| {
+        Fleet::new(sharded_fleet_config(
+            config,
+            rooms,
+            players,
+            shards,
+            StoreBackend::Local,
+            net,
+            predictor,
+        ))
+        .run()
+    });
+    let trace_json = sink.is_enabled().then(|| {
+        chrome_trace_json_full(
+            &sink.spans_snapshot(),
+            &sink.frames_snapshot(),
+            &sink.counters_snapshot(),
+            sink.budget_ms(),
+        )
+    });
+
+    let mut report = Report::new("Fleet: sharded store across worker processes");
+    report.note(format!(
+        "{} rooms x {} players over {} workers, seed {}, games Viking Village + FPS",
+        rooms.max(1),
+        players.max(1),
+        shards.max(1),
+        config.seed
+    ));
+    report.note(match backend {
+        StoreBackend::Sharded => {
+            "consistent-hash partitions + epoch exchange vs the same byte budget isolated per worker"
+        }
+        StoreBackend::Local => "isolated per-worker stores (no exchange plane)",
+    });
+    report.headers([
+        "store",
+        "fps p50",
+        "fps p95",
+        "fps p99",
+        "hit ratio",
+        "egress Mbps",
+        "GPU-hours",
+        "peak degC",
+        "degraded",
+    ]);
+    let primary_label = match backend {
+        StoreBackend::Sharded => "sharded",
+        StoreBackend::Local => "local",
+    };
+    let mut rows: Vec<(&str, &FleetReport)> = vec![(primary_label, &primary)];
+    if let Some(iso) = &isolated {
+        rows.push(("isolated", iso));
+    }
+    for (label, run) in rows {
+        let m = &run.metrics;
+        report.row([
+            label.to_string(),
+            f(m.fps_p50, 2),
+            f(m.fps_p95, 2),
+            f(m.fps_p99, 2),
+            pct(m.store_hit_ratio),
+            f(m.egress_mbps, 2),
+            f(m.prerender_gpu_hours, 6),
+            f(m.peak_temperature_c, 2),
+            format!("{}", m.degraded_rooms),
+        ]);
+    }
+    if let Some(s) = &primary.metrics.sharding {
+        report.note(format!(
+            "exchange: {} forwards, {} replica hits, {} replica inserts, \
+             {} msgs / {} bytes on the wire, {} anti-entropy evictions",
+            s.forwards,
+            s.replica_hits,
+            s.replica_inserts,
+            s.wire_msgs,
+            s.wire_bytes,
+            s.anti_entropy_evictions,
+        ));
+    }
+    if let Some(t) = &primary.metrics.telemetry {
+        report.note(format!(
+            "telemetry {primary_label}: {} frames attributed, {} over the {} ms budget ({})",
+            t.frames,
+            t.over_budget,
+            f(t.budget_ms, 1),
+            pct(t.over_budget_ratio()),
+        ));
+    }
+    (report, primary, isolated, trace_json)
+}
+
+/// One point of the worker-scaling curve committed in
+/// `BENCH_fleet.json`: the sharded fabric and the isolated-workers
+/// baseline at the same worker count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardScalingPoint {
+    /// Worker count.
+    pub shards: usize,
+    /// Store hit ratio with the sharded fabric.
+    pub hit_ratio: f64,
+    /// Pre-render GPU-hours with the sharded fabric.
+    pub gpu_hours: f64,
+    /// Store hit ratio with isolated per-worker stores.
+    pub isolated_hit_ratio: f64,
+    /// Pre-render GPU-hours with isolated per-worker stores.
+    pub isolated_gpu_hours: f64,
+    /// Exchange-plane bytes the sharded run put on the wire.
+    pub exchange_bytes: u64,
+}
+
+/// Runs the scaling sweep: for each worker count, the sharded fleet and
+/// the isolated-workers fleet at identical load and total byte budget.
+/// At one worker the two wirings coincide, anchoring the curve at zero
+/// uplift.
+pub fn fleet_scaling(
+    config: &ExpConfig,
+    rooms: usize,
+    players: usize,
+    counts: &[usize],
+) -> Vec<ShardScalingPoint> {
+    counts
+        .iter()
+        .map(|&shards| {
+            let run = |backend| {
+                Fleet::new(sharded_fleet_config(
+                    config,
+                    rooms,
+                    players,
+                    shards,
+                    backend,
+                    NetScenario::None,
+                    PredictorKind::None,
+                ))
+                .run()
+            };
+            let sharded = run(StoreBackend::Sharded);
+            let isolated = run(StoreBackend::Local);
+            ShardScalingPoint {
+                shards,
+                hit_ratio: sharded.metrics.store_hit_ratio,
+                gpu_hours: sharded.metrics.prerender_gpu_hours,
+                isolated_hit_ratio: isolated.metrics.store_hit_ratio,
+                isolated_gpu_hours: isolated.metrics.prerender_gpu_hours,
+                exchange_bytes: sharded
+                    .metrics
+                    .sharding
+                    .as_ref()
+                    .map(|s| s.wire_bytes)
+                    .unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
 /// Renders the shared-store fleet headline numbers as the committed
 /// `BENCH_fleet.json` document (the fleet-level companion of
 /// `BENCH_render.json`): tail FPS percentiles, store hit ratio and
@@ -197,12 +407,18 @@ pub fn fleet_traced(
 /// delta the policy bought. A predictor-less run emits the historical
 /// document byte for byte, so committed benchmark archives stay
 /// diffable across the predictor plane's introduction.
+///
+/// Supplying `sharding` appends the worker-scaling curve: one object
+/// per worker count with the sharded fabric's hit ratio / GPU-hours
+/// next to the isolated-workers baseline. `None` leaves the document
+/// byte-identical to the pre-sharding format.
 pub fn fleet_bench_json(
     metrics: &coterie_serve::FleetMetrics,
     rooms: usize,
     players: usize,
     net: NetScenario,
     baseline: Option<&coterie_serve::FleetMetrics>,
+    sharding: Option<&[ShardScalingPoint]>,
 ) -> String {
     let mut out = format!(
         "{{\n  \"config\": {{ \"rooms\": {rooms}, \"players\": {players}, \"net\": \"{net}\" }},\n  \
@@ -231,6 +447,24 @@ pub fn fleet_bench_json(
             ));
         }
         out.push_str("\n  }");
+    }
+    if let Some(points) = sharding {
+        out.push_str(",\n  \"sharding\": {\n    \"curve\": [\n");
+        for (i, p) in points.iter().enumerate() {
+            let sep = if i + 1 == points.len() { "" } else { "," };
+            out.push_str(&format!(
+                "      {{ \"shards\": {}, \"hit_ratio\": {:.6}, \"gpu_hours\": {:.6}, \
+                 \"isolated_hit_ratio\": {:.6}, \"isolated_gpu_hours\": {:.6}, \
+                 \"exchange_bytes\": {} }}{sep}\n",
+                p.shards,
+                p.hit_ratio,
+                p.gpu_hours,
+                p.isolated_hit_ratio,
+                p.isolated_gpu_hours,
+                p.exchange_bytes,
+            ));
+        }
+        out.push_str("    ]\n  }");
     }
     // Full mergeable histograms when the run was traced: bucket counts
     // sum across runs, so later tooling can recompute any percentile
@@ -324,7 +558,7 @@ mod tests {
     fn fleet_bench_json_is_well_formed() {
         let config = ExpConfig::quick();
         let (_, shared, _) = fleet(&config, 1, 2, NetScenario::None, PredictorKind::None);
-        let json = fleet_bench_json(&shared.metrics, 1, 2, NetScenario::None, None);
+        let json = fleet_bench_json(&shared.metrics, 1, 2, NetScenario::None, None, None);
         let doc = coterie_telemetry::parse_json(&json).expect("valid JSON");
         let fleet = doc.get("fleet").expect("fleet object");
         for key in [
@@ -355,7 +589,14 @@ mod tests {
         assert!(vpm.metrics.spec_rendered > 0);
 
         let (_, none, _) = fleet(&config, 2, 2, NetScenario::None, PredictorKind::None);
-        let json = fleet_bench_json(&vpm.metrics, 2, 2, NetScenario::None, Some(&none.metrics));
+        let json = fleet_bench_json(
+            &vpm.metrics,
+            2,
+            2,
+            NetScenario::None,
+            Some(&none.metrics),
+            None,
+        );
         let doc = coterie_telemetry::parse_json(&json).expect("valid JSON");
         let spec = doc.get("speculation").expect("speculation object");
         for key in [
@@ -375,8 +616,111 @@ mod tests {
             .expect("delta vs baseline");
         assert!(delta.is_finite());
         // The predictor-less document is unchanged: no speculation key.
-        let base_json = fleet_bench_json(&none.metrics, 2, 2, NetScenario::None, None);
+        let base_json = fleet_bench_json(&none.metrics, 2, 2, NetScenario::None, None, None);
         assert!(!base_json.contains("speculation"), "got: {base_json}");
+    }
+
+    #[test]
+    fn sharded_fleet_experiment_reports_uplift() {
+        let config = ExpConfig::quick();
+        let (report, sharded, isolated, _) = fleet_sharded_traced(
+            &config,
+            4,
+            2,
+            4,
+            StoreBackend::Sharded,
+            NetScenario::None,
+            PredictorKind::None,
+            false,
+        );
+        assert_eq!(report.cell(0, 0), Some("sharded"));
+        assert_eq!(report.cell(1, 0), Some("isolated"));
+        let text = format!("{report}");
+        assert!(text.contains("exchange:"), "exchange note printed: {text}");
+        let s = sharded.metrics.sharding.expect("sharded metrics");
+        assert_eq!(s.shards, 4);
+        assert!(s.wire_msgs > 0);
+        let iso = isolated.expect("comparison baseline ran");
+        assert!(
+            sharded.metrics.store_hit_ratio > iso.metrics.store_hit_ratio,
+            "sharded {} vs isolated {}",
+            sharded.metrics.store_hit_ratio,
+            iso.metrics.store_hit_ratio
+        );
+        // Deterministic: same inputs reproduce the report byte for byte.
+        let again = fleet_sharded_traced(
+            &config,
+            4,
+            2,
+            4,
+            StoreBackend::Sharded,
+            NetScenario::None,
+            PredictorKind::None,
+            false,
+        )
+        .0;
+        assert_eq!(format!("{report}"), format!("{again}"));
+    }
+
+    #[test]
+    fn local_backend_runs_isolated_workers_only() {
+        let config = ExpConfig::quick();
+        let (report, primary, isolated, _) = fleet_sharded_traced(
+            &config,
+            2,
+            2,
+            2,
+            StoreBackend::Local,
+            NetScenario::None,
+            PredictorKind::None,
+            false,
+        );
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.cell(0, 0), Some("local"));
+        assert!(isolated.is_none());
+        assert!(primary.metrics.sharding.is_none());
+    }
+
+    #[test]
+    fn scaling_curve_lands_in_bench_json() {
+        let config = ExpConfig::quick();
+        let points = fleet_scaling(&config, 2, 2, &[1, 2]);
+        assert_eq!(points.len(), 2);
+        // One worker: both wirings are the same shared store.
+        assert_eq!(points[0].hit_ratio, points[0].isolated_hit_ratio);
+        assert_eq!(points[0].exchange_bytes, 0);
+        assert!(points[1].exchange_bytes > 0);
+
+        let (_, shared, _) = fleet(&config, 1, 2, NetScenario::None, PredictorKind::None);
+        let json = fleet_bench_json(
+            &shared.metrics,
+            1,
+            2,
+            NetScenario::None,
+            None,
+            Some(&points),
+        );
+        let doc = coterie_telemetry::parse_json(&json).expect("valid JSON");
+        let curve = doc
+            .get("sharding")
+            .and_then(|s| s.get("curve"))
+            .and_then(|c| c.as_array())
+            .expect("sharding curve");
+        assert_eq!(curve.len(), 2);
+        assert_eq!(curve[1].get("shards").and_then(|v| v.as_f64()), Some(2.0));
+        for key in [
+            "hit_ratio",
+            "gpu_hours",
+            "isolated_hit_ratio",
+            "isolated_gpu_hours",
+            "exchange_bytes",
+        ] {
+            let v = curve[1].get(key).and_then(|v| v.as_f64()).expect(key);
+            assert!(v.is_finite(), "{key} = {v}");
+        }
+        // Without the curve the document has no sharding key.
+        let base = fleet_bench_json(&shared.metrics, 1, 2, NetScenario::None, None, None);
+        assert!(!base.contains("sharding"), "got: {base}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod wire;
 
 pub use channel::{DatagramChannel, Delivery, PacketLost};
 pub use fault::{FiChannel, NetScenario};
-pub use wire::{FrameAssembler, WireError, WireMessage};
+pub use wire::{FrameAssembler, ShardEntry, WireError, WireMessage};
 
 use serde::{Deserialize, Serialize};
 

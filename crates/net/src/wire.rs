@@ -33,7 +33,17 @@
 use coterie_world::GameId;
 
 /// Protocol revision carried in [`WireMessage::Hello`].
-pub const PROTO_VERSION: u16 = 1;
+///
+/// v1: the session family (tags `0x01`–`0x08`). v2 adds the
+/// inter-shard family in its own reserved type-byte range (`0x40+`)
+/// and the structured [`WireMessage::VersionReject`] reply; every v1
+/// message encodes byte-identically under v2, so v1 clients keep
+/// decoding session traffic cleanly.
+pub const PROTO_VERSION: u16 = 2;
+
+/// Oldest protocol revision the server still accepts in a
+/// [`WireMessage::Hello`] / [`WireMessage::ShardHello`].
+pub const MIN_PROTO_VERSION: u16 = 1;
 
 /// Hard cap on one frame's body, bytes. Far-BE payloads at our render
 /// resolutions are tens of KB; 4 MiB leaves room for any realistic
@@ -53,7 +63,21 @@ mod tag {
     pub const BYE: u8 = 0x06;
     pub const GOODBYE: u8 = 0x07;
     pub const ERROR: u8 = 0x08;
+    // v2 additions. 0x10–0x3f: session-control extensions.
+    pub const VERSION_REJECT: u8 = 0x10;
+    // 0x40–0x4f: the inter-shard family (worker ↔ worker only; never
+    // sent to game clients).
+    pub const SHARD_HELLO: u8 = 0x40;
+    pub const SHARD_ADVERT: u8 = 0x41;
+    pub const SHARD_USAGE: u8 = 0x42;
+    pub const SHARD_FRAME: u8 = 0x43;
 }
+
+/// Decode-side cap on the entries of one [`WireMessage::ShardAdvert`],
+/// so a hostile peer cannot force a huge allocation from a small
+/// frame. Senders batch well under this (the store's advert buffer
+/// caps at 1024 and exchanges drain per epoch in smaller chunks).
+pub const MAX_SHARD_ENTRIES: usize = 4096;
 
 /// Why a peer was told to go away ([`WireMessage::Goodbye`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +122,36 @@ impl ErrorCode {
             _ => Err(WireError::BadValue("error code")),
         }
     }
+}
+
+/// One hot store entry advertised between shard workers: everything a
+/// peer needs to replicate the frame's *identity* (the three lookup
+/// criteria) plus the recency/value state that keeps the fleet-wide
+/// LRU coherent. Payload bytes travel separately (in
+/// [`WireMessage::ShardFrame`]) and only for entries hot enough to
+/// replicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardEntry {
+    /// Game the frame belongs to.
+    pub game: GameId,
+    /// Grid x index of the rendering position.
+    pub grid_ix: i32,
+    /// Grid z index of the rendering position.
+    pub grid_iz: i32,
+    /// Exact world x the frame was rendered at, meters.
+    pub pos_x: f64,
+    /// Exact world z the frame was rendered at, meters.
+    pub pos_z: f64,
+    /// Leaf region id (criterion 2).
+    pub leaf: u32,
+    /// Near-BE object-set hash (criterion 3).
+    pub near_hash: u64,
+    /// Payload size, bytes (budget accounting on the replica side).
+    pub bytes: u64,
+    /// Global-clock access stamp (fleet-wide LRU ordering).
+    pub stamp: u64,
+    /// Admission value (predicted reuse × render cost).
+    pub value: f64,
 }
 
 /// One protocol message.
@@ -172,6 +226,76 @@ pub enum WireMessage {
         /// What kind.
         code: ErrorCode,
     },
+    /// Structured version-negotiation failure: the server's reply to a
+    /// hello whose `proto` falls outside `[min, max]`, telling the
+    /// client exactly which revisions it *does* speak instead of a
+    /// bare [`WireMessage::Error`] drop.
+    VersionReject {
+        /// Oldest revision the server accepts.
+        min: u16,
+        /// Newest revision the server accepts.
+        max: u16,
+    },
+    /// Shard-worker handshake: worker `shard` of a `shards`-wide fleet
+    /// introduces itself on an inter-shard connection (proto-checked
+    /// like a session hello; answered with [`WireMessage::VersionReject`]
+    /// on mismatch).
+    ShardHello {
+        /// Protocol revision ([`PROTO_VERSION`]).
+        proto: u16,
+        /// The sender's shard index.
+        shard: u16,
+        /// Fleet width the sender believes in (peers must agree).
+        shards: u16,
+        /// The sender's current exchange epoch.
+        epoch: u64,
+    },
+    /// Epoch-batched hot-entry metadata advert: the entries this owner
+    /// inserted since its last exchange, for peers to replicate into
+    /// their hot-replica caches.
+    ShardAdvert {
+        /// Advertising shard.
+        shard: u16,
+        /// Exchange epoch the batch closes.
+        epoch: u64,
+        /// The advertised entries (capped at [`MAX_SHARD_ENTRIES`]).
+        entries: Vec<ShardEntry>,
+    },
+    /// Anti-entropy usage digest: one shard's LRU/byte-budget state,
+    /// exchanged every epoch so eviction can stay globally coherent
+    /// without shipping entry lists.
+    ShardUsage {
+        /// Reporting shard.
+        shard: u16,
+        /// Exchange epoch the digest closes.
+        epoch: u64,
+        /// Cached payload bytes the shard holds.
+        bytes: u64,
+        /// The shard's view of the shared global clock.
+        clock: u64,
+        /// Access stamp of the shard's oldest entry (`u64::MAX` when
+        /// the shard is empty).
+        oldest_stamp: u64,
+    },
+    /// Replicated frame payload: an owner pushes a hot frame (identity
+    /// plus encoded bytes) to a peer's replica cache so the peer's
+    /// next lookup is a local hit instead of a forward.
+    ShardFrame {
+        /// Sending (owner) shard.
+        shard: u16,
+        /// The frame's store identity and recency state.
+        entry: ShardEntry,
+        /// Encoded frame width, px.
+        width: u32,
+        /// Encoded frame height, px.
+        height: u32,
+        /// Codec quality code (0 = CRF18, 1 = CRF25, 2 = CRF32).
+        quality: u8,
+        /// Quality scale the frame was produced at, per-mille.
+        scale_pm: u16,
+        /// The codec-encoded payload.
+        payload: Vec<u8>,
+    },
 }
 
 /// Decode/stream errors. Any of these on a live connection is a
@@ -242,6 +366,23 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 
 fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
+}
+
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_entry(out: &mut Vec<u8>, e: &ShardEntry) {
+    out.push(game_to_wire(e.game));
+    put_i32(out, e.grid_ix);
+    put_i32(out, e.grid_iz);
+    put_f64(out, e.pos_x);
+    put_f64(out, e.pos_z);
+    put_u32(out, e.leaf);
+    put_u64(out, e.near_hash);
+    put_u64(out, e.bytes);
+    put_u64(out, e.stamp);
+    put_f64(out, e.value);
 }
 
 impl WireMessage {
@@ -315,6 +456,73 @@ impl WireMessage {
             WireMessage::Error { code } => {
                 out.push(tag::ERROR);
                 out.push(*code as u8);
+            }
+            WireMessage::VersionReject { min, max } => {
+                out.push(tag::VERSION_REJECT);
+                put_u16(out, *min);
+                put_u16(out, *max);
+            }
+            WireMessage::ShardHello {
+                proto,
+                shard,
+                shards,
+                epoch,
+            } => {
+                out.push(tag::SHARD_HELLO);
+                put_u16(out, *proto);
+                put_u16(out, *shard);
+                put_u16(out, *shards);
+                put_u64(out, *epoch);
+            }
+            WireMessage::ShardAdvert {
+                shard,
+                epoch,
+                entries,
+            } => {
+                assert!(
+                    entries.len() <= MAX_SHARD_ENTRIES,
+                    "advert of {} entries exceeds the wire cap",
+                    entries.len()
+                );
+                out.push(tag::SHARD_ADVERT);
+                put_u16(out, *shard);
+                put_u64(out, *epoch);
+                put_u32(out, entries.len() as u32);
+                for e in entries {
+                    put_entry(out, e);
+                }
+            }
+            WireMessage::ShardUsage {
+                shard,
+                epoch,
+                bytes,
+                clock,
+                oldest_stamp,
+            } => {
+                out.push(tag::SHARD_USAGE);
+                put_u16(out, *shard);
+                put_u64(out, *epoch);
+                put_u64(out, *bytes);
+                put_u64(out, *clock);
+                put_u64(out, *oldest_stamp);
+            }
+            WireMessage::ShardFrame {
+                shard,
+                entry,
+                width,
+                height,
+                quality,
+                scale_pm,
+                payload,
+            } => {
+                out.push(tag::SHARD_FRAME);
+                put_u16(out, *shard);
+                put_entry(out, entry);
+                put_u32(out, *width);
+                put_u32(out, *height);
+                out.push(*quality);
+                put_u16(out, *scale_pm);
+                out.extend_from_slice(payload);
             }
         }
     }
@@ -420,6 +628,83 @@ impl WireMessage {
             tag::ERROR => WireMessage::Error {
                 code: ErrorCode::from_wire(r.u8()?)?,
             },
+            tag::VERSION_REJECT => {
+                let min = r.u16()?;
+                let max = r.u16()?;
+                if min > max {
+                    return Err(WireError::BadValue("version range"));
+                }
+                WireMessage::VersionReject { min, max }
+            }
+            tag::SHARD_HELLO => {
+                let proto = r.u16()?;
+                let shard = r.u16()?;
+                let shards = r.u16()?;
+                let epoch = r.u64()?;
+                if shards == 0 || shard >= shards {
+                    return Err(WireError::BadValue("shard index"));
+                }
+                WireMessage::ShardHello {
+                    proto,
+                    shard,
+                    shards,
+                    epoch,
+                }
+            }
+            tag::SHARD_ADVERT => {
+                let shard = r.u16()?;
+                let epoch = r.u64()?;
+                let count = r.u32()? as usize;
+                if count > MAX_SHARD_ENTRIES {
+                    return Err(WireError::BadValue("advert entry count"));
+                }
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    entries.push(r.entry()?);
+                }
+                WireMessage::ShardAdvert {
+                    shard,
+                    epoch,
+                    entries,
+                }
+            }
+            tag::SHARD_USAGE => WireMessage::ShardUsage {
+                shard: r.u16()?,
+                epoch: r.u64()?,
+                bytes: r.u64()?,
+                clock: r.u64()?,
+                oldest_stamp: r.u64()?,
+            },
+            tag::SHARD_FRAME => {
+                let shard = r.u16()?;
+                let entry = r.entry()?;
+                let width = r.u32()?;
+                let height = r.u32()?;
+                if width == 0 || height == 0 {
+                    return Err(WireError::BadValue("frame dims"));
+                }
+                let quality = r.u8()?;
+                if quality > 2 {
+                    return Err(WireError::BadValue("quality code"));
+                }
+                let scale_pm = r.u16()?;
+                if scale_pm == 0 || scale_pm > 1000 {
+                    return Err(WireError::BadValue("scale per-mille"));
+                }
+                let payload = r.rest().to_vec();
+                if payload.is_empty() {
+                    return Err(WireError::BadValue("frame payload"));
+                }
+                return Ok(WireMessage::ShardFrame {
+                    shard,
+                    entry,
+                    width,
+                    height,
+                    quality,
+                    scale_pm,
+                    payload,
+                });
+            }
             other => return Err(WireError::UnknownType(other)),
         };
         if r.pos != r.buf.len() {
@@ -471,6 +756,41 @@ impl<'a> Reader<'a> {
         } else {
             Err(WireError::BadValue(what))
         }
+    }
+
+    fn i32(&mut self) -> Result<i32, WireError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// One [`ShardEntry`]. Positions must be finite (physical
+    /// quantities) and the admission value finite and non-negative
+    /// (it is a product of a reuse probability and a render cost).
+    fn entry(&mut self) -> Result<ShardEntry, WireError> {
+        let game = game_from_wire(self.u8()?)?;
+        let grid_ix = self.i32()?;
+        let grid_iz = self.i32()?;
+        let pos_x = self.finite_f64("entry pos_x")?;
+        let pos_z = self.finite_f64("entry pos_z")?;
+        let leaf = self.u32()?;
+        let near_hash = self.u64()?;
+        let bytes = self.u64()?;
+        let stamp = self.u64()?;
+        let value = self.finite_f64("entry value")?;
+        if value < 0.0 {
+            return Err(WireError::BadValue("entry value"));
+        }
+        Ok(ShardEntry {
+            game,
+            grid_ix,
+            grid_iz,
+            pos_x,
+            pos_z,
+            leaf,
+            near_hash,
+            bytes,
+            stamp,
+            value,
+        })
     }
 
     fn rest(&mut self) -> &'a [u8] {
@@ -585,7 +905,59 @@ mod tests {
             WireMessage::Error {
                 code: ErrorCode::BadState,
             },
+            WireMessage::VersionReject {
+                min: MIN_PROTO_VERSION,
+                max: PROTO_VERSION,
+            },
+            WireMessage::ShardHello {
+                proto: PROTO_VERSION,
+                shard: 1,
+                shards: 4,
+                epoch: 17,
+            },
+            WireMessage::ShardAdvert {
+                shard: 1,
+                epoch: 17,
+                entries: vec![
+                    sample_entry(),
+                    ShardEntry {
+                        leaf: 9,
+                        ..sample_entry()
+                    },
+                ],
+            },
+            WireMessage::ShardUsage {
+                shard: 2,
+                epoch: 17,
+                bytes: 123_456,
+                clock: 9_001,
+                oldest_stamp: u64::MAX,
+            },
+            WireMessage::ShardFrame {
+                shard: 3,
+                entry: sample_entry(),
+                width: 96,
+                height: 48,
+                quality: 2,
+                scale_pm: 1000,
+                payload: vec![9, 8, 7],
+            },
         ]
+    }
+
+    fn sample_entry() -> ShardEntry {
+        ShardEntry {
+            game: GameId::Fps,
+            grid_ix: -4,
+            grid_iz: 11,
+            pos_x: -1.25,
+            pos_z: 3.5,
+            leaf: 7,
+            near_hash: 0xFEED_F00D,
+            bytes: 48_000,
+            stamp: 321,
+            value: 4.5,
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! aggregates into the pre-render GPU-hours metric the shared-store
 //! comparison reports.
 
-use crate::store::SharedFrameStore;
+use crate::store::FrameStore;
 use coterie_core::FrameMeta;
 use coterie_parallel::par_map_ws;
 use coterie_world::{GameId, GridPoint, Vec2};
@@ -157,7 +157,7 @@ impl PrerenderFarm {
     /// serially in job order afterwards, so a fleet that queues jobs in
     /// room-id order gets identical store contents on every run no
     /// matter how the render sweep was scheduled across workers.
-    pub fn drain_into(&mut self, stores: &[&SharedFrameStore]) {
+    pub fn drain_into(&mut self, stores: &[&dyn FrameStore]) {
         if self.jobs.is_empty() {
             return;
         }
@@ -196,7 +196,7 @@ impl PrerenderFarm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::StoreConfig;
+    use crate::store::{SharedFrameStore, StoreConfig};
     use coterie_core::CacheQuery;
     use coterie_world::LeafId;
 

@@ -9,17 +9,29 @@
 //! always produces a byte-identical [`FleetMetrics`] report — while
 //! room *construction* (world building and the render measurement pass,
 //! by far the expensive part) still fans out across cores.
+//!
+//! Multi-worker fleets ([`FleetConfig::shards`] > 1) split rooms
+//! round-robin across simulated worker processes. With the
+//! [`StoreBackend::Sharded`] backend each worker holds one partition of
+//! the frame store plus a hot-replica cache, and workers exchange
+//! advertisement batches over the wire codec at every epoch boundary;
+//! with [`StoreBackend::Local`] the workers stay fully isolated — the
+//! baseline the sharded design is measured against. Because the epoch
+//! loop still serializes store transactions in room-id order, a sharded
+//! run is as deterministic as a single-process one.
 
 use crate::farm::PrerenderFarm;
 use crate::metrics::FleetMetrics;
 use crate::predict::PredictorKind;
 use crate::room::{Room, RoomReport};
-use crate::store::{SharedFrameStore, StoreConfig, StoreStats};
+use crate::shard::{ShardFabric, StoreBackend};
+use crate::store::{FrameStore, LocalStore, StoreConfig, StoreStats};
 use coterie_net::{FleetEgress, NetScenario};
 use coterie_parallel::par_map_ws;
 use coterie_sim::{SessionConfig, SystemKind};
-use coterie_telemetry::{Stage, TelemetrySink, TrackId, FLEET_PID};
+use coterie_telemetry::{shard_pid, Stage, TelemetryConfig, TelemetrySink, TrackId, FLEET_PID};
 use coterie_world::GameId;
+use std::sync::Arc;
 
 /// Fleet composition and resource provisioning.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,11 +51,23 @@ pub struct FleetConfig {
     /// `true` = one store shared by all rooms (the tentpole design);
     /// `false` = one isolated store per room with an equal slice of the
     /// byte budget (the baseline the shared design is compared to).
+    /// Ignored when [`FleetConfig::shards`] > 1 — worker count then
+    /// decides the store split.
     pub shared_store: bool,
     /// Total frame-store byte budget (split evenly in isolated mode).
     pub store_bytes: u64,
-    /// Store shard count.
+    /// Store stripe count (intra-process lock sharding).
     pub store_shards: usize,
+    /// Worker-process count. `1` (the default) is the single-process
+    /// fleet and reproduces pre-sharding reports byte for byte. With
+    /// more workers, rooms are assigned round-robin (`room % shards`)
+    /// and the store splits per [`FleetConfig::backend`].
+    pub shards: usize,
+    /// Frame-store backend wiring across workers. [`StoreBackend::Local`]
+    /// keeps each worker's store private (the isolated baseline);
+    /// [`StoreBackend::Sharded`] partitions one global store across the
+    /// workers behind the consistent-hash ring.
+    pub backend: StoreBackend,
     /// Provisioned fleet downlink egress, Mbps.
     pub egress_mbps: f64,
     /// Epoch length, simulated ms.
@@ -75,6 +99,8 @@ impl Default for FleetConfig {
             shared_store: true,
             store_bytes: 256 * 1024 * 1024,
             store_shards: 16,
+            shards: 1,
+            backend: StoreBackend::Local,
             egress_mbps: 2000.0,
             epoch_ms: 100.0,
             queue_depth: 32,
@@ -92,7 +118,8 @@ pub struct FleetReport {
     pub metrics: FleetMetrics,
     /// Per-room detail, in room-id order.
     pub rooms: Vec<RoomReport>,
-    /// Final store counters (summed across stores in isolated mode).
+    /// Final store counters (summed across stores in isolated mode,
+    /// fabric-wide in sharded mode).
     pub store_stats: StoreStats,
 }
 
@@ -101,14 +128,25 @@ pub struct FleetReport {
 /// (tid = room id).
 const FARM_TID: u32 = 10_000;
 
+/// Simulated per-worker clock skew, ms: worker `w` records its spans
+/// `w * 2.5` ms late, standing in for the boot-time offset real worker
+/// processes would have. The end-of-run trace merge rebases it away —
+/// exercising the same path a cross-process trace merge needs.
+const WORKER_SKEW_MS: f64 = 2.5;
+
 /// The fleet runtime.
 pub struct Fleet {
     config: FleetConfig,
     rooms: Vec<Room>,
-    stores: Vec<SharedFrameStore>,
+    stores: Vec<Arc<dyn FrameStore>>,
+    fabric: Option<Arc<ShardFabric>>,
     egress: FleetEgress,
     farm: PrerenderFarm,
     telemetry: TelemetrySink,
+    /// One sink per worker; index 0 aliases `telemetry`, workers > 0
+    /// record on skewed clocks and are absorbed (rebased) at the end of
+    /// the run. Length 1 when `shards` <= 1.
+    worker_sinks: Vec<TelemetrySink>,
 }
 
 impl Fleet {
@@ -130,13 +168,40 @@ impl Fleet {
     /// With a disabled sink this is [`Fleet::new`] exactly — the run and
     /// its report are byte-identical.
     ///
+    /// In a multi-worker fleet each worker past the first records onto
+    /// its own sink with a simulated clock skew; `run` merges them back
+    /// onto the primary sink's epoch so one Chrome trace shows the whole
+    /// fleet with per-worker process lanes.
+    ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`Fleet::new`].
+    /// Panics under the same conditions as [`Fleet::new`], or if
+    /// `shards` exceeds `u16::MAX` (the wire protocol's shard-id width).
     pub fn new_with_telemetry(config: FleetConfig, telemetry: TelemetrySink) -> Self {
         assert!(config.rooms > 0, "fleet needs at least one room");
         assert!(!config.games.is_empty(), "fleet needs at least one game");
         assert!(config.duration_s > 0.0, "duration must be positive");
+        let shards = config.shards.max(1);
+        assert!(shards <= u16::MAX as usize, "shard ids are u16 on the wire");
+        // Worker sinks: the primary sink is worker 0; further workers
+        // get their own recording sinks on deliberately skewed clocks so
+        // the end-of-run merge has real rebasing to do. A single-worker
+        // or untraced fleet keeps exactly one (shared) sink — the
+        // legacy path, byte for byte.
+        let worker_sinks: Vec<TelemetrySink> = if shards > 1 && telemetry.is_enabled() {
+            (0..shards)
+                .map(|w| {
+                    if w == 0 {
+                        telemetry.clone()
+                    } else {
+                        TelemetrySink::recording(TelemetryConfig::default())
+                            .with_record_offset(w as f64 * WORKER_SKEW_MS)
+                    }
+                })
+                .collect()
+        } else {
+            vec![telemetry.clone(); shards]
+        };
         let session_configs: Vec<SessionConfig> = (0..config.rooms)
             .map(|room_id| {
                 let game = config.games[room_id % config.games.len()];
@@ -163,40 +228,59 @@ impl Fleet {
         // order, so parallelism cannot perturb room identity.
         let rooms: Vec<Room> = {
             let queue_depth = config.queue_depth;
-            let sink = telemetry.clone();
+            let sinks = worker_sinks.clone();
             let indexed: Vec<(usize, SessionConfig)> =
                 session_configs.into_iter().enumerate().collect();
             let predictor = config.predictor;
             par_map_ws(&indexed, |(id, cfg)| {
-                Room::new_with_telemetry(*id, *cfg, queue_depth, sink.clone())
+                Room::new_with_telemetry(*id, *cfg, queue_depth, sinks[*id % sinks.len()].clone())
                     .with_predictor(predictor)
             })
         };
-        let stores = if config.shared_store {
-            vec![SharedFrameStore::new(StoreConfig {
-                capacity_bytes: config.store_bytes,
-                shards: config.store_shards,
-                admission: config.predictor.admission(),
-            })]
-        } else {
-            (0..config.rooms)
-                .map(|_| {
-                    SharedFrameStore::new(StoreConfig {
-                        capacity_bytes: (config.store_bytes / config.rooms as u64).max(1),
-                        shards: config.store_shards,
-                        admission: config.predictor.admission(),
-                    })
-                })
-                .collect()
+        let store_config = |capacity_bytes: u64| StoreConfig {
+            capacity_bytes,
+            shards: config.store_shards,
+            admission: config.predictor.admission(),
         };
+        let (stores, fabric): (Vec<Arc<dyn FrameStore>>, Option<Arc<ShardFabric>>) =
+            if shards > 1 && config.backend == StoreBackend::Sharded {
+                let fabric = ShardFabric::new(shards, store_config(config.store_bytes));
+                let stores = (0..shards)
+                    .map(|w| Arc::new(fabric.store_view(w)) as Arc<dyn FrameStore>)
+                    .collect();
+                (stores, Some(fabric))
+            } else if shards > 1 {
+                // Isolated workers: the baseline the sharded backend is
+                // compared to — each worker gets an equal slice of the
+                // budget and never sees another worker's frames.
+                let slice = (config.store_bytes / shards as u64).max(1);
+                let stores = (0..shards)
+                    .map(|_| Arc::new(LocalStore::new(store_config(slice))) as Arc<dyn FrameStore>)
+                    .collect();
+                (stores, None)
+            } else if config.shared_store {
+                (
+                    vec![Arc::new(LocalStore::new(store_config(config.store_bytes)))
+                        as Arc<dyn FrameStore>],
+                    None,
+                )
+            } else {
+                let slice = (config.store_bytes / config.rooms as u64).max(1);
+                let stores = (0..config.rooms)
+                    .map(|_| Arc::new(LocalStore::new(store_config(slice))) as Arc<dyn FrameStore>)
+                    .collect();
+                (stores, None)
+            };
         let egress = FleetEgress::new(config.egress_mbps);
         Fleet {
             config,
             rooms,
             stores,
+            fabric,
             egress,
             farm: PrerenderFarm::new(),
             telemetry,
+            worker_sinks,
         }
     }
 
@@ -214,26 +298,42 @@ impl Fleet {
     /// Runs every room to completion and aggregates the report.
     pub fn run(mut self) -> FleetReport {
         let epoch_ms = self.config.epoch_ms.max(1.0);
+        let shards = self.worker_sinks.len();
         let mut epoch = 0u64;
         while self.rooms.iter().any(|r| !r.finished()) {
             let start = epoch as f64 * epoch_ms;
             let end = (epoch + 1) as f64 * epoch_ms;
             for (i, room) in self.rooms.iter_mut().enumerate() {
-                let store_idx = if self.config.shared_store { 0 } else { i };
+                let store_idx = if self.stores.len() == 1 {
+                    0
+                } else if shards > 1 {
+                    // Round-robin room → worker placement.
+                    i % self.stores.len()
+                } else {
+                    // Legacy isolated mode: one store per room.
+                    i
+                };
                 let tick_started = self.telemetry.is_enabled().then(std::time::Instant::now);
                 room.tick(
                     end,
-                    &self.stores[store_idx],
+                    self.stores[store_idx].as_ref(),
                     store_idx,
                     &mut self.egress,
                     &mut self.farm,
                 );
                 if let Some(t0) = tick_started {
-                    self.telemetry.span(
-                        TrackId {
-                            pid: FLEET_PID,
-                            tid: i as u32,
-                        },
+                    // Multi-worker fleets put each room's tick lane in
+                    // its worker's process group, on the worker's
+                    // (skewed) sink; single-worker fleets keep the
+                    // legacy fleet-pid lane.
+                    let (sink, pid) = if shards > 1 {
+                        let w = i % shards;
+                        (&self.worker_sinks[w], shard_pid(w as u32))
+                    } else {
+                        (&self.telemetry, FLEET_PID)
+                    };
+                    sink.span(
+                        TrackId { pid, tid: i as u32 },
                         Stage::Tick,
                         "room-tick",
                         start,
@@ -243,7 +343,7 @@ impl Fleet {
                 }
             }
             // Epoch boundary: speculative renders land, controllers run.
-            let store_refs: Vec<&SharedFrameStore> = self.stores.iter().collect();
+            let store_refs: Vec<&dyn FrameStore> = self.stores.iter().map(|s| s.as_ref()).collect();
             let drain_started = self.telemetry.is_enabled().then(std::time::Instant::now);
             self.farm.drain_into(&store_refs);
             if let Some(t0) = drain_started {
@@ -259,10 +359,36 @@ impl Fleet {
                     epoch,
                 );
             }
+            // Sharded backends run the inter-worker exchange at every
+            // epoch boundary: advertisement batches go out over the wire
+            // codec and the anti-entropy pass squares eviction state.
+            if let Some(fabric) = &self.fabric {
+                let exchange_started = self.telemetry.is_enabled().then(std::time::Instant::now);
+                fabric.exchange();
+                if let Some(t0) = exchange_started {
+                    self.telemetry.span(
+                        TrackId {
+                            pid: FLEET_PID,
+                            tid: FARM_TID,
+                        },
+                        Stage::Farm,
+                        "shard-exchange",
+                        end,
+                        t0.elapsed().as_secs_f64() * 1000.0,
+                        epoch,
+                    );
+                }
+            }
             if self.telemetry.is_enabled() {
                 // Store-occupancy gauge, one sample per epoch: the
                 // Chrome-trace "C" track showing fill and eviction churn.
-                let occupancy: u64 = self.stores.iter().map(SharedFrameStore::bytes).sum();
+                // Sharded views all report the fabric-wide total, so one
+                // view suffices (summing views would multiply-count).
+                let occupancy: u64 = if self.fabric.is_some() {
+                    self.stores[0].bytes()
+                } else {
+                    self.stores.iter().map(|s| s.bytes()).sum()
+                };
                 self.telemetry.counter(
                     TrackId {
                         pid: FLEET_PID,
@@ -279,11 +405,14 @@ impl Fleet {
             epoch += 1;
         }
         let reports: Vec<RoomReport> = self.rooms.into_iter().map(Room::finish).collect();
-        let store_stats = self
-            .stores
-            .iter()
-            .map(SharedFrameStore::stats)
-            .fold(StoreStats::default(), StoreStats::merged);
+        let store_stats = if let Some(fabric) = &self.fabric {
+            fabric.stats()
+        } else {
+            self.stores
+                .iter()
+                .map(|s| s.stats())
+                .fold(StoreStats::default(), StoreStats::merged)
+        };
         let mut metrics = FleetMetrics::from_run(
             &reports,
             store_stats,
@@ -291,9 +420,17 @@ impl Fleet {
             self.config.duration_s,
             self.config.predictor,
         );
+        // Cross-worker trace merge: rebase every worker sink's records
+        // onto the primary sink's epoch (undoing the simulated boot
+        // skew) so one trace and one summary span the whole fleet.
+        // Worker 0 aliases the primary sink and is skipped.
+        for sink in self.worker_sinks.iter().skip(1) {
+            self.telemetry.absorb_rebased(sink, sink.record_offset_ms());
+        }
         // Budget-attribution summary — `None` when the sink is disabled,
         // keeping the default report (and its Display) bit-identical.
         metrics.telemetry = self.telemetry.summary();
+        metrics.sharding = self.fabric.as_ref().map(|f| f.metrics());
         FleetReport {
             metrics,
             rooms: reports,
@@ -317,6 +454,14 @@ mod tests {
         }
     }
 
+    fn tiny_workers(rooms: usize, shards: usize, backend: StoreBackend) -> FleetConfig {
+        FleetConfig {
+            shards,
+            backend,
+            ..tiny(rooms, true)
+        }
+    }
+
     #[test]
     fn fleet_runs_all_rooms_to_completion() {
         let report = Fleet::new(tiny(3, true)).run();
@@ -332,6 +477,7 @@ mod tests {
         assert!(report.metrics.egress_mbps > 0.0);
         assert!(report.metrics.prerender_gpu_hours > 0.0);
         assert!(report.metrics.peak_temperature_c > 0.0);
+        assert!(report.metrics.sharding.is_none(), "local backend is quiet");
         for (i, room) in report.rooms.iter().enumerate() {
             assert_eq!(room.id, i);
         }
@@ -360,6 +506,44 @@ mod tests {
             shared.metrics.prerender_gpu_hours < isolated.metrics.prerender_gpu_hours,
             "shared {:.6} vs isolated {:.6} GPU-hours",
             shared.metrics.prerender_gpu_hours,
+            isolated.metrics.prerender_gpu_hours
+        );
+    }
+
+    #[test]
+    fn sharded_fleet_runs_are_deterministic() {
+        let a = Fleet::new(tiny_workers(4, 2, StoreBackend::Sharded)).run();
+        let b = Fleet::new(tiny_workers(4, 2, StoreBackend::Sharded)).run();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.store_stats, b.store_stats);
+        assert_eq!(format!("{}", a.metrics), format!("{}", b.metrics));
+        let s = a.metrics.sharding.expect("sharded runs report sharding");
+        assert_eq!(s.shards, 2);
+        assert!(s.wire_msgs > 0, "exchange must move messages");
+        let shown = format!("{}", a.metrics);
+        assert!(shown.contains("\n  sharding "), "report: {shown}");
+        assert!(shown.contains("\n  exchange "), "report: {shown}");
+    }
+
+    #[test]
+    fn sharded_fleet_beats_isolated_workers() {
+        // The scaling claim: four workers with the sharded store see
+        // each other's frames (owner routing + replicas) and must beat
+        // four fully isolated worker processes on hit ratio and
+        // pre-render GPU spend.
+        let sharded = Fleet::new(tiny_workers(4, 4, StoreBackend::Sharded)).run();
+        let isolated = Fleet::new(tiny_workers(4, 4, StoreBackend::Local)).run();
+        assert!(isolated.metrics.sharding.is_none());
+        assert!(
+            sharded.metrics.store_hit_ratio > isolated.metrics.store_hit_ratio,
+            "sharded {:.4} vs isolated {:.4}",
+            sharded.metrics.store_hit_ratio,
+            isolated.metrics.store_hit_ratio
+        );
+        assert!(
+            sharded.metrics.prerender_gpu_hours < isolated.metrics.prerender_gpu_hours,
+            "sharded {:.6} vs isolated {:.6} GPU-hours",
+            sharded.metrics.prerender_gpu_hours,
             isolated.metrics.prerender_gpu_hours
         );
     }
@@ -435,6 +619,54 @@ mod tests {
             spans.iter().any(|s| s.name.starts_with("store-")),
             "missing store lookup spans"
         );
+    }
+
+    #[test]
+    fn sharded_trace_merges_worker_lanes() {
+        // A traced two-worker run must land every worker's spans in one
+        // sink, rebased onto worker 0's epoch, with room-tick lanes in
+        // per-worker process groups — and the merged trace must pass
+        // the Chrome-trace validator.
+        use coterie_telemetry::{
+            chrome_trace_json_full, validate_chrome_trace, TelemetryConfig, TelemetrySink,
+            SHARD_PID_BASE, VSYNC_BUDGET_MS,
+        };
+        let sink = TelemetrySink::recording(TelemetryConfig::default());
+        let report =
+            Fleet::new_with_telemetry(tiny_workers(4, 2, StoreBackend::Sharded), sink.clone())
+                .run();
+        assert!(report.metrics.sharding.is_some());
+        let spans = sink.spans_snapshot();
+        for w in 0..2u32 {
+            assert!(
+                spans
+                    .iter()
+                    .any(|s| s.track.pid == shard_pid(w) && s.name == "room-tick"),
+                "worker {w} has no tick lane"
+            );
+        }
+        assert!(
+            spans.iter().any(|s| s.name == "shard-exchange"),
+            "exchange spans missing"
+        );
+        // Rebasing undid the simulated skew: worker 1's earliest tick
+        // starts at epoch 0 like worker 0's, not 2.5 ms later.
+        let earliest = |pid: u32| {
+            spans
+                .iter()
+                .filter(|s| s.track.pid == pid && s.name == "room-tick")
+                .map(|s| s.start_ms)
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert_eq!(earliest(SHARD_PID_BASE), earliest(SHARD_PID_BASE + 1));
+        let trace = chrome_trace_json_full(
+            &spans,
+            &sink.frames_snapshot(),
+            &sink.counters_snapshot(),
+            VSYNC_BUDGET_MS,
+        );
+        let check = validate_chrome_trace(&trace).expect("merged trace validates");
+        assert!(check.events > 0);
     }
 
     #[test]

@@ -71,6 +71,7 @@ pub mod fleet;
 pub mod metrics;
 pub mod predict;
 pub mod room;
+pub mod shard;
 pub mod store;
 
 pub use farm::{render_cost_ms, PrerenderFarm, PrerenderJob};
@@ -78,4 +79,5 @@ pub use fleet::{Fleet, FleetConfig, FleetReport};
 pub use metrics::{percentile, FleetMetrics};
 pub use predict::{PosePredictor, PredictorKind};
 pub use room::{Room, RoomReport};
-pub use store::{Admission, SharedFrameStore, StoreConfig, StoreStats};
+pub use shard::{partition_key, HashRing, ShardFabric, ShardMetrics, ShardedStore, StoreBackend};
+pub use store::{Admission, FrameStore, LocalStore, SharedFrameStore, StoreConfig, StoreStats};

@@ -8,6 +8,7 @@
 use crate::farm::PrerenderFarm;
 use crate::predict::PredictorKind;
 use crate::room::RoomReport;
+use crate::shard::ShardMetrics;
 use crate::store::StoreStats;
 use coterie_telemetry::TelemetrySummary;
 use std::fmt;
@@ -76,6 +77,11 @@ pub struct FleetMetrics {
     /// fleet ran without a telemetry sink — the default — keeping the
     /// untraced report byte-identical to pre-telemetry builds.
     pub telemetry: Option<TelemetrySummary>,
+    /// Sharded-backend counters (forwards, replica traffic, exchange
+    /// wire volume). `None` when the fleet ran the local backend — the
+    /// default — keeping `--store local` reports byte-identical to
+    /// pre-sharding builds.
+    pub sharding: Option<ShardMetrics>,
 }
 
 /// `p`-th percentile (0–100) of `samples` under linear interpolation
@@ -158,6 +164,7 @@ impl FleetMetrics {
             spec_precision: store_stats.spec_precision(),
             spec_recall: store_stats.spec_recall(),
             telemetry: None,
+            sharding: None,
         }
     }
 }
@@ -186,6 +193,21 @@ impl fmt::Display for FleetMetrics {
             "  devices    peak {:.2} degC  {} degraded rooms",
             self.peak_temperature_c, self.degraded_rooms
         )?;
+        // Only sharded-backend runs print sharding lines, keeping
+        // `--store local` reports byte-identical to pre-sharding
+        // builds.
+        if let Some(s) = &self.sharding {
+            writeln!(
+                f,
+                "  sharding   {} shards  {} forwards  {} replica hits  {} replica inserts",
+                s.shards, s.forwards, s.replica_hits, s.replica_inserts
+            )?;
+            writeln!(
+                f,
+                "  exchange   {} msgs  {} bytes  {} anti-entropy evictions",
+                s.wire_msgs, s.wire_bytes, s.anti_entropy_evictions
+            )?;
+        }
         // Only predictor-driven runs print speculation lines: the farm
         // tags even blind speculation, so gating on the counters would
         // break `--predictor none` byte identity with predictor-less

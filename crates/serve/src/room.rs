@@ -10,7 +10,7 @@
 
 use crate::farm::{render_cost_ms, PrerenderFarm};
 use crate::predict::{PosePredictor, PredictorKind, SPECULATION_HORIZONS_VSYNCS};
-use crate::store::SharedFrameStore;
+use crate::store::FrameStore;
 use coterie_core::{CacheQuery, FrameMeta};
 use coterie_device::FRAME_BUDGET_MS;
 use coterie_net::FleetEgress;
@@ -203,7 +203,7 @@ impl Room {
     pub fn tick(
         &mut self,
         epoch_end_ms: f64,
-        store: &SharedFrameStore,
+        store: &dyn FrameStore,
         store_idx: usize,
         egress: &mut FleetEgress,
         farm: &mut PrerenderFarm,
@@ -425,7 +425,7 @@ impl Room {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::StoreConfig;
+    use crate::store::{SharedFrameStore, StoreConfig};
     use coterie_sim::SystemKind;
     use coterie_world::GameId;
 

@@ -1,4 +1,4 @@
-//! The sharded cross-session frame store.
+//! The cross-session frame store behind the [`FrameStore`] backend API.
 //!
 //! Far-BE frames depend only on world geometry — the grid point, the
 //! leaf region and the near-BE object set (the paper's three lookup
@@ -8,14 +8,23 @@
 //! multiplying the effective cache population by the number of
 //! concurrent sessions.
 //!
-//! The store shards by `(game, leaf region)`: lookups only ever match
-//! within one leaf (criterion 2), so a shard holds everything a lookup
-//! can see and shards never need to cooperate on reads. Each shard is a
-//! [`FrameCache`] in the session-free [`CacheVersion::FLEET`]
+//! Consumers (rooms, the pre-render farm, the socket serving plane)
+//! program against the [`FrameStore`] trait, so the backend is
+//! swappable at construction time:
+//!
+//! - [`LocalStore`] — one in-process store (this module), the original
+//!   `SharedFrameStore` behaviour byte for byte.
+//! - [`crate::ShardedStore`] — a fleet-wide store partitioned across
+//!   worker processes by consistent hashing (see [`crate::shard`]).
+//!
+//! The local store stripes by `(game, leaf region)`: lookups only ever
+//! match within one leaf (criterion 2), so a stripe holds everything a
+//! lookup can see and stripes never need to cooperate on reads. Each
+//! stripe is a [`FrameCache`] in the session-free [`CacheVersion::FLEET`]
 //! configuration behind a `parking_lot` mutex. A single global byte
-//! budget spans all shards; eviction runs one *global* LRU by stamping
-//! every shard from one atomic clock and always evicting from the
-//! shard holding the globally oldest entry.
+//! budget spans all stripes; eviction runs one *global* LRU by stamping
+//! every stripe from one atomic clock and always evicting from the
+//! stripe holding the globally oldest entry.
 
 use crate::farm::render_cost_ms;
 use coterie_core::{
@@ -24,7 +33,8 @@ use coterie_core::{
 use coterie_world::GameId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// How the store treats a speculative insert that would overflow the
 /// byte budget.
@@ -45,16 +55,16 @@ pub enum Admission {
 /// Store configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StoreConfig {
-    /// Global payload budget across all shards, bytes.
+    /// Global payload budget across all stripes, bytes.
     pub capacity_bytes: u64,
-    /// Number of mutex-guarded shards (lock striping width).
+    /// Number of mutex-guarded stripes (lock striping width).
     pub shards: usize,
     /// Over-budget admission policy for speculative inserts.
     pub admission: Admission,
 }
 
 impl Default for StoreConfig {
-    /// 256 MB over 16 shards — enough for a small fleet without
+    /// 256 MB over 16 stripes — enough for a small fleet without
     /// swamping a test machine.
     fn default() -> Self {
         StoreConfig {
@@ -68,7 +78,7 @@ impl Default for StoreConfig {
 /// Aggregate store counters (monotonic over the store's lifetime).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Lookups that found a qualifying frame.
+    /// Lookups that found a qualifying frame in an owned partition.
     pub hits: u64,
     /// Lookups that found nothing.
     pub misses: u64,
@@ -92,16 +102,32 @@ pub struct StoreStats {
     pub spec_hits: u64,
     /// Speculative inserts refused by cost-aware admission.
     pub spec_rejected: u64,
+    /// Operations routed to a remote-owned partition (sharded backend;
+    /// always 0 for a [`LocalStore`]).
+    pub forwards: u64,
+    /// Lookups served out of a worker's local hot-replica cache instead
+    /// of the remote owner (sharded backend; always 0 locally).
+    pub replica_hits: u64,
+    /// Hot entries copied into a replica cache by the epoch exchange
+    /// (sharded backend; always 0 locally).
+    pub replica_inserts: u64,
 }
 
 impl StoreStats {
-    /// Hit ratio in `[0, 1]` (0 before any lookup).
+    /// Hit ratio in `[0, 1]` (0 before any lookup). Replica hits are
+    /// genuine store hits — the frame was served without a render —
+    /// so they count toward the numerator and the traffic total.
+    ///
+    /// Computed in `f64` so zero-traffic partitions yield 0 (never
+    /// NaN) and astronomically large counters cannot overflow the
+    /// integer sum.
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
+        let served = self.hits as f64 + self.replica_hits as f64;
+        let total = served + self.misses as f64;
+        if total == 0.0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            served / total
         }
     }
 
@@ -109,11 +135,13 @@ impl StoreStats {
     /// speculatively rendered frames that were ever used (0 before any
     /// speculative render). Low precision means the farm burned GPU
     /// time on frames nobody walked into.
+    /// Clamped to `[0, 1]` so degenerate counter combinations (e.g.
+    /// partially saturated merges) still report a sane ratio.
     pub fn spec_precision(&self) -> f64 {
         if self.spec_rendered == 0 {
             0.0
         } else {
-            self.spec_used as f64 / self.spec_rendered as f64
+            (self.spec_used as f64 / self.spec_rendered as f64).min(1.0)
         }
     }
 
@@ -122,29 +150,94 @@ impl StoreStats {
     /// outright misses), the fraction speculation saved. High recall
     /// means the farm is pre-rendering the frames rooms actually
     /// stall on.
+    ///
+    /// The candidate sum is computed in `f64`, so partitions with
+    /// degenerate (near-`u64::MAX`) counters still yield a finite,
+    /// bounded ratio instead of an overflow panic.
     pub fn spec_recall(&self) -> f64 {
-        let candidates = self.spec_hits + self.misses;
-        if candidates == 0 {
+        let candidates = self.spec_hits as f64 + self.misses as f64;
+        if candidates == 0.0 {
             0.0
         } else {
-            self.spec_hits as f64 / candidates as f64
+            self.spec_hits as f64 / candidates
         }
     }
 
-    /// Element-wise sum, for fleets aggregating per-room stores.
+    /// Element-wise sum, for fleets aggregating per-partition stores.
+    ///
+    /// Uses saturating addition, which keeps the fold associative and
+    /// commutative for *any* operand values (`min(Σ, u64::MAX)` is
+    /// independent of grouping) — sharded fleets merge stats from many
+    /// partitions in whatever order the exchange visits them, and the
+    /// result must not depend on that order.
     pub fn merged(self, other: StoreStats) -> StoreStats {
         StoreStats {
-            hits: self.hits + other.hits,
-            misses: self.misses + other.misses,
-            insertions: self.insertions + other.insertions,
-            duplicates: self.duplicates + other.duplicates,
-            replacements: self.replacements + other.replacements,
-            evictions: self.evictions + other.evictions,
-            spec_rendered: self.spec_rendered + other.spec_rendered,
-            spec_used: self.spec_used + other.spec_used,
-            spec_hits: self.spec_hits + other.spec_hits,
-            spec_rejected: self.spec_rejected + other.spec_rejected,
+            hits: self.hits.saturating_add(other.hits),
+            misses: self.misses.saturating_add(other.misses),
+            insertions: self.insertions.saturating_add(other.insertions),
+            duplicates: self.duplicates.saturating_add(other.duplicates),
+            replacements: self.replacements.saturating_add(other.replacements),
+            evictions: self.evictions.saturating_add(other.evictions),
+            spec_rendered: self.spec_rendered.saturating_add(other.spec_rendered),
+            spec_used: self.spec_used.saturating_add(other.spec_used),
+            spec_hits: self.spec_hits.saturating_add(other.spec_hits),
+            spec_rejected: self.spec_rejected.saturating_add(other.spec_rejected),
+            forwards: self.forwards.saturating_add(other.forwards),
+            replica_hits: self.replica_hits.saturating_add(other.replica_hits),
+            replica_inserts: self.replica_inserts.saturating_add(other.replica_inserts),
         }
+    }
+}
+
+/// The backend API every frame-store consumer programs against.
+///
+/// `Room`, the pre-render farm and the socket serving plane take
+/// `&dyn FrameStore` / `Arc<dyn FrameStore>`, so the backend is chosen
+/// once at construction (`--store local|sharded`) and nothing else in
+/// the pipeline knows which one it got. All methods take `&self` —
+/// backends are internally synchronized — and `Send + Sync` is a
+/// supertrait so trait objects cross worker threads.
+pub trait FrameStore: Send + Sync {
+    /// Looks up a frame for `query` among every frame any session of
+    /// `game` has contributed, applying the paper's three criteria
+    /// with the closest qualifying frame winning. A hit refreshes the
+    /// frame's global recency.
+    fn lookup(&self, game: GameId, query: &CacheQuery) -> bool;
+
+    /// Inserts a demand-rendered frame contributed by any session of
+    /// `game`. Returns whether the frame was admitted (duplicates are
+    /// skipped).
+    fn insert(&self, game: GameId, meta: FrameMeta, size_bytes: u64) -> bool;
+
+    /// Inserts a frame rendered speculatively by the pre-render farm;
+    /// `reuse_score` is the predictor's reuse estimate, scored against
+    /// the eviction victim under cost-aware admission.
+    fn insert_speculative(
+        &self,
+        game: GameId,
+        meta: FrameMeta,
+        size_bytes: u64,
+        reuse_score: f64,
+    ) -> bool;
+
+    /// Aggregate counters.
+    fn stats(&self) -> StoreStats;
+
+    /// The over-budget admission policy for speculative inserts.
+    fn admission(&self) -> Admission;
+
+    /// The global byte budget.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Total cached payload bytes.
+    fn bytes(&self) -> u64;
+
+    /// Number of cached frames.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no frame.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -160,29 +253,60 @@ struct FrameTag {
     value: f64,
 }
 
-/// One lock-striped shard: the leaf caches of every `(game, leaf)`
-/// pair that hashes to this stripe.
+/// One lock-striped stripe: the leaf caches of every `(game, leaf)`
+/// pair that hashes to it.
 #[derive(Debug, Default)]
-struct Shard {
+struct Stripe {
     caches: HashMap<(GameId, u32), FrameCache<FrameTag>>,
 }
 
-/// A server-side frame store shared by every room of the fleet.
+/// A recent insert, recorded for the sharded backend's epoch-batched
+/// hot-entry adverts.
+#[derive(Debug, Clone, Copy)]
+pub struct RecentInsert {
+    /// Game the frame belongs to.
+    pub game: GameId,
+    /// Frame identity (grid point, position, leaf, near-set hash).
+    pub meta: FrameMeta,
+    /// Payload size, bytes.
+    pub bytes: u64,
+    /// Global-clock stamp of the insert.
+    pub stamp: u64,
+    /// Admission value carried by the frame's tag.
+    pub value: f64,
+}
+
+/// Upper bound on buffered [`RecentInsert`]s between advert drains, so
+/// an owner that is never drained cannot grow without bound.
+const RECENT_CAP: usize = 1024;
+
+/// The in-process [`FrameStore`] backend: one store shared by every
+/// room of the fleet (or one partition of the sharded fabric).
 ///
-/// Thread-safe (atomics + per-shard mutexes). Determinism note: the
+/// Thread-safe (atomics + per-stripe mutexes). Determinism note: the
 /// store itself is deterministic for a fixed *sequence* of operations;
 /// fleet runs that need byte-identical reports must serialize their
 /// store mutations (the [`crate::Fleet`] epoch loop visits rooms in id
 /// order for exactly this reason).
 #[derive(Debug)]
-pub struct SharedFrameStore {
+pub struct LocalStore {
     config: StoreConfig,
-    shards: Vec<Mutex<Shard>>,
+    stripes: Vec<Mutex<Stripe>>,
     /// Global logical clock; every operation takes a unique ticket so
-    /// `last_access` stamps are totally ordered across shards.
-    clock: AtomicU64,
-    /// Global payload bytes across shards.
+    /// `last_access` stamps are totally ordered across stripes. Shared
+    /// (`Arc`) so the sharded fabric can stamp all its partitions from
+    /// one clock and keep cross-partition LRU coherent.
+    clock: Arc<AtomicU64>,
+    /// Live byte budget. Starts at `config.capacity_bytes`; the sharded
+    /// fabric's anti-entropy pass may rebalance it between partitions.
+    capacity: AtomicU64,
+    /// Global payload bytes across stripes.
     bytes: AtomicU64,
+    /// When set, inserts are also buffered as [`RecentInsert`]s for
+    /// the sharded backend's epoch adverts (off by default: the local
+    /// backend never pays for bookkeeping it does not use).
+    advertise: AtomicBool,
+    recent: Mutex<Vec<RecentInsert>>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
@@ -195,22 +319,41 @@ pub struct SharedFrameStore {
     spec_rejected: AtomicU64,
 }
 
-impl SharedFrameStore {
+/// The pre-trait name of [`LocalStore`], kept as an alias so existing
+/// call sites and docs keep compiling unchanged.
+pub type SharedFrameStore = LocalStore;
+
+impl LocalStore {
     /// Creates an empty store.
     ///
     /// # Panics
     ///
     /// Panics if `config.shards` is zero or the capacity is zero.
     pub fn new(config: StoreConfig) -> Self {
-        assert!(config.shards > 0, "store needs at least one shard");
+        LocalStore::new_with_clock(config, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// [`LocalStore::new`] with an externally shared global clock: the
+    /// sharded fabric hands every partition the same `Arc` so access
+    /// stamps are totally ordered *across* partitions and the
+    /// fleet-wide LRU stays coherent.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`LocalStore::new`].
+    pub fn new_with_clock(config: StoreConfig, clock: Arc<AtomicU64>) -> Self {
+        assert!(config.shards > 0, "store needs at least one stripe");
         assert!(config.capacity_bytes > 0, "store capacity must be positive");
-        SharedFrameStore {
+        LocalStore {
             config,
-            shards: (0..config.shards)
-                .map(|_| Mutex::new(Shard::default()))
+            stripes: (0..config.shards)
+                .map(|_| Mutex::new(Stripe::default()))
                 .collect(),
-            clock: AtomicU64::new(0),
+            clock,
+            capacity: AtomicU64::new(config.capacity_bytes),
             bytes: AtomicU64::new(0),
+            advertise: AtomicBool::new(false),
+            recent: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
@@ -224,25 +367,39 @@ impl SharedFrameStore {
         }
     }
 
-    /// The active configuration.
+    /// The construction-time configuration (the *live* budget may have
+    /// been rebalanced since; see [`LocalStore::capacity_bytes`]).
     pub fn config(&self) -> &StoreConfig {
         &self.config
     }
 
-    /// Total cached payload bytes across shards.
+    /// Total cached payload bytes across stripes.
     pub fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
     }
 
-    /// Number of cached frames across shards.
+    /// The live byte budget.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Rebalances the live byte budget (sharded anti-entropy). Shrinking
+    /// below current occupancy only takes effect at the caller's next
+    /// eviction sweep — the store never evicts inside this call.
+    pub fn set_capacity_bytes(&self, capacity_bytes: u64) {
+        self.capacity
+            .store(capacity_bytes.max(1), Ordering::Relaxed);
+    }
+
+    /// Number of cached frames across stripes.
     pub fn len(&self) -> usize {
-        self.shards
+        self.stripes
             .iter()
             .map(|s| s.lock().caches.values().map(FrameCache::len).sum::<usize>())
             .sum()
     }
 
-    /// Whether no shard holds any frame.
+    /// Whether no stripe holds any frame.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -260,12 +417,26 @@ impl SharedFrameStore {
             spec_used: self.spec_used.load(Ordering::Relaxed),
             spec_hits: self.spec_hits.load(Ordering::Relaxed),
             spec_rejected: self.spec_rejected.load(Ordering::Relaxed),
+            forwards: 0,
+            replica_hits: 0,
+            replica_inserts: 0,
         }
     }
 
-    /// FNV-1a over the shard key, so `(game, leaf)` pairs spread evenly
-    /// across stripes.
-    fn shard_index(&self, game: GameId, leaf: u32) -> usize {
+    /// Turns on [`RecentInsert`] buffering (sharded fabric only).
+    pub fn set_advertise(&self, on: bool) {
+        self.advertise.store(on, Ordering::Relaxed);
+    }
+
+    /// Drains the buffered recent inserts (newest last). Empty unless
+    /// advertising was enabled via [`LocalStore::set_advertise`].
+    pub fn drain_recent(&self) -> Vec<RecentInsert> {
+        std::mem::take(&mut *self.recent.lock())
+    }
+
+    /// FNV-1a over the stripe key, so `(game, leaf)` pairs spread
+    /// evenly across stripes.
+    fn stripe_index(&self, game: GameId, leaf: u32) -> usize {
         let mut h: u64 = 0xCBF2_9CE4_8422_2325;
         for byte in (game as u32)
             .to_le_bytes()
@@ -275,7 +446,7 @@ impl SharedFrameStore {
             h ^= byte as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        (h % self.shards.len() as u64) as usize
+        (h % self.stripes.len() as u64) as usize
     }
 
     fn fresh_ticket(&self) -> u64 {
@@ -288,10 +459,10 @@ impl SharedFrameStore {
     /// frame's global recency.
     pub fn lookup(&self, game: GameId, query: &CacheQuery) -> bool {
         let ticket = self.fresh_ticket();
-        let mut shard = self.shards[self.shard_index(game, query.leaf.0)].lock();
+        let mut stripe = self.stripes[self.stripe_index(game, query.leaf.0)].lock();
         let mut spec_hit = false;
         let mut first_use = false;
-        let hit = match shard.caches.get_mut(&(game, query.leaf.0)) {
+        let hit = match stripe.caches.get_mut(&(game, query.leaf.0)) {
             Some(cache) => {
                 cache.advance_clock(ticket);
                 match cache.lookup_mut(query) {
@@ -308,7 +479,7 @@ impl SharedFrameStore {
             }
             None => false,
         };
-        drop(shard);
+        drop(stripe);
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
             if spec_hit {
@@ -355,7 +526,7 @@ impl SharedFrameStore {
     ) -> bool {
         let value = reuse_score * render_cost_ms(size_bytes);
         if self.config.admission == Admission::CostAware
-            && self.bytes.load(Ordering::Relaxed) + size_bytes > self.config.capacity_bytes
+            && self.bytes.load(Ordering::Relaxed) + size_bytes > self.capacity_bytes()
         {
             // Admitting would evict the globally-oldest frame; only do
             // it if this candidate is worth more than that victim.
@@ -385,9 +556,9 @@ impl SharedFrameStore {
     /// over-budget insert would evict), if any.
     fn oldest_value(&self) -> Option<f64> {
         let mut victim: Option<(u64, f64)> = None;
-        for shard in &self.shards {
-            let shard = shard.lock();
-            for cache in shard.caches.values() {
+        for stripe in &self.stripes {
+            let stripe = stripe.lock();
+            for cache in stripe.caches.values() {
                 if let Some((stamp, tag)) = cache.oldest_entry() {
                     if victim.map(|(v, _)| stamp < v).unwrap_or(true) {
                         victim = Some((stamp, tag.value));
@@ -398,10 +569,54 @@ impl SharedFrameStore {
         victim.map(|(_, value)| value)
     }
 
+    /// The access stamp of this store's oldest entry (`None` when
+    /// empty). The sharded fabric compares stamps across partitions —
+    /// all drawn from one shared clock — to find the *globally* oldest
+    /// frame during anti-entropy eviction.
+    pub fn oldest_stamp(&self) -> Option<u64> {
+        let mut oldest: Option<u64> = None;
+        for stripe in &self.stripes {
+            let stripe = stripe.lock();
+            for cache in stripe.caches.values() {
+                if let Some(stamp) = cache.oldest_access() {
+                    if oldest.map(|v| stamp < v).unwrap_or(true) {
+                        oldest = Some(stamp);
+                    }
+                }
+            }
+        }
+        oldest
+    }
+
+    /// Evicts this store's single oldest entry, returning the bytes
+    /// freed (`None` when empty). Used by the sharded fabric's global
+    /// eviction sweep; local budget enforcement uses the same victim
+    /// selection internally.
+    pub fn evict_oldest(&self) -> Option<u64> {
+        let mut victim: Option<(usize, (GameId, u32), u64)> = None;
+        for (si, stripe) in self.stripes.iter().enumerate() {
+            let stripe = stripe.lock();
+            for (key, cache) in &stripe.caches {
+                if let Some(oldest) = cache.oldest_access() {
+                    if victim.map(|(_, _, v)| oldest < v).unwrap_or(true) {
+                        victim = Some((si, *key, oldest));
+                    }
+                }
+            }
+        }
+        let (si, key, _) = victim?;
+        let mut stripe = self.stripes[si].lock();
+        let cache = stripe.caches.get_mut(&key)?;
+        let freed = cache.evict_lru()?;
+        self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        Some(freed)
+    }
+
     fn insert_tagged(&self, game: GameId, meta: FrameMeta, size_bytes: u64, tag: FrameTag) -> bool {
         let ticket = self.fresh_ticket();
-        let mut shard = self.shards[self.shard_index(game, meta.leaf.0)].lock();
-        let cache = shard.caches.entry((game, meta.leaf.0)).or_insert_with(|| {
+        let mut stripe = self.stripes[self.stripe_index(game, meta.leaf.0)].lock();
+        let cache = stripe.caches.entry((game, meta.leaf.0)).or_insert_with(|| {
             FrameCache::new(CacheConfig {
                 capacity_bytes: u64::MAX, // budget is enforced globally
                 policy: EvictionPolicy::Lru,
@@ -419,7 +634,7 @@ impl SharedFrameStore {
         match cache.peek_size(&dup_probe) {
             Some(old_size) if old_size == size_bytes => {
                 // Same key, same payload size: genuine duplicate.
-                drop(shard);
+                drop(stripe);
                 self.duplicates.fetch_add(1, Ordering::Relaxed);
                 return false;
             }
@@ -437,27 +652,39 @@ impl SharedFrameStore {
         }
         cache.advance_clock(ticket);
         cache.insert(meta, FrameSource::Fleet, tag, size_bytes, meta.pos);
-        drop(shard);
+        drop(stripe);
         self.insertions.fetch_add(1, Ordering::Relaxed);
         if replaced {
             self.replacements.fetch_add(1, Ordering::Relaxed);
         }
         self.bytes.fetch_add(size_bytes, Ordering::Relaxed);
+        if self.advertise.load(Ordering::Relaxed) {
+            let mut recent = self.recent.lock();
+            if recent.len() < RECENT_CAP {
+                recent.push(RecentInsert {
+                    game,
+                    meta,
+                    bytes: size_bytes,
+                    stamp: ticket,
+                    value: tag.value,
+                });
+            }
+        }
         self.enforce_budget();
         true
     }
 
     /// Evicts globally-oldest frames until the byte budget holds.
     fn enforce_budget(&self) {
-        while self.bytes.load(Ordering::Relaxed) > self.config.capacity_bytes {
-            // Pass 1: find the shard+cache holding the globally oldest
+        while self.bytes.load(Ordering::Relaxed) > self.capacity_bytes() {
+            // Pass 1: find the stripe+cache holding the globally oldest
             // entry. Stamps are unique (one ticket per operation), so
             // the minimum is attained by exactly one cache and the scan
             // order cannot affect the outcome.
             let mut victim: Option<(usize, (GameId, u32), u64)> = None;
-            for (si, shard) in self.shards.iter().enumerate() {
-                let shard = shard.lock();
-                for (key, cache) in &shard.caches {
+            for (si, stripe) in self.stripes.iter().enumerate() {
+                let stripe = stripe.lock();
+                for (key, cache) in &stripe.caches {
                     if let Some(oldest) = cache.oldest_access() {
                         if victim.map(|(_, _, v)| oldest < v).unwrap_or(true) {
                             victim = Some((si, *key, oldest));
@@ -471,14 +698,54 @@ impl SharedFrameStore {
             // Pass 2: evict from that cache. Under concurrent use
             // another thread may have emptied it between passes; the
             // outer loop simply rescans then.
-            let mut shard = self.shards[si].lock();
-            if let Some(cache) = shard.caches.get_mut(&key) {
+            let mut stripe = self.stripes[si].lock();
+            if let Some(cache) = stripe.caches.get_mut(&key) {
                 if let Some(freed) = cache.evict_lru() {
                     self.bytes.fetch_sub(freed, Ordering::Relaxed);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
+    }
+}
+
+impl FrameStore for LocalStore {
+    fn lookup(&self, game: GameId, query: &CacheQuery) -> bool {
+        LocalStore::lookup(self, game, query)
+    }
+
+    fn insert(&self, game: GameId, meta: FrameMeta, size_bytes: u64) -> bool {
+        LocalStore::insert(self, game, meta, size_bytes)
+    }
+
+    fn insert_speculative(
+        &self,
+        game: GameId,
+        meta: FrameMeta,
+        size_bytes: u64,
+        reuse_score: f64,
+    ) -> bool {
+        LocalStore::insert_speculative(self, game, meta, size_bytes, reuse_score)
+    }
+
+    fn stats(&self) -> StoreStats {
+        LocalStore::stats(self)
+    }
+
+    fn admission(&self) -> Admission {
+        self.config.admission
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        LocalStore::capacity_bytes(self)
+    }
+
+    fn bytes(&self) -> u64 {
+        LocalStore::bytes(self)
+    }
+
+    fn len(&self) -> usize {
+        LocalStore::len(self)
     }
 }
 
@@ -516,6 +783,22 @@ mod tests {
         assert!(store.lookup(GameId::VikingVillage, &query(&near, 0.5)));
         assert_eq!(store.stats().hits, 1);
         assert!((store.stats().hit_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trait_object_backend_is_swappable() {
+        // The whole point of the redesign: callers hold `&dyn
+        // FrameStore` and never know the backend.
+        let local = LocalStore::new(StoreConfig::default());
+        let store: &dyn FrameStore = &local;
+        let m = meta(4, 4, 2, 9);
+        assert!(store.insert(GameId::Fps, m, 1000));
+        assert!(store.lookup(GameId::Fps, &query(&m, 0.5)));
+        assert_eq!(store.stats().hits, 1);
+        assert_eq!(store.admission(), Admission::Lru);
+        assert_eq!(store.bytes(), 1000);
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
     }
 
     #[test]
@@ -672,10 +955,10 @@ mod tests {
     }
 
     #[test]
-    fn budget_evicts_globally_oldest_across_shards() {
+    fn budget_evicts_globally_oldest_across_stripes() {
         // Three frames of 100 B in *different leaves* (hence different
-        // shards) under a 250 B budget: the first-inserted frame is the
-        // globally oldest and must be the one evicted.
+        // stripes) under a 250 B budget: the first-inserted frame is
+        // the globally oldest and must be the one evicted.
         let store = SharedFrameStore::new(StoreConfig {
             capacity_bytes: 250,
             shards: 4,
@@ -721,6 +1004,85 @@ mod tests {
             !store.lookup(GameId::VikingVillage, &query(&b, 0.5)),
             "stale frame evicted"
         );
+    }
+
+    #[test]
+    fn shared_clock_orders_stamps_across_stores() {
+        // Two partitions on one clock: entries inserted later into the
+        // *other* partition must carry younger stamps, so the fabric's
+        // global eviction can compare them directly.
+        let clock = Arc::new(AtomicU64::new(0));
+        let a = LocalStore::new_with_clock(StoreConfig::default(), clock.clone());
+        let b = LocalStore::new_with_clock(StoreConfig::default(), clock);
+        a.insert(GameId::Fps, meta(1, 1, 1, 7), 100);
+        b.insert(GameId::Fps, meta(2, 2, 2, 7), 100);
+        a.insert(GameId::Fps, meta(3, 3, 3, 7), 100);
+        let oldest_a = a.oldest_stamp().unwrap();
+        let oldest_b = b.oldest_stamp().unwrap();
+        assert!(oldest_a < oldest_b, "a's first insert is globally oldest");
+        // Evicting the global minimum frees a's first frame.
+        assert_eq!(a.evict_oldest(), Some(100));
+        assert!(!a.lookup(GameId::Fps, &query(&meta(1, 1, 1, 7), 0.1)));
+        assert!(a.lookup(GameId::Fps, &query(&meta(3, 3, 3, 7), 0.1)));
+    }
+
+    #[test]
+    fn capacity_rebalance_takes_effect_on_next_insert() {
+        let store = LocalStore::new(StoreConfig {
+            capacity_bytes: 1000,
+            shards: 4,
+            ..StoreConfig::default()
+        });
+        store.insert(GameId::Fps, meta(1, 1, 1, 7), 400);
+        store.insert(GameId::Fps, meta(2, 2, 2, 7), 400);
+        assert_eq!(store.len(), 2);
+        // Shrink the live budget below occupancy: nothing evicts yet…
+        store.set_capacity_bytes(500);
+        assert_eq!(store.len(), 2);
+        // …but the next insert's budget sweep trims to the new cap.
+        store.insert(GameId::Fps, meta(3, 3, 3, 7), 400);
+        assert!(store.bytes() <= 500, "bytes {} over cap", store.bytes());
+    }
+
+    #[test]
+    fn recent_inserts_buffer_only_when_advertising() {
+        let store = LocalStore::new(StoreConfig::default());
+        store.insert(GameId::Fps, meta(1, 1, 1, 7), 100);
+        assert!(store.drain_recent().is_empty(), "off by default");
+        store.set_advertise(true);
+        store.insert(GameId::Fps, meta(2, 2, 2, 7), 150);
+        store.insert_speculative(GameId::Fps, meta(3, 3, 3, 7), 200, 1.0);
+        let recent = store.drain_recent();
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].bytes, 150);
+        assert_eq!(recent[1].bytes, 200);
+        assert!(recent[0].stamp < recent[1].stamp);
+        assert!(store.drain_recent().is_empty(), "drain empties the buffer");
+    }
+
+    #[test]
+    fn stats_ratios_are_finite_for_degenerate_counters() {
+        // Zero-traffic partition: all ratios are 0, not NaN.
+        let zero = StoreStats::default();
+        assert_eq!(zero.hit_ratio(), 0.0);
+        assert_eq!(zero.spec_precision(), 0.0);
+        assert_eq!(zero.spec_recall(), 0.0);
+        // Saturated counters: no overflow panic, ratios stay in [0,1].
+        let max = StoreStats {
+            hits: u64::MAX,
+            misses: u64::MAX,
+            spec_hits: u64::MAX,
+            spec_rendered: u64::MAX,
+            spec_used: u64::MAX,
+            replica_hits: u64::MAX,
+            ..StoreStats::default()
+        };
+        for r in [max.hit_ratio(), max.spec_precision(), max.spec_recall()] {
+            assert!(r.is_finite() && (0.0..=1.0).contains(&r), "ratio {r}");
+        }
+        // merged saturates instead of wrapping.
+        let merged = max.merged(max);
+        assert_eq!(merged.hits, u64::MAX);
     }
 
     #[test]

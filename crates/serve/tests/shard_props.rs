@@ -1,0 +1,157 @@
+//! Property tests for the sharded-store primitives: the consistent-hash
+//! ring (balance, minimal movement on reshard) and the [`StoreStats`]
+//! algebra (NaN-safe bounded ratios, order-independent merges).
+//!
+//! These are the invariants the fleet leans on: the ring decides which
+//! worker owns a partition, so imbalance or gratuitous movement turns
+//! directly into forwards and cold caches; the stats fold runs in
+//! whatever order the exchange visits partitions, so it must be
+//! associative and commutative or two workers would report different
+//! fleet totals.
+
+use coterie_serve::{partition_key, HashRing, StoreStats};
+use coterie_world::GameId;
+use proptest::prelude::*;
+
+/// The partition keys a fleet actually routes: every game crossed with
+/// a contiguous band of leaf regions.
+fn key_census(leaves: u32) -> Vec<u64> {
+    let mut keys = Vec::new();
+    for &game in &GameId::ALL {
+        for leaf in 0..leaves {
+            keys.push(partition_key(game, leaf));
+        }
+    }
+    keys
+}
+
+/// A counter value that is either small or close to `u64::MAX`, so
+/// merges exercise the saturating path.
+fn any_count() -> impl Strategy<Value = u64> {
+    (proptest::bool::ANY, 0u64..1000).prop_map(|(big, v)| if big { u64::MAX - v } else { v })
+}
+
+fn any_stats() -> impl Strategy<Value = StoreStats> {
+    (
+        (
+            any_count(),
+            any_count(),
+            any_count(),
+            any_count(),
+            any_count(),
+            any_count(),
+            any_count(),
+        ),
+        (
+            any_count(),
+            any_count(),
+            any_count(),
+            any_count(),
+            any_count(),
+            any_count(),
+        ),
+    )
+        .prop_map(
+            |(
+                (hits, misses, insertions, duplicates, replacements, evictions, spec_rendered),
+                (spec_used, spec_hits, spec_rejected, forwards, replica_hits, replica_inserts),
+            )| StoreStats {
+                hits,
+                misses,
+                insertions,
+                duplicates,
+                replacements,
+                evictions,
+                spec_rendered,
+                spec_used,
+                spec_hits,
+                spec_rejected,
+                forwards,
+                replica_hits,
+                replica_inserts,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No shard owns a grossly outsized or starved share of the
+    /// partition keys: with 64 vnodes per shard the loaded-to-mean
+    /// ratio stays within small constant factors.
+    #[test]
+    fn ring_balances_partition_keys(shards in 2u16..=16, leaves in 256u32..1024) {
+        let ring = HashRing::new(shards);
+        let keys = key_census(leaves);
+        let mut loads = vec![0u64; shards as usize];
+        for &key in &keys {
+            loads[ring.owner_of(key) as usize] += 1;
+        }
+        let mean = keys.len() as f64 / shards as f64;
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        prop_assert!(max <= 2.0 * mean, "max load {max} vs mean {mean} ({shards} shards)");
+        prop_assert!(min >= mean / 3.0, "min load {min} vs mean {mean} ({shards} shards)");
+    }
+
+    /// Growing the fleet by one worker only moves keys *to* the new
+    /// worker — no key shuffles between surviving shards — and the
+    /// moved share stays close to the fair 1/(N+1) fraction. This is
+    /// the property that makes reshard cheap: surviving partitions
+    /// keep their caches.
+    #[test]
+    fn reshard_moves_only_a_fair_share_to_the_new_worker(
+        shards in 1u16..=12,
+        leaves in 256u32..1024,
+    ) {
+        let before = HashRing::new(shards);
+        let after = HashRing::new(shards + 1);
+        let keys = key_census(leaves);
+        let mut moved = 0u64;
+        for &key in &keys {
+            let was = before.owner_of(key);
+            let now = after.owner_of(key);
+            if was != now {
+                prop_assert_eq!(
+                    now, shards,
+                    "key moved between surviving shards {} -> {}", was, now
+                );
+                moved += 1;
+            }
+        }
+        let fair = keys.len() as f64 / (shards as f64 + 1.0);
+        prop_assert!(
+            (moved as f64) <= 2.0 * fair,
+            "{moved} keys moved, fair share {fair} ({shards} -> {} shards)", shards + 1
+        );
+    }
+
+    /// `merged` is commutative and associative for arbitrary counter
+    /// values, including near-`u64::MAX` operands that saturate: the
+    /// fleet total cannot depend on which order the exchange visits
+    /// partitions.
+    #[test]
+    fn stats_merge_is_order_independent(
+        a in any_stats(),
+        b in any_stats(),
+        c in any_stats(),
+    ) {
+        prop_assert_eq!(a.merged(b), b.merged(a));
+        prop_assert_eq!(a.merged(b).merged(c), a.merged(b.merged(c)));
+        // Identity: the default (all-zero) stats are a neutral element.
+        prop_assert_eq!(a.merged(StoreStats::default()), a);
+    }
+
+    /// Every ratio helper stays finite and in `[0, 1]` for arbitrary
+    /// counters — zero traffic yields 0, never NaN, and huge counters
+    /// never overflow into infinity.
+    #[test]
+    fn ratio_helpers_are_nan_safe_and_bounded(a in any_stats(), b in any_stats()) {
+        for s in [a, b, a.merged(b), StoreStats::default()] {
+            for ratio in [s.hit_ratio(), s.spec_precision(), s.spec_recall()] {
+                prop_assert!(ratio.is_finite(), "{ratio} from {s:?}");
+                prop_assert!((0.0..=1.0).contains(&ratio), "{ratio} from {s:?}");
+            }
+        }
+    }
+}

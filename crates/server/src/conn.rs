@@ -41,6 +41,12 @@ pub enum ConnState {
         /// Player id within the room.
         player: u32,
     },
+    /// A peer worker's inter-shard exchange link (announced itself with
+    /// `ShardHello`): shard-family messages flow in, nothing flows out.
+    ShardPeer {
+        /// The peer's shard id.
+        shard: u16,
+    },
     /// Goodbye queued; close once the egress queue flushes.
     Draining,
     /// Finished — the event loop should deregister and drop it.

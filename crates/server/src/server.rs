@@ -21,12 +21,16 @@
 //! dead peer cannot wedge shutdown.
 
 use crate::conn::{ConnState, Connection, ReadOutcome};
-use crate::service::{quality_to_wire, FrameReply, ServiceCore};
+use crate::service::{quality_from_wire, quality_to_wire, FrameReply, ServiceCore};
 use crate::stream::Listener;
 use crate::sys::{Epoll, EpollEvent, EPOLLEXCLUSIVE, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-use coterie_net::wire::{ByeReason, ErrorCode, WireMessage, PROTO_VERSION};
+use coterie_codec::EncodedFrame;
+use coterie_core::cache::FrameMeta;
+use coterie_net::wire::{
+    ByeReason, ErrorCode, ShardEntry, WireMessage, MIN_PROTO_VERSION, PROTO_VERSION,
+};
 use coterie_telemetry::{TelemetrySink, TrackId, SERVE_PID};
-use coterie_world::{GameId, Vec2};
+use coterie_world::{GameId, GridPoint, LeafId, Vec2};
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -84,6 +88,8 @@ struct Counters {
     protocol_errors: AtomicU64,
     degrades_sent: AtomicU64,
     peak_queue_bytes: AtomicU64,
+    versions_rejected: AtomicU64,
+    shard_frames_in: AtomicU64,
 }
 
 impl Counters {
@@ -115,6 +121,10 @@ pub struct ServerStats {
     pub degrades_sent: u64,
     /// Largest egress queue ever observed on one connection, bytes.
     pub peak_queue_bytes: u64,
+    /// Hellos turned away for an unsupported protocol version.
+    pub versions_rejected: u64,
+    /// Peer-worker frames received on the inter-shard plane.
+    pub shard_frames_in: u64,
     /// Frame-store occupancy, bytes.
     pub store_bytes: u64,
     /// Frame-store hit ratio so far.
@@ -148,6 +158,17 @@ impl Server {
             config.world_seed,
             telemetry,
         ));
+        Server::start_with_service(listener, config, service)
+    }
+
+    /// [`Server::start`] with an injected service core — the seam a
+    /// multi-worker deployment uses to hand every server its own
+    /// store backend and shard wiring before the event loop starts.
+    pub fn start_with_service(
+        listener: Listener,
+        config: ServerConfig,
+        service: Arc<ServiceCore>,
+    ) -> io::Result<Server> {
         let shared = Arc::new(Shared {
             service,
             listener,
@@ -188,6 +209,8 @@ impl Server {
             protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
             degrades_sent: c.degrades_sent.load(Ordering::Relaxed),
             peak_queue_bytes: c.peak_queue_bytes.load(Ordering::Relaxed),
+            versions_rejected: c.versions_rejected.load(Ordering::Relaxed),
+            shard_frames_in: c.shard_frames_in.load(Ordering::Relaxed),
             store_bytes: store.bytes(),
             store_hit_ratio: store.stats().hit_ratio(),
         }
@@ -462,13 +485,23 @@ fn handle_message(shared: &Shared, conn: &mut Connection, msg: WireMessage, work
                 proto, game, room, ..
             },
         ) => {
-            if proto != PROTO_VERSION {
+            // Version negotiation: any client inside the supported
+            // window joins (v1 clients never see a v2-only message in a
+            // plain session, so they decode every reply). Outside it,
+            // answer with the structured window instead of dropping —
+            // the client learns exactly what to downgrade to.
+            if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&proto) {
                 shared
                     .counters
                     .protocol_errors
                     .fetch_add(1, Ordering::Relaxed);
-                let _ = conn.enqueue_control(&WireMessage::Error {
-                    code: ErrorCode::BadVersion,
+                shared
+                    .counters
+                    .versions_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = conn.enqueue_control(&WireMessage::VersionReject {
+                    min: MIN_PROTO_VERSION,
+                    max: PROTO_VERSION,
                 });
                 begin_goodbye(shared, conn, ByeReason::Normal);
                 return;
@@ -488,6 +521,58 @@ fn handle_message(shared: &Shared, conn: &mut Connection, msg: WireMessage, work
         (ConnState::Active { game, room, .. }, WireMessage::Pose { seq, x, z, .. }) => {
             shared.counters.poses.fetch_add(1, Ordering::Relaxed);
             serve_pose(shared, conn, game, room, seq, Vec2::new(x, z), worker);
+        }
+        (ConnState::Handshake, WireMessage::ShardHello { proto, shard, .. }) => {
+            // A fellow worker's exchange link. Same version window as
+            // clients; a peer outside it gets the structured reject.
+            if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&proto) {
+                shared
+                    .counters
+                    .versions_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = conn.enqueue_control(&WireMessage::VersionReject {
+                    min: MIN_PROTO_VERSION,
+                    max: PROTO_VERSION,
+                });
+                begin_goodbye(shared, conn, ByeReason::Normal);
+                return;
+            }
+            conn.set_state(ConnState::ShardPeer { shard });
+        }
+        (
+            ConnState::ShardPeer { .. },
+            WireMessage::ShardFrame {
+                entry,
+                quality,
+                scale_pm,
+                payload,
+                width,
+                height,
+                ..
+            },
+        ) => {
+            shared
+                .counters
+                .shard_frames_in
+                .fetch_add(1, Ordering::Relaxed);
+            apply_shard_frame(shared, entry, width, height, quality, scale_pm, payload);
+        }
+        (ConnState::ShardPeer { .. }, WireMessage::ShardAdvert { entries, .. }) => {
+            // Metadata-only adverts: admit the identities so nearby
+            // local poses at least skip the store miss bookkeeping.
+            for e in entries {
+                let _ = shared
+                    .service
+                    .store()
+                    .insert(e.game, shard_entry_meta(&e), e.bytes);
+            }
+        }
+        (ConnState::ShardPeer { .. }, WireMessage::ShardUsage { .. }) => {
+            // Socket-plane workers each own their budget; usage digests
+            // only matter to the in-process fabric.
+        }
+        (ConnState::ShardPeer { .. }, WireMessage::Bye) => {
+            begin_goodbye(shared, conn, ByeReason::Normal);
         }
         (ConnState::Active { .. }, WireMessage::Bye) | (ConnState::Handshake, WireMessage::Bye) => {
             begin_goodbye(shared, conn, ByeReason::Normal);
@@ -509,6 +594,39 @@ fn handle_message(shared: &Shared, conn: &mut Connection, msg: WireMessage, work
             begin_goodbye(shared, conn, ByeReason::Normal);
         }
     }
+}
+
+/// Rebuilds a peer entry's identity as a local store key.
+fn shard_entry_meta(e: &ShardEntry) -> FrameMeta {
+    FrameMeta {
+        grid: GridPoint::new(e.grid_ix, e.grid_iz),
+        pos: Vec2::new(e.pos_x, e.pos_z),
+        leaf: LeafId(e.leaf),
+        near_hash: e.near_hash,
+    }
+}
+
+/// Admits a peer worker's fully shipped frame (identity + payload) into
+/// the local service.
+fn apply_shard_frame(
+    shared: &Shared,
+    entry: ShardEntry,
+    width: u32,
+    height: u32,
+    quality: u8,
+    scale_pm: u16,
+    payload: Vec<u8>,
+) {
+    let encoded = Arc::new(EncodedFrame {
+        width,
+        height,
+        quality: quality_from_wire(quality),
+        payload: payload.into(),
+    });
+    let _ =
+        shared
+            .service
+            .apply_shard_frame(entry.game, shard_entry_meta(&entry), encoded, scale_pm);
 }
 
 fn serve_pose(

@@ -2,7 +2,9 @@
 //! encoded `Frame`, shared by all worker threads.
 //!
 //! [`ServiceCore`] hosts the `coterie-serve` fleet machinery behind the
-//! wire protocol: the cross-room [`SharedFrameStore`] answers the
+//! wire protocol: the cross-room frame store (any [`FrameStore`]
+//! backend — a private [`LocalStore`] by default, or one shard of a
+//! fleet-wide store wired up by a shard coordinator) answers the
 //! paper's three-criteria similarity lookup (session-id-free, so any
 //! room's frames serve any room of the same game), the
 //! [`PrerenderFarm`] turns misses into speculative neighbour renders,
@@ -23,7 +25,7 @@ use coterie_codec::{EncodedFrame, Encoder, Quality};
 use coterie_core::cache::{CacheQuery, FrameMeta};
 use coterie_frame::LumaFrame;
 use coterie_serve::farm::PrerenderFarm;
-use coterie_serve::{SharedFrameStore, StoreConfig};
+use coterie_serve::{FrameStore, LocalStore, StoreConfig};
 use coterie_telemetry::{Stage, TelemetrySink, TrackId, SERVE_PID, VSYNC_BUDGET_MS};
 use coterie_world::{GameId, GameSpec, GridPoint, LeafId, Scene, Vec2};
 use parking_lot::Mutex;
@@ -45,10 +47,16 @@ pub const MIN_SCALE_PM: u16 = 250;
 /// far-field band of an equirect panorama).
 pub const BASE_WIDTH: u32 = 128;
 
-/// Payload-cache entry cap. The [`SharedFrameStore`] owns the byte
-/// budget and LRU; this FIFO cap only bounds the payload map when store
-/// churn outpaces it.
+/// Payload-cache entry cap. The frame store owns the byte budget and
+/// LRU; this FIFO cap only bounds the payload map when store churn
+/// outpaces it.
 const PAYLOAD_CACHE_ENTRIES: usize = 4096;
+
+/// Bound on the inter-shard share outbox. A worker with no coordinator
+/// attached never queues; with one attached, a stalled peer link sheds
+/// the oldest shares first (they are the most likely to have been
+/// rendered by the peer itself by now).
+const SHARD_OUTBOX_ENTRIES: usize = 1024;
 
 /// Per-game world state, built lazily on first join.
 struct World {
@@ -97,19 +105,46 @@ pub struct ServiceStats {
     pub store_misses: u64,
     /// Degrade / recover notices generated.
     pub scale_changes: u64,
+    /// Freshly rendered frames queued for inter-shard sharing.
+    pub shard_frames_shared: u64,
+    /// Peer-rendered frames applied into the local store.
+    pub shard_frames_applied: u64,
+}
+
+/// One freshly rendered frame queued for the shard coordinator to ship
+/// to peer workers: everything a peer needs to admit the frame into its
+/// own store and payload cache without re-rendering.
+#[derive(Clone)]
+pub struct ShardShare {
+    /// Game the frame belongs to.
+    pub game: GameId,
+    /// Frame identity (grid point, position, leaf, near set).
+    pub meta: FrameMeta,
+    /// The encoded payload, shared with the local payload cache.
+    pub encoded: Arc<EncodedFrame>,
+    /// Scale the frame was rendered at, per-mille.
+    pub scale_pm: u16,
 }
 
 /// Shared serving state; one per server, `Arc`-shared across workers.
 pub struct ServiceCore {
     worlds: Mutex<HashMap<GameId, Arc<World>>>,
-    store: SharedFrameStore,
+    store: Arc<dyn FrameStore>,
     payloads: Mutex<PayloadCache>,
     farm: Mutex<PrerenderFarm>,
     rooms: Mutex<HashMap<(GameId, u32), RoomState>>,
     stats: Mutex<ServiceStats>,
+    shard_outbox: Mutex<ShardOutbox>,
     encoder: Encoder,
     telemetry: TelemetrySink,
     world_seed: u64,
+}
+
+/// Inter-shard share queue; disabled (and empty) until a coordinator
+/// calls [`ServiceCore::enable_shard_sharing`].
+struct ShardOutbox {
+    enabled: bool,
+    queue: VecDeque<ShardShare>,
 }
 
 struct PayloadCache {
@@ -119,14 +154,31 @@ struct PayloadCache {
 
 impl ServiceCore {
     /// A core with the given store budget and telemetry sink (pass a
-    /// disabled sink for untraced runs).
+    /// disabled sink for untraced runs). The store is a private
+    /// [`LocalStore`] — today's single-process behaviour, byte for
+    /// byte.
     pub fn new(store_bytes: u64, world_seed: u64, telemetry: TelemetrySink) -> ServiceCore {
-        ServiceCore {
-            worlds: Mutex::new(HashMap::new()),
-            store: SharedFrameStore::new(StoreConfig {
+        ServiceCore::with_store(
+            Arc::new(LocalStore::new(StoreConfig {
                 capacity_bytes: store_bytes,
                 ..StoreConfig::default()
-            }),
+            })),
+            world_seed,
+            telemetry,
+        )
+    }
+
+    /// A core serving from the given [`FrameStore`] backend — the
+    /// construction-time seam that makes backends swappable (a private
+    /// [`LocalStore`], one shard of a fleet store, a test double).
+    pub fn with_store(
+        store: Arc<dyn FrameStore>,
+        world_seed: u64,
+        telemetry: TelemetrySink,
+    ) -> ServiceCore {
+        ServiceCore {
+            worlds: Mutex::new(HashMap::new()),
+            store,
             payloads: Mutex::new(PayloadCache {
                 map: HashMap::new(),
                 order: VecDeque::new(),
@@ -134,15 +186,58 @@ impl ServiceCore {
             farm: Mutex::new(PrerenderFarm::new()),
             rooms: Mutex::new(HashMap::new()),
             stats: Mutex::new(ServiceStats::default()),
+            shard_outbox: Mutex::new(ShardOutbox {
+                enabled: false,
+                queue: VecDeque::new(),
+            }),
             encoder: Encoder::new(Quality::CRF25),
             telemetry,
             world_seed,
         }
     }
 
-    /// The shared store (occupancy gauges, hit-ratio reporting).
-    pub fn store(&self) -> &SharedFrameStore {
-        &self.store
+    /// The frame store (occupancy gauges, hit-ratio reporting).
+    pub fn store(&self) -> &dyn FrameStore {
+        self.store.as_ref()
+    }
+
+    /// Starts queueing freshly rendered frames for a shard coordinator
+    /// to ship to peer workers.
+    pub fn enable_shard_sharing(&self) {
+        self.shard_outbox.lock().enabled = true;
+    }
+
+    /// Drains the queued shard shares (coordinator-side; empty unless
+    /// [`ServiceCore::enable_shard_sharing`] was called).
+    pub fn drain_shard_shares(&self) -> Vec<ShardShare> {
+        self.shard_outbox.lock().queue.drain(..).collect()
+    }
+
+    /// Admits a peer worker's rendered frame: identity into the store,
+    /// payload into the cache, so the next local pose near it is a hit
+    /// without a render. Returns whether the store admitted it.
+    pub fn apply_shard_frame(
+        &self,
+        game: GameId,
+        meta: FrameMeta,
+        encoded: Arc<EncodedFrame>,
+        scale_pm: u16,
+    ) -> bool {
+        let admitted = self.store.insert(game, meta, encoded.size_bytes() as u64);
+        if admitted {
+            let key = (game, meta.grid.key(), scale_pm);
+            let mut p = self.payloads.lock();
+            if p.map.insert(key, encoded).is_none() {
+                p.order.push_back(key);
+                while p.order.len() > PAYLOAD_CACHE_ENTRIES {
+                    if let Some(old) = p.order.pop_front() {
+                        p.map.remove(&old);
+                    }
+                }
+            }
+            self.stats.lock().shard_frames_applied += 1;
+        }
+        admitted
     }
 
     /// Aggregate counters so far.
@@ -357,6 +452,21 @@ impl ServiceCore {
                 self.farm
                     .lock()
                     .enqueue_neighbors(0, game, meta, bytes, world.dist_thresh);
+                {
+                    let mut outbox = self.shard_outbox.lock();
+                    if outbox.enabled {
+                        if outbox.queue.len() >= SHARD_OUTBOX_ENTRIES {
+                            outbox.queue.pop_front();
+                        }
+                        outbox.queue.push_back(ShardShare {
+                            game,
+                            meta,
+                            encoded: encoded.clone(),
+                            scale_pm,
+                        });
+                        self.stats.lock().shard_frames_shared += 1;
+                    }
+                }
                 encoded
             }
         };
@@ -386,7 +496,7 @@ impl ServiceCore {
             return;
         }
         let t0 = self.telemetry.now_ms();
-        farm.drain_into(&[&self.store]);
+        farm.drain_into(&[self.store.as_ref()]);
         self.telemetry.span(
             TrackId {
                 pid: SERVE_PID,
@@ -563,6 +673,54 @@ mod tests {
         let decoder = Encoder::new(reply.encoded.quality);
         let decoded = decoder.decode(&reply.encoded).expect("decode");
         assert_eq!(decoded.width(), reply.encoded.width);
+    }
+
+    #[test]
+    fn shard_shares_round_trip_between_cores() {
+        let a = core();
+        a.enable_shard_sharing();
+        a.join(GameId::Fps, 0);
+        let pos = Vec2::new(10.0, 12.0);
+        let first = a.frame_for(GameId::Fps, 0, pos, 0);
+        assert!(!first.store_hit);
+        let shares = a.drain_shard_shares();
+        assert_eq!(shares.len(), 1);
+        assert_eq!(a.stats().shard_frames_shared, 1);
+        assert!(a.drain_shard_shares().is_empty(), "drain empties the box");
+
+        let b = core();
+        for s in &shares {
+            assert!(b.apply_shard_frame(s.game, s.meta, s.encoded.clone(), s.scale_pm));
+        }
+        assert_eq!(b.stats().shard_frames_applied, 1);
+        b.join(GameId::Fps, 0);
+        let reply = b.frame_for(GameId::Fps, 0, pos, 0);
+        assert!(reply.store_hit, "peer frame must serve as a local hit");
+        assert_eq!(reply.encoded.payload, first.encoded.payload);
+    }
+
+    #[test]
+    fn sharing_is_off_by_default() {
+        let c = core();
+        c.join(GameId::Fps, 0);
+        c.frame_for(GameId::Fps, 0, Vec2::new(1.0, 1.0), 0);
+        assert!(c.drain_shard_shares().is_empty());
+        assert_eq!(c.stats().shard_frames_shared, 0);
+    }
+
+    #[test]
+    fn custom_store_backend_is_swappable() {
+        let store = Arc::new(LocalStore::new(StoreConfig {
+            capacity_bytes: 1 << 20,
+            ..StoreConfig::default()
+        }));
+        let c = ServiceCore::with_store(store.clone(), 42, TelemetrySink::disabled());
+        c.join(GameId::Fps, 0);
+        c.frame_for(GameId::Fps, 0, Vec2::new(2.0, 3.0), 0);
+        assert!(
+            !store.is_empty(),
+            "core writes through the injected backend"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! frames with zero protocol errors, bounded egress under a slow
 //! reader, and a graceful drain on shutdown.
 
-use coterie_net::wire::{ByeReason, WireMessage, PROTO_VERSION};
+use coterie_net::wire::{ByeReason, WireMessage, MIN_PROTO_VERSION, PROTO_VERSION};
 use coterie_net::NetScenario;
 use coterie_server::{
     loadgen, Endpoint, Listener, LoadConfig, Server, ServerConfig, CONTROL_OVERDRAFT_BYTES,
@@ -245,10 +245,11 @@ fn shutdown_drains_with_goodbye() {
     assert_eq!(stats.live, 0);
 }
 
-/// Protocol misuse is answered with a typed error, then the connection
-/// is torn down without disturbing the server.
+/// An out-of-window protocol version is answered with the structured
+/// supported range, then the connection is torn down without
+/// disturbing the server.
 #[test]
-fn bad_version_is_rejected_with_error() {
+fn bad_version_is_rejected_with_supported_window() {
     let (server, path) = start_uds("badver", ServerConfig::default());
     let mut stream = UnixStream::connect(&path).expect("connect");
     stream
@@ -267,11 +268,52 @@ fn bad_version_is_rejected_with_error() {
         .expect("hello");
     let mut asm = coterie_net::FrameAssembler::new();
     let reply = read_msg(&mut stream, &mut asm, Duration::from_secs(5));
-    assert!(
-        matches!(reply, Some(WireMessage::Error { .. })),
-        "expected Error, got {reply:?}"
-    );
+    match reply {
+        Some(WireMessage::VersionReject { min, max }) => {
+            assert_eq!(min, MIN_PROTO_VERSION);
+            assert_eq!(max, PROTO_VERSION);
+        }
+        other => panic!("expected VersionReject, got {other:?}"),
+    }
     let stats = server.stop();
     let _ = std::fs::remove_file(&path);
     assert_eq!(stats.protocol_errors, 1);
+    assert_eq!(stats.versions_rejected, 1);
+}
+
+/// Version negotiation keeps old clients working: a v1 `Hello` joins
+/// and completes a pose → frame exchange exactly like a current one.
+#[test]
+fn v1_client_is_still_served() {
+    let (server, path) = start_uds("v1", ServerConfig::default());
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    stream
+        .write_all(
+            &WireMessage::Hello {
+                proto: MIN_PROTO_VERSION,
+                game: GameId::VikingVillage,
+                room: 0,
+                seed: 42,
+            }
+            .encode_frame(),
+        )
+        .expect("hello");
+    let mut asm = coterie_net::FrameAssembler::new();
+    assert!(matches!(
+        read_msg(&mut stream, &mut asm, Duration::from_secs(5)),
+        Some(WireMessage::Welcome { .. })
+    ));
+    stream.write_all(&pose(0)).expect("pose");
+    assert!(matches!(
+        read_msg(&mut stream, &mut asm, Duration::from_secs(5)),
+        Some(WireMessage::Frame { .. })
+    ));
+    drop(stream);
+    let stats = server.stop();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(stats.protocol_errors, 0);
+    assert_eq!(stats.versions_rejected, 0);
 }

@@ -1,0 +1,156 @@
+//! Two-shard fleet over UDS: two real servers, two coordinators, and a
+//! client session proving that frames rendered on one worker process
+//! serve store hits on the other — the socket-plane acceptance test for
+//! the sharded store.
+
+use coterie_net::wire::{WireMessage, PROTO_VERSION};
+use coterie_server::{Endpoint, Listener, Server, ServerConfig, ShardCoordinator, ShardPlan};
+use coterie_telemetry::TelemetrySink;
+use coterie_world::{GameId, Vec2};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn sock_path(shard: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "coterie-shard-uds-{}-{shard}.sock",
+        std::process::id()
+    ))
+}
+
+fn start_shard(path: &std::path::Path) -> Server {
+    let listener = Listener::bind_uds(path).expect("bind uds");
+    Server::start(listener, ServerConfig::default(), TelemetrySink::disabled()).expect("start")
+}
+
+fn read_msg(
+    stream: &mut UnixStream,
+    asm: &mut coterie_net::FrameAssembler,
+    deadline: Duration,
+) -> Option<WireMessage> {
+    let start = Instant::now();
+    let mut buf = [0u8; 8192];
+    loop {
+        if let Ok(Some(m)) = asm.next_message() {
+            return Some(m);
+        }
+        if start.elapsed() > deadline {
+            return None;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => asm.push(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+            Err(_) => return None,
+        }
+    }
+}
+
+/// A client session against shard 0 renders frames; the coordinators
+/// replicate them; the same positions served from shard 1's core are
+/// store hits with byte-identical payloads, no render.
+#[test]
+fn cross_shard_hits_land_over_uds() {
+    let paths = [sock_path(0), sock_path(1)];
+    let server_a = start_shard(&paths[0]);
+    let server_b = start_shard(&paths[1]);
+    let coord_a = ShardCoordinator::start(
+        server_a.service().clone(),
+        ShardPlan {
+            shard: 0,
+            shards: 2,
+            peers: vec![Endpoint::Uds(paths[1].clone())],
+        },
+    );
+    let coord_b = ShardCoordinator::start(
+        server_b.service().clone(),
+        ShardPlan {
+            shard: 1,
+            shards: 2,
+            peers: vec![Endpoint::Uds(paths[0].clone())],
+        },
+    );
+
+    // One raw session on shard 0: three poses at distinct positions.
+    let mut stream = UnixStream::connect(&paths[0]).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    stream
+        .write_all(
+            &WireMessage::Hello {
+                proto: PROTO_VERSION,
+                game: GameId::VikingVillage,
+                room: 0,
+                seed: 42,
+            }
+            .encode_frame(),
+        )
+        .expect("hello");
+    let mut asm = coterie_net::FrameAssembler::new();
+    assert!(matches!(
+        read_msg(&mut stream, &mut asm, Duration::from_secs(5)),
+        Some(WireMessage::Welcome { .. })
+    ));
+    let positions = [(0.0, 0.0), (2.0, 0.0), (0.0, 2.0)];
+    let mut payloads = Vec::new();
+    for (seq, (x, z)) in positions.iter().enumerate() {
+        stream
+            .write_all(
+                &WireMessage::Pose {
+                    seq: seq as u64,
+                    t_ms: seq as f64 * 16.7,
+                    x: *x,
+                    z: *z,
+                    yaw: 0.0,
+                }
+                .encode_frame(),
+            )
+            .expect("pose");
+        match read_msg(&mut stream, &mut asm, Duration::from_secs(5)) {
+            Some(WireMessage::Frame { payload, .. }) => payloads.push(payload),
+            other => panic!("expected Frame, got {other:?}"),
+        }
+    }
+    stream
+        .write_all(&WireMessage::Bye.encode_frame())
+        .expect("bye");
+
+    // The exchange plane ships the renders to shard 1.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while (server_b.service().stats().shard_frames_applied as usize) < positions.len() {
+        assert!(
+            Instant::now() < deadline,
+            "shard 1 never received the frames: {:?}",
+            server_b.service().stats()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The same positions on shard 1 are hits, byte for byte.
+    let service_b = server_b.service().clone();
+    service_b.join(GameId::VikingVillage, 0);
+    for ((x, z), sent) in positions.iter().zip(&payloads) {
+        let reply = service_b.frame_for(GameId::VikingVillage, 0, Vec2::new(*x, *z), 0);
+        assert!(reply.store_hit, "({x}, {z}) must be a cross-shard hit");
+        assert_eq!(&reply.encoded.payload.to_vec(), sent, "payload diverged");
+    }
+    assert_eq!(service_b.stats().store_misses, 0, "shard 1 never rendered");
+
+    drop(stream);
+    let ca = coord_a.stop();
+    let cb = coord_b.stop();
+    assert!(ca.frames_out >= positions.len() as u64, "{ca:?}");
+    assert_eq!(cb.link_failures, 0, "{cb:?}");
+    let sa = server_a.stop();
+    let sb = server_b.stop();
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
+    }
+    assert_eq!(sa.protocol_errors, 0, "{sa:?}");
+    assert_eq!(sb.protocol_errors, 0, "{sb:?}");
+    assert!(sb.shard_frames_in >= positions.len() as u64, "{sb:?}");
+    assert_eq!(sa.live, 0);
+    assert_eq!(sb.live, 0);
+}

@@ -83,6 +83,6 @@ pub use summary::{
     VSYNC_BUDGET_MS,
 };
 pub use trace::{
-    chrome_trace_json, chrome_trace_json_full, parse_json, room_pid, validate_chrome_trace,
-    JsonValue, TraceCheck, FLEET_PID, KERNEL_PID, SERVE_PID,
+    chrome_trace_json, chrome_trace_json_full, parse_json, room_pid, shard_pid,
+    validate_chrome_trace, JsonValue, TraceCheck, FLEET_PID, KERNEL_PID, SERVE_PID, SHARD_PID_BASE,
 };

@@ -29,9 +29,20 @@ pub const KERNEL_PID: u32 = 10_000;
 /// accept/read/service/write spans and its gauges), wall-clock time.
 pub const SERVE_PID: u32 = 20_000;
 
+/// Base of the shard-worker process lanes: worker `w` of a sharded
+/// fleet puts its worker-scope spans (room ticks, exchange work, store
+/// gauges) on pid `SHARD_PID_BASE + w`. A merged multi-worker trace
+/// then shows one `shard-w` lane per process next to the room lanes.
+pub const SHARD_PID_BASE: u32 = 30_000;
+
 /// The trace lane a room's spans and frames live in.
 pub fn room_pid(room: u32) -> u32 {
     room + 1
+}
+
+/// The trace lane of shard worker `w`'s worker-scope spans.
+pub fn shard_pid(worker: u32) -> u32 {
+    SHARD_PID_BASE + worker
 }
 
 fn pid_name(pid: u32) -> String {
@@ -39,6 +50,7 @@ fn pid_name(pid: u32) -> String {
         FLEET_PID => "fleet".to_string(),
         KERNEL_PID => "kernels".to_string(),
         SERVE_PID => "serve".to_string(),
+        p if p >= SHARD_PID_BASE => format!("shard-{}", p - SHARD_PID_BASE),
         p => format!("room-{}", p - 1),
     }
 }
