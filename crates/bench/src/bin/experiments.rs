@@ -3,12 +3,14 @@
 //! ```text
 //! experiments [--quick] [--seed N] [--rooms N] [--players N] [--net SCENARIO]
 //!             [--predictor POLICY] [--shards N] [--store local|sharded]
+//!             [--churn SCENARIO] [--policy first-fit|affinity]
 //!             [--trace FILE] <name>...
 //! experiments all
 //! experiments fleet --rooms 256 --players 2
 //! experiments fleet --rooms 2 --players 2 --net burst-loss
 //! experiments fleet --rooms 4 --predictor vpm
 //! experiments fleet --rooms 8 --shards 4
+//! experiments fleet --rooms 4 --churn steady --policy affinity
 //! experiments fleet --trace trace.json
 //! ```
 //!
@@ -40,6 +42,12 @@
 //! backend (`local`, `sharded`; default sharded when `--shards` > 1,
 //! local otherwise — `--shards 1 --store local` reproduces the
 //! single-worker report byte for byte).
+//! `--churn SCENARIO` replaces the static fleet with a seeded arrival
+//! process (`none`, `steady`, `flash`, `daycurve`) placed by the
+//! matchmaker: the `fleet` experiment then compares `--policy` against
+//! the other placement policy on the same arrival trace, and
+//! `bench-json` appends a `matchmaking` section to `BENCH_fleet.json`
+//! (the default `--churn none` keeps both byte-identical).
 //! `--trace FILE` runs the experiment with budget attribution enabled
 //! and writes a Chrome `trace_event` JSON (load in Perfetto or
 //! `chrome://tracing`): slices for spans and frames, counter ("C")
@@ -53,7 +61,7 @@ use coterie_bench::{
     ablation, cache_exp, cutoff_exp, fleet_exp, kernel_bench, similarity, system_exp, ExpConfig,
 };
 use coterie_net::NetScenario;
-use coterie_serve::{PredictorKind, StoreBackend};
+use coterie_serve::{ChurnScenario, PlacementPolicy, PredictorKind, StoreBackend};
 use coterie_telemetry::{
     chrome_trace_json_full, validate_chrome_trace, TelemetryConfig, TelemetrySink,
 };
@@ -92,6 +100,8 @@ struct FleetArgs {
     shards: usize,
     store: Option<StoreBackend>,
     trace: Option<String>,
+    churn: ChurnScenario,
+    policy: PlacementPolicy,
 }
 
 impl FleetArgs {
@@ -169,6 +179,19 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
             ) + &format!("\n{}", ablation::ablation_panoramic(config))
         }
         "fleet" => {
+            // A churned fleet takes the matchmaking-comparison path:
+            // the same seeded arrival trace placed by --policy and by
+            // the other policy, side by side.
+            if fleet_args.churn != ChurnScenario::None {
+                let (report, _, _) = fleet_exp::matchmaking(
+                    config,
+                    fleet_args.rooms,
+                    fleet_args.players,
+                    fleet_args.churn,
+                    fleet_args.policy,
+                );
+                return Ok(report.to_string());
+            }
             // A multi-worker fleet takes the sharded-comparison path;
             // one worker keeps the historical shared-vs-isolated table
             // (so `--shards 1 --store local` is byte-identical to the
@@ -261,6 +284,21 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
                 fleet_args.players,
                 &[1, 2, 4, 8],
             );
+            // A churned bench also runs the matchmaking comparison so
+            // the committed document records what the affinity policy
+            // buys over first-fit under that churn scenario; the
+            // default (churn-less) document is byte-identical to the
+            // historical format.
+            let mm = (fleet_args.churn != ChurnScenario::None).then(|| {
+                let (_, first_fit, affinity) = fleet_exp::matchmaking(
+                    config,
+                    fleet_args.rooms,
+                    fleet_args.players,
+                    fleet_args.churn,
+                    coterie_serve::PlacementPolicy::FirstFit,
+                );
+                (first_fit, affinity)
+            });
             let fleet_json = fleet_exp::fleet_bench_json(
                 &shared.metrics,
                 fleet_args.rooms,
@@ -268,6 +306,7 @@ fn run_one(name: &str, config: &ExpConfig, fleet_args: &FleetArgs) -> Result<Str
                 fleet_args.net,
                 baseline.as_ref().map(|b| &b.metrics),
                 Some(&curve),
+                mm.as_ref().map(|(ff, aff)| (&ff.metrics, &aff.metrics)),
             );
             std::fs::write("BENCH_fleet.json", &fleet_json)
                 .map_err(|e| format!("writing BENCH_fleet.json: {e}"))?;
@@ -305,6 +344,8 @@ fn main() {
         shards: 1,
         store: None,
         trace: None,
+        churn: ChurnScenario::None,
+        policy: PlacementPolicy::FirstFit,
     };
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
@@ -365,11 +406,32 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--churn" => {
+                let v = iter.next().unwrap_or_default();
+                fleet_args.churn = ChurnScenario::parse(&v).unwrap_or_else(|| {
+                    let names: Vec<&str> =
+                        ChurnScenario::ALL.iter().map(ChurnScenario::name).collect();
+                    eprintln!("invalid --churn value '{v}' (one of: {})", names.join(" "));
+                    std::process::exit(2);
+                });
+            }
+            "--policy" => {
+                let v = iter.next().unwrap_or_default();
+                fleet_args.policy = PlacementPolicy::parse(&v).unwrap_or_else(|| {
+                    let names: Vec<&str> = PlacementPolicy::ALL
+                        .iter()
+                        .map(PlacementPolicy::name)
+                        .collect();
+                    eprintln!("invalid --policy value '{v}' (one of: {})", names.join(" "));
+                    std::process::exit(2);
+                });
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [--seed N] [--rooms N] [--players N] \
                      [--net SCENARIO] [--predictor POLICY] [--shards N] \
-                     [--store local|sharded] [--trace FILE] <name>...|all"
+                     [--store local|sharded] [--churn SCENARIO] \
+                     [--policy first-fit|affinity] [--trace FILE] <name>...|all"
                 );
                 eprintln!("experiments: {} bench-json", ALL.join(" "));
                 let names: Vec<&str> = NetScenario::ALL.iter().map(NetScenario::name).collect();
@@ -378,6 +440,14 @@ fn main() {
                 eprintln!("predictor policies: {}", policies.join(" "));
                 let backends: Vec<&str> = StoreBackend::ALL.iter().map(|b| b.name()).collect();
                 eprintln!("store backends: {}", backends.join(" "));
+                let churns: Vec<&str> =
+                    ChurnScenario::ALL.iter().map(ChurnScenario::name).collect();
+                eprintln!("churn scenarios: {}", churns.join(" "));
+                let placements: Vec<&str> = PlacementPolicy::ALL
+                    .iter()
+                    .map(PlacementPolicy::name)
+                    .collect();
+                eprintln!("placement policies: {}", placements.join(" "));
                 return;
             }
             name => names.push(name.to_string()),

@@ -12,7 +12,9 @@
 use crate::report::{f, pct, Report};
 use crate::ExpConfig;
 use coterie_net::NetScenario;
-use coterie_serve::{Fleet, FleetConfig, FleetReport, PredictorKind, StoreBackend};
+use coterie_serve::{
+    ChurnScenario, Fleet, FleetConfig, FleetReport, PlacementPolicy, PredictorKind, StoreBackend,
+};
 use coterie_telemetry::{chrome_trace_json_full, Stage, TelemetryConfig, TelemetrySink};
 use coterie_world::GameId;
 
@@ -184,6 +186,95 @@ pub fn fleet_traced(
         ));
     }
     (report, shared, isolated, trace_json)
+}
+
+/// Builds the churned fleet configuration: the static rooms/players
+/// grid becomes a *capacity* that a seeded arrival process fills
+/// through the matchmaker under `policy`.
+pub fn churned_fleet_config(
+    config: &ExpConfig,
+    rooms: usize,
+    players: usize,
+    scenario: ChurnScenario,
+    policy: PlacementPolicy,
+) -> FleetConfig {
+    FleetConfig {
+        churn: scenario,
+        policy,
+        ..fleet_config(
+            config,
+            rooms,
+            players,
+            true,
+            NetScenario::None,
+            PredictorKind::None,
+        )
+    }
+}
+
+/// Runs the matchmaking experiment: the same seeded churn trace placed
+/// by both policies (first-fit vs pose-affinity), shared store, and
+/// compares tail FPS, store hit ratio, and placement outcomes.
+///
+/// `lead` picks which policy heads the table (the policy under test);
+/// both always run. Returns `(report, lead run, other run)`.
+/// Deterministic: the same inputs reproduce the report byte for byte.
+pub fn matchmaking(
+    config: &ExpConfig,
+    rooms: usize,
+    players: usize,
+    scenario: ChurnScenario,
+    lead: PlacementPolicy,
+) -> (Report, FleetReport, FleetReport) {
+    assert_ne!(scenario, ChurnScenario::None, "matchmaking needs churn");
+    let run = |policy| {
+        Fleet::new(churned_fleet_config(
+            config, rooms, players, scenario, policy,
+        ))
+        .run()
+    };
+    let lead_run = run(lead);
+    let other_policy = match lead {
+        PlacementPolicy::FirstFit => PlacementPolicy::Affinity,
+        PlacementPolicy::Affinity => PlacementPolicy::FirstFit,
+    };
+    let other_run = run(other_policy);
+
+    let mut report = Report::new("Fleet: matchmaking policy under churn");
+    report.note(format!(
+        "capacity {} rooms x {} players, churn '{scenario}', seed {}, shared store",
+        rooms.max(1),
+        players.max(1),
+        config.seed
+    ));
+    report.note("the same seeded arrival trace placed by each policy; rooms spawn on overflow");
+    report.headers([
+        "policy",
+        "fps p50",
+        "fps p99",
+        "hit ratio",
+        "arrivals",
+        "placed",
+        "queued",
+        "overflow",
+        "mean wait ms",
+    ]);
+    for run in [&lead_run, &other_run] {
+        let m = &run.metrics;
+        let mm = m.matchmaking.expect("churned run carries matchmaking");
+        report.row([
+            mm.policy.to_string(),
+            f(m.fps_p50, 2),
+            f(m.fps_p99, 2),
+            pct(m.store_hit_ratio),
+            format!("{}", mm.arrivals),
+            format!("{}", mm.placed),
+            format!("{}", mm.queued),
+            format!("{}", mm.overflow_rooms),
+            f(mm.mean_wait_ms, 1),
+        ]);
+    }
+    (report, lead_run, other_run)
 }
 
 /// Builds the multi-worker fleet configuration: the same rooms/players
@@ -412,6 +503,11 @@ pub fn fleet_scaling(
 /// per worker count with the sharded fabric's hit ratio / GPU-hours
 /// next to the isolated-workers baseline. `None` leaves the document
 /// byte-identical to the pre-sharding format.
+///
+/// Supplying `matchmaking` (the first-fit and affinity runs of the same
+/// churn scenario) appends a `matchmaking` section comparing the two
+/// policies' placement outcomes and resulting fleet health. `None`
+/// leaves the document byte-identical to the pre-matchmaking format.
 pub fn fleet_bench_json(
     metrics: &coterie_serve::FleetMetrics,
     rooms: usize,
@@ -419,6 +515,7 @@ pub fn fleet_bench_json(
     net: NetScenario,
     baseline: Option<&coterie_serve::FleetMetrics>,
     sharding: Option<&[ShardScalingPoint]>,
+    matchmaking: Option<(&coterie_serve::FleetMetrics, &coterie_serve::FleetMetrics)>,
 ) -> String {
     let mut out = format!(
         "{{\n  \"config\": {{ \"rooms\": {rooms}, \"players\": {players}, \"net\": \"{net}\" }},\n  \
@@ -465,6 +562,36 @@ pub fn fleet_bench_json(
             ));
         }
         out.push_str("    ]\n  }");
+    }
+    if let Some((first_fit, affinity)) = matchmaking {
+        let scenario = first_fit
+            .matchmaking
+            .map(|m| m.scenario)
+            .unwrap_or(ChurnScenario::None);
+        out.push_str(&format!(
+            ",\n  \"matchmaking\": {{\n    \"scenario\": \"{scenario}\",\n"
+        ));
+        for (i, (key, m)) in [("first_fit", first_fit), ("affinity", affinity)]
+            .into_iter()
+            .enumerate()
+        {
+            let sep = if i == 0 { "," } else { "" };
+            let mm = m.matchmaking.expect("churned metrics carry matchmaking");
+            out.push_str(&format!(
+                "    \"{key}\": {{ \"store_hit_ratio\": {:.6}, \"fps_p50\": {:.4}, \
+                 \"fps_p99\": {:.4}, \"arrivals\": {}, \"placed\": {}, \"queued\": {}, \
+                 \"overflow_rooms\": {}, \"mean_wait_ms\": {:.4} }}{sep}\n",
+                m.store_hit_ratio,
+                m.fps_p50,
+                m.fps_p99,
+                mm.arrivals,
+                mm.placed,
+                mm.queued,
+                mm.overflow_rooms,
+                mm.mean_wait_ms,
+            ));
+        }
+        out.push_str("  }");
     }
     // Full mergeable histograms when the run was traced: bucket counts
     // sum across runs, so later tooling can recompute any percentile
@@ -558,7 +685,7 @@ mod tests {
     fn fleet_bench_json_is_well_formed() {
         let config = ExpConfig::quick();
         let (_, shared, _) = fleet(&config, 1, 2, NetScenario::None, PredictorKind::None);
-        let json = fleet_bench_json(&shared.metrics, 1, 2, NetScenario::None, None, None);
+        let json = fleet_bench_json(&shared.metrics, 1, 2, NetScenario::None, None, None, None);
         let doc = coterie_telemetry::parse_json(&json).expect("valid JSON");
         let fleet = doc.get("fleet").expect("fleet object");
         for key in [
@@ -596,6 +723,7 @@ mod tests {
             NetScenario::None,
             Some(&none.metrics),
             None,
+            None,
         );
         let doc = coterie_telemetry::parse_json(&json).expect("valid JSON");
         let spec = doc.get("speculation").expect("speculation object");
@@ -616,7 +744,7 @@ mod tests {
             .expect("delta vs baseline");
         assert!(delta.is_finite());
         // The predictor-less document is unchanged: no speculation key.
-        let base_json = fleet_bench_json(&none.metrics, 2, 2, NetScenario::None, None, None);
+        let base_json = fleet_bench_json(&none.metrics, 2, 2, NetScenario::None, None, None, None);
         assert!(!base_json.contains("speculation"), "got: {base_json}");
     }
 
@@ -699,6 +827,7 @@ mod tests {
             NetScenario::None,
             None,
             Some(&points),
+            None,
         );
         let doc = coterie_telemetry::parse_json(&json).expect("valid JSON");
         let curve = doc
@@ -719,8 +848,109 @@ mod tests {
             assert!(v.is_finite(), "{key} = {v}");
         }
         // Without the curve the document has no sharding key.
-        let base = fleet_bench_json(&shared.metrics, 1, 2, NetScenario::None, None, None);
+        let base = fleet_bench_json(&shared.metrics, 1, 2, NetScenario::None, None, None, None);
         assert!(!base.contains("sharding"), "got: {base}");
+    }
+
+    #[test]
+    fn matchmaking_experiment_compares_policies() {
+        let config = ExpConfig::quick();
+        let (report, first_fit, affinity) = matchmaking(
+            &config,
+            2,
+            2,
+            ChurnScenario::Steady,
+            PlacementPolicy::FirstFit,
+        );
+        // The lead policy heads the table.
+        assert_eq!(report.cell(0, 0), Some("first-fit"));
+        assert_eq!(report.cell(1, 0), Some("affinity"));
+        let ff = first_fit.metrics.matchmaking.expect("first-fit metrics");
+        let aff = affinity.metrics.matchmaking.expect("affinity metrics");
+        assert_eq!(ff.scenario, ChurnScenario::Steady);
+        // Both policies place the same arrival trace.
+        assert_eq!(ff.arrivals, aff.arrivals);
+        assert!(ff.arrivals > 0);
+        assert_eq!(ff.placed, ff.arrivals);
+        assert_eq!(aff.placed, aff.arrivals);
+        let text = format!("{report}");
+        assert!(text.contains("churn 'steady'"), "got: {text}");
+        // Deterministic: same inputs reproduce the report byte for byte.
+        let again = matchmaking(
+            &config,
+            2,
+            2,
+            ChurnScenario::Steady,
+            PlacementPolicy::FirstFit,
+        )
+        .0;
+        assert_eq!(format!("{report}"), format!("{again}"));
+        // Flipping the lead flips the row order, nothing else.
+        let flipped = matchmaking(
+            &config,
+            2,
+            2,
+            ChurnScenario::Steady,
+            PlacementPolicy::Affinity,
+        )
+        .0;
+        assert_eq!(flipped.cell(0, 0), Some("affinity"));
+        assert_eq!(flipped.cell(1, 0), Some("first-fit"));
+    }
+
+    #[test]
+    fn matchmaking_section_lands_in_bench_json() {
+        let config = ExpConfig::quick();
+        let (_, first_fit, affinity) = matchmaking(
+            &config,
+            2,
+            2,
+            ChurnScenario::Flash,
+            PlacementPolicy::FirstFit,
+        );
+        let json = fleet_bench_json(
+            &first_fit.metrics,
+            2,
+            2,
+            NetScenario::None,
+            None,
+            None,
+            Some((&first_fit.metrics, &affinity.metrics)),
+        );
+        let doc = coterie_telemetry::parse_json(&json).expect("valid JSON");
+        let mm = doc.get("matchmaking").expect("matchmaking object");
+        assert_eq!(
+            mm.get("scenario").and_then(|v| v.as_str()),
+            Some("flash"),
+            "got: {json}"
+        );
+        for key in ["first_fit", "affinity"] {
+            let policy = mm.get(key).expect(key);
+            for field in [
+                "store_hit_ratio",
+                "fps_p50",
+                "fps_p99",
+                "arrivals",
+                "placed",
+                "queued",
+                "overflow_rooms",
+                "mean_wait_ms",
+            ] {
+                let v = policy.get(field).and_then(|v| v.as_f64()).expect(field);
+                assert!(v.is_finite(), "{key}.{field} = {v}");
+            }
+        }
+        // Without the comparison the document has no matchmaking key.
+        let base = fleet_bench_json(
+            &first_fit.metrics,
+            2,
+            2,
+            NetScenario::None,
+            None,
+            None,
+            None,
+        );
+        assert!(!base.contains("matchmaking"), "got: {base}");
     }
 
     #[test]

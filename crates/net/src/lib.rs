@@ -31,10 +31,12 @@
 
 pub mod channel;
 pub mod fault;
+pub mod token;
 pub mod wire;
 
 pub use channel::{DatagramChannel, Delivery, PacketLost};
 pub use fault::{FiChannel, NetScenario};
+pub use token::ResumeToken;
 pub use wire::{FrameAssembler, ShardEntry, WireError, WireMessage};
 
 use serde::{Deserialize, Serialize};

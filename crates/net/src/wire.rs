@@ -38,8 +38,12 @@ use coterie_world::GameId;
 /// inter-shard family in its own reserved type-byte range (`0x40+`)
 /// and the structured [`WireMessage::VersionReject`] reply; every v1
 /// message encodes byte-identically under v2, so v1 clients keep
-/// decoding session traffic cleanly.
-pub const PROTO_VERSION: u16 = 2;
+/// decoding session traffic cleanly. v3 adds session resumption:
+/// [`WireMessage::Welcome`] may carry an opaque signed reconnect
+/// token as a fixed-length tail (only ever sent to v3 clients, so
+/// v1/v2 Welcome bytes are unchanged), and the session-control range
+/// gains [`WireMessage::Resume`] / [`WireMessage::ResumeReject`].
+pub const PROTO_VERSION: u16 = 3;
 
 /// Oldest protocol revision the server still accepts in a
 /// [`WireMessage::Hello`] / [`WireMessage::ShardHello`].
@@ -65,6 +69,9 @@ mod tag {
     pub const ERROR: u8 = 0x08;
     // v2 additions. 0x10–0x3f: session-control extensions.
     pub const VERSION_REJECT: u8 = 0x10;
+    // v3 additions (session resumption).
+    pub const RESUME: u8 = 0x11;
+    pub const RESUME_REJECT: u8 = 0x12;
     // 0x40–0x4f: the inter-shard family (worker ↔ worker only; never
     // sent to game clients).
     pub const SHARD_HELLO: u8 = 0x40;
@@ -78,6 +85,14 @@ mod tag {
 /// frame. Senders batch well under this (the store's advert buffer
 /// caps at 1024 and exchanges drain per epoch in smaller chunks).
 pub const MAX_SHARD_ENTRIES: usize = 4096;
+
+/// Exact size of a reconnect token on the wire, bytes: the session
+/// identity (`game:u8 room:u32 player:u32 issued_ms:u64`) plus a
+/// 64-bit MAC. Tokens are opaque to clients — they echo the bytes
+/// back verbatim in [`WireMessage::Resume`] — but the decoder still
+/// enforces the length so a truncated token is caught at the framing
+/// layer instead of the session layer.
+pub const TOKEN_BYTES: usize = 25;
 
 /// Why a peer was told to go away ([`WireMessage::Goodbye`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,6 +135,29 @@ impl ErrorCode {
             1 => Ok(ErrorCode::BadState),
             2 => Ok(ErrorCode::Malformed),
             _ => Err(WireError::BadValue("error code")),
+        }
+    }
+}
+
+/// Why a [`WireMessage::Resume`] was refused ([`WireMessage::ResumeReject`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeRejectReason {
+    /// The token was valid once but its TTL has elapsed (or the parked
+    /// session state was already reclaimed).
+    Expired = 0,
+    /// The token does not correspond to any session this server parked.
+    Unknown = 1,
+    /// The token failed signature verification.
+    Malformed = 2,
+}
+
+impl ResumeRejectReason {
+    fn from_wire(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(ResumeRejectReason::Expired),
+            1 => Ok(ResumeRejectReason::Unknown),
+            2 => Ok(ResumeRejectReason::Malformed),
+            _ => Err(WireError::BadValue("resume reject reason")),
         }
     }
 }
@@ -177,6 +215,11 @@ pub enum WireMessage {
         player: u32,
         /// The vsync budget the room is serving against, ms.
         budget_ms: f64,
+        /// Opaque signed reconnect token (v3). Encoded as a
+        /// fixed-length tail only when present, so a `None` Welcome is
+        /// byte-identical to the v1/v2 encoding and pre-v3 clients
+        /// never see (or need to skip) the field.
+        token: Option<[u8; TOKEN_BYTES]>,
     },
     /// Client pose update; the server answers with a [`WireMessage::Frame`].
     Pose {
@@ -235,6 +278,24 @@ pub enum WireMessage {
         min: u16,
         /// Newest revision the server accepts.
         max: u16,
+    },
+    /// Client asks to resume a dropped session (v3): instead of a
+    /// fresh [`WireMessage::Hello`], it presents the token from its
+    /// last Welcome. Within the TTL the server re-attaches the parked
+    /// session (same room, player id, and quality level) and answers
+    /// with a [`WireMessage::Welcome`]; otherwise it answers with a
+    /// [`WireMessage::ResumeReject`].
+    Resume {
+        /// Protocol revision ([`PROTO_VERSION`]; resumption needs ≥ 3).
+        proto: u16,
+        /// The token bytes from the original Welcome, verbatim.
+        token: [u8; TOKEN_BYTES],
+    },
+    /// Structured resume failure (v3): the token was expired, unknown,
+    /// or forged. The client should fall back to a fresh hello.
+    ResumeReject {
+        /// Why.
+        reason: ResumeRejectReason,
     },
     /// Shard-worker handshake: worker `shard` of a `shards`-wide fleet
     /// introduces itself on an inter-shard connection (proto-checked
@@ -406,11 +467,15 @@ impl WireMessage {
                 room,
                 player,
                 budget_ms,
+                token,
             } => {
                 out.push(tag::WELCOME);
                 put_u32(out, *room);
                 put_u32(out, *player);
                 put_f64(out, *budget_ms);
+                if let Some(token) = token {
+                    out.extend_from_slice(token);
+                }
             }
             WireMessage::Pose {
                 seq,
@@ -461,6 +526,15 @@ impl WireMessage {
                 out.push(tag::VERSION_REJECT);
                 put_u16(out, *min);
                 put_u16(out, *max);
+            }
+            WireMessage::Resume { proto, token } => {
+                out.push(tag::RESUME);
+                put_u16(out, *proto);
+                out.extend_from_slice(token);
+            }
+            WireMessage::ResumeReject { reason } => {
+                out.push(tag::RESUME_REJECT);
+                out.push(*reason as u8);
             }
             WireMessage::ShardHello {
                 proto,
@@ -564,11 +638,27 @@ impl WireMessage {
                     seed,
                 }
             }
-            tag::WELCOME => WireMessage::Welcome {
-                room: r.u32()?,
-                player: r.u32()?,
-                budget_ms: r.finite_f64("budget_ms")?,
-            },
+            tag::WELCOME => {
+                let room = r.u32()?;
+                let player = r.u32()?;
+                let budget_ms = r.finite_f64("budget_ms")?;
+                // v3 token tail: absent (v1/v2 Welcome) or exactly
+                // TOKEN_BYTES. Anything else is a framing error —
+                // short means a chopped token, long means junk.
+                let tail = r.rest();
+                let token = match tail.len() {
+                    0 => None,
+                    TOKEN_BYTES => Some(tail.try_into().unwrap()),
+                    n if n < TOKEN_BYTES => return Err(WireError::Truncated),
+                    _ => return Err(WireError::TrailingBytes),
+                };
+                return Ok(WireMessage::Welcome {
+                    room,
+                    player,
+                    budget_ms,
+                    token,
+                });
+            }
             tag::POSE => WireMessage::Pose {
                 seq: r.u64()?,
                 t_ms: r.finite_f64("t_ms")?,
@@ -636,6 +726,14 @@ impl WireMessage {
                 }
                 WireMessage::VersionReject { min, max }
             }
+            tag::RESUME => {
+                let proto = r.u16()?;
+                let token = r.take(TOKEN_BYTES)?.try_into().unwrap();
+                WireMessage::Resume { proto, token }
+            }
+            tag::RESUME_REJECT => WireMessage::ResumeReject {
+                reason: ResumeRejectReason::from_wire(r.u8()?)?,
+            },
             tag::SHARD_HELLO => {
                 let proto = r.u16()?;
                 let shard = r.u16()?;
@@ -880,6 +978,20 @@ mod tests {
                 room: 3,
                 player: 1,
                 budget_ms: 16.7,
+                token: None,
+            },
+            WireMessage::Welcome {
+                room: 3,
+                player: 1,
+                budget_ms: 16.7,
+                token: Some(sample_token()),
+            },
+            WireMessage::Resume {
+                proto: PROTO_VERSION,
+                token: sample_token(),
+            },
+            WireMessage::ResumeReject {
+                reason: ResumeRejectReason::Expired,
             },
             WireMessage::Pose {
                 seq: 42,
@@ -943,6 +1055,14 @@ mod tests {
                 payload: vec![9, 8, 7],
             },
         ]
+    }
+
+    fn sample_token() -> [u8; TOKEN_BYTES] {
+        let mut t = [0u8; TOKEN_BYTES];
+        for (i, b) in t.iter_mut().enumerate() {
+            *b = i as u8 ^ 0xA5;
+        }
+        t
     }
 
     fn sample_entry() -> ShardEntry {
@@ -1031,6 +1151,80 @@ mod tests {
         assert_eq!(
             WireMessage::decode_body(&body),
             Err(WireError::BadValue("t_ms"))
+        );
+    }
+
+    #[test]
+    fn tokenless_welcome_matches_v2_byte_layout() {
+        // A v3 server answering a v1/v2 client must put exactly the
+        // pre-v3 bytes on the wire: tag, room, player, budget — no tail.
+        let msg = WireMessage::Welcome {
+            room: 7,
+            player: 2,
+            budget_ms: 16.7,
+            token: None,
+        };
+        let mut body = Vec::new();
+        msg.encode_body(&mut body);
+        let mut expected = vec![tag::WELCOME];
+        expected.extend_from_slice(&7u32.to_le_bytes());
+        expected.extend_from_slice(&2u32.to_le_bytes());
+        expected.extend_from_slice(&16.7f64.to_bits().to_le_bytes());
+        assert_eq!(body, expected);
+        assert_eq!(WireMessage::decode_body(&body).unwrap(), msg);
+    }
+
+    #[test]
+    fn welcome_with_bad_token_length_is_rejected() {
+        let msg = WireMessage::Welcome {
+            room: 1,
+            player: 0,
+            budget_ms: 16.7,
+            token: Some(sample_token()),
+        };
+        let mut body = Vec::new();
+        msg.encode_body(&mut body);
+        // Chopped token: shorter than TOKEN_BYTES but non-empty.
+        let short = &body[..body.len() - 1];
+        assert_eq!(WireMessage::decode_body(short), Err(WireError::Truncated));
+        // Token with junk appended.
+        let mut long = body.clone();
+        long.push(0xFF);
+        assert_eq!(
+            WireMessage::decode_body(&long),
+            Err(WireError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn truncated_resume_token_is_rejected() {
+        let msg = WireMessage::Resume {
+            proto: PROTO_VERSION,
+            token: sample_token(),
+        };
+        let frame = msg.encode_frame();
+        let body = &frame[HEADER_BYTES..frame.len() - 1];
+        assert_eq!(WireMessage::decode_body(body), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn resume_reject_reasons_are_total() {
+        for reason in [
+            ResumeRejectReason::Expired,
+            ResumeRejectReason::Unknown,
+            ResumeRejectReason::Malformed,
+        ] {
+            let msg = WireMessage::ResumeReject { reason };
+            let frame = msg.encode_frame();
+            assert_eq!(
+                WireMessage::decode_body(&frame[HEADER_BYTES..]).unwrap(),
+                msg
+            );
+        }
+        let body = [tag::RESUME_REJECT, 9];
+        assert_eq!(
+            WireMessage::decode_body(&body),
+            Err(WireError::BadValue("resume reject reason"))
         );
     }
 

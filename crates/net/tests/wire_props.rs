@@ -16,10 +16,10 @@
 //!    variants the server logic matches on.
 
 use coterie_net::wire::{
-    game_from_wire, ByeReason, ErrorCode, ShardEntry, HEADER_BYTES, MAX_BODY_BYTES,
-    MAX_SHARD_ENTRIES, PROTO_VERSION,
+    game_from_wire, ByeReason, ErrorCode, ResumeRejectReason, ShardEntry, HEADER_BYTES,
+    MAX_BODY_BYTES, MAX_SHARD_ENTRIES, PROTO_VERSION, TOKEN_BYTES,
 };
-use coterie_net::{FrameAssembler, WireError, WireMessage};
+use coterie_net::{FrameAssembler, ResumeToken, WireError, WireMessage};
 use coterie_world::GameId;
 use proptest::prelude::*;
 
@@ -150,6 +150,7 @@ fn any_session_message() -> impl Strategy<Value = WireMessage> {
             room,
             player,
             budget_ms,
+            token: None,
         }
     });
     let pose = (
@@ -214,16 +215,54 @@ fn any_session_message() -> impl Strategy<Value = WireMessage> {
     })
 }
 
-/// Any protocol message: one in four draws from the v2 shard family so
-/// every property also covers the 0x40+ tag range.
-fn any_message() -> impl Strategy<Value = WireMessage> {
-    (0u8..4, any_session_message(), any_shard_message()).prop_map(|(pick, session, shard)| {
-        if pick == 0 {
-            shard
-        } else {
-            session
-        }
+fn any_token_bytes() -> impl Strategy<Value = [u8; TOKEN_BYTES]> {
+    proptest::collection::vec(0u8..=255, TOKEN_BYTES)
+        .prop_map(|v| <[u8; TOKEN_BYTES]>::try_from(v.as_slice()).unwrap())
+}
+
+/// The v3 resumption family: tokened Welcomes, Resume, ResumeReject.
+fn any_resume_message() -> impl Strategy<Value = WireMessage> {
+    let welcome = (0u32..64, 0u32..256, finite_f64(), any_token_bytes()).prop_map(
+        |(room, player, budget_ms, token)| WireMessage::Welcome {
+            room,
+            player,
+            budget_ms,
+            token: Some(token),
+        },
+    );
+    let resume = any_token_bytes().prop_map(|token| WireMessage::Resume {
+        proto: PROTO_VERSION,
+        token,
+    });
+    let reject = (0u8..3).prop_map(|k| WireMessage::ResumeReject {
+        reason: match k {
+            0 => ResumeRejectReason::Expired,
+            1 => ResumeRejectReason::Unknown,
+            _ => ResumeRejectReason::Malformed,
+        },
+    });
+    (0u8..3, welcome, resume, reject).prop_map(|(pick, w, r, j)| match pick {
+        0 => w,
+        1 => r,
+        _ => j,
     })
+}
+
+/// Any protocol message: one in four draws from the v2 shard family and
+/// one in four from the v3 resumption family, so every property also
+/// covers the 0x40+ and 0x11/0x12 tag ranges.
+fn any_message() -> impl Strategy<Value = WireMessage> {
+    (
+        0u8..4,
+        any_session_message(),
+        any_shard_message(),
+        any_resume_message(),
+    )
+        .prop_map(|(pick, session, shard, resume)| match pick {
+            0 => shard,
+            1 => resume,
+            _ => session,
+        })
 }
 
 proptest! {
@@ -292,16 +331,20 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// The v2 additions live strictly outside the v1 tag space: every
-    /// session message a v1 client can receive keeps its v1 type byte,
-    /// and every new message sits at `VERSION_REJECT` (0x10) or in the
-    /// reserved inter-shard range (0x40+). This is the wire-level
-    /// guarantee that old clients decode a v2 server's session traffic
-    /// unchanged.
+    /// The v2/v3 additions live strictly outside the v1 tag space:
+    /// every session message a v1 client can receive keeps its v1 type
+    /// byte, every v2 addition sits at `VERSION_REJECT` (0x10) or in
+    /// the reserved inter-shard range (0x40+), and the v3 resumption
+    /// messages stay inside the reserved session-control range
+    /// (0x10–0x3f) — except the tokened Welcome, which reuses the v1
+    /// Welcome tag but is only ever sent to clients that negotiated
+    /// v3. This is the wire-level guarantee that old clients decode a
+    /// newer server's session traffic unchanged.
     #[test]
-    fn v2_tags_stay_out_of_the_v1_range(
+    fn new_tags_stay_out_of_the_v1_range(
         session in any_session_message(),
         shard in any_shard_message(),
+        resume in any_resume_message(),
     ) {
         let session_tag = session.encode_frame()[HEADER_BYTES];
         prop_assert!(session_tag < 0x10, "session tag 0x{session_tag:02x}");
@@ -310,6 +353,47 @@ proptest! {
             shard_tag == 0x10 || shard_tag >= 0x40,
             "v2 tag 0x{shard_tag:02x} collides with the v1 range"
         );
+        let resume_tag = resume.encode_frame()[HEADER_BYTES];
+        let tokened_welcome = matches!(resume, WireMessage::Welcome { .. });
+        prop_assert!(
+            if tokened_welcome {
+                resume_tag < 0x10
+            } else {
+                (0x11..0x40).contains(&resume_tag)
+            },
+            "v3 tag 0x{resume_tag:02x} outside the session-control range"
+        );
+    }
+
+    /// Resume tokens round-trip through sign → wire → verify for any
+    /// identity and secret, and never verify under a different secret.
+    #[test]
+    fn resume_tokens_round_trip_and_authenticate(
+        game in any_game(),
+        room in 0u32..1 << 20,
+        player in 0u32..1 << 16,
+        issued_ms in 0u64..1 << 48,
+        secret in 0u64..u64::MAX,
+        other_secret in 0u64..u64::MAX,
+    ) {
+        let token = ResumeToken { game, room, player, issued_ms };
+        let bytes = token.sign(secret);
+        prop_assert_eq!(ResumeToken::verify(&bytes, secret), Some(token));
+
+        // Ride the signed bytes through the wire layer verbatim.
+        let msg = WireMessage::Resume { proto: PROTO_VERSION, token: bytes };
+        let frame = msg.encode_frame();
+        let decoded = WireMessage::decode_body(&frame[HEADER_BYTES..]).unwrap();
+        let WireMessage::Resume { token: echoed, .. } = decoded else {
+            return Err(proptest::test_runner::TestCaseError::fail(
+                "resume decoded to another variant".to_string(),
+            ));
+        };
+        prop_assert_eq!(ResumeToken::verify(&echoed, secret), Some(token));
+
+        if other_secret != secret {
+            prop_assert_eq!(ResumeToken::verify(&bytes, other_secret), None);
+        }
     }
 }
 
@@ -523,6 +607,43 @@ fn malformed_corpus_maps_to_expected_errors() {
                 frame_of(&b)
             },
             WireError::BadValue("entry value"),
+        ),
+        (
+            "resume with short token",
+            {
+                let mut b = vec![0x11u8];
+                b.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+                b.extend_from_slice(&[0xAB; TOKEN_BYTES - 1]);
+                frame_of(&b)
+            },
+            WireError::Truncated,
+        ),
+        (
+            "resume with oversize token",
+            {
+                let mut b = vec![0x11u8];
+                b.extend_from_slice(&PROTO_VERSION.to_le_bytes());
+                b.extend_from_slice(&[0xAB; TOKEN_BYTES + 3]);
+                frame_of(&b)
+            },
+            WireError::TrailingBytes,
+        ),
+        (
+            "welcome with chopped token tail",
+            {
+                let mut b = vec![0x02u8];
+                b.extend_from_slice(&0u32.to_le_bytes()); // room
+                b.extend_from_slice(&0u32.to_le_bytes()); // player
+                b.extend_from_slice(&16.7f64.to_bits().to_le_bytes());
+                b.extend_from_slice(&[0xCD; TOKEN_BYTES / 2]);
+                frame_of(&b)
+            },
+            WireError::Truncated,
+        ),
+        (
+            "resume reject with unknown reason",
+            frame_of(&[0x12, 42]),
+            WireError::BadValue("resume reject reason"),
         ),
         (
             "shard frame with empty payload",

@@ -1,0 +1,249 @@
+//! Seeded churn engine: who shows up, when, and for how long.
+//!
+//! Real multiplayer fleets are never the static full-duration rosters
+//! the earlier fleet experiments simulated — players trickle in, leave
+//! mid-session, pile onto one game after a stream mention, and follow a
+//! daily demand curve. This module turns a [`ChurnScenario`] plus the
+//! fleet seed into a deterministic arrival list the
+//! [matchmaker](crate::matchmaker) places into rooms. The same
+//! `(seed, scenario)` pair always produces byte-identical arrivals, so
+//! churned fleet reports stay as reproducible as static ones;
+//! [`ChurnScenario::None`] generates nothing and the fleet skips the
+//! plan path entirely, reproducing pre-churn reports byte for byte.
+//!
+//! All randomness comes from a private splitmix64 stream — no
+//! `rand` dependency, no global state.
+
+use std::fmt;
+
+/// A synthetic player-population scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnScenario {
+    /// No churn: the static full-duration rosters of earlier fleets.
+    /// The default; byte-identical to pre-churn fleets.
+    None,
+    /// Steady state: ~75 % of fleet capacity present at start, then a
+    /// Poisson trickle of arrivals with exponential session lengths.
+    Steady,
+    /// Flash crowd: a half-full steady fleet hit by a burst of
+    /// short-session arrivals — all onto the *first* hosted game —
+    /// compressed into the 30–40 % window of the run.
+    Flash,
+    /// Day curve: arrival rate ramps up to a mid-run peak and back
+    /// down, the triangular approximation of a daily demand cycle.
+    DayCurve,
+}
+
+impl ChurnScenario {
+    /// Every scenario, in CLI/report order.
+    pub const ALL: [ChurnScenario; 4] = [
+        ChurnScenario::None,
+        ChurnScenario::Steady,
+        ChurnScenario::Flash,
+        ChurnScenario::DayCurve,
+    ];
+
+    /// Parses a CLI name (`none`, `steady`, `flash`, `daycurve`).
+    pub fn parse(s: &str) -> Option<ChurnScenario> {
+        ChurnScenario::ALL.iter().copied().find(|c| c.name() == s)
+    }
+
+    /// The CLI/report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChurnScenario::None => "none",
+            ChurnScenario::Steady => "steady",
+            ChurnScenario::Flash => "flash",
+            ChurnScenario::DayCurve => "daycurve",
+        }
+    }
+}
+
+impl fmt::Display for ChurnScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One player showing up at the door.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// When the player arrives, simulated ms from run start.
+    pub at_ms: f64,
+    /// How long they intend to stay, ms (clamped to the run end at
+    /// placement time).
+    pub session_ms: f64,
+    /// Index into [`crate::fleet::FleetConfig::games`] of the game they
+    /// want to play.
+    pub game_idx: usize,
+}
+
+/// Shortest session worth placing, ms. Arrivals are clamped up to this
+/// so a tail-of-run join still renders at least a few frames.
+const MIN_SESSION_MS: f64 = 500.0;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in `[0, 1)`.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Exponential variate with the given mean (inverse-CDF sampling).
+fn exponential(state: &mut u64, mean: f64) -> f64 {
+    let u = unit(state).max(f64::MIN_POSITIVE);
+    -mean * u.ln()
+}
+
+/// Generates the deterministic arrival list for a scenario.
+///
+/// `capacity` is the fleet's concurrent-seat count (`rooms * players`),
+/// `n_games` the number of hosted games, `duration_ms` the run length.
+/// Arrivals come back sorted by `at_ms` (ties keep generation order)
+/// and every `at_ms` lies in `[0, duration_ms)`.
+/// [`ChurnScenario::None`] returns an empty list.
+pub fn generate_arrivals(
+    scenario: ChurnScenario,
+    capacity: usize,
+    n_games: usize,
+    duration_ms: f64,
+    seed: u64,
+) -> Vec<Arrival> {
+    assert!(capacity > 0, "churn needs at least one seat");
+    assert!(n_games > 0, "churn needs at least one game");
+    assert!(duration_ms > 0.0, "churn needs a positive duration");
+    let mut rng = seed ^ 0xC0E7_12E0_0000_0000u64.wrapping_add(scenario as u64);
+    let mut arrivals: Vec<Arrival> = Vec::new();
+    let push = |arrivals: &mut Vec<Arrival>, at_ms: f64, session_ms: f64, game_idx: usize| {
+        if at_ms < duration_ms {
+            arrivals.push(Arrival {
+                at_ms,
+                session_ms: session_ms.max(MIN_SESSION_MS),
+                game_idx,
+            });
+        }
+    };
+    match scenario {
+        ChurnScenario::None => {}
+        ChurnScenario::Steady => {
+            // Initial fill: three quarters of the seats taken at t=0,
+            // staying an exponential while (mean 60 % of the run).
+            let initial = (capacity * 3) / 4;
+            for i in 0..initial.max(1) {
+                let stay = exponential(&mut rng, duration_ms * 0.6);
+                push(&mut arrivals, 0.0, stay, i % n_games);
+            }
+            // Then a Poisson trickle sized to roughly refill the seats
+            // the initial cohort vacates.
+            let rate_per_ms = capacity as f64 * 0.75 / duration_ms;
+            let mut t = exponential(&mut rng, 1.0 / rate_per_ms);
+            let mut i = 0usize;
+            while t < duration_ms {
+                let stay = exponential(&mut rng, duration_ms * 0.4);
+                push(&mut arrivals, t, stay, i % n_games);
+                t += exponential(&mut rng, 1.0 / rate_per_ms);
+                i += 1;
+            }
+        }
+        ChurnScenario::Flash => {
+            // Base load: half the seats, full duration.
+            let base = (capacity / 2).max(1);
+            for i in 0..base {
+                push(&mut arrivals, 0.0, duration_ms, i % n_games);
+            }
+            // The crowd: one full capacity's worth of short sessions,
+            // uniform over the 30–40 % window, all onto game 0.
+            for _ in 0..capacity.max(1) {
+                let at = duration_ms * (0.3 + 0.1 * unit(&mut rng));
+                let stay = exponential(&mut rng, duration_ms * 0.25);
+                push(&mut arrivals, at, stay, 0);
+            }
+        }
+        ChurnScenario::DayCurve => {
+            // 1.5× capacity arrivals with a symmetric triangular
+            // arrival-time density peaking mid-run (inverse CDF).
+            let n = (capacity * 3 / 2).max(2);
+            for i in 0..n {
+                let u = unit(&mut rng);
+                let frac = if u < 0.5 {
+                    (u / 2.0).sqrt()
+                } else {
+                    1.0 - ((1.0 - u) / 2.0).sqrt()
+                };
+                let at = duration_ms * frac;
+                let stay = exponential(&mut rng, duration_ms * 0.35);
+                push(&mut arrivals, at, stay, i % n_games);
+            }
+        }
+    }
+    // Stable sort: equal arrival times keep generation order, so the
+    // matchmaker sees a deterministic queue.
+    arrivals.sort_by(|a, b| a.at_ms.partial_cmp(&b.at_ms).unwrap());
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_generates_no_arrivals() {
+        assert!(generate_arrivals(ChurnScenario::None, 16, 2, 10_000.0, 7).is_empty());
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_per_seed() {
+        for scenario in [
+            ChurnScenario::Steady,
+            ChurnScenario::Flash,
+            ChurnScenario::DayCurve,
+        ] {
+            let a = generate_arrivals(scenario, 16, 2, 10_000.0, 7);
+            let b = generate_arrivals(scenario, 16, 2, 10_000.0, 7);
+            assert_eq!(a, b, "{scenario} must be seed-deterministic");
+            let c = generate_arrivals(scenario, 16, 2, 10_000.0, 8);
+            assert_ne!(a, c, "{scenario} must vary with the seed");
+            assert!(!a.is_empty(), "{scenario} must generate arrivals");
+        }
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_range() {
+        for scenario in ChurnScenario::ALL {
+            let arrivals = generate_arrivals(scenario, 12, 3, 8_000.0, 41);
+            let mut last = 0.0f64;
+            for a in &arrivals {
+                assert!(a.at_ms >= last, "sorted by arrival time");
+                assert!(a.at_ms < 8_000.0, "arrivals land inside the run");
+                assert!(a.session_ms >= MIN_SESSION_MS);
+                assert!(a.game_idx < 3);
+                last = a.at_ms;
+            }
+        }
+    }
+
+    #[test]
+    fn flash_crowd_targets_the_first_game() {
+        let arrivals = generate_arrivals(ChurnScenario::Flash, 16, 4, 10_000.0, 7);
+        let burst: Vec<_> = arrivals.iter().filter(|a| a.at_ms > 0.0).collect();
+        assert!(!burst.is_empty());
+        assert!(burst.iter().all(|a| a.game_idx == 0));
+        assert!(burst
+            .iter()
+            .all(|a| a.at_ms >= 3_000.0 && a.at_ms <= 4_000.0));
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for scenario in ChurnScenario::ALL {
+            assert_eq!(ChurnScenario::parse(scenario.name()), Some(scenario));
+        }
+        assert_eq!(ChurnScenario::parse("bogus"), None);
+    }
+}

@@ -20,7 +20,9 @@
 //! loop still serializes store transactions in room-id order, a sharded
 //! run is as deterministic as a single-process one.
 
+use crate::churn::ChurnScenario;
 use crate::farm::PrerenderFarm;
+use crate::matchmaker::{self, MatchmakingMetrics, PlacementPolicy};
 use crate::metrics::FleetMetrics;
 use crate::predict::PredictorKind;
 use crate::room::{Room, RoomReport};
@@ -29,7 +31,10 @@ use crate::store::{FrameStore, LocalStore, StoreConfig, StoreStats};
 use coterie_net::{FleetEgress, NetScenario};
 use coterie_parallel::par_map_ws;
 use coterie_sim::{SessionConfig, SystemKind};
-use coterie_telemetry::{shard_pid, Stage, TelemetryConfig, TelemetrySink, TrackId, FLEET_PID};
+use coterie_telemetry::{
+    player_tid, room_pid, room_tid, shard_pid, Stage, TelemetryConfig, TelemetrySink, TrackId,
+    FARM_TID, FLEET_PID,
+};
 use coterie_world::GameId;
 use std::sync::Arc;
 
@@ -86,6 +91,20 @@ pub struct FleetConfig {
     /// speculation and pure-LRU admission, reproducing predictor-less
     /// reports byte for byte.
     pub predictor: PredictorKind,
+    /// Churn scenario: who arrives when, and for how long. With
+    /// [`ChurnScenario::None`] (the default) the fleet skips the
+    /// matchmaker entirely — every room gets the static full-duration
+    /// roster, reproducing pre-churn reports byte for byte. Any other
+    /// scenario hands a seeded arrival list to the matchmaker, whose
+    /// [`crate::matchmaker::MatchPlan`] then decides room count, roster
+    /// sizes and presence windows (so [`FleetConfig::rooms`] becomes
+    /// the *provisioned* count — overflow can exceed it and unjoined
+    /// rooms are dropped).
+    pub churn: ChurnScenario,
+    /// Placement policy for churned arrivals. Ignored (and
+    /// byte-identity preserved) when `churn` is
+    /// [`ChurnScenario::None`].
+    pub policy: PlacementPolicy,
 }
 
 impl Default for FleetConfig {
@@ -107,6 +126,8 @@ impl Default for FleetConfig {
             size_samples: 8,
             net: NetScenario::None,
             predictor: PredictorKind::None,
+            churn: ChurnScenario::None,
+            policy: PlacementPolicy::FirstFit,
         }
     }
 }
@@ -123,10 +144,9 @@ pub struct FleetReport {
     pub store_stats: StoreStats,
 }
 
-/// Trace lane (tid, under [`FLEET_PID`]) of the pre-render farm's
-/// epoch-drain spans, clearly apart from the per-room tick lanes
-/// (tid = room id).
-const FARM_TID: u32 = 10_000;
+// The pre-render farm's epoch-drain spans land on the checked
+// `coterie_telemetry::FARM_TID` lane (under [`FLEET_PID`]), clearly
+// apart from the per-room tick lanes.
 
 /// Simulated per-worker clock skew, ms: worker `w` records its spans
 /// `w * 2.5` ms late, standing in for the boot-time offset real worker
@@ -147,7 +167,13 @@ pub struct Fleet {
     /// record on skewed clocks and are absorbed (rebased) at the end of
     /// the run. Length 1 when `shards` <= 1.
     worker_sinks: Vec<TelemetrySink>,
+    /// The matchmaker's counters, `Some` only under churn.
+    matchmaking: Option<MatchmakingMetrics>,
 }
+
+/// A room's presence windows — `(join_ms, leave_ms)` per slot — when
+/// the roster comes from the matchmaker; `None` for static fleets.
+type Presence = Option<Vec<(f64, f64)>>;
 
 impl Fleet {
     /// Builds every room (in parallel — construction dominates) and
@@ -202,10 +228,37 @@ impl Fleet {
         } else {
             vec![telemetry.clone(); shards]
         };
-        let session_configs: Vec<SessionConfig> = (0..config.rooms)
-            .map(|room_id| {
-                let game = config.games[room_id % config.games.len()];
-                let mut cfg = SessionConfig::new(game, SystemKind::coterie(), config.players)
+        // Matchmaking: under churn the matchmaker's plan decides the
+        // room list — games, roster sizes and presence windows. Without
+        // churn the plan path is *skipped entirely* (not run and
+        // ignored), so static fleets stay byte-identical to
+        // pre-matchmaker builds.
+        let match_plan = (config.churn != ChurnScenario::None)
+            .then(|| matchmaker::plan(&config, config.churn, config.policy));
+        let room_params: Vec<(GameId, usize, Presence)> = match &match_plan {
+            Some(plan) => {
+                assert!(!plan.rooms.is_empty(), "churn produced no joined rooms");
+                plan.rooms
+                    .iter()
+                    .map(|rp| (rp.game, rp.windows.len(), Some(rp.windows.clone())))
+                    .collect()
+            }
+            None => (0..config.rooms)
+                .map(|room_id| {
+                    (
+                        config.games[room_id % config.games.len()],
+                        config.players,
+                        None,
+                    )
+                })
+                .collect(),
+        };
+        let n_rooms = room_params.len();
+        let session_configs: Vec<(SessionConfig, Presence)> = room_params
+            .into_iter()
+            .enumerate()
+            .map(|(room_id, (game, players, windows))| {
+                let mut cfg = SessionConfig::new(game, SystemKind::coterie(), players)
                     .with_duration_s(config.duration_s)
                     // One world per (game, master seed)…
                     .with_seed(config.seed)
@@ -219,7 +272,7 @@ impl Fleet {
                     // channels still diverge via the trace seed.
                     .with_net(config.net);
                 cfg.size_samples = config.size_samples.max(1);
-                cfg
+                (cfg, windows)
             })
             .collect();
         // Work-stealing construction: room build cost varies a lot by
@@ -229,14 +282,57 @@ impl Fleet {
         let rooms: Vec<Room> = {
             let queue_depth = config.queue_depth;
             let sinks = worker_sinks.clone();
-            let indexed: Vec<(usize, SessionConfig)> =
-                session_configs.into_iter().enumerate().collect();
+            let indexed: Vec<(usize, SessionConfig, Presence)> = session_configs
+                .into_iter()
+                .enumerate()
+                .map(|(id, (cfg, windows))| (id, cfg, windows))
+                .collect();
             let predictor = config.predictor;
-            par_map_ws(&indexed, |(id, cfg)| {
-                Room::new_with_telemetry(*id, *cfg, queue_depth, sinks[*id % sinks.len()].clone())
-                    .with_predictor(predictor)
+            par_map_ws(&indexed, |(id, cfg, windows)| {
+                let room = Room::new_with_telemetry(
+                    *id,
+                    *cfg,
+                    queue_depth,
+                    sinks[*id % sinks.len()].clone(),
+                )
+                .with_predictor(predictor);
+                match windows {
+                    Some(w) => room.with_presence(w),
+                    None => room,
+                }
             })
         };
+        // Session-lifecycle telemetry: every planned join/leave gets a
+        // zero-width span on the room's player lane, so a Chrome trace
+        // of a churned fleet shows the roster turning over.
+        if telemetry.is_enabled() {
+            if let Some(plan) = &match_plan {
+                for (i, rp) in plan.rooms.iter().enumerate() {
+                    for (slot, &(join_ms, leave_ms)) in rp.windows.iter().enumerate() {
+                        let track = TrackId {
+                            pid: room_pid(i as u32),
+                            tid: player_tid(slot as u32),
+                        };
+                        telemetry.span(
+                            track,
+                            Stage::Tick,
+                            "player-join",
+                            join_ms,
+                            0.0,
+                            slot as u64,
+                        );
+                        telemetry.span(
+                            track,
+                            Stage::Tick,
+                            "player-leave",
+                            leave_ms,
+                            0.0,
+                            slot as u64,
+                        );
+                    }
+                }
+            }
+        }
         let store_config = |capacity_bytes: u64| StoreConfig {
             capacity_bytes,
             shards: config.store_shards,
@@ -265,8 +361,8 @@ impl Fleet {
                     None,
                 )
             } else {
-                let slice = (config.store_bytes / config.rooms as u64).max(1);
-                let stores = (0..config.rooms)
+                let slice = (config.store_bytes / n_rooms as u64).max(1);
+                let stores = (0..n_rooms)
                     .map(|_| Arc::new(LocalStore::new(store_config(slice))) as Arc<dyn FrameStore>)
                     .collect();
                 (stores, None)
@@ -281,6 +377,7 @@ impl Fleet {
             farm: PrerenderFarm::new(),
             telemetry,
             worker_sinks,
+            matchmaking: match_plan.map(|p| p.metrics),
         }
     }
 
@@ -333,7 +430,10 @@ impl Fleet {
                         (&self.telemetry, FLEET_PID)
                     };
                     sink.span(
-                        TrackId { pid, tid: i as u32 },
+                        TrackId {
+                            pid,
+                            tid: room_tid(i as u32),
+                        },
                         Stage::Tick,
                         "room-tick",
                         start,
@@ -431,6 +531,7 @@ impl Fleet {
         // keeping the default report (and its Display) bit-identical.
         metrics.telemetry = self.telemetry.summary();
         metrics.sharding = self.fabric.as_ref().map(|f| f.metrics());
+        metrics.matchmaking = self.matchmaking;
         FleetReport {
             metrics,
             rooms: reports,
@@ -490,6 +591,71 @@ mod tests {
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.store_stats, b.store_stats);
         assert_eq!(format!("{}", a.metrics), format!("{}", b.metrics));
+    }
+
+    #[test]
+    fn churned_fleet_runs_are_deterministic() {
+        let cfg = FleetConfig {
+            churn: ChurnScenario::Steady,
+            ..tiny(2, true)
+        };
+        let a = Fleet::new(cfg.clone()).run();
+        let b = Fleet::new(cfg).run();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.store_stats, b.store_stats);
+        assert_eq!(format!("{}", a.metrics), format!("{}", b.metrics));
+        let mm = a
+            .metrics
+            .matchmaking
+            .expect("churned runs report matchmaking");
+        assert!(mm.arrivals > 0);
+        assert!(
+            format!("{}", a.metrics).contains("matchmaking"),
+            "churned Display carries the matchmaking line"
+        );
+    }
+
+    #[test]
+    fn churn_none_is_byte_identical_to_static_fleet() {
+        // `--churn none` must skip the plan path entirely: the report
+        // (struct and Display) matches a config predating the
+        // matchmaker, whatever the policy flag says.
+        let static_run = Fleet::new(tiny(2, true)).run();
+        let flagged = Fleet::new(FleetConfig {
+            churn: ChurnScenario::None,
+            policy: PlacementPolicy::Affinity,
+            ..tiny(2, true)
+        })
+        .run();
+        assert_eq!(static_run.metrics, flagged.metrics);
+        assert_eq!(
+            format!("{}", static_run.metrics),
+            format!("{}", flagged.metrics)
+        );
+        assert!(static_run.metrics.matchmaking.is_none());
+        assert!(!format!("{}", static_run.metrics).contains("matchmaking"));
+    }
+
+    #[test]
+    fn affinity_policy_runs_under_flash_crowd() {
+        let cfg = |policy| FleetConfig {
+            churn: ChurnScenario::Flash,
+            policy,
+            ..tiny(2, true)
+        };
+        let ff = Fleet::new(cfg(PlacementPolicy::FirstFit)).run();
+        let af = Fleet::new(cfg(PlacementPolicy::Affinity)).run();
+        for report in [&ff, &af] {
+            let mm = report.metrics.matchmaking.unwrap();
+            assert!(mm.arrivals > 0);
+            assert_eq!(mm.placed, mm.arrivals);
+            assert!(report.metrics.fps_p50 > 30.0, "churned rooms still render");
+        }
+        assert_eq!(
+            ff.metrics.matchmaking.unwrap().arrivals,
+            af.metrics.matchmaking.unwrap().arrivals,
+            "policies place the same arrival stream"
+        );
     }
 
     #[test]

@@ -36,6 +36,15 @@
 //! * [`FleetMetrics`] reports tail FPS (p50/p95/p99 across rooms),
 //!   store hit ratio, shipped bandwidth, pre-render GPU-hours and peak
 //!   device temperature.
+//! * Matchmaking & churn: [`FleetConfig::churn`] selects a seeded
+//!   [`ChurnScenario`] (steady trickle, flash crowd, day curve) whose
+//!   arrivals the [`matchmaker`] places into rooms at plan time —
+//!   first-fit or pose-affinity ([`PlacementPolicy`]) — with an
+//!   admission queue and overflow room spawn. Rosters become presence
+//!   windows on each room's session; `--churn none` (the default)
+//!   skips the plan path and reproduces static-fleet reports byte for
+//!   byte. [`FleetMetrics::matchmaking`] carries the placement
+//!   counters.
 //! * Observability: [`Fleet::new_with_telemetry`] threads a
 //!   `coterie_telemetry::TelemetrySink` through every room, attributing
 //!   each displayed frame to its pipeline stages against the 16.7 ms
@@ -66,16 +75,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod farm;
 pub mod fleet;
+pub mod matchmaker;
 pub mod metrics;
 pub mod predict;
 pub mod room;
 pub mod shard;
 pub mod store;
 
+pub use churn::{generate_arrivals, Arrival, ChurnScenario};
 pub use farm::{render_cost_ms, PrerenderFarm, PrerenderJob};
 pub use fleet::{Fleet, FleetConfig, FleetReport};
+pub use matchmaker::{MatchPlan, MatchmakingMetrics, PlacementPolicy, RoomPlan};
 pub use metrics::{percentile, FleetMetrics};
 pub use predict::{PosePredictor, PredictorKind};
 pub use room::{Room, RoomReport};

@@ -6,6 +6,7 @@
 //! notice.
 
 use crate::farm::PrerenderFarm;
+use crate::matchmaker::MatchmakingMetrics;
 use crate::predict::PredictorKind;
 use crate::room::RoomReport;
 use crate::shard::ShardMetrics;
@@ -82,6 +83,11 @@ pub struct FleetMetrics {
     /// default — keeping `--store local` reports byte-identical to
     /// pre-sharding builds.
     pub sharding: Option<ShardMetrics>,
+    /// Matchmaking counters (arrivals, admission-queue waits, overflow
+    /// rooms). `None` when the fleet ran without churn — the default —
+    /// keeping static-roster reports byte-identical to pre-matchmaker
+    /// builds.
+    pub matchmaking: Option<MatchmakingMetrics>,
 }
 
 /// `p`-th percentile (0–100) of `samples` under linear interpolation
@@ -165,6 +171,7 @@ impl FleetMetrics {
             spec_recall: store_stats.spec_recall(),
             telemetry: None,
             sharding: None,
+            matchmaking: None,
         }
     }
 }
@@ -227,6 +234,12 @@ impl fmt::Display for FleetMetrics {
                 "  prediction  precision {:.4}  recall {:.4}",
                 self.spec_precision, self.spec_recall
             )?;
+        }
+        // Only churned runs print a matchmaking line, keeping
+        // `--churn none` reports byte-identical to pre-matchmaker
+        // builds.
+        if let Some(m) = &self.matchmaking {
+            writeln!(f, "  matchmaking {m}")?;
         }
         // Only lossy runs print FI lines, keeping lossless reports
         // byte-identical to those predating the fault plane.

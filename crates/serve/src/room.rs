@@ -15,7 +15,7 @@ use coterie_core::{CacheQuery, FrameMeta};
 use coterie_device::FRAME_BUDGET_MS;
 use coterie_net::FleetEgress;
 use coterie_sim::{SessionConfig, SessionReport, SessionSim};
-use coterie_telemetry::{room_pid, FrameStats, Stage, TelemetrySink, TrackId};
+use coterie_telemetry::{room_pid, FrameStats, Stage, TelemetrySink, TrackId, SERVICE_TID};
 use coterie_world::{scene_hotspots, GameId};
 
 /// Smoothing factor of the critical-path EMA (per frame).
@@ -27,10 +27,9 @@ const RECOVER_AFTER_EPOCHS: u32 = 4;
 /// Multiplicative quality decrease / recovery steps.
 const DEGRADE_STEP: f64 = 0.75;
 const RECOVER_STEP: f64 = 1.15;
-/// Trace lane (tid) of a room's fleet-side service spans — store
-/// lookups and far-BE transfers — kept clearly apart from the
-/// per-player frame lanes (tid = player index).
-const SERVICE_TID: u32 = 9_999;
+// A room's fleet-side service spans — store lookups and far-BE
+// transfers — land on the checked `coterie_telemetry::SERVICE_TID`
+// lane, clearly apart from the per-player frame lanes.
 
 /// Per-room outcome of a fleet run.
 #[derive(Debug, Clone)]
@@ -166,6 +165,20 @@ impl Room {
     /// farm path byte-for-byte.
     pub fn with_predictor(mut self, kind: PredictorKind) -> Self {
         self.predictor = PosePredictor::new(kind, scene_hotspots(self.sim.scene()));
+        self
+    }
+
+    /// Installs the matchmaker's presence windows — one
+    /// `(join_ms, leave_ms)` pair per roster slot — on the wrapped
+    /// session. Must be called before the room ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows.len()` differs from the roster size or the
+    /// session has already stepped (forwarded from
+    /// [`SessionSim::set_presence`]).
+    pub fn with_presence(mut self, windows: &[(f64, f64)]) -> Self {
+        self.sim.set_presence(windows);
         self
     }
 

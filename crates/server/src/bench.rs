@@ -137,6 +137,7 @@ pub fn serve_bench(config: &ServeBenchConfig) -> ServeBench {
             net: NetScenario::None,
             seed: config.seed,
             realtime: false,
+            reconnect_at: None,
         });
         let server_stats = server.stop();
         let _ = std::fs::remove_file(&path);
@@ -233,6 +234,7 @@ mod tests {
             net: NetScenario::None,
             seed: config.seed,
             realtime: false,
+            reconnect_at: None,
         });
         let stats = server.stop();
         let _ = std::fs::remove_file(&path);

@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! coterie-server serve   [--tcp HOST:PORT | --uds PATH] [--workers N] [--seed N]
+//!                        [--policy first-fit|affinity] [--resume-ttl-ms N]
 //! coterie-server loadgen [--tcp HOST:PORT | --uds PATH] [--clients N]
 //!                        [--frames N] [--rooms N] [--net SCENARIO] [--seed N]
-//!                        [--realtime]
+//!                        [--realtime] [--reconnect-at N]
 //! coterie-server smoke   [--clients N] [--frames N]
 //! coterie-server shard-smoke [--clients N] [--frames N]
+//! coterie-server reconnect-smoke [--clients N] [--frames N]
 //! coterie-server bench   [--quick] [--frames N] [--seed N]
 //! ```
 //!
@@ -16,10 +18,13 @@
 //! server, and prints a greppable `serve-smoke ok:` line — the CI
 //! health check. `shard-smoke` does the same with *two* servers wired
 //! into a shard fleet over UDS, proving frames rendered on one worker
-//! serve store hits on the other. `bench` runs the connection ladder
-//! and writes `BENCH_serve.json`.
+//! serve store hits on the other. `reconnect-smoke` starts a UDS
+//! server and has every client drop its socket mid-session and resume
+//! by token, proving session continuity survives churn. `bench` runs
+//! the connection ladder and writes `BENCH_serve.json`.
 
 use coterie_net::NetScenario;
+use coterie_serve::PlacementPolicy;
 use coterie_server::{
     bench, loadgen, Endpoint, Listener, LoadConfig, Server, ServerConfig, ShardCoordinator,
     ShardPlan,
@@ -30,12 +35,15 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: coterie-server <serve|loadgen|smoke|shard-smoke|bench> [options]\n\
+        "usage: coterie-server <serve|loadgen|smoke|shard-smoke|reconnect-smoke|bench> [options]\n\
          serve   [--tcp HOST:PORT | --uds PATH] [--workers N] [--seed N]\n\
+                 [--policy first-fit|affinity] [--resume-ttl-ms N]\n\
          loadgen [--tcp HOST:PORT | --uds PATH] [--clients N] [--frames N]\n\
                  [--rooms N] [--net SCENARIO] [--seed N] [--realtime]\n\
+                 [--reconnect-at N]\n\
          smoke   [--clients N] [--frames N]\n\
          shard-smoke [--clients N] [--frames N]\n\
+         reconnect-smoke [--clients N] [--frames N]\n\
          bench   [--quick] [--frames N] [--seed N]"
     );
     std::process::exit(2);
@@ -52,6 +60,9 @@ struct Args {
     seed: u64,
     realtime: bool,
     quick: bool,
+    policy: PlacementPolicy,
+    resume_ttl_ms: u64,
+    reconnect_at: Option<u64>,
 }
 
 impl Default for Args {
@@ -67,6 +78,9 @@ impl Default for Args {
             seed: 42,
             realtime: false,
             quick: false,
+            policy: PlacementPolicy::FirstFit,
+            resume_ttl_ms: ServerConfig::default().resume_ttl_ms,
+            reconnect_at: None,
         }
     }
 }
@@ -101,6 +115,25 @@ fn parse_args(raw: &[String]) -> Args {
             }
             "--realtime" => args.realtime = true,
             "--quick" => args.quick = true,
+            "--policy" => {
+                let v = value("--policy", iter.next());
+                args.policy = PlacementPolicy::parse(&v).unwrap_or_else(|| {
+                    let names: Vec<&str> = PlacementPolicy::ALL
+                        .iter()
+                        .map(PlacementPolicy::name)
+                        .collect();
+                    eprintln!("invalid --policy value '{v}' (one of: {})", names.join(" "));
+                    std::process::exit(2);
+                });
+            }
+            "--resume-ttl-ms" => {
+                args.resume_ttl_ms =
+                    parse_num("--resume-ttl-ms", &value("--resume-ttl-ms", iter.next())) as u64;
+            }
+            "--reconnect-at" => {
+                args.reconnect_at =
+                    Some(parse_num("--reconnect-at", &value("--reconnect-at", iter.next())) as u64);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -145,6 +178,8 @@ fn cmd_serve(args: &Args) {
         ServerConfig {
             workers: args.workers,
             world_seed: args.seed,
+            policy: args.policy,
+            resume_ttl_ms: args.resume_ttl_ms,
             ..ServerConfig::default()
         },
         TelemetrySink::disabled(),
@@ -179,6 +214,7 @@ fn load_config(args: &Args) -> LoadConfig {
         net: args.net,
         seed: args.seed,
         realtime: args.realtime,
+        reconnect_at: args.reconnect_at,
     }
 }
 
@@ -328,6 +364,55 @@ fn cmd_shard_smoke(args: &Args) {
     }
 }
 
+/// One UDS server; every client drops its socket mid-session (no
+/// `Bye`) and resumes with the token from its `Welcome`. Passing means
+/// all sessions resumed, none were rejected, and quality state
+/// survived the drop.
+fn cmd_reconnect_smoke(args: &Args) {
+    let path = std::env::temp_dir().join(format!("coterie-reconnect-{}.sock", std::process::id()));
+    let listener = Listener::bind_uds(&path).unwrap_or_else(|e| {
+        eprintln!("bind {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    let server = Server::start(
+        listener,
+        ServerConfig {
+            world_seed: args.seed,
+            resume_ttl_ms: args.resume_ttl_ms,
+            ..ServerConfig::default()
+        },
+        TelemetrySink::disabled(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("start server: {e}");
+        std::process::exit(1);
+    });
+    let mut config = load_config(args);
+    config.endpoint = Endpoint::Uds(path.clone());
+    config.reconnect_at = Some(args.reconnect_at.unwrap_or(args.frames / 2).max(1));
+    let report = loadgen::run(&config);
+    let stats = server.stop();
+    let _ = std::fs::remove_file(&path);
+
+    let ok = report.sessions_completed == report.sessions
+        && report.sessions_resumed == report.sessions as u64
+        && report.resume_rejects == 0
+        && report.resume_scale_mismatches == 0
+        && report.protocol_errors == 0
+        && stats.sessions_resumed == report.sessions as u64;
+    if ok {
+        println!(
+            "reconnect-smoke ok: {} sessions dropped and resumed mid-run, \
+             {} frames, 0 rejects, quality state preserved",
+            report.sessions, report.frames_received,
+        );
+    } else {
+        println!("reconnect-smoke FAILED: {}", report.summary_line());
+        println!("server stats: {stats:?}");
+        std::process::exit(1);
+    }
+}
+
 fn cmd_bench(args: &Args) {
     let mut config = if args.quick {
         bench::ServeBenchConfig::quick()
@@ -358,6 +443,7 @@ fn main() {
         "loadgen" => cmd_loadgen(&args),
         "smoke" => cmd_smoke(&args),
         "shard-smoke" => cmd_shard_smoke(&args),
+        "reconnect-smoke" => cmd_reconnect_smoke(&args),
         "bench" => cmd_bench(&args),
         _ => usage(),
     }

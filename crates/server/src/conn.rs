@@ -18,7 +18,7 @@
 //! (ship smaller frames until the link recovers).
 
 use crate::stream::Stream;
-use coterie_net::wire::{FrameAssembler, WireError, WireMessage};
+use coterie_net::wire::{FrameAssembler, WireError, WireMessage, TOKEN_BYTES};
 use coterie_world::GameId;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -78,6 +78,15 @@ pub struct Connection {
     /// Scale the client was last told about (per-mille); a change
     /// queues a `Degrade` notice on the next interaction.
     pub last_notified_scale_pm: u16,
+    /// Protocol version the client announced in `Hello`/`Resume`
+    /// (0 until the handshake lands). Gates v3-only behaviour: only
+    /// proto >= 3 connections are issued reconnect tokens or parked on
+    /// disconnect.
+    pub proto: u16,
+    /// The reconnect token issued in this connection's `Welcome`
+    /// (v3 clients only); the key its session parks under if the
+    /// socket dies.
+    pub token: Option<[u8; TOKEN_BYTES]>,
     /// Frames dropped at the egress queue (backpressure).
     pub frames_dropped: u64,
     /// Frames successfully queued.
@@ -102,6 +111,8 @@ impl Connection {
             front_written: 0,
             frame_limit_bytes,
             last_notified_scale_pm: 1000,
+            proto: 0,
+            token: None,
             frames_dropped: 0,
             frames_queued: 0,
             poses_received: 0,

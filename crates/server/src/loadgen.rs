@@ -96,6 +96,11 @@ pub struct LoadConfig {
     /// Pace poses at the display interval (true) or as fast as the
     /// server answers (false, the saturation mode).
     pub realtime: bool,
+    /// Churn mode: at this pose index each client drops its socket
+    /// without a `Bye` (simulating a dead link) and reconnects with
+    /// the `Resume` token from its Welcome. `None` (the default) keeps
+    /// the uninterrupted session flow.
+    pub reconnect_at: Option<u64>,
 }
 
 impl Default for LoadConfig {
@@ -109,6 +114,7 @@ impl Default for LoadConfig {
             net: NetScenario::None,
             seed: 42,
             realtime: false,
+            reconnect_at: None,
         }
     }
 }
@@ -137,6 +143,13 @@ pub struct LoadReport {
     pub protocol_errors: u64,
     /// Payload bytes received (wire framing included).
     pub bytes_received: u64,
+    /// Sessions that dropped their socket and resumed by token.
+    pub sessions_resumed: u64,
+    /// `Resume` attempts the server rejected.
+    pub resume_rejects: u64,
+    /// Resumed sessions whose first post-resume frame came back at a
+    /// different quality scale than the last pre-drop frame.
+    pub resume_scale_mismatches: u64,
     /// Wall-clock pose→frame round-trip latency, ms.
     pub latency: LogHistogram,
     /// Wall-clock run duration, seconds.
@@ -155,6 +168,9 @@ impl LoadReport {
         self.decode_failures += other.decode_failures;
         self.protocol_errors += other.protocol_errors;
         self.bytes_received += other.bytes_received;
+        self.sessions_resumed += other.sessions_resumed;
+        self.resume_rejects += other.resume_rejects;
+        self.resume_scale_mismatches += other.resume_scale_mismatches;
         self.latency.merge(&other.latency);
     }
 
@@ -170,6 +186,9 @@ impl LoadReport {
             decode_failures: 0,
             protocol_errors: 0,
             bytes_received: 0,
+            sessions_resumed: 0,
+            resume_rejects: 0,
+            resume_scale_mismatches: 0,
             latency: LogHistogram::new(),
             elapsed_s: 0.0,
         }
@@ -184,9 +203,11 @@ impl LoadReport {
         }
     }
 
-    /// One-line health summary (greppable by CI smoke).
+    /// One-line health summary (greppable by CI smoke). Runs without
+    /// resume traffic print the historical line byte for byte; churn
+    /// runs append the resume segment.
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "loadgen ok: {}/{} sessions clean, {} poses, {} frames ({} store hits), \
              {} lost, {} degrades, {} protocol errors, p99 {:.2} ms, {:.1} KB/s",
             self.sessions_completed,
@@ -199,7 +220,14 @@ impl LoadReport {
             self.protocol_errors,
             self.latency.quantile(0.99),
             self.egress_bytes_per_s() / 1000.0,
-        )
+        );
+        if self.sessions_resumed + self.resume_rejects > 0 {
+            line.push_str(&format!(
+                ", {} resumed ({} rejects, {} scale mismatches)",
+                self.sessions_resumed, self.resume_rejects, self.resume_scale_mismatches
+            ));
+        }
+        line
     }
 }
 
@@ -265,16 +293,58 @@ fn run_client(config: &LoadConfig, client: usize, spec: &GameSpec, scene: &Scene
         report.protocol_errors += 1;
         return report;
     }
-    match read_message(&mut stream, &mut asm, &mut report) {
-        Some(WireMessage::Welcome { .. }) => {}
+    let mut resume_token = match read_message(&mut stream, &mut asm, &mut report) {
+        Some(WireMessage::Welcome { token, .. }) => token,
         _ => {
             report.protocol_errors += 1;
             return report;
         }
-    }
+    };
 
     let pacer = config.realtime.then(|| Pacer::new(FRAME_INTERVAL_MS));
+    let mut last_scale_pm: u16 = 1000;
+    let mut check_scale_after_resume = false;
     for i in 0..config.frames_per_client {
+        // Churn: drop the socket mid-run (no `Bye`) and come back with
+        // the token — the reconnect path a flaky home link exercises.
+        if config.reconnect_at == Some(i) {
+            if let Some(token) = resume_token {
+                drop(stream);
+                // Give the server a poll tick to see the hangup and
+                // park the session before the Resume arrives.
+                std::thread::sleep(Duration::from_millis(60));
+                let Ok(s) = config.endpoint.connect() else {
+                    report.protocol_errors += 1;
+                    return report;
+                };
+                stream = s;
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                asm = FrameAssembler::new();
+                let resume = WireMessage::Resume {
+                    proto: PROTO_VERSION,
+                    token,
+                };
+                if stream.write_all(&resume.encode_frame()).is_err() {
+                    report.protocol_errors += 1;
+                    return report;
+                }
+                match read_message(&mut stream, &mut asm, &mut report) {
+                    Some(WireMessage::Welcome { token, .. }) => {
+                        report.sessions_resumed += 1;
+                        resume_token = token;
+                        check_scale_after_resume = true;
+                    }
+                    Some(WireMessage::ResumeReject { .. }) => {
+                        report.resume_rejects += 1;
+                        return report;
+                    }
+                    _ => {
+                        report.protocol_errors += 1;
+                        return report;
+                    }
+                }
+            }
+        }
         let t_ms = i as f64 * FRAME_INTERVAL_MS;
         // Wait on the absolute schedule before the FI roll so lost
         // intervals still consume display time instead of compressing
@@ -313,13 +383,20 @@ fn run_client(config: &LoadConfig, client: usize, spec: &GameSpec, scene: &Scene
                     height,
                     quality,
                     store_hit,
+                    scale_pm,
                     payload,
-                    ..
                 }) => {
                     report
                         .latency
                         .record(sent_at.elapsed().as_secs_f64() * 1000.0);
                     report.frames_received += 1;
+                    if check_scale_after_resume {
+                        check_scale_after_resume = false;
+                        if scale_pm != last_scale_pm {
+                            report.resume_scale_mismatches += 1;
+                        }
+                    }
+                    last_scale_pm = scale_pm;
                     if store_hit {
                         report.store_hits += 1;
                     }
@@ -338,7 +415,12 @@ fn run_client(config: &LoadConfig, client: usize, spec: &GameSpec, scene: &Scene
                     }
                     break;
                 }
-                Some(WireMessage::Degrade { .. }) => report.degrades_seen += 1,
+                Some(WireMessage::Degrade { .. }) => {
+                    report.degrades_seen += 1;
+                    // A notified scale change between drop and resume is
+                    // a legitimate transition, not a lost-state bug.
+                    check_scale_after_resume = false;
+                }
                 Some(WireMessage::Goodbye { .. }) | None => {
                     // Server went away mid-session (shutdown drain).
                     return report;

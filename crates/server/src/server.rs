@@ -27,10 +27,14 @@ use crate::sys::{Epoll, EpollEvent, EPOLLEXCLUSIVE, EPOLLIN, EPOLLOUT, EPOLLRDHU
 use coterie_codec::EncodedFrame;
 use coterie_core::cache::FrameMeta;
 use coterie_net::wire::{
-    ByeReason, ErrorCode, ShardEntry, WireMessage, MIN_PROTO_VERSION, PROTO_VERSION,
+    ByeReason, ErrorCode, ResumeRejectReason, ShardEntry, WireMessage, MIN_PROTO_VERSION,
+    PROTO_VERSION, TOKEN_BYTES,
 };
+use coterie_net::ResumeToken;
+use coterie_serve::PlacementPolicy;
 use coterie_telemetry::{TelemetrySink, TrackId, SERVE_PID};
 use coterie_world::{GameId, GridPoint, LeafId, Vec2};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,6 +54,16 @@ const DRAIN_DEADLINE: Duration = Duration::from_secs(2);
 /// Interval between counter/gauge samples.
 const COUNTER_INTERVAL: Duration = Duration::from_millis(50);
 
+/// First protocol version that carries reconnect tokens / `Resume`.
+const RESUME_PROTO_MIN: u16 = 3;
+
+/// Grace the parked-session GC waits past the resume TTL before
+/// releasing a seat. A `Resume` landing inside the grace window earns
+/// the structured `Expired` reject; without it an expired token would
+/// already have been collected and answer `Unknown`, which tells the
+/// client nothing about whether retrying later could ever work.
+const PARKED_GC_GRACE: Duration = Duration::from_secs(5);
+
 /// Server tuning.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -62,6 +76,15 @@ pub struct ServerConfig {
     /// Seed the per-game worlds are built from (must match the load
     /// generator's seed for trajectory-consistent traffic).
     pub world_seed: u64,
+    /// How a `Hello`'s requested room is honored.
+    /// [`PlacementPolicy::FirstFit`] (the default) joins the requested
+    /// room exactly — today's behaviour, byte for byte.
+    /// [`PlacementPolicy::Affinity`] packs the client into the fullest
+    /// same-game room under [`crate::service::AFFINITY_ROOM_CAP`].
+    pub policy: PlacementPolicy,
+    /// How long a dropped v3 connection's session stays parked (seat
+    /// held, scale preserved) awaiting a `Resume`, ms.
+    pub resume_ttl_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +94,8 @@ impl Default for ServerConfig {
             egress_limit_bytes: 256 * 1024,
             store_bytes: 64 << 20,
             world_seed: 42,
+            policy: PlacementPolicy::FirstFit,
+            resume_ttl_ms: 30_000,
         }
     }
 }
@@ -90,6 +115,9 @@ struct Counters {
     peak_queue_bytes: AtomicU64,
     versions_rejected: AtomicU64,
     shard_frames_in: AtomicU64,
+    sessions_parked: AtomicU64,
+    sessions_resumed: AtomicU64,
+    resume_rejects: AtomicU64,
 }
 
 impl Counters {
@@ -125,10 +153,27 @@ pub struct ServerStats {
     pub versions_rejected: u64,
     /// Peer-worker frames received on the inter-shard plane.
     pub shard_frames_in: u64,
+    /// Dropped sessions parked for resume (seat held).
+    pub sessions_parked: u64,
+    /// Parked sessions successfully re-attached by `Resume`.
+    pub sessions_resumed: u64,
+    /// `Resume` attempts rejected (expired, unknown or forged tokens).
+    pub resume_rejects: u64,
     /// Frame-store occupancy, bytes.
     pub store_bytes: u64,
     /// Frame-store hit ratio so far.
     pub store_hit_ratio: f64,
+}
+
+/// A session whose socket died while Active: the seat stays held and
+/// the quality scale preserved until a `Resume` re-attaches it or the
+/// TTL (plus GC grace) releases it.
+struct ParkedSession {
+    game: GameId,
+    room: u32,
+    player: u32,
+    scale_pm: u16,
+    parked_at: Instant,
 }
 
 struct Shared {
@@ -137,6 +182,13 @@ struct Shared {
     config: ServerConfig,
     shutdown: AtomicBool,
     counters: Counters,
+    /// Token-signing secret, derived from the world seed so every
+    /// worker of a deployment mints mutually verifiable tokens.
+    secret: u64,
+    /// Server-epoch anchor for token issue timestamps.
+    epoch: Instant,
+    /// Sessions awaiting `Resume`, keyed by their token bytes.
+    parked: Mutex<HashMap<[u8; TOKEN_BYTES], ParkedSession>>,
 }
 
 /// A running server; dropping it without [`ServerHandle::stop`] aborts
@@ -172,9 +224,15 @@ impl Server {
         let shared = Arc::new(Shared {
             service,
             listener,
-            config: config.clone(),
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
+            // splitmix64 of the seed: workers sharing a seed mint
+            // mutually verifiable tokens without sharing the seed
+            // itself on the wire.
+            secret: splitmix64(config.world_seed ^ 0x00C0_7E5E_C2E7_u64),
+            epoch: Instant::now(),
+            parked: Mutex::new(HashMap::new()),
+            config: config.clone(),
         });
         let workers = config.workers.max(1);
         let mut threads = Vec::with_capacity(workers);
@@ -211,6 +269,9 @@ impl Server {
             peak_queue_bytes: c.peak_queue_bytes.load(Ordering::Relaxed),
             versions_rejected: c.versions_rejected.load(Ordering::Relaxed),
             shard_frames_in: c.shard_frames_in.load(Ordering::Relaxed),
+            sessions_parked: c.sessions_parked.load(Ordering::Relaxed),
+            sessions_resumed: c.sessions_resumed.load(Ordering::Relaxed),
+            resume_rejects: c.resume_rejects.load(Ordering::Relaxed),
             store_bytes: store.bytes(),
             store_hit_ratio: store.stats().hit_ratio(),
         }
@@ -322,6 +383,9 @@ fn worker_loop(shared: &Shared, worker: u32) {
         }
 
         shared.service.maintain(worker);
+        if worker == 0 {
+            gc_parked(shared);
+        }
 
         if worker == 0 && last_counter_sample.elapsed() >= COUNTER_INTERVAL {
             last_counter_sample = Instant::now();
@@ -405,14 +469,67 @@ fn sync_conn(epoll: &Epoll, conns: &mut HashMap<u64, Connection>, token: u64, sh
 }
 
 fn close_conn(shared: &Shared, epoll: &Epoll, conns: &mut HashMap<u64, Connection>, token: u64) {
-    if let Some(conn) = conns.remove(&token) {
+    if let Some(mut conn) = conns.remove(&token) {
         let _ = epoll.delete(conn.stream().raw_fd());
-        if let ConnState::Active { game, room, .. } = conn.state() {
-            shared.service.leave(game, room);
+        if conn.state() != ConnState::Closed {
+            // Force-close of a still-active connection (drain
+            // deadline): a dying socket, so parking applies.
+            park_or_leave(shared, &mut conn);
+            conn.set_state(ConnState::Closed);
         }
         shared.counters.note_peak(conn.peak_queue_bytes as u64);
         shared.counters.live.fetch_sub(1, Ordering::Relaxed);
         shared.counters.closed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Detaches an `Active` connection from its room. A v3 client that was
+/// issued a token parks its session (seat held, scale preserved) for
+/// the resume window; anything older leaves outright. No-op for
+/// non-active states.
+fn park_or_leave(shared: &Shared, conn: &mut Connection) {
+    let ConnState::Active { game, room, player } = conn.state() else {
+        return;
+    };
+    match conn.token.take() {
+        Some(token) if conn.proto >= RESUME_PROTO_MIN => {
+            shared.parked.lock().insert(
+                token,
+                ParkedSession {
+                    game,
+                    room,
+                    player,
+                    scale_pm: conn.last_notified_scale_pm,
+                    parked_at: Instant::now(),
+                },
+            );
+            shared
+                .counters
+                .sessions_parked
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        _ => shared.service.leave(game, room),
+    }
+}
+
+/// Releases seats whose resume window (TTL plus [`PARKED_GC_GRACE`])
+/// has fully lapsed. The grace keeps just-expired entries around so a
+/// late `Resume` is told `Expired`, not `Unknown`.
+fn gc_parked(shared: &Shared) {
+    let deadline = Duration::from_millis(shared.config.resume_ttl_ms) + PARKED_GC_GRACE;
+    let mut parked = shared.parked.lock();
+    if parked.is_empty() {
+        return;
+    }
+    let dead: Vec<[u8; TOKEN_BYTES]> = parked
+        .iter()
+        .filter(|(_, p)| p.parked_at.elapsed() > deadline)
+        .map(|(k, _)| *k)
+        .collect();
+    for key in dead {
+        if let Some(p) = parked.remove(&key) {
+            shared.service.leave(p.game, p.room);
+        }
     }
 }
 
@@ -428,7 +545,12 @@ fn flush_conn(shared: &Shared, conn: &mut Connection) {
                     .fetch_add(delta, Ordering::Relaxed);
             }
         }
-        Err(_) => conn.set_state(ConnState::Closed),
+        Err(_) => {
+            // Write error: the socket is dead mid-session, the resume
+            // case parking exists for.
+            park_or_leave(shared, conn);
+            conn.set_state(ConnState::Closed);
+        }
     }
 }
 
@@ -469,10 +591,10 @@ fn handle_readable(shared: &Shared, conn: &mut Connection, worker: u32) {
         }
     }
     if eof && conn.state() != ConnState::Closed {
-        // Peer is gone; whatever is queued can never matter.
-        if let ConnState::Active { game, room, .. } = conn.state() {
-            shared.service.leave(game, room);
-        }
+        // Peer is gone; whatever is queued can never matter. An EOF
+        // without a clean `Bye` is exactly the dropped-connection case
+        // resume tokens exist for, so park rather than leave.
+        park_or_leave(shared, conn);
         conn.set_state(ConnState::Closed);
     }
 }
@@ -506,16 +628,107 @@ fn handle_message(shared: &Shared, conn: &mut Connection, msg: WireMessage, work
                 begin_goodbye(shared, conn, ByeReason::Normal);
                 return;
             }
+            // Placement: first-fit honors the requested room exactly
+            // (the pre-matchmaker behaviour, byte for byte); affinity
+            // packs same-game rooms for cross-player frame reuse.
+            let room = match shared.config.policy {
+                PlacementPolicy::FirstFit => room,
+                PlacementPolicy::Affinity => shared.service.place_affinity(game, room),
+            };
             let (player, scale_pm) = shared.service.join(game, room);
             conn.last_notified_scale_pm = scale_pm;
+            conn.proto = proto;
             conn.set_state(ConnState::Active { game, room, player });
+            // v3 clients get a signed reconnect token; older clients
+            // get the tokenless Welcome whose bytes they already know.
+            let token = (proto >= RESUME_PROTO_MIN).then(|| {
+                ResumeToken {
+                    game,
+                    room,
+                    player,
+                    issued_ms: shared.epoch.elapsed().as_millis() as u64,
+                }
+                .sign(shared.secret)
+            });
+            conn.token = token;
             let ok = conn.enqueue_control(&WireMessage::Welcome {
                 room,
                 player,
                 budget_ms: shared.service.budget_ms(),
+                token,
             });
             if !ok {
                 conn.set_state(ConnState::Closed);
+            }
+        }
+        (ConnState::Handshake, WireMessage::Resume { proto, token }) => {
+            if !(RESUME_PROTO_MIN..=PROTO_VERSION).contains(&proto) {
+                shared
+                    .counters
+                    .versions_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = conn.enqueue_control(&WireMessage::VersionReject {
+                    min: MIN_PROTO_VERSION,
+                    max: PROTO_VERSION,
+                });
+                begin_goodbye(shared, conn, ByeReason::Normal);
+                return;
+            }
+            let reject = |reason| {
+                shared
+                    .counters
+                    .resume_rejects
+                    .fetch_add(1, Ordering::Relaxed);
+                WireMessage::ResumeReject { reason }
+            };
+            if ResumeToken::verify(&token, shared.secret).is_none() {
+                let _ = conn.enqueue_control(&reject(ResumeRejectReason::Malformed));
+                begin_goodbye(shared, conn, ByeReason::Normal);
+                return;
+            }
+            let parked = shared.parked.lock().remove(&token);
+            match parked {
+                None => {
+                    let _ = conn.enqueue_control(&reject(ResumeRejectReason::Unknown));
+                    begin_goodbye(shared, conn, ByeReason::Normal);
+                }
+                Some(p)
+                    if p.parked_at.elapsed()
+                        > Duration::from_millis(shared.config.resume_ttl_ms) =>
+                {
+                    // TTL lapsed: release the held seat and say so.
+                    shared.service.leave(p.game, p.room);
+                    let _ = conn.enqueue_control(&reject(ResumeRejectReason::Expired));
+                    begin_goodbye(shared, conn, ByeReason::Normal);
+                }
+                Some(p) => {
+                    // Re-attach: same identity, same seat (never
+                    // released), and the parked scale restored so the
+                    // next pose only notifies on a *real* change —
+                    // epoch ordering and quality level both survive
+                    // the socket's death.
+                    conn.proto = proto;
+                    conn.token = Some(token);
+                    conn.last_notified_scale_pm = p.scale_pm;
+                    conn.set_state(ConnState::Active {
+                        game: p.game,
+                        room: p.room,
+                        player: p.player,
+                    });
+                    shared
+                        .counters
+                        .sessions_resumed
+                        .fetch_add(1, Ordering::Relaxed);
+                    let ok = conn.enqueue_control(&WireMessage::Welcome {
+                        room: p.room,
+                        player: p.player,
+                        budget_ms: shared.service.budget_ms(),
+                        token: Some(token),
+                    });
+                    if !ok {
+                        conn.set_state(ConnState::Closed);
+                    }
+                }
             }
         }
         (ConnState::Active { game, room, .. }, WireMessage::Pose { seq, x, z, .. }) => {
@@ -594,6 +807,15 @@ fn handle_message(shared: &Shared, conn: &mut Connection, msg: WireMessage, work
             begin_goodbye(shared, conn, ByeReason::Normal);
         }
     }
+}
+
+/// splitmix64: derives the token-signing secret from the world seed
+/// without exposing the seed itself in token MACs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Rebuilds a peer entry's identity as a local store key.

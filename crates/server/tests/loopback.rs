@@ -4,7 +4,9 @@
 //! frames with zero protocol errors, bounded egress under a slow
 //! reader, and a graceful drain on shutdown.
 
-use coterie_net::wire::{ByeReason, WireMessage, MIN_PROTO_VERSION, PROTO_VERSION};
+use coterie_net::wire::{
+    ByeReason, ResumeRejectReason, WireMessage, MIN_PROTO_VERSION, PROTO_VERSION,
+};
 use coterie_net::NetScenario;
 use coterie_server::{
     loadgen, Endpoint, Listener, LoadConfig, Server, ServerConfig, CONTROL_OVERDRAFT_BYTES,
@@ -37,6 +39,7 @@ fn base_load(path: &Path, clients: usize, frames: u64) -> LoadConfig {
         net: NetScenario::None,
         seed: 42,
         realtime: false,
+        reconnect_at: None,
     }
 }
 
@@ -281,6 +284,203 @@ fn bad_version_is_rejected_with_supported_window() {
     assert_eq!(stats.versions_rejected, 1);
 }
 
+/// A dropped socket (no `Bye`) parks the session; a fresh connection
+/// presenting the `Welcome` token within the TTL resumes the same
+/// room/player identity with quality state intact, and the session
+/// keeps serving frames.
+#[test]
+fn dropped_session_resumes_by_token_within_ttl() {
+    let (server, path) = start_uds("resume", ServerConfig::default());
+
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    stream.write_all(&hello()).expect("hello");
+    let mut asm = coterie_net::FrameAssembler::new();
+    let (room, player, token) = match read_msg(&mut stream, &mut asm, Duration::from_secs(5)) {
+        Some(WireMessage::Welcome {
+            room,
+            player,
+            token,
+            ..
+        }) => (room, player, token.expect("v3 welcome carries a token")),
+        other => panic!("expected Welcome, got {other:?}"),
+    };
+    stream.write_all(&pose(0)).expect("pose");
+    assert!(matches!(
+        read_msg(&mut stream, &mut asm, Duration::from_secs(5)),
+        Some(WireMessage::Frame { .. })
+    ));
+
+    // Dead link: drop the socket with no Bye, give the server a poll
+    // tick to park the session.
+    drop(stream);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().sessions_parked == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.stats().sessions_parked, 1, "session never parked");
+
+    let mut stream = UnixStream::connect(&path).expect("reconnect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    stream
+        .write_all(
+            &WireMessage::Resume {
+                proto: PROTO_VERSION,
+                token,
+            }
+            .encode_frame(),
+        )
+        .expect("resume");
+    let mut asm = coterie_net::FrameAssembler::new();
+    match read_msg(&mut stream, &mut asm, Duration::from_secs(5)) {
+        Some(WireMessage::Welcome {
+            room: r,
+            player: p,
+            token: t,
+            ..
+        }) => {
+            assert_eq!((r, p), (room, player), "resume changed the identity");
+            assert!(t.is_some(), "resumed welcome carries a fresh token");
+        }
+        other => panic!("expected resumed Welcome, got {other:?}"),
+    }
+    // The resumed session keeps serving: pose → frame still works.
+    stream.write_all(&pose(1)).expect("pose after resume");
+    assert!(matches!(
+        read_msg(&mut stream, &mut asm, Duration::from_secs(5)),
+        Some(WireMessage::Frame { .. })
+    ));
+    stream.write_all(&WireMessage::Bye.encode_frame()).unwrap();
+    assert!(matches!(
+        read_msg(&mut stream, &mut asm, Duration::from_secs(5)),
+        Some(WireMessage::Goodbye { .. })
+    ));
+
+    let stats = server.stop();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(stats.sessions_parked, 1);
+    assert_eq!(stats.sessions_resumed, 1);
+    assert_eq!(stats.resume_rejects, 0);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+/// With a zero TTL every parked session is already expired when the
+/// `Resume` arrives: the server answers with a structured
+/// `ResumeReject(Expired)`, not a silent drop or an Unknown.
+#[test]
+fn expired_resume_token_gets_structured_reject() {
+    let (server, path) = start_uds(
+        "expire",
+        ServerConfig {
+            resume_ttl_ms: 0,
+            ..ServerConfig::default()
+        },
+    );
+
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    stream.write_all(&hello()).expect("hello");
+    let mut asm = coterie_net::FrameAssembler::new();
+    let token = match read_msg(&mut stream, &mut asm, Duration::from_secs(5)) {
+        Some(WireMessage::Welcome { token, .. }) => token.expect("token"),
+        other => panic!("expected Welcome, got {other:?}"),
+    };
+    drop(stream);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.stats().sessions_parked == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let mut stream = UnixStream::connect(&path).expect("reconnect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    stream
+        .write_all(
+            &WireMessage::Resume {
+                proto: PROTO_VERSION,
+                token,
+            }
+            .encode_frame(),
+        )
+        .expect("resume");
+    let mut asm = coterie_net::FrameAssembler::new();
+    match read_msg(&mut stream, &mut asm, Duration::from_secs(5)) {
+        Some(WireMessage::ResumeReject { reason }) => {
+            assert_eq!(reason, ResumeRejectReason::Expired);
+        }
+        other => panic!("expected ResumeReject(Expired), got {other:?}"),
+    }
+    let stats = server.stop();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(stats.resume_rejects, 1);
+}
+
+/// A token the server never issued (bad signature) is rejected as
+/// malformed without touching any session state.
+#[test]
+fn forged_resume_token_is_rejected_as_malformed() {
+    let (server, path) = start_uds("forged", ServerConfig::default());
+    let mut stream = UnixStream::connect(&path).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    stream
+        .write_all(
+            &WireMessage::Resume {
+                proto: PROTO_VERSION,
+                token: [0xAB; coterie_net::wire::TOKEN_BYTES],
+            }
+            .encode_frame(),
+        )
+        .expect("resume");
+    let mut asm = coterie_net::FrameAssembler::new();
+    match read_msg(&mut stream, &mut asm, Duration::from_secs(5)) {
+        Some(WireMessage::ResumeReject { reason }) => {
+            assert_eq!(reason, ResumeRejectReason::Malformed);
+        }
+        other => panic!("expected ResumeReject(Malformed), got {other:?}"),
+    }
+    let stats = server.stop();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(stats.resume_rejects, 1);
+    assert_eq!(stats.sessions_resumed, 0);
+}
+
+/// The load generator's churn mode end to end: every client drops its
+/// socket mid-run and resumes by token; all sessions still complete
+/// cleanly and quality state survives the drop.
+#[test]
+fn loadgen_reconnect_mode_resumes_every_session() {
+    let (server, path) = start_uds("lgresume", ServerConfig::default());
+    let clients = 3;
+    let mut config = base_load(&path, clients, 30);
+    config.reconnect_at = Some(15);
+    let report = loadgen::run(&config);
+    let stats = server.stop();
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(
+        report.sessions_completed,
+        clients,
+        "{}",
+        report.summary_line()
+    );
+    assert_eq!(report.sessions_resumed, clients as u64);
+    assert_eq!(report.resume_rejects, 0);
+    assert_eq!(report.resume_scale_mismatches, 0);
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(stats.sessions_parked, clients as u64);
+    assert_eq!(stats.sessions_resumed, clients as u64);
+    assert!(report.summary_line().contains("resumed"));
+}
+
 /// Version negotiation keeps old clients working: a v1 `Hello` joins
 /// and completes a pose → frame exchange exactly like a current one.
 #[test]
@@ -302,10 +502,12 @@ fn v1_client_is_still_served() {
         )
         .expect("hello");
     let mut asm = coterie_net::FrameAssembler::new();
-    assert!(matches!(
-        read_msg(&mut stream, &mut asm, Duration::from_secs(5)),
-        Some(WireMessage::Welcome { .. })
-    ));
+    match read_msg(&mut stream, &mut asm, Duration::from_secs(5)) {
+        Some(WireMessage::Welcome { token, .. }) => {
+            assert!(token.is_none(), "v1 welcome must not grow a token tail");
+        }
+        other => panic!("expected Welcome, got {other:?}"),
+    }
     stream.write_all(&pose(0)).expect("pose");
     assert!(matches!(
         read_msg(&mut stream, &mut asm, Duration::from_secs(5)),

@@ -200,9 +200,28 @@ pub struct SessionReport {
 }
 
 impl SessionReport {
-    /// Cross-player mean metrics.
+    /// Cross-player mean metrics over the players who actually played.
+    ///
+    /// Under churn a roster slot may never have been filled (its
+    /// metrics are the [`PlayerMetrics::zero`] sentinel); averaging
+    /// those in would drag every mean toward zero, so they are skipped
+    /// when at least one player displayed a frame. Without churn no
+    /// sentinel exists and this is exactly the mean over all players.
+    /// All-sentinel (or empty) rosters return the zero sentinel —
+    /// never NaN.
     pub fn aggregate(&self) -> PlayerMetrics {
-        PlayerMetrics::mean(&self.players)
+        let zero = PlayerMetrics::zero();
+        let active: Vec<PlayerMetrics> = self
+            .players
+            .iter()
+            .filter(|m| **m != zero)
+            .copied()
+            .collect();
+        if active.is_empty() {
+            zero
+        } else {
+            PlayerMetrics::mean(&active)
+        }
     }
 }
 

@@ -360,6 +360,9 @@ pub struct SessionSim {
     device: DeviceProfile,
     link: SharedLink,
     states: Vec<PlayerState>,
+    /// Per-player departure instant, ms. `duration_ms` for everyone
+    /// unless [`SessionSim::set_presence`] installed churn windows.
+    ends_ms: Vec<f64>,
     server_gpu_busy_until: f64,
     quality_scale: f64,
     duration_ms: f64,
@@ -528,6 +531,7 @@ impl SessionSim {
             device,
             link: SharedLink::wifi_80211ac(config.players),
             states,
+            ends_ms: vec![config.duration_s * 1000.0; config.players],
             server_gpu_busy_until: 0.0,
             quality_scale: 1.0,
             duration_ms: config.duration_s * 1000.0,
@@ -570,16 +574,57 @@ impl SessionSim {
         &self.scene
     }
 
-    /// Whether every player clock has passed the configured duration.
-    pub fn finished(&self) -> bool {
-        self.states.iter().all(|s| s.t_ms >= self.duration_ms)
+    /// Installs per-player presence windows (churn): player `i` joins
+    /// at `windows[i].0` and leaves at `windows[i].1`, both clamped to
+    /// `[0, duration]`. A zero-length window means the slot never
+    /// plays. Must be called before stepping; the roster (and its
+    /// trajectories) stays the full configured player set — a window
+    /// only restricts *when* a slot plays its trajectory, so the same
+    /// seed yields the same world regardless of fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `windows.len()` differs from the configured player
+    /// count or any player has already stepped.
+    pub fn set_presence(&mut self, windows: &[(f64, f64)]) {
+        assert_eq!(
+            windows.len(),
+            self.states.len(),
+            "one presence window per roster slot"
+        );
+        assert!(
+            self.states.iter().all(|s| s.frames == 0),
+            "presence windows must be installed before stepping"
+        );
+        for (i, &(join_ms, end_ms)) in windows.iter().enumerate() {
+            let join = join_ms.clamp(0.0, self.duration_ms);
+            let end = end_ms.clamp(join, self.duration_ms);
+            self.states[i].t_ms = join;
+            self.states[i].fi_last_sync_ms = join;
+            self.ends_ms[i] = end;
+        }
+        // Resource windows track player 0 from its own join.
+        self.window_start_ms = self.states[0].t_ms;
     }
 
-    /// The most-behind player clock (the session's logical "now"), ms.
+    /// Whether every player clock has passed its departure instant
+    /// (the configured duration, absent presence windows).
+    pub fn finished(&self) -> bool {
+        self.states
+            .iter()
+            .zip(&self.ends_ms)
+            .all(|(s, &end)| s.t_ms >= end)
+    }
+
+    /// The most-behind *present* player clock (the session's logical
+    /// "now"), ms. A departed player's frozen clock never pins the
+    /// session clock.
     pub fn now_ms(&self) -> f64 {
         self.states
             .iter()
-            .map(|s| s.t_ms)
+            .zip(&self.ends_ms)
+            .filter(|(s, &end)| s.t_ms < end)
+            .map(|(s, _)| s.t_ms)
             .fold(f64::INFINITY, f64::min)
             .min(self.duration_ms)
     }
@@ -617,14 +662,14 @@ impl SessionSim {
         &mut self,
         fetch: &mut dyn FnMut(&mut SharedLink, FarRequest) -> FarResponse,
     ) -> Option<StepEvent> {
-        let duration_ms = self.duration_ms;
         let pi = self
             .states
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.t_ms < duration_ms)
+            .filter(|(i, s)| s.t_ms < self.ends_ms[*i])
             .min_by(|a, b| a.1.t_ms.partial_cmp(&b.1.t_ms).expect("finite times"))
             .map(|(i, _)| i)?;
+        let end_ms = self.ends_ms[pi];
 
         let now = self.states[pi].t_ms;
         let t_s = now / 1000.0;
@@ -885,7 +930,7 @@ impl SessionSim {
             if let Some((bytes, _)) = fetched {
                 self.window_bytes += bytes;
             }
-            if now - self.window_start_ms >= WINDOW_MS || self.states[0].t_ms >= duration_ms {
+            if now - self.window_start_ms >= WINDOW_MS || self.states[0].t_ms >= end_ms {
                 if self.window_time > 0.0 {
                     let cpu_util = self
                         .device
@@ -939,7 +984,7 @@ impl SessionSim {
                 self.telemetry.span(
                     TrackId {
                         pid: room_pid(self.telemetry_room),
-                        tid: pi as u32,
+                        tid: coterie_telemetry::player_tid(pi as u32),
                     },
                     Stage::Sync,
                     "fi-sync",
@@ -1549,6 +1594,109 @@ mod tests {
             assert!(p.avg_fps.is_finite() && p.inter_frame_ms.is_finite());
         }
         assert!(report.aggregate().avg_fps.is_finite());
+    }
+
+    #[test]
+    fn full_presence_windows_are_bit_identical_to_default() {
+        // Installing the trivial window (join 0, leave at duration) for
+        // every player must not perturb the simulation at all.
+        let config = SessionConfig::new(GameId::Pool, SystemKind::coterie(), 2)
+            .with_duration_s(15.0)
+            .with_seed(7);
+        let plain = {
+            let mut sim = SessionSim::new(config);
+            while sim.step().is_some() {}
+            sim.finish()
+        };
+        let windowed = {
+            let mut sim = SessionSim::new(config);
+            sim.set_presence(&[(0.0, 15_000.0), (0.0, 15_000.0)]);
+            while sim.step().is_some() {}
+            sim.finish()
+        };
+        assert_eq!(plain, windowed);
+    }
+
+    #[test]
+    fn presence_windows_bound_player_clocks() {
+        let config = SessionConfig::new(GameId::Pool, SystemKind::coterie(), 3)
+            .with_duration_s(12.0)
+            .with_seed(5);
+        let mut sim = SessionSim::new(config);
+        // Player 0 plays throughout, player 1 leaves at 4 s, player 2
+        // joins at 6 s.
+        sim.set_presence(&[(0.0, 12_000.0), (0.0, 4_000.0), (6_000.0, 12_000.0)]);
+        while sim.step().is_some() {}
+        assert!(sim.finished());
+        let report = sim.finish();
+        let frames = |p: &PlayerMetrics| {
+            if p.inter_frame_ms > 0.0 {
+                // Roughly: played span / mean interval.
+                1
+            } else {
+                0
+            }
+        };
+        assert!(frames(&report.players[0]) > 0);
+        assert!(frames(&report.players[1]) > 0);
+        assert!(frames(&report.players[2]) > 0);
+        // The leaver stops around 4 s and the joiner starts around 6 s,
+        // so both played a strict subset of player 0's wall time; every
+        // metric still comes out finite.
+        for p in &report.players {
+            assert!(p.avg_fps.is_finite());
+            assert!(p.responsiveness_ms.is_finite());
+        }
+        assert!(report.aggregate().avg_fps > 0.0);
+    }
+
+    #[test]
+    fn zero_and_one_frame_players_stay_nan_free() {
+        // The churn regression the aggregation fix guards: one player
+        // present for the whole run, one present for a single display
+        // interval, one never present at all.
+        let config = SessionConfig::new(GameId::Pool, SystemKind::coterie(), 3)
+            .with_duration_s(10.0)
+            .with_seed(13);
+        let mut sim = SessionSim::new(config);
+        sim.set_presence(&[
+            (0.0, 10_000.0),
+            (0.0, 1.0),         // one interval: first step passes 1 ms
+            (5_000.0, 5_000.0), // zero-length window: never plays
+        ]);
+        while sim.step().is_some() {}
+        let report = sim.finish();
+        assert!(report.players[0].avg_fps > 0.0);
+        // The one-frame player displayed exactly one interval.
+        assert!(report.players[1].inter_frame_ms > 0.0);
+        assert!(report.players[1].avg_fps.is_finite());
+        // The absent slot reports the zero sentinel.
+        assert_eq!(report.players[2], PlayerMetrics::zero());
+        // And the aggregate skips the sentinel instead of averaging a
+        // phantom zero-FPS player in.
+        let agg = report.aggregate();
+        assert!(agg.avg_fps.is_finite());
+        let active_mean = (report.players[0].avg_fps + report.players[1].avg_fps) / 2.0;
+        assert!((agg.avg_fps - active_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn departed_player_does_not_pin_session_clock() {
+        let config = SessionConfig::new(GameId::Pool, SystemKind::coterie(), 2)
+            .with_duration_s(10.0)
+            .with_seed(2);
+        let mut sim = SessionSim::new(config);
+        sim.set_presence(&[(0.0, 10_000.0), (0.0, 2_000.0)]);
+        let mut past_leave = false;
+        while sim.step().is_some() {
+            if sim.now_ms() > 2_500.0 {
+                past_leave = true;
+            }
+        }
+        assert!(
+            past_leave,
+            "session clock must advance past the leaver's frozen clock"
+        );
     }
 
     #[test]

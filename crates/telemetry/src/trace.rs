@@ -35,9 +35,65 @@ pub const SERVE_PID: u32 = 20_000;
 /// then shows one `shard-w` lane per process next to the room lanes.
 pub const SHARD_PID_BASE: u32 = 30_000;
 
+/// Thread lane reserved for room-level service spans (store lookups,
+/// prefetch admission) inside a room's process lane, above any player
+/// track. Player tids must stay below this — [`player_tid`] checks.
+pub const SERVICE_TID: u32 = 9_999;
+
+/// Thread lane reserved for the pre-render farm's drain spans inside
+/// the fleet process lane, above any room-tick track. Room tids must
+/// stay below this — [`room_tid`] checks.
+pub const FARM_TID: u32 = 10_000;
+
+/// Whether `room` has a collision-free process lane: `room + 1` must
+/// stay below [`KERNEL_PID`].
+pub fn room_lane_valid(room: u32) -> bool {
+    room + 1 < KERNEL_PID
+}
+
+/// Whether `player` has a collision-free thread lane below
+/// [`SERVICE_TID`].
+pub fn player_lane_valid(player: u32) -> bool {
+    player < SERVICE_TID
+}
+
+/// Whether a room-tick track `room` stays below [`FARM_TID`].
+pub fn room_tid_valid(room: u32) -> bool {
+    room < FARM_TID
+}
+
 /// The trace lane a room's spans and frames live in.
+///
+/// Checked allocation: beyond ~10 000 rooms the lane would silently
+/// collide with [`KERNEL_PID`]; debug builds catch that here instead
+/// of producing a merged, unreadable trace.
 pub fn room_pid(room: u32) -> u32 {
+    debug_assert!(
+        room_lane_valid(room),
+        "room {room} collides with the kernel trace lane"
+    );
     room + 1
+}
+
+/// The player's thread lane inside its room's process lane. Checked:
+/// beyond ~9 000 players per room the lane would silently collide with
+/// [`SERVICE_TID`].
+pub fn player_tid(player: u32) -> u32 {
+    debug_assert!(
+        player_lane_valid(player),
+        "player {player} collides with the room service trace lane"
+    );
+    player
+}
+
+/// A room's tick track inside the fleet process lane. Checked: beyond
+/// ~10 000 rooms the track would silently collide with [`FARM_TID`].
+pub fn room_tid(room: u32) -> u32 {
+    debug_assert!(
+        room_tid_valid(room),
+        "room {room} collides with the farm trace lane"
+    );
+    room
 }
 
 /// The trace lane of shard worker `w`'s worker-scope spans.
@@ -574,6 +630,37 @@ mod tests {
     use super::*;
     use crate::sink::TrackId;
     use crate::summary::AttributionModel;
+
+    #[test]
+    fn lane_allocator_boundaries_are_exact() {
+        // Rooms: the last valid room pid sits directly under the
+        // kernel lane; one past it would collide.
+        assert!(room_lane_valid(KERNEL_PID - 2));
+        assert_eq!(room_pid(KERNEL_PID - 2), KERNEL_PID - 1);
+        assert!(!room_lane_valid(KERNEL_PID - 1));
+        // Players: the last valid tid sits directly under SERVICE_TID.
+        assert!(player_lane_valid(SERVICE_TID - 1));
+        assert_eq!(player_tid(SERVICE_TID - 1), SERVICE_TID - 1);
+        assert!(!player_lane_valid(SERVICE_TID));
+        // Room-tick tracks: directly under FARM_TID.
+        assert!(room_tid_valid(FARM_TID - 1));
+        assert_eq!(room_tid(FARM_TID - 1), FARM_TID - 1);
+        assert!(!room_tid_valid(FARM_TID));
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with the kernel trace lane")]
+    #[cfg(debug_assertions)]
+    fn room_lane_collision_is_caught_in_debug() {
+        let _ = room_pid(KERNEL_PID - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides with the room service trace lane")]
+    #[cfg(debug_assertions)]
+    fn player_lane_collision_is_caught_in_debug() {
+        let _ = player_tid(SERVICE_TID);
+    }
 
     fn frame(room: u32, n: u64) -> FrameRecord {
         FrameRecord {
